@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation — CAS-based vs locked check atomicity (§3.2, §4.3).
+ *
+ * The paper motivates its lock-free design with prior measurements
+ * attributing more than 40% of precise-detection cost to locking. This
+ * bench runs race detection (no det-sync) with CLEAN's CAS scheme and
+ * with classic sharded per-line locking, on a write-heavy subset.
+ */
+
+#include "bench/common.h"
+
+using namespace clean;
+using namespace clean::bench;
+using namespace clean::wl;
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig config = parseBench(argc, argv, "small");
+    if (!config.options.has("workloads")) {
+        // Write-heavy / access-heavy defaults.
+        config.workloads = {"lu_cb",  "lu_ncb",       "ocean_cp",
+                            "radix",  "water_nsq",    "fft",
+                            "barnes", "streamcluster"};
+    }
+
+    std::printf("=== Ablation: check atomicity, CAS vs locking "
+                "(threads=%u, scale=%s) ===\n\n",
+                config.threads,
+                config.options.getString("scale", "small").c_str());
+    std::printf("%-14s %12s %12s %12s %14s\n", "benchmark", "native[s]",
+                "cas[s]", "locked[s]", "locking-cost*");
+
+    std::vector<double> lockShare;
+    for (const auto &name : config.workloads) {
+        const double native = timedSeconds(
+            baseSpec(config, name, BackendKind::Native), config.repeats);
+        auto casSpec = baseSpec(config, name, BackendKind::DetectOnly);
+        auto lockedSpec = casSpec;
+        lockedSpec.runtime.atomicity = AtomicityMode::Locked;
+        const double cas = timedSeconds(casSpec, config.repeats);
+        const double locked = timedSeconds(lockedSpec, config.repeats);
+        if (native <= 0 || cas <= 0 || locked <= 0) {
+            std::printf("%-14s %12s\n", name.c_str(), "FAILED");
+            continue;
+        }
+        // Locking's share of total detection overhead.
+        const double share =
+            100.0 * (locked - cas) / std::max(1e-12, locked - native);
+        lockShare.push_back(share);
+        std::printf("%-14s %12.4f %12.4f %12.4f %13.1f%%\n",
+                    name.c_str(), native, cas, locked, share);
+    }
+
+    std::printf("\n*share of detection overhead attributable to "
+                "locking: mean %.1f%%\n",
+                mean(lockShare));
+    std::printf(
+        "paper context: prior precise detectors attribute > 40%% of "
+        "cost to locking, which\nCLEAN's CAS publication avoids. NOTE: "
+        "locking's cost is a *contention* cost — on a\nhost with fewer "
+        "cores than workers the locks are rarely contended and the "
+        "share can\ncome out near zero or negative; "
+        "bench_micro_check's BM_LockedAtomicityWrite8B vs\n"
+        "BM_WriteCheckSameEpoch8B shows the per-access gap (~2x) even "
+        "uncontended.\n");
+    return 0;
+}

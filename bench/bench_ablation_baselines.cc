@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation — CLEAN detection vs full precise (FastTrack) vs imprecise
+ * (TsanLite) detection cost (§7's comparison, measured).
+ *
+ * CLEAN's advantage over FastTrack is structural: no read metadata, no
+ * O(threads) read-VC scans on writes, no locking. TsanLite is cheap but
+ * misses races. This bench measures all three on the same workloads
+ * plus the uninstrumented baseline, and a Linear-vs-Sparse shadow
+ * comparison (the paper's fixed-layout argument, §4.2).
+ */
+
+#include "bench/common.h"
+
+using namespace clean;
+using namespace clean::bench;
+using namespace clean::wl;
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig config = parseBench(argc, argv, "small");
+    if (!config.options.has("workloads")) {
+        config.workloads = {"lu_cb", "fft", "barnes", "blackscholes",
+                            "water_nsq", "streamcluster"};
+    }
+
+    std::printf("=== Ablation: detection baselines "
+                "(threads=%u, scale=%s) ===\n\n",
+                config.threads,
+                config.options.getString("scale", "small").c_str());
+    std::printf("%-14s %10s %9s %9s %9s %9s\n", "benchmark",
+                "native[s]", "clean", "sparse", "fasttrk", "tsanlite");
+
+    std::vector<double> cleanX, sparseX, ftX, tsanX;
+    for (const auto &name : config.workloads) {
+        const double native = timedSeconds(
+            baseSpec(config, name, BackendKind::Native), config.repeats);
+        auto linearSpec = baseSpec(config, name, BackendKind::DetectOnly);
+        auto sparseSpec = linearSpec;
+        sparseSpec.runtime.shadow = ShadowKind::Sparse;
+        const double clean = timedSeconds(linearSpec, config.repeats);
+        const double sparse = timedSeconds(sparseSpec, config.repeats);
+        const double ft = timedSeconds(
+            baseSpec(config, name, BackendKind::FastTrack),
+            config.repeats);
+        const double tsan = timedSeconds(
+            baseSpec(config, name, BackendKind::TsanLite),
+            config.repeats);
+        if (native <= 0 || clean <= 0 || sparse <= 0 || ft <= 0 ||
+            tsan <= 0) {
+            std::printf("%-14s %10s\n", name.c_str(), "FAILED");
+            continue;
+        }
+        cleanX.push_back(clean / native);
+        sparseX.push_back(sparse / native);
+        ftX.push_back(ft / native);
+        tsanX.push_back(tsan / native);
+        std::printf("%-14s %10.4f %8.2fx %8.2fx %8.2fx %8.2fx\n",
+                    name.c_str(), native, clean / native,
+                    sparse / native, ft / native, tsan / native);
+    }
+
+    std::printf("\ngeomeans: clean %.2fx, sparse-shadow %.2fx, "
+                "fasttrack %.2fx, tsan-lite %.2fx\n",
+                geomean(cleanX), geomean(sparseX), geomean(ftX),
+                geomean(tsanX));
+    std::printf("expected shape: clean < fasttrack (no WAR machinery); "
+                "linear < sparse shadow\n(fixed-arithmetic EPOCH_ADDRESS "
+                "beats the lookup).\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation — the hardware fast-path comparator (§5.2, Figure 4b).
+ *
+ * The paper reports that 54.2% of accesses finish through the cheap
+ * sameThread/sameEpoch comparator against the per-core cached main
+ * vector-clock element. This bench replays each trace with the
+ * comparator disabled — every shared access then also fetches the VC
+ * element from memory — and reports the slowdown the little register
+ * + comparator save.
+ */
+
+#include "bench/common.h"
+#include "sim/machine.h"
+
+using namespace clean;
+using namespace clean::bench;
+using namespace clean::wl;
+
+int
+main(int argc, char **argv)
+{
+    const BenchConfig config = parseBench(argc, argv);
+
+    std::printf("=== Ablation: hardware fast-path comparator "
+                "(threads=%u, scale=%s) ===\n\n",
+                config.threads,
+                config.options.getString("scale", "test").c_str());
+    std::printf("%-14s %12s %12s %12s %12s\n", "benchmark", "base[cyc]",
+                "fastpath", "no-fastpath", "fp-benefit");
+
+    std::vector<double> benefits;
+    for (const auto &name : config.workloads) {
+        if (name == "facesim")
+            continue;
+        auto result =
+            runWorkload(baseSpec(config, name, BackendKind::Trace));
+        sim::MachineConfig off;
+        off.raceDetection = false;
+        const auto base = sim::simulate(result.trace, off);
+
+        sim::MachineConfig with;
+        const auto fp = sim::simulate(result.trace, with);
+
+        sim::MachineConfig without;
+        without.hwFastPath = false;
+        const auto nofp = sim::simulate(result.trace, without);
+
+        const double sWith =
+            static_cast<double>(fp.totalCycles) / base.totalCycles;
+        const double sWithout =
+            static_cast<double>(nofp.totalCycles) / base.totalCycles;
+        benefits.push_back(100.0 * (sWithout - sWith));
+        std::printf("%-14s %12llu %11.3fx %11.3fx %10.1f%%\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(base.totalCycles),
+                    sWith, sWithout, 100.0 * (sWithout - sWith));
+    }
+
+    std::printf("\nmean slowdown saved by the comparator: %.1f%% of "
+                "baseline execution time\n",
+                mean(benefits));
+    std::printf("paper: 54.2%% of accesses resolve through the fast "
+                "path; with private accesses,\n90%% of all accesses are "
+                "checked quickly.\n");
+    return 0;
+}

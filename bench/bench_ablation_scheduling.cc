@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation — core count and context switches (§5.1's context-switch
+ * case).
+ *
+ * Replays 8-thread traces on machines with 8, 4, 2 and 1 cores. With
+ * fewer cores, threads time-share: each switch costs cycles plus a
+ * memory access to reload the per-core main vector-clock register the
+ * CLEAN hardware caches (§5.1). Reported: total cycles (normalized to
+ * the 8-core machine) and the number of context switches.
+ */
+
+#include "bench/common.h"
+#include "sim/machine.h"
+
+using namespace clean;
+using namespace clean::bench;
+using namespace clean::wl;
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig config = parseBench(argc, argv);
+    if (!config.options.has("workloads"))
+        config.workloads = {"fft", "barnes", "ocean_cp", "streamcluster"};
+    const unsigned coreCounts[] = {8, 4, 2, 1};
+
+    std::printf("=== Ablation: time-shared cores & context switches "
+                "(threads=%u, scale=%s) ===\n\n",
+                config.threads,
+                config.options.getString("scale", "test").c_str());
+    std::printf("%-14s", "benchmark");
+    for (unsigned c : coreCounts)
+        std::printf("  %6u-core", c);
+    std::printf("   switches@1-core\n");
+
+    for (const auto &name : config.workloads) {
+        auto result =
+            runWorkload(baseSpec(config, name, BackendKind::Trace));
+        double base = 0;
+        std::uint64_t switches1 = 0;
+        std::printf("%-14s", name.c_str());
+        for (unsigned c : coreCounts) {
+            sim::MachineConfig machine;
+            machine.cores = c;
+            const auto stats = sim::simulate(result.trace, machine);
+            if (c == coreCounts[0])
+                base = static_cast<double>(stats.totalCycles);
+            if (c == 1)
+                switches1 = stats.contextSwitches;
+            std::printf("  %9.2fx",
+                        static_cast<double>(stats.totalCycles) / base);
+        }
+        std::printf("   %llu\n",
+                    static_cast<unsigned long long>(switches1));
+    }
+    std::printf("\nexpected shape: cycles grow as cores shrink "
+                "(serialization) plus the switch tax;\nthe race-check "
+                "verdicts are identical at every core count.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * §6.2.2 — detected races and determinism.
+ *
+ * The paper's two validation experiments, at library scale:
+ *
+ *   1. the unmodified (racy) versions of the 17 racy benchmarks are run
+ *      repeatedly under CLEAN: every execution must end with a race
+ *      exception;
+ *   2. the modified (race-free) versions of the remaining suite
+ *      (canneal excluded — no manual race-free version exists) are run
+ *      repeatedly: no execution throws, and the determinism fingerprint
+ *      (program output hash, final deterministic counters, shared
+ *      read/write counts) is identical across runs.
+ *
+ * --runs sets the repetition count (paper: 100; default here 5).
+ */
+
+#include "bench/common.h"
+
+using namespace clean;
+using namespace clean::bench;
+using namespace clean::wl;
+
+int
+main(int argc, char **argv)
+{
+    const BenchConfig config = parseBench(argc, argv);
+    const unsigned runs =
+        static_cast<unsigned>(config.options.getInt("runs", 5));
+
+    std::printf("=== §6.2.2: detection & determinism "
+                "(threads=%u, scale=%s, runs=%u) ===\n\n",
+                config.threads,
+                config.options.getString("scale", "test").c_str(), runs);
+
+    // Experiment 1: racy versions always throw.
+    std::printf("--- racy (unmodified) benchmarks: every run must end "
+                "with a race exception ---\n");
+    unsigned racyOk = 0, racyTotal = 0;
+    for (const auto &name : racyWorkloadNames()) {
+        if (std::find(config.workloads.begin(), config.workloads.end(),
+                      name) == config.workloads.end()) {
+            continue;
+        }
+        ++racyTotal;
+        unsigned exceptions = 0;
+        std::string firstKind;
+        for (unsigned r = 0; r < runs; ++r) {
+            auto spec = baseSpec(config, name, BackendKind::Clean, true);
+            spec.params.seed = 12345; // same input every run, as §6.2.2
+            const auto result = runWorkload(spec);
+            exceptions += result.raceException;
+            if (firstKind.empty() && result.raceException)
+                firstKind = result.raceMessage.substr(
+                    0, result.raceMessage.find(" race"));
+        }
+        const bool ok = exceptions == runs;
+        racyOk += ok;
+        std::printf("%-14s %u/%u exceptions (%s)%s\n", name.c_str(),
+                    exceptions, runs, firstKind.c_str(),
+                    ok ? "" : "   <-- FAILED");
+    }
+    std::printf("=> %u/%u racy benchmarks always threw (paper: 17/17)\n\n",
+                racyOk, racyTotal);
+
+    // Experiment 2: race-free versions never throw, always identical.
+    std::printf("--- race-free (modified) benchmarks: no exceptions, "
+                "deterministic fingerprints ---\n");
+    unsigned detOk = 0, detTotal = 0;
+    for (const auto &name : config.workloads) {
+        if (findWorkload(name).excludedFromModified()) {
+            std::printf("%-14s (excluded from the modified suite, as in "
+                        "the paper)\n",
+                        name.c_str());
+            continue;
+        }
+        ++detTotal;
+        bool anyException = false, allSame = true;
+        RunResult::Fingerprint first{};
+        for (unsigned r = 0; r < runs; ++r) {
+            auto spec = baseSpec(config, name, BackendKind::Clean);
+            spec.params.seed = 12345;
+            const auto result = runWorkload(spec);
+            anyException |= result.raceException;
+            if (r == 0)
+                first = result.fingerprint();
+            else
+                allSame &= result.fingerprint() == first;
+        }
+        const bool ok = !anyException && allSame;
+        detOk += ok;
+        std::printf("%-14s exceptions:%s deterministic:%s%s\n",
+                    name.c_str(), anyException ? "YES" : "no",
+                    allSame ? "yes" : "NO",
+                    ok ? "" : "   <-- FAILED");
+    }
+    std::printf("=> %u/%u race-free benchmarks deterministic with no "
+                "exceptions (paper: 25/25)\n",
+                detOk, detTotal);
+    return racyOk == racyTotal && detOk == detTotal ? 0 : 1;
+}

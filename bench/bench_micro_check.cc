@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Microbenchmarks of the race-check hot path (google-benchmark).
+ *
+ * Latency of the §3.2/§4.3/§4.4 building blocks: read checks, write
+ * checks with and without epoch publication, vectorized vs per-byte
+ * multi-byte checks, Linear vs Sparse shadow addressing, and CAS vs
+ * locked atomicity — the per-access costs behind Figure 6's 5.8x.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/linear_shadow.h"
+#include "core/race_check.h"
+#include "core/sparse_shadow.h"
+#include "core/thread_state.h"
+
+namespace clean
+{
+namespace
+{
+
+constexpr Addr kBase = 0x100000000;
+constexpr std::size_t kSpan = 1 << 22;
+
+struct Fixture
+{
+    explicit Fixture(CheckerConfig config = {})
+        : shadow(kBase, kSpan), checker(config, shadow),
+          self(config.epoch, 0, 8), other(config.epoch, 1, 8)
+    {
+        self.vc.setClock(0, 1);
+        self.refreshOwnEpoch();
+        other.vc.setClock(1, 1);
+        other.refreshOwnEpoch();
+    }
+
+    LinearShadow shadow;
+    RaceChecker<LinearShadow> checker;
+    ThreadState self, other;
+};
+
+void
+BM_ReadCheckSameEpoch8B(benchmark::State &state)
+{
+    Fixture f;
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.afterRead(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckSameEpoch8B);
+
+void
+BM_ReadCheckSameEpoch8B_NoVec(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.vectorized = false;
+    Fixture f(config);
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.afterRead(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckSameEpoch8B_NoVec);
+
+void
+BM_WriteCheckSameEpoch8B(benchmark::State &state)
+{
+    Fixture f;
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.beforeWrite(f.self, kBase, 8); // same epoch: no CAS
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCheckSameEpoch8B);
+
+void
+BM_WritePublish8B(benchmark::State &state)
+{
+    // Alternate epochs so every write publishes (wide CAS each time).
+    Fixture f;
+    for (auto _ : state) {
+        f.checker.beforeWrite(f.self, kBase, 8);
+        f.self.vc.tick(0);
+        f.self.refreshOwnEpoch();
+        if (f.self.vc.clockOf(0) > 4000000) {
+            state.PauseTiming();
+            f.self.vc.setClock(0, 1);
+            f.self.refreshOwnEpoch();
+            f.shadow.reset();
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WritePublish8B);
+
+void
+BM_WriteCheckWidthSweep(benchmark::State &state)
+{
+    Fixture f;
+    const std::size_t width = static_cast<std::size_t>(state.range(0));
+    f.checker.beforeWrite(f.self, kBase, 256);
+    for (auto _ : state)
+        f.checker.beforeWrite(f.self, kBase, width);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * width));
+}
+BENCHMARK(BM_WriteCheckWidthSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->
+    Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_LockedAtomicityWrite8B(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.atomicity = AtomicityMode::Locked;
+    Fixture f(config);
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.beforeWrite(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockedAtomicityWrite8B);
+
+void
+BM_SparseShadowRead8B(benchmark::State &state)
+{
+    SparseShadow shadow;
+    CheckerConfig config;
+    RaceChecker<SparseShadow> checker(config, shadow);
+    ThreadState self(config.epoch, 0, 8);
+    self.vc.setClock(0, 1);
+    self.refreshOwnEpoch();
+    checker.beforeWrite(self, kBase, 64);
+    for (auto _ : state)
+        checker.afterRead(self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseShadowRead8B);
+
+void
+BM_ReadCheckStriding(benchmark::State &state)
+{
+    // Cache-hostile: walk a large region so the shadow misses too.
+    Fixture f;
+    for (Addr a = kBase; a < kBase + kSpan; a += 64)
+        f.checker.beforeWrite(f.self, a, 8);
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 4096;
+        if (a >= kBase + kSpan)
+            a = kBase;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckStriding);
+
+} // namespace
+} // namespace clean
+
+BENCHMARK_MAIN();

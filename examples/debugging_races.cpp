@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Debugging workflow the paper motivates (§3.1.2):
+ *
+ *   1. run the racy program under CLEAN -> immediate race exception at
+ *      the first WAW/RAW (early detection, no out-of-thin-air damage);
+ *   2. re-run the same schedule under the full precise detector
+ *      (FastTrack) to enumerate *all* races, including WAR;
+ *   3. fix the bug (use the race-free variant) and re-run: CLEAN is
+ *      silent and the result is deterministic.
+ *
+ * The racy program is the suite's `raytrace`, whose bug is the actual
+ * SPLASH-2 raytrace defect: a global tile/RayID counter incremented
+ * without the lock.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "workloads/registry.h"
+#include "workloads/runner.h"
+
+using namespace clean;
+using namespace clean::wl;
+
+namespace
+{
+
+RunSpec
+makeSpec(BackendKind backend, bool racy)
+{
+    RunSpec spec;
+    spec.workload = "raytrace";
+    spec.backend = backend;
+    spec.params.threads = 4;
+    spec.params.scale = Scale::Test;
+    spec.params.racy = racy;
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Debugging a racy program with CLEAN ==\n\n");
+
+    // Step 1: CLEAN stops the buggy build on first WAW/RAW.
+    std::printf("step 1: running racy raytrace under CLEAN...\n");
+    const auto cleanRun = runWorkload(makeSpec(BackendKind::Clean, true));
+    if (cleanRun.raceException) {
+        std::printf("  -> race exception: %s\n\n",
+                    cleanRun.raceMessage.c_str());
+    } else {
+        std::printf("  -> unexpectedly completed!\n\n");
+    }
+
+    // Step 2: enumerate everything with the precise baseline.
+    std::printf("step 2: enumerating races with FastTrack...\n");
+    const auto ftRun = runWorkload(makeSpec(BackendKind::FastTrack, true));
+    std::printf("  -> %zu race reports (WAW=%zu RAW=%zu WAR=%zu)\n",
+                ftRun.detectorReports, ftRun.detectorWaw, ftRun.detectorRaw,
+                ftRun.detectorWar);
+    std::printf("     (CLEAN throws on the WAW/RAW ones; WAR races are\n"
+                "      tolerated by design and cannot break SFR isolation)\n\n");
+
+    // Step 3: the fixed build runs clean and deterministically.
+    std::printf("step 3: running the fixed (locked) raytrace...\n");
+    const auto fixed1 = runWorkload(makeSpec(BackendKind::Clean, false));
+    const auto fixed2 = runWorkload(makeSpec(BackendKind::Clean, false));
+    std::printf("  -> exceptions: %s; outputs %016llx / %016llx (%s)\n",
+                fixed1.raceException ? "yes" : "no",
+                static_cast<unsigned long long>(fixed1.outputHash),
+                static_cast<unsigned long long>(fixed2.outputHash),
+                fixed1.fingerprint() == fixed2.fingerprint()
+                    ? "deterministic"
+                    : "NONDETERMINISTIC");
+    return 0;
+}

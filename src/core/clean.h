@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Public façade for the CLEAN race-detection library.
+ *
+ * Pulling in this single header gives application code the full
+ * software-only CLEAN system of the paper:
+ *
+ *   CleanRuntime rt;                       // detection + determinism on
+ *   auto *data = rt.heap().allocSharedArray<int>(1024);
+ *   CleanMutex m(rt);
+ *   auto h = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+ *       m.lock(ctx);
+ *       ctx.write(&data[0], 42);
+ *       m.unlock(ctx);
+ *   });
+ *   rt.join(rt.mainContext(), h);
+ *
+ * A WAW or RAW race throws RaceException in the racing thread and aborts
+ * the rest of the execution (ExecutionAborted); WAR races are allowed by
+ * design and exception-free executions are deterministic (§3.1).
+ */
+
+#ifndef CLEAN_CORE_CLEAN_H
+#define CLEAN_CORE_CLEAN_H
+
+#include "core/epoch.h"             // IWYU pragma: export
+#include "core/race_check.h"        // IWYU pragma: export
+#include "core/race_exception.h"    // IWYU pragma: export
+#include "core/runtime.h"           // IWYU pragma: export
+#include "core/shared_heap.h"       // IWYU pragma: export
+#include "core/sync_objects.h"      // IWYU pragma: export
+#include "core/vector_clock.h"      // IWYU pragma: export
+
+#endif // CLEAN_CORE_CLEAN_H

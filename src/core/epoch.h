@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Epoch representation (paper §2.3, §4.5, §5.3).
+ *
+ * An epoch packs (thread id, scalar clock) into one 32-bit word — the
+ * entire per-byte write metadata CLEAN maintains. Layout (default config):
+ *
+ *   bit 31      : "expanded" flag, used only by the hardware metadata
+ *                 organization (§5.3); software epochs keep it zero.
+ *   bits 30..23 : reusable thread id (8 bits -> up to 256 live threads).
+ *   bits 22..0  : scalar clock (23 bits). Clock widths are configurable;
+ *                 Table 1 contrasts 23-bit vs 28-bit clocks.
+ *
+ * Vector-clock elements are stored as full epochs — the element for
+ * thread t carries t in its tid bits (§4.1). The bits are redundant but
+ * allow the race check to compare a location's epoch against a vector
+ * clock element with a single integer comparison.
+ */
+
+#ifndef CLEAN_CORE_EPOCH_H
+#define CLEAN_CORE_EPOCH_H
+
+#include "support/common.h"
+#include "support/logging.h"
+
+namespace clean
+{
+
+/** Bit-layout parameters for 32-bit epochs. */
+struct EpochConfig
+{
+    /** Bits for the scalar clock (low bits). */
+    unsigned clockBits = 23;
+    /** Bits for the reusable thread id (above the clock). */
+    unsigned tidBits = 8;
+
+    constexpr bool
+    valid() const
+    {
+        // Bit 31 is reserved for the hardware "expanded" flag.
+        return clockBits >= 4 && tidBits >= 1 && clockBits + tidBits <= 31;
+    }
+
+    constexpr EpochValue clockMask() const
+    {
+        return (EpochValue{1} << clockBits) - 1;
+    }
+
+    constexpr EpochValue tidMask() const
+    {
+        return (EpochValue{1} << tidBits) - 1;
+    }
+
+    /** Largest representable clock; reaching it triggers a rollover. */
+    constexpr ClockValue maxClock() const { return clockMask(); }
+
+    /** Number of distinct live thread ids. */
+    constexpr ThreadId maxThreads() const { return tidMask() + 1; }
+
+    /** Hardware compact/expanded flag (§5.3), never set in software. */
+    static constexpr EpochValue expandedBit() { return EpochValue{1} << 31; }
+
+    /** Packs (tid, clock) into an epoch. */
+    constexpr EpochValue
+    pack(ThreadId tid, ClockValue clock) const
+    {
+        return (static_cast<EpochValue>(tid & tidMask()) << clockBits) |
+               (clock & clockMask());
+    }
+
+    /** Clock component of an epoch. */
+    constexpr ClockValue clockOf(EpochValue e) const { return e & clockMask(); }
+
+    /** Thread-id component of an epoch. */
+    constexpr ThreadId
+    tidOf(EpochValue e) const
+    {
+        return (e >> clockBits) & tidMask();
+    }
+};
+
+/** The 23-bit-clock default used throughout the paper's evaluation. */
+inline constexpr EpochConfig kDefaultEpochConfig{};
+
+/** The 28-bit-clock configuration of Table 1 (no rollovers observed). */
+inline constexpr EpochConfig kWideClockEpochConfig{28, 3};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_EPOCH_H

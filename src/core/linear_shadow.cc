@@ -1,0 +1,36 @@
+#include "core/linear_shadow.h"
+
+#include <sys/mman.h>
+
+#include "support/logging.h"
+
+namespace clean
+{
+
+LinearShadow::LinearShadow(Addr dataBase, std::size_t dataSpan)
+    : dataBase_(dataBase), dataSpan_(dataSpan)
+{
+    const std::size_t shadowBytes = dataSpan * kShadowBytesPerByte;
+    void *mem = ::mmap(nullptr, shadowBytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED)
+        fatal("LinearShadow: cannot reserve %zu shadow bytes", shadowBytes);
+    base_ = static_cast<EpochValue *>(mem);
+}
+
+LinearShadow::~LinearShadow()
+{
+    if (base_)
+        ::munmap(base_, dataSpan_ * kShadowBytesPerByte);
+}
+
+void
+LinearShadow::reset()
+{
+    // Re-point every shadow page at the kernel zero page; the next touch
+    // faults a fresh zeroed page in. This is the paper's O(1) reset.
+    if (::madvise(base_, dataSpan_ * kShadowBytesPerByte, MADV_DONTNEED) != 0)
+        panic("LinearShadow: madvise(MADV_DONTNEED) failed");
+}
+
+} // namespace clean

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The paper's shadow organization (§4.2): a fixed-layout epoch region.
+ *
+ * One 4-byte epoch per data byte at address shadowBase + 4 * (addr -
+ * dataBase). The whole region is reserved with MAP_NORESERVE, so physical
+ * memory is consumed only for epochs of data actually accessed. Reset
+ * (used by the deterministic rollover, §4.5) is a single
+ * madvise(MADV_DONTNEED), which re-points the pages at the kernel's
+ * copied-on-write zero page — the exact mechanism the paper describes.
+ */
+
+#ifndef CLEAN_CORE_LINEAR_SHADOW_H
+#define CLEAN_CORE_LINEAR_SHADOW_H
+
+#include <cstddef>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/** mmap-backed fixed-arithmetic epoch store covering one data region. */
+class LinearShadow
+{
+  public:
+    /** Covers data addresses [dataBase, dataBase + dataSpan). */
+    LinearShadow(Addr dataBase, std::size_t dataSpan);
+    ~LinearShadow();
+
+    LinearShadow(const LinearShadow &) = delete;
+    LinearShadow &operator=(const LinearShadow &) = delete;
+
+    /** Epoch slot of the data byte at @p addr (the EPOCH_ADDRESS macro). */
+    CLEAN_ALWAYS_INLINE EpochValue *
+    slots(Addr addr)
+    {
+        return base_ + (addr - dataBase_);
+    }
+
+    /** Slots are contiguous across the whole covered region. */
+    CLEAN_ALWAYS_INLINE std::size_t
+    contiguousSlots(Addr addr) const
+    {
+        return dataSpan_ - static_cast<std::size_t>(addr - dataBase_);
+    }
+
+    /** True iff @p addr has a slot in this shadow. */
+    bool
+    covers(Addr addr) const
+    {
+        return addr >= dataBase_ && addr < dataBase_ + dataSpan_;
+    }
+
+    /** O(1) bulk zeroing of every epoch (rollover reset). */
+    void reset();
+
+    Addr dataBase() const { return dataBase_; }
+    std::size_t dataSpan() const { return dataSpan_; }
+
+  private:
+    Addr dataBase_;
+    std::size_t dataSpan_;
+    EpochValue *base_ = nullptr;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_LINEAR_SHADOW_H

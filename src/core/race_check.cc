@@ -1,0 +1,239 @@
+#include "core/race_check.h"
+
+#include <algorithm>
+
+#include "core/linear_shadow.h"
+#include "core/sparse_shadow.h"
+
+namespace clean
+{
+
+namespace
+{
+
+/** 16-byte CAS publishing 4 epochs at once (cmpxchg16b on x86-64). */
+bool
+cas128(EpochValue *slots, EpochValue seen, EpochValue newEpoch)
+{
+    using U128 = unsigned __int128;
+    U128 expected = 0, desired = 0;
+    for (int i = 0; i < 4; ++i) {
+        expected |= static_cast<U128>(seen) << (32 * i);
+        desired |= static_cast<U128>(newEpoch) << (32 * i);
+    }
+    auto *wide = reinterpret_cast<U128 *>(slots);
+    return __atomic_compare_exchange_n(wide, &expected, desired, false,
+                                       __ATOMIC_RELAXED, __ATOMIC_RELAXED);
+}
+
+/** 8-byte CAS publishing 2 epochs at once. */
+bool
+cas64(EpochValue *slots, EpochValue seen, EpochValue newEpoch)
+{
+    std::uint64_t expected =
+        (static_cast<std::uint64_t>(seen) << 32) | seen;
+    const std::uint64_t desired =
+        (static_cast<std::uint64_t>(newEpoch) << 32) | newEpoch;
+    auto *wide = reinterpret_cast<std::uint64_t *>(slots);
+    return __atomic_compare_exchange_n(wide, &expected, desired, false,
+                                       __ATOMIC_RELAXED, __ATOMIC_RELAXED);
+}
+
+bool
+cas32(EpochValue *slot, EpochValue seen, EpochValue newEpoch)
+{
+    return __atomic_compare_exchange_n(slot, &seen, newEpoch, false,
+                                       __ATOMIC_RELAXED, __ATOMIC_RELAXED);
+}
+
+} // namespace
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::readRun(ThreadState &ts, Addr addr, std::size_t n)
+{
+    EpochValue *slots = shadow_.slots(addr);
+    if (config_.vectorized && n >= 4) {
+        // Common case (§4.4): every byte of the access carries one epoch,
+        // so a single comparison covers the whole access.
+        if (allEqual(slots, n)) {
+            ts.stats.wideSameEpoch++;
+            checkEpoch(ts, addr, loadEpoch(slots), RaceKind::Raw);
+            return;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        checkEpoch(ts, addr + i, loadEpoch(slots + i), RaceKind::Raw);
+}
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::writeRun(ThreadState &ts, Addr addr, std::size_t n)
+{
+    EpochValue *slots = shadow_.slots(addr);
+    if (config_.atomicity == AtomicityMode::Locked)
+        writeRunLocked(ts, addr, slots, n);
+    else
+        writeRunCas(ts, addr, slots, n);
+}
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::writeRunCas(ThreadState &ts, Addr addr,
+                                  EpochValue *slots, std::size_t n)
+{
+    const EpochValue newEpoch = ts.ownEpoch;
+    if (config_.vectorized && n >= 4 && (addr & 3) == 0 && (n & 3) == 0) {
+        if (allEqual(slots, n)) {
+            ts.stats.wideSameEpoch++;
+            const EpochValue seen = loadEpoch(slots);
+            checkEpoch(ts, addr, seen, RaceKind::Waw);
+            if (seen != newEpoch) {
+                ts.stats.epochUpdates++;
+                publishWide(ts, addr, slots, n, seen, newEpoch);
+            }
+            return;
+        }
+    }
+    publishBytes(ts, addr, slots, n, newEpoch);
+}
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::writeRunLocked(ThreadState &ts, Addr addr,
+                                     EpochValue *slots, std::size_t n)
+{
+    // Ablation path: serialize conflicting checks with a per-line lock,
+    // the strategy the paper cites as costing > 40% of detection time in
+    // precise detectors. Accesses never span more than two shards here
+    // (n <= 64 in practice); lock both in address order to stay
+    // deadlock-free.
+    std::mutex &first = shardLocks_.forAddr(addr);
+    std::mutex &second = shardLocks_.forAddr(addr + n - 1);
+    const bool twoShards = &first != &second;
+    first.lock();
+    if (twoShards)
+        second.lock();
+    // With the lock held the plain Figure 2 sequence is safe.
+    const EpochValue newEpoch = ts.ownEpoch;
+    try {
+        for (std::size_t i = 0; i < n; ++i) {
+            const EpochValue seen = loadEpoch(slots + i);
+            checkEpoch(ts, addr + i, seen, RaceKind::Waw);
+            if (seen != newEpoch) {
+                ts.stats.epochUpdates++;
+                __atomic_store_n(slots + i, newEpoch, __ATOMIC_RELAXED);
+            }
+        }
+    } catch (...) {
+        if (twoShards)
+            second.unlock();
+        first.unlock();
+        throw;
+    }
+    if (twoShards)
+        second.unlock();
+    first.unlock();
+}
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::publishWide(ThreadState &ts, Addr addr,
+                                  EpochValue *slots, std::size_t n,
+                                  EpochValue seen, EpochValue newEpoch)
+{
+    std::size_t i = 0;
+    // 16-byte CAS requires 16-byte-aligned slots: true whenever the data
+    // address is 4-byte aligned (slot address = shadow base + 4 * offset).
+    const bool aligned16 =
+        (reinterpret_cast<std::uintptr_t>(slots) & 15) == 0;
+    while (i + 4 <= n && aligned16) {
+        if (!cas128(slots + i, seen, newEpoch))
+            throw RaceException(RaceKind::Waw,
+                                (addr + i) << config_.granuleLog2, ts.tid,
+                                config_.epoch.tidOf(seen),
+                                config_.epoch.clockOf(seen));
+        ts.stats.wideCasUpdates++;
+        i += 4;
+    }
+    while (i + 2 <= n) {
+        if (!cas64(slots + i, seen, newEpoch))
+            throw RaceException(RaceKind::Waw,
+                                (addr + i) << config_.granuleLog2, ts.tid,
+                                config_.epoch.tidOf(seen),
+                                config_.epoch.clockOf(seen));
+        i += 2;
+    }
+    for (; i < n; ++i) {
+        if (!cas32(slots + i, seen, newEpoch))
+            throw RaceException(RaceKind::Waw,
+                                (addr + i) << config_.granuleLog2, ts.tid,
+                                config_.epoch.tidOf(seen),
+                                config_.epoch.clockOf(seen));
+    }
+}
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::publishBytes(ThreadState &ts, Addr addr,
+                                   EpochValue *slots, std::size_t n,
+                                   EpochValue newEpoch)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const EpochValue seen = loadEpoch(slots + i);
+        checkEpoch(ts, addr + i, seen, RaceKind::Waw);
+        if (seen == newEpoch)
+            continue;
+        ts.stats.epochUpdates++;
+        if (!cas32(slots + i, seen, newEpoch)) {
+            // Another thread published a conflicting epoch between our
+            // load and the CAS: a concurrent unordered write — WAW.
+            throw RaceException(RaceKind::Waw,
+                                (addr + i) << config_.granuleLog2, ts.tid,
+                                config_.epoch.tidOf(seen),
+                                config_.epoch.clockOf(seen));
+        }
+    }
+}
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::readGranular(ThreadState &ts, Addr addr,
+                                   std::size_t size)
+{
+    const unsigned g = config_.granuleLog2;
+    const Addr first = addr >> g;
+    const Addr last = (addr + (size ? size - 1 : 0)) >> g;
+    for (Addr u = first; u <= last; ++u)
+        checkEpoch(ts, u, loadEpoch(shadow_.slots(u << g)),
+                   RaceKind::Raw);
+}
+
+template <class ShadowT>
+void
+RaceChecker<ShadowT>::writeGranular(ThreadState &ts, Addr addr,
+                                    std::size_t size)
+{
+    const unsigned g = config_.granuleLog2;
+    const Addr first = addr >> g;
+    const Addr last = (addr + (size ? size - 1 : 0)) >> g;
+    const EpochValue newEpoch = ts.ownEpoch;
+    for (Addr u = first; u <= last; ++u) {
+        EpochValue *slot = shadow_.slots(u << g);
+        const EpochValue seen = loadEpoch(slot);
+        checkEpoch(ts, u, seen, RaceKind::Waw);
+        if (seen == newEpoch)
+            continue;
+        ts.stats.epochUpdates++;
+        if (!cas32(slot, seen, newEpoch)) {
+            throw RaceException(RaceKind::Waw, u << g, ts.tid,
+                                config_.epoch.tidOf(seen),
+                                config_.epoch.clockOf(seen));
+        }
+    }
+}
+
+template class RaceChecker<LinearShadow>;
+template class RaceChecker<SparseShadow>;
+
+} // namespace clean

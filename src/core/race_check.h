@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The CLEAN software race check (Figure 2 + §4.3/§4.4).
+ *
+ * Per checked byte, exactly one 32-bit epoch records the last write. The
+ * check is:
+ *
+ *     race  <=>  CLOCK(epoch) > thread.vc[TID(epoch)]
+ *
+ * which, with tid bits replicated into vector-clock elements (§4.1),
+ * collapses to a single raw integer comparison `epoch > vc.element(tid)`.
+ *
+ * Atomicity without locks (§4.3):
+ *  - a WRITE is checked *before* the store and publishes its epoch with a
+ *    compare-and-swap against the previously loaded value; a CAS failure
+ *    means another write raced in between — a WAW race, and an exception
+ *    is raised;
+ *  - a READ is checked immediately *after* the load, so a write racing
+ *    with the read is observed as RAW (its epoch is already visible),
+ *    never misclassified as WAR. On x86-TSO no fences are required for
+ *    this ordering (only later loads pass earlier stores); we use relaxed
+ *    atomics accordingly.
+ *
+ * Multi-byte accesses (§4.4): in the common case all bytes of an access
+ * carry the same epoch (paper: >= 99.7% of wide accesses), so one check
+ * covers the access, and updates use 64/128-bit wide CAS to publish 2 or
+ * 4 epochs per instruction.
+ *
+ * The checker is a template over the shadow backend (LinearShadow — the
+ * paper's design — or SparseShadow); explicit instantiations live in
+ * race_check.cc.
+ */
+
+#ifndef CLEAN_CORE_RACE_CHECK_H
+#define CLEAN_CORE_RACE_CHECK_H
+
+#include <cstddef>
+#include <mutex>
+
+#include "core/epoch.h"
+#include "core/race_exception.h"
+#include "core/thread_state.h"
+#include "support/common.h"
+#include "support/logging.h"
+
+namespace clean
+{
+
+class LinearShadow;
+class SparseShadow;
+
+/** How concurrent checks on the same data are kept correct. */
+enum class AtomicityMode
+{
+    /** Paper's design: lock-free CAS epoch updates + check ordering. */
+    Cas,
+    /** Ablation: classic sharded per-line locking around each check. */
+    Locked,
+};
+
+/** Tunables for a RaceChecker. */
+struct CheckerConfig
+{
+    EpochConfig epoch;
+    /** Enable the §4.4 multi-byte fast path (Figure 8 toggles this). */
+    bool vectorized = true;
+    AtomicityMode atomicity = AtomicityMode::Cas;
+    /**
+     * log2 of the checking granule in bytes. 0 = per byte, the paper's
+     * sound default for C/C++ (§3.2). 2 = per 4-byte word: the
+     * "type-safe language" specialization the paper mentions but does
+     * not explore — 4x less metadata and fewer checks, but accesses to
+     * *distinct bytes* of one granule are indistinguishable, so it can
+     * report races byte-granular CLEAN would not (false positives for
+     * C/C++, sound for languages whose smallest shared unit is a word).
+     */
+    unsigned granuleLog2 = 0;
+};
+
+namespace detail
+{
+
+/** Shard lock table for AtomicityMode::Locked (one per 64B line hash). */
+class ShardLocks
+{
+  public:
+    static constexpr std::size_t kShards = 1024;
+
+    std::mutex &
+    forAddr(Addr addr)
+    {
+        return locks_[(addr >> 6) & (kShards - 1)];
+    }
+
+  private:
+    std::mutex locks_[kShards];
+};
+
+} // namespace detail
+
+/**
+ * WAW/RAW race checker over a shadow backend.
+ *
+ * Thread-safe: any number of threads may call beforeWrite/afterRead
+ * concurrently (that is the whole point).
+ */
+template <class ShadowT>
+class RaceChecker
+{
+  public:
+    RaceChecker(const CheckerConfig &config, ShadowT &shadow)
+        : config_(config), shadow_(shadow),
+          epochMask_(~EpochConfig::expandedBit())
+    {
+        CLEAN_ASSERT(config.epoch.valid());
+    }
+
+    const CheckerConfig &config() const { return config_; }
+
+    /**
+     * Check a write of @p size bytes at @p addr and publish the writing
+     * thread's epoch. MUST run before the data store (§4.3).
+     * @throws RaceException on a WAW race.
+     */
+    void
+    beforeWrite(ThreadState &ts, Addr addr, std::size_t size)
+    {
+        ts.stats.sharedWrites++;
+        ts.stats.accessedBytes += size;
+        if (size >= 4)
+            ts.stats.wideAccesses++;
+        if (CLEAN_UNLIKELY(config_.granuleLog2 != 0)) {
+            writeGranular(ts, addr, size);
+            return;
+        }
+        while (size > 0) {
+            const std::size_t run =
+                std::min(size, shadow_.contiguousSlots(addr));
+            writeRun(ts, addr, run);
+            addr += run;
+            size -= run;
+        }
+    }
+
+    /**
+     * Check a read of @p size bytes at @p addr. MUST run immediately
+     * after the data load (§4.3). Reads never update metadata.
+     * @throws RaceException on a RAW race.
+     */
+    void
+    afterRead(ThreadState &ts, Addr addr, std::size_t size)
+    {
+        ts.stats.sharedReads++;
+        ts.stats.accessedBytes += size;
+        if (size >= 4)
+            ts.stats.wideAccesses++;
+        if (CLEAN_UNLIKELY(config_.granuleLog2 != 0)) {
+            readGranular(ts, addr, size);
+            return;
+        }
+        while (size > 0) {
+            const std::size_t run =
+                std::min(size, shadow_.contiguousSlots(addr));
+            readRun(ts, addr, run);
+            addr += run;
+            size -= run;
+        }
+    }
+
+  private:
+    /** Number of granules covered by [addr, addr + size). */
+    CLEAN_ALWAYS_INLINE std::size_t
+    granules(Addr addr, std::size_t size) const
+    {
+        if (size == 0)
+            return 0;
+        const Addr first = addr >> config_.granuleLog2;
+        const Addr last = (addr + size - 1) >> config_.granuleLog2;
+        return static_cast<std::size_t>(last - first + 1);
+    }
+
+    CLEAN_ALWAYS_INLINE static EpochValue
+    loadEpoch(const EpochValue *slot)
+    {
+        return __atomic_load_n(slot, __ATOMIC_RELAXED);
+    }
+
+    /** The Figure 2 line-3 check. @p unit is a granule index; the
+     *  exception reports the granule's base byte address. */
+    CLEAN_ALWAYS_INLINE void
+    checkEpoch(ThreadState &ts, Addr unit, EpochValue rawEpoch,
+               RaceKind kind) const
+    {
+        const EpochValue epoch = rawEpoch & epochMask_;
+        const ThreadId writer = config_.epoch.tidOf(epoch);
+        if (CLEAN_UNLIKELY(epoch > ts.vc.element(writer))) {
+            throw RaceException(kind, unit << config_.granuleLog2,
+                                ts.tid, writer,
+                                config_.epoch.clockOf(epoch));
+        }
+    }
+
+    /** True iff all @p n slots hold the same value as slots[0]. */
+    CLEAN_ALWAYS_INLINE static bool
+    allEqual(const EpochValue *slots, std::size_t n)
+    {
+        const EpochValue first = loadEpoch(slots);
+        for (std::size_t i = 1; i < n; ++i) {
+            if (loadEpoch(slots + i) != first)
+                return false;
+        }
+        return true;
+    }
+
+    void readRun(ThreadState &ts, Addr addr, std::size_t n);
+    void writeRun(ThreadState &ts, Addr addr, std::size_t n);
+
+    /** Coarse-granule paths: one epoch per granule, stored at the slot
+     *  of the granule's base byte (stride granule-size in the shadow);
+     *  one check/update per granule, no wide vectorization. */
+    void readGranular(ThreadState &ts, Addr addr, std::size_t size);
+    void writeGranular(ThreadState &ts, Addr addr, std::size_t size);
+    void writeRunCas(ThreadState &ts, Addr addr, EpochValue *slots,
+                     std::size_t n);
+    void writeRunLocked(ThreadState &ts, Addr addr, EpochValue *slots,
+                        std::size_t n);
+
+    /** Publishes newEpoch over n slots previously observed all == seen,
+     *  using the widest CAS available. @throws RaceException on WAW. */
+    void publishWide(ThreadState &ts, Addr addr, EpochValue *slots,
+                     std::size_t n, EpochValue seen, EpochValue newEpoch);
+
+    /** Per-byte CAS publish fallback. @throws RaceException on WAW. */
+    void publishBytes(ThreadState &ts, Addr addr, EpochValue *slots,
+                      std::size_t n, EpochValue newEpoch);
+
+    CheckerConfig config_;
+    ShadowT &shadow_;
+    EpochValue epochMask_;
+    detail::ShardLocks shardLocks_;
+};
+
+extern template class RaceChecker<LinearShadow>;
+extern template class RaceChecker<SparseShadow>;
+
+} // namespace clean
+
+#endif // CLEAN_CORE_RACE_CHECK_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The race exception CLEAN throws when a WAW or RAW race occurs (§3.1).
+ */
+
+#ifndef CLEAN_CORE_RACE_EXCEPTION_H
+#define CLEAN_CORE_RACE_EXCEPTION_H
+
+#include <exception>
+#include <string>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/** Kind of data race. CLEAN throws only for Waw and Raw; War is the kind
+ *  deliberately left undetected (full precise detectors report it too). */
+enum class RaceKind { Waw, Raw, War };
+
+/** Human-readable name of a RaceKind. */
+inline const char *
+raceKindName(RaceKind kind)
+{
+    switch (kind) {
+      case RaceKind::Waw: return "write-after-write";
+      case RaceKind::Raw: return "read-after-write";
+      case RaceKind::War: return "write-after-read";
+    }
+    return "?";
+}
+
+/**
+ * Thrown by the CLEAN runtime the moment a WAW or RAW race occurs; the
+ * racy access has not yet taken effect (write checks precede the write),
+ * so the exception stops the execution before any out-of-thin-air value
+ * can be produced or observed.
+ */
+class RaceException : public std::exception
+{
+  public:
+    RaceException(RaceKind kind, Addr addr, ThreadId accessor,
+                  ThreadId previousWriter, ClockValue previousClock)
+        : kind_(kind), addr_(addr), accessor_(accessor),
+          previousWriter_(previousWriter), previousClock_(previousClock)
+    {
+        message_ = std::string(raceKindName(kind_)) + " race at address " +
+                   std::to_string(addr_) + ": thread " +
+                   std::to_string(accessor_) +
+                   " conflicts with write by thread " +
+                   std::to_string(previousWriter_) + " @ clock " +
+                   std::to_string(previousClock_);
+    }
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+    RaceKind kind() const { return kind_; }
+    Addr addr() const { return addr_; }
+    ThreadId accessor() const { return accessor_; }
+    ThreadId previousWriter() const { return previousWriter_; }
+    ClockValue previousClock() const { return previousClock_; }
+
+  private:
+    RaceKind kind_;
+    Addr addr_;
+    ThreadId accessor_;
+    ThreadId previousWriter_;
+    ClockValue previousClock_;
+    std::string message_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_RACE_EXCEPTION_H

@@ -1,0 +1,30 @@
+#include "core/rollover.h"
+
+#include <thread>
+
+namespace clean
+{
+
+void
+RolloverController::parkAndMaybeReset(ThreadId self)
+{
+    if (!pending())
+        return;
+    bool expected = false;
+    if (resetterClaimed_.compare_exchange_strong(expected, true)) {
+        // Elected: wait until the rest of the world is quiescent, reset,
+        // then release everyone.
+        while (!host_.allOthersQuiescent(self))
+            std::this_thread::yield();
+        host_.performReset();
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        pending_.store(false);
+        resetterClaimed_.store(false);
+        return;
+    }
+    // Someone else is resetting; stay parked until they finish.
+    while (pending())
+        std::this_thread::yield();
+}
+
+} // namespace clean

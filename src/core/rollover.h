@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic clock-rollover handling (§4.5).
+ *
+ * Epoch clocks are narrow (23 bits by default), so long-running programs
+ * with frequent synchronization would overflow them. CLEAN avoids the
+ * correctness problem by parking the whole execution at the next
+ * *globally deterministic point* — every live thread is either trying to
+ * execute a synchronization operation, blocked in one, or finished — and
+ * then resetting all epochs (O(1) via the shadow's zero-page remap) and
+ * all vector clocks before resuming.
+ *
+ * Per-phase SFR isolation, write-atomicity and determinism compose
+ * across resets because resets happen only at SFR boundaries and at
+ * deterministic points (under Kendo the set of parked positions is a
+ * deterministic function of the input).
+ *
+ * The controller is host-agnostic: the runtime supplies quiescence
+ * queries and the actual reset through RolloverHost.
+ */
+
+#ifndef CLEAN_CORE_ROLLOVER_H
+#define CLEAN_CORE_ROLLOVER_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/** Callbacks the runtime provides to the rollover controller. */
+class RolloverHost
+{
+  public:
+    virtual ~RolloverHost() = default;
+
+    /** True iff every live thread other than @p self is parked at a sync
+     *  point, blocked in one, or finished. */
+    virtual bool allOthersQuiescent(ThreadId self) = 0;
+
+    /** Zero all epochs, vector clocks and reuse bookkeeping. Called with
+     *  every thread quiescent. */
+    virtual void performReset() = 0;
+};
+
+/** Coordinates the park-reset-resume protocol. */
+class RolloverController
+{
+  public:
+    explicit RolloverController(RolloverHost &host) : host_(host) {}
+
+    /** Requests a reset; the next poll() of every thread will park. */
+    void
+    request()
+    {
+        // seq_cst: the park/resume protocol relies on store-load ordering
+        // between this flag and the per-thread phase slots.
+        pending_.store(true);
+    }
+
+    bool
+    pending() const
+    {
+        return pending_.load();
+    }
+
+    /** Number of resets performed so far (Table 1's rollover count). */
+    std::uint64_t
+    resets() const
+    {
+        return resets_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Called by thread @p self at every synchronization point, including
+     * inside turn-wait loops. If a reset is pending, parks until the
+     * reset completes; one parked thread is elected to perform it. The
+     * caller must have marked itself Parked in the host's thread table
+     * before calling and marks itself Running again after.
+     */
+    void parkAndMaybeReset(ThreadId self);
+
+  private:
+    RolloverHost &host_;
+    std::atomic<bool> pending_{false};
+    std::atomic<bool> resetterClaimed_{false};
+    std::atomic<std::uint64_t> resets_{0};
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_ROLLOVER_H

@@ -1,0 +1,439 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+
+namespace clean
+{
+
+// ---------------------------------------------------------------------
+// ThreadContext
+// ---------------------------------------------------------------------
+
+ThreadContext::ThreadContext(CleanRuntime &rt, ThreadId tid,
+                             std::uint32_t record)
+    : rt_(rt), record_(record)
+{
+    state_ = rt.recordAt(record).state.get();
+    CLEAN_ASSERT(state_ && state_->tid == tid);
+    detChunk_ = std::max<std::uint32_t>(1, rt.config().detChunk);
+}
+
+void
+ThreadContext::flushDetEvents()
+{
+    if (pendingDetEvents_ > 0) {
+        rt_.kendo().increment(state_->tid, pendingDetEvents_);
+        pendingDetEvents_ = 0;
+    }
+}
+
+det::DetCount
+ThreadContext::detCount() const
+{
+    return rt_.kendo().count(state_->tid);
+}
+
+void
+ThreadContext::onRead(Addr addr, std::size_t size)
+{
+    rt_.throwIfAborted();
+    try {
+        rt_.checkRead(*state_, addr, size);
+    } catch (const RaceException &race) {
+        rt_.recordRace(race);
+        throw;
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
+
+void
+ThreadContext::onWrite(Addr addr, std::size_t size)
+{
+    rt_.throwIfAborted();
+    try {
+        rt_.checkWrite(*state_, addr, size);
+    } catch (const RaceException &race) {
+        rt_.recordRace(race);
+        throw;
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
+
+void
+ThreadContext::detTick(std::uint64_t n)
+{
+    pendingDetEvents_ += n;
+    if (pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
+
+void
+ThreadContext::pollRollover()
+{
+    if (!rt_.rollover().pending())
+        return;
+    rt_.setPhase(record_, ThreadRecord::Phase::Parked);
+    rt_.rollover().parkAndMaybeReset(state_->tid);
+    rt_.setPhase(record_, ThreadRecord::Phase::Running);
+}
+
+void
+ThreadContext::acquireTurn()
+{
+    rt_.throwIfAborted();
+    // Synchronization is turn-ordered by the counter, so any batched
+    // events must be visible before the turn predicate is evaluated.
+    flushDetEvents();
+    pollRollover();
+    auto &kendo = rt_.kendo();
+    if (!kendo.enabled())
+        return;
+    while (!kendo.tryTurn(state_->tid)) {
+        rt_.throwIfAborted();
+        pollRollover();
+        std::this_thread::yield();
+    }
+}
+
+// ---------------------------------------------------------------------
+// CleanRuntime
+// ---------------------------------------------------------------------
+
+CleanRuntime::CleanRuntime(const RuntimeConfig &config)
+    : config_(config), detection_(config.detection), rollover_(*this)
+{
+    CLEAN_ASSERT(config_.epoch.valid(), "invalid epoch layout");
+    CLEAN_ASSERT(config_.maxThreads <= config_.epoch.maxThreads(),
+                 "maxThreads exceeds the epoch tid width");
+
+    heap_ = std::make_unique<SharedHeap>(config_.heap);
+    checkBase_ = heap_->sharedBase();
+    checkEnd_ = checkBase_ + heap_->sharedSpan();
+
+    const CheckerConfig checkerConfig{config_.epoch, config_.vectorized,
+                                      config_.atomicity,
+                                      config_.granuleLog2};
+    if (config_.shadow == ShadowKind::Linear) {
+        linearShadow_ = std::make_unique<LinearShadow>(heap_->sharedBase(),
+                                                       heap_->sharedSpan());
+        linearChecker_ = std::make_unique<RaceChecker<LinearShadow>>(
+            checkerConfig, *linearShadow_);
+    } else {
+        sparseShadow_ = std::make_unique<SparseShadow>();
+        sparseChecker_ = std::make_unique<RaceChecker<SparseShadow>>(
+            checkerConfig, *sparseShadow_);
+    }
+
+    kendo_ = std::make_unique<det::Kendo>(config_.deterministic,
+                                          config_.maxThreads);
+    lastClock_.resize(config_.maxThreads, 0);
+
+    // Register the main thread as tid 0, clock 1 (clock 0 is reserved so
+    // a zero epoch always reads as "no previous write").
+    const std::uint32_t rec = allocateRecord(0);
+    ThreadRecord &r = recordAt(rec);
+    r.state = std::make_unique<ThreadState>(config_.epoch, 0,
+                                            config_.maxThreads);
+    r.state->vc.setClock(0, 1);
+    r.state->refreshOwnEpoch();
+    r.phase.store(ThreadRecord::Phase::Running);
+    kendo_->activate(0, 0);
+    mainCtx_ = std::make_unique<ThreadContext>(*this, 0, rec);
+}
+
+CleanRuntime::~CleanRuntime()
+{
+    // Joining every spawned thread is the user's job; salvage what we
+    // can so the process does not std::terminate on a joinable thread.
+    bool leaked = false;
+    for (auto &record : records_) {
+        if (record->osThread && record->osThread->joinable()) {
+            leaked = true;
+            abortFlag_.store(true, std::memory_order_release);
+            record->osThread->join();
+        }
+    }
+    if (leaked)
+        warn("CleanRuntime destroyed with unjoined threads");
+}
+
+std::uint32_t
+CleanRuntime::allocateRecord(ThreadId tid)
+{
+    auto record = std::make_unique<ThreadRecord>();
+    record->tid = tid;
+    records_.push_back(std::move(record));
+    return static_cast<std::uint32_t>(records_.size() - 1);
+}
+
+ThreadId
+CleanRuntime::allocateTid(ThreadState &parentView)
+{
+    (void)parentView;
+    if (!freeTids_.empty()) {
+        // Smallest free id first: deterministic under the deterministic
+        // join order that produced the free list.
+        auto it = std::min_element(freeTids_.begin(), freeTids_.end());
+        const ThreadId tid = *it;
+        freeTids_.erase(it);
+        return tid;
+    }
+    const ThreadId tid = nextFreshTid_++;
+    if (tid >= config_.maxThreads)
+        fatal("thread limit exceeded: %u live threads (maxThreads=%u)",
+              tid + 1, config_.maxThreads);
+    return tid;
+}
+
+void
+CleanRuntime::releaseTid(ThreadId tid, ClockValue finalClock)
+{
+    lastClock_[tid] = std::max(lastClock_[tid], finalClock);
+    freeTids_.push_back(tid);
+}
+
+ThreadHandle
+CleanRuntime::spawn(ThreadContext &parent,
+                    std::function<void(ThreadContext &)> body)
+{
+    // Thread creation is a synchronization operation: deterministic turn,
+    // deterministic tid (§3.3), vector-clock fork semantics.
+    parent.acquireTurn();
+
+    std::uint32_t rec;
+    ThreadId childTid;
+    {
+        std::lock_guard<std::mutex> guard(registryMutex_);
+        childTid = allocateTid(parent.state());
+        rec = allocateRecord(childTid);
+    }
+
+    ThreadRecord &r = recordAt(rec);
+    r.state = std::make_unique<ThreadState>(config_.epoch, childTid,
+                                            config_.maxThreads);
+    // Fork: child inherits the parent's clock view...
+    r.state->vc.assign(parent.state().vc);
+    // ...but its own component must stay above any clock a previous
+    // holder of this tid ever published (epoch monotonicity on reuse).
+    const ClockValue resume = std::max(r.state->vc.clockOf(childTid),
+                                       lastClock_[childTid]);
+    r.state->vc.setClock(childTid, resume);
+    r.state->vc.tick(childTid);
+    r.state->refreshOwnEpoch();
+
+    // ...and the parent ticks so later parent writes do not appear
+    // ordered before the child's view.
+    tickClock(parent.state());
+
+    const det::DetCount childStart =
+        kendo_->count(parent.state().tid) + 1;
+    r.phase.store(ThreadRecord::Phase::Running, std::memory_order_release);
+    kendo_->activate(childTid, childStart);
+    kendo_->increment(parent.state().tid);
+
+    r.osThread = std::make_unique<std::thread>(
+        [this, rec, fn = std::move(body)]() mutable {
+            threadMain(rec, std::move(fn));
+        });
+    return ThreadHandle(rec);
+}
+
+void
+CleanRuntime::threadMain(std::uint32_t record,
+                         std::function<void(ThreadContext &)> body)
+{
+    ThreadRecord &r = recordAt(record);
+    ThreadContext ctx(*this, r.tid, record);
+    try {
+        body(ctx);
+        // Normal thread end is a synchronization point (§2.2): take the
+        // deterministic turn so the final clock/counter are reproducible.
+        ctx.acquireTurn();
+    } catch (const RaceException &) {
+        // recordRace already ran at the throw site.
+        r.error = std::current_exception();
+    } catch (const ExecutionAborted &) {
+        r.error = std::current_exception();
+    } catch (...) {
+        r.error = std::current_exception();
+        abortFlag_.store(true, std::memory_order_release);
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(r.joinMutex);
+        r.finalDetCount = kendo_->count(r.tid);
+        r.done = true;
+        if (r.joinerTid >= 0) {
+            kendo_->unblock(static_cast<ThreadId>(r.joinerTid),
+                            r.finalDetCount + 1);
+            r.joinFlag.store(true, std::memory_order_release);
+        }
+    }
+    kendo_->increment(r.tid);
+    kendo_->finish(r.tid);
+    r.phase.store(ThreadRecord::Phase::Finished, std::memory_order_release);
+}
+
+void
+CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
+{
+    CLEAN_ASSERT(handle.valid());
+    ThreadRecord &r = recordAt(handle.record());
+    CLEAN_ASSERT(r.osThread, "join of a non-spawned record");
+
+    bool mustWait = false;
+    // Join is a synchronization operation.
+    try {
+        parent.acquireTurn();
+        {
+            std::lock_guard<std::mutex> guard(r.joinMutex);
+            if (!r.done) {
+                kendo_->block(parent.state().tid);
+                r.joinerTid = static_cast<std::int32_t>(parent.state().tid);
+                mustWait = true;
+            } else {
+                kendo_->raiseTo(parent.state().tid, r.finalDetCount + 1);
+            }
+        }
+        kendo_->increment(parent.state().tid);
+    } catch (const ExecutionAborted &) {
+        // Aborted runs still physically reap the thread below.
+    }
+
+    if (mustWait) {
+        setPhase(parent.record(), ThreadRecord::Phase::Blocked);
+        while (!r.joinFlag.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        resumeFromBlocked(parent.record());
+    }
+    r.osThread->join();
+
+    // Absorb the child's happens-before knowledge and recycle its tid.
+    parent.state().vc.joinFrom(r.state->vc);
+    {
+        std::lock_guard<std::mutex> guard(registryMutex_);
+        releaseTid(r.tid, r.state->vc.clockOf(r.tid));
+        retiredDetCounts_.push_back(r.finalDetCount);
+    }
+}
+
+void
+CleanRuntime::recordRace(const RaceException &race)
+{
+    {
+        std::lock_guard<std::mutex> guard(raceMutex_);
+        if (!firstRace_)
+            firstRace_ = std::make_unique<RaceException>(race);
+    }
+    abortFlag_.store(true, std::memory_order_release);
+}
+
+const RaceException *
+CleanRuntime::firstRace() const
+{
+    std::lock_guard<std::mutex> guard(raceMutex_);
+    return firstRace_.get();
+}
+
+void
+CleanRuntime::tickClock(ThreadState &ts)
+{
+    ts.vc.tick(ts.tid);
+    ts.refreshOwnEpoch();
+    if (ts.vc.clockOf(ts.tid) + config_.rolloverMargin >=
+        config_.epoch.maxClock()) {
+        rollover_.request();
+    }
+}
+
+void
+CleanRuntime::registerSyncClock(VectorClock *vc)
+{
+    std::lock_guard<std::mutex> guard(registryMutex_);
+    syncClocks_.push_back(vc);
+}
+
+void
+CleanRuntime::unregisterSyncClock(VectorClock *vc)
+{
+    std::lock_guard<std::mutex> guard(registryMutex_);
+    std::erase(syncClocks_, vc);
+}
+
+void
+CleanRuntime::setPhase(std::uint32_t record, ThreadRecord::Phase phase)
+{
+    recordAt(record).phase.store(phase); // seq_cst, see resumeFromBlocked
+}
+
+void
+CleanRuntime::resumeFromBlocked(std::uint32_t record)
+{
+    ThreadRecord &r = recordAt(record);
+    for (;;) {
+        r.phase.store(ThreadRecord::Phase::Running); // seq_cst
+        if (!rollover_.pending())
+            return;
+        // A reset is pending or in progress; park until it completes.
+        r.phase.store(ThreadRecord::Phase::Parked);
+        rollover_.parkAndMaybeReset(r.tid);
+    }
+}
+
+bool
+CleanRuntime::allOthersQuiescent(ThreadId)
+{
+    std::lock_guard<std::mutex> guard(registryMutex_);
+    for (const auto &record : records_) {
+        if (record->phase.load(std::memory_order_acquire) ==
+            ThreadRecord::Phase::Running) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+CleanRuntime::performReset()
+{
+    std::lock_guard<std::mutex> guard(registryMutex_);
+    if (linearShadow_)
+        linearShadow_->reset();
+    else
+        sparseShadow_->reset();
+    for (auto &record : records_) {
+        if (!record->state)
+            continue;
+        record->state->vc.clearClocks();
+        record->state->vc.setClock(record->state->tid, 1);
+        record->state->refreshOwnEpoch();
+    }
+    for (VectorClock *vc : syncClocks_)
+        vc->clearClocks();
+    std::fill(lastClock_.begin(), lastClock_.end(), 0);
+}
+
+CheckerStats
+CleanRuntime::aggregatedCheckerStats() const
+{
+    std::lock_guard<std::mutex> guard(registryMutex_);
+    CheckerStats total;
+    for (const auto &record : records_) {
+        if (record->state)
+            total.merge(record->state->stats);
+    }
+    return total;
+}
+
+std::vector<det::DetCount>
+CleanRuntime::finalDetCounts() const
+{
+    std::lock_guard<std::mutex> guard(registryMutex_);
+    std::vector<det::DetCount> counts = retiredDetCounts_;
+    counts.push_back(kendo_->count(0)); // main thread
+    return counts;
+}
+
+} // namespace clean

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * CleanRuntime — the software-only CLEAN system (§3, §4).
+ *
+ * The runtime combines:
+ *   - precise WAW/RAW race detection (RaceChecker over a shadow backend),
+ *   - Kendo deterministic synchronization (det::Kendo),
+ *   - deterministic clock-rollover resets (RolloverController),
+ *   - thread lifecycle with deterministic, reusable thread ids.
+ *
+ * Application code runs inside runtime-managed threads and performs all
+ * potentially-shared accesses through its ThreadContext — the library
+ * analogue of the paper's compiler instrumentation. Synchronization goes
+ * through CleanMutex / CleanCondVar / CleanBarrier (sync_objects.h).
+ *
+ * When any thread detects a WAW or RAW race it throws RaceException and
+ * the runtime raises a global abort flag so sibling threads unwind
+ * promptly (ExecutionAborted) instead of waiting on the dead thread —
+ * the library form of "the execution stops" (§3.1).
+ */
+
+#ifndef CLEAN_CORE_RUNTIME_H
+#define CLEAN_CORE_RUNTIME_H
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/linear_shadow.h"
+#include "core/race_check.h"
+#include "core/race_exception.h"
+#include "core/rollover.h"
+#include "core/shared_heap.h"
+#include "core/sparse_shadow.h"
+#include "core/thread_state.h"
+#include "det/kendo.h"
+#include "support/common.h"
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace clean
+{
+
+class CleanRuntime;
+class ThreadContext;
+
+/** Shadow backend selection. */
+enum class ShadowKind { Linear, Sparse };
+
+/** Top-level configuration of a CleanRuntime. */
+struct RuntimeConfig
+{
+    EpochConfig epoch;
+    /** Slot-table capacity; live threads never exceed this. */
+    ThreadId maxThreads = 64;
+    /** Enable WAW/RAW race detection. */
+    bool detection = true;
+    /** Enable Kendo deterministic synchronization. */
+    bool deterministic = true;
+    /** Enable the §4.4 multi-byte vectorized check. */
+    bool vectorized = true;
+    AtomicityMode atomicity = AtomicityMode::Cas;
+    ShadowKind shadow = ShadowKind::Linear;
+    /** Checking granule (log2 bytes): 0 = per byte (sound for C/C++),
+     *  2 = per 4-byte word (the §3.2 type-safe specialization). */
+    unsigned granuleLog2 = 0;
+    /**
+     * Deterministic events per Kendo counter publication. The paper's
+     * implementation increments counters per instrumented basic block
+     * above a size cutoff (§6.2.1); larger chunks cost less but track
+     * thread progress less precisely, lengthening turn waits for
+     * imbalanced threads.
+     */
+    std::uint32_t detChunk = 1;
+    SharedHeapConfig heap;
+    /**
+     * Clocks at or above maxClock() - rolloverMargin trigger a reset at
+     * the next sync point. The margin covers the handful of ticks a
+     * single synchronization operation can perform.
+     */
+    ClockValue rolloverMargin = 8;
+};
+
+/** Thrown in sibling threads after some thread raised a RaceException. */
+class ExecutionAborted : public std::exception
+{
+  public:
+    const char *
+    what() const noexcept override
+    {
+        return "execution aborted: a race exception occurred in another "
+               "thread";
+    }
+};
+
+/** Handle to a runtime-spawned thread; join through the spawning ctx. */
+class ThreadHandle
+{
+  public:
+    ThreadHandle() = default;
+    explicit ThreadHandle(std::uint32_t record) : record_(record) {}
+
+    bool valid() const { return record_ != kInvalid; }
+    std::uint32_t record() const { return record_; }
+
+  private:
+    static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+    std::uint32_t record_ = kInvalid;
+};
+
+/**
+ * Per-thread façade through which application code touches shared
+ * memory. read()/write() implement the §4.3 ordering: the write check
+ * (with its CAS epoch publish) runs *before* the store; the read check
+ * runs immediately *after* the load.
+ */
+class ThreadContext
+{
+  public:
+    ThreadContext(CleanRuntime &rt, ThreadId tid, std::uint32_t record);
+
+    ThreadContext(const ThreadContext &) = delete;
+    ThreadContext &operator=(const ThreadContext &) = delete;
+
+    ThreadId tid() const { return state_->tid; }
+    ThreadState &state() { return *state_; }
+    const ThreadState &state() const { return *state_; }
+    CleanRuntime &runtime() { return rt_; }
+    std::uint32_t record() const { return record_; }
+
+    /** Deterministic counter of this thread (Kendo). */
+    det::DetCount detCount() const;
+
+    /** Instrumented load of a shared scalar. */
+    template <typename T>
+    T
+    read(const T *p)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        std::memcpy(&value, p, sizeof(T));
+        // Compiler barrier: the check must observe metadata no older
+        // than the data load (x86-TSO gives the hardware ordering).
+        asm volatile("" ::: "memory");
+        onRead(reinterpret_cast<Addr>(p), sizeof(T));
+        return value;
+    }
+
+    /** Instrumented store of a shared scalar. */
+    template <typename T>
+    void
+    write(T *p, T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        onWrite(reinterpret_cast<Addr>(p), sizeof(T));
+        asm volatile("" ::: "memory");
+        std::memcpy(p, &value, sizeof(T));
+    }
+
+    /** Instrumented read-modify-write convenience (load, f, store). */
+    template <typename T, typename F>
+    void
+    update(T *p, F f)
+    {
+        write(p, f(read(p)));
+    }
+
+    /** Range check for bulk reads (memcpy-in); call after copying. */
+    void onRead(Addr addr, std::size_t size);
+
+    /** Range check for bulk writes (memcpy-out); call before writing. */
+    void onWrite(Addr addr, std::size_t size);
+
+    /** Counts @p n deterministic events (compute not visible as access). */
+    void detTick(std::uint64_t n = 1);
+
+    /**
+     * Acquires this thread's deterministic turn: polls rollover parking
+     * and spins until (detCount, tid) is the global minimum. Called by
+     * sync objects; public so custom synchronization can be built on it.
+     */
+    void acquireTurn();
+
+    /** Rollover poll only (used inside blocking retries). */
+    void pollRollover();
+
+  private:
+    friend class CleanRuntime;
+
+    /** Publishes batched deterministic events to the Kendo counter. */
+    void flushDetEvents();
+
+    CleanRuntime &rt_;
+    std::uint32_t record_;
+    ThreadState *state_;
+    /** Deterministic events not yet published (see detChunk). */
+    std::uint64_t pendingDetEvents_ = 0;
+    std::uint32_t detChunk_ = 1;
+};
+
+/** Final record of a spawned thread, consumed at join. */
+struct ThreadRecord
+{
+    enum class Phase : int { Unused, Running, Parked, Blocked, Finished };
+
+    std::atomic<Phase> phase{Phase::Unused};
+    ThreadId tid = 0;
+    std::unique_ptr<ThreadState> state;
+    std::unique_ptr<std::thread> osThread;
+    std::exception_ptr error;
+    det::DetCount finalDetCount = 0;
+    /** Serializes the finish/join handshake (no unblock window). */
+    std::mutex joinMutex;
+    /** Set under joinMutex once the body finished. */
+    bool done = false;
+    /** Tid of a joiner blocked on this record, -1 if none. */
+    std::int32_t joinerTid = -1;
+    /** Raised (release) when the joiner may resume. */
+    std::atomic<bool> joinFlag{false};
+};
+
+/** The software-only CLEAN system. */
+class CleanRuntime : private RolloverHost
+{
+  public:
+    explicit CleanRuntime(const RuntimeConfig &config = {});
+    ~CleanRuntime() override;
+
+    CleanRuntime(const CleanRuntime &) = delete;
+    CleanRuntime &operator=(const CleanRuntime &) = delete;
+
+    const RuntimeConfig &config() const { return config_; }
+    SharedHeap &heap() { return *heap_; }
+    det::Kendo &kendo() { return *kendo_; }
+    RolloverController &rollover() { return rollover_; }
+
+    /** The implicitly-registered main thread's context (tid 0). */
+    ThreadContext &mainContext() { return *mainCtx_; }
+
+    /**
+     * Spawns a thread running @p body. A synchronization (fork) event:
+     * deterministic turn, deterministic tid assignment, vector-clock
+     * fork semantics.
+     */
+    ThreadHandle spawn(ThreadContext &parent,
+                       std::function<void(ThreadContext &)> body);
+
+    /**
+     * Joins a spawned thread: blocks deterministically, absorbs the
+     * child's vector clock, recycles its tid. Rethrows nothing — a
+     * child's RaceException is recorded; query via takeError() or
+     * raceOccurred().
+     */
+    void join(ThreadContext &parent, ThreadHandle handle);
+
+    /** True once any thread raised a RaceException. */
+    bool
+    raceOccurred() const
+    {
+        return abortFlag_.load(std::memory_order_acquire);
+    }
+
+    /** First recorded race, if any (valid when raceOccurred()). */
+    const RaceException *firstRace() const;
+
+    /** Number of deterministic metadata resets performed (§4.5). */
+    std::uint64_t rolloverResets() const { return rollover_.resets(); }
+
+    /** Merged checker statistics of all threads seen so far. */
+    CheckerStats aggregatedCheckerStats() const;
+
+    /** Kendo counters of all ever-used slots (determinism experiment). */
+    std::vector<det::DetCount> finalDetCounts() const;
+
+    // --- internal API used by ThreadContext and sync objects ---
+
+    /** Performs the read-side race check if addr is checked data. */
+    CLEAN_ALWAYS_INLINE void
+    checkRead(ThreadState &ts, Addr addr, std::size_t size)
+    {
+        if (!checkable(addr))
+            return;
+        if (linearChecker_)
+            linearChecker_->afterRead(ts, addr, size);
+        else
+            sparseChecker_->afterRead(ts, addr, size);
+    }
+
+    /** Performs the write-side race check if addr is checked data. */
+    CLEAN_ALWAYS_INLINE void
+    checkWrite(ThreadState &ts, Addr addr, std::size_t size)
+    {
+        if (!checkable(addr))
+            return;
+        if (linearChecker_)
+            linearChecker_->beforeWrite(ts, addr, size);
+        else
+            sparseChecker_->beforeWrite(ts, addr, size);
+    }
+
+    /** True iff detection is on and addr is in the checked region. */
+    CLEAN_ALWAYS_INLINE bool
+    checkable(Addr addr) const
+    {
+        return detection_ && addr >= checkBase_ && addr < checkEnd_;
+    }
+
+    /** Raises the global abort flag with the race that caused it. */
+    void recordRace(const RaceException &race);
+
+    /** Throws ExecutionAborted if another thread raced. */
+    CLEAN_ALWAYS_INLINE void
+    throwIfAborted() const
+    {
+        if (CLEAN_UNLIKELY(abortFlag_.load(std::memory_order_relaxed)))
+            throw ExecutionAborted();
+    }
+
+    /** Ticks @p ts's own clock, refreshing the cached epoch and arming a
+     *  rollover when the clock nears its width (§4.5). */
+    void tickClock(ThreadState &ts);
+
+    /** Registers a sync object's vector clock for rollover resets. */
+    void registerSyncClock(VectorClock *vc);
+    void unregisterSyncClock(VectorClock *vc);
+
+    /** Marks the phase of a record (Parked/Blocked/Running). */
+    void setPhase(std::uint32_t record, ThreadRecord::Phase phase);
+
+    /**
+     * Transition a record from Blocked back to Running. Unlike a plain
+     * setPhase this re-checks the rollover flag with seq_cst store-load
+     * ordering so a waking thread can never slip past an in-progress
+     * metadata reset (the resetter does not wait for Blocked threads).
+     */
+    void resumeFromBlocked(std::uint32_t record);
+
+    ThreadRecord &recordAt(std::uint32_t idx) { return *records_[idx]; }
+
+  private:
+    // RolloverHost
+    bool allOthersQuiescent(ThreadId selfTid) override;
+    void performReset() override;
+
+    std::uint32_t allocateRecord(ThreadId tid);
+    ThreadId allocateTid(ThreadState &parentView);
+    void releaseTid(ThreadId tid, ClockValue finalClock);
+
+    void threadMain(std::uint32_t record,
+                    std::function<void(ThreadContext &)> body);
+
+    RuntimeConfig config_;
+    bool detection_;
+    Addr checkBase_ = 0;
+    Addr checkEnd_ = 0;
+
+    std::unique_ptr<SharedHeap> heap_;
+    std::unique_ptr<LinearShadow> linearShadow_;
+    std::unique_ptr<SparseShadow> sparseShadow_;
+    std::unique_ptr<RaceChecker<LinearShadow>> linearChecker_;
+    std::unique_ptr<RaceChecker<SparseShadow>> sparseChecker_;
+    std::unique_ptr<det::Kendo> kendo_;
+    RolloverController rollover_;
+
+    mutable std::mutex registryMutex_;
+    std::vector<std::unique_ptr<ThreadRecord>> records_;
+    std::vector<ThreadId> freeTids_;
+    /** Next never-used tid (0 is the main thread). */
+    ThreadId nextFreshTid_ = 1;
+    /** Highest clock a previous holder of each tid reached (reuse). */
+    std::vector<ClockValue> lastClock_;
+    std::vector<VectorClock *> syncClocks_;
+    std::vector<det::DetCount> retiredDetCounts_;
+
+    std::unique_ptr<ThreadContext> mainCtx_;
+
+    std::atomic<bool> abortFlag_{false};
+    mutable std::mutex raceMutex_;
+    std::unique_ptr<RaceException> firstRace_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_RUNTIME_H

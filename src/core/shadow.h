@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shadow-memory backend concept (epoch storage, §4.2).
+ *
+ * A shadow backend maps every checked data byte to one 32-bit epoch slot
+ * and guarantees that slots for adjacent bytes are adjacent in memory
+ * within a `contiguousSlots` window — the property the vectorized
+ * multi-byte check (§4.4) depends on.
+ *
+ * Slots are plain uint32_t storage accessed with __atomic builtins by the
+ * race checker; a backend only provides addressing and bulk reset.
+ *
+ * Two implementations exist:
+ *   LinearShadow — the paper's design: one reserved region, epoch address
+ *       = base + 4 * (data address - data base); O(1) reset via
+ *       madvise(MADV_DONTNEED) (the zero-page remap trick of §4.5).
+ *   SparseShadow — a portable chunked radix map for arbitrary addresses;
+ *       slower, used as an ablation and for addresses outside the heap.
+ */
+
+#ifndef CLEAN_CORE_SHADOW_H
+#define CLEAN_CORE_SHADOW_H
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/**
+ * Compile-time interface documentation for shadow backends (enforced by
+ * the RaceChecker template):
+ *
+ *   EpochValue *slots(Addr addr)        — slot for the byte at addr;
+ *   std::size_t contiguousSlots(Addr a) — how many consecutive bytes
+ *                                         starting at a have consecutive
+ *                                         slots;
+ *   void reset()                        — zero all epochs (rollover).
+ */
+
+} // namespace clean
+
+#endif // CLEAN_CORE_SHADOW_H

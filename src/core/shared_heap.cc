@@ -1,0 +1,51 @@
+#include "core/shared_heap.h"
+
+#include <sys/mman.h>
+
+#include "support/logging.h"
+
+namespace clean
+{
+
+SharedHeap::SharedHeap(const SharedHeapConfig &config) : config_(config)
+{
+    const std::size_t span = config_.sharedBytes + config_.privateBytes;
+    void *mem = ::mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED)
+        fatal("SharedHeap: cannot reserve %zu bytes", span);
+    base_ = static_cast<unsigned char *>(mem);
+}
+
+SharedHeap::~SharedHeap()
+{
+    if (base_)
+        ::munmap(base_, config_.sharedBytes + config_.privateBytes);
+}
+
+void *
+SharedHeap::bump(std::atomic<std::size_t> &cursor, std::size_t limit,
+                 std::size_t offsetBase, std::size_t bytes)
+{
+    const std::size_t aligned = (bytes + 15) & ~std::size_t{15};
+    const std::size_t offset = cursor.fetch_add(aligned);
+    if (offset + aligned > limit)
+        fatal("SharedHeap: out of space (%zu + %zu > %zu)", offset, aligned,
+              limit);
+    return base_ + offsetBase + offset;
+}
+
+void *
+SharedHeap::allocShared(std::size_t bytes)
+{
+    return bump(sharedBump_, config_.sharedBytes, 0, bytes);
+}
+
+void *
+SharedHeap::allocPrivate(std::size_t bytes)
+{
+    return bump(privateBump_, config_.privateBytes, config_.sharedBytes,
+                bytes);
+}
+
+} // namespace clean

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fixed-region heap for potentially-shared program data (§4.2).
+ *
+ * CLEAN's software shadow memory relies on a fixed arithmetic mapping
+ * from a data address to its epoch's address. We therefore serve all
+ * checked ("potentially shared") allocations from one contiguous
+ * mmap'ed region reserved up front with MAP_NORESERVE — only touched
+ * pages ever consume physical memory, mirroring the paper's observation
+ * that metadata cost is proportional to the *accessed* data.
+ *
+ * The region is split in two halves:
+ *   [base, base+sharedBytes)                  — shared allocations,
+ *   [base+sharedBytes, base+sharedBytes+privateBytes) — per-thread
+ *       private allocations (the moral equivalent of stack data, which
+ *       the paper's Pin-based simulator classifies as private and the
+ *       compiler instrumentation skips).
+ *
+ * Allocation is a bump pointer: workloads allocate during setup and the
+ * whole heap is released when the runtime dies. free() is a no-op by
+ * design (same model as region allocators in simulators).
+ */
+
+#ifndef CLEAN_CORE_SHARED_HEAP_H
+#define CLEAN_CORE_SHARED_HEAP_H
+
+#include <atomic>
+#include <cstddef>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/** Region sizes for a SharedHeap. */
+struct SharedHeapConfig
+{
+    /** Virtual span reserved for shared data. */
+    std::size_t sharedBytes = std::size_t{1} << 31; // 2 GiB
+    /** Virtual span reserved for private (stack-like) data. */
+    std::size_t privateBytes = std::size_t{1} << 30; // 1 GiB
+};
+
+/** Bump allocator over one reserved virtual region. */
+class SharedHeap
+{
+  public:
+    explicit SharedHeap(const SharedHeapConfig &config = {});
+    ~SharedHeap();
+
+    SharedHeap(const SharedHeap &) = delete;
+    SharedHeap &operator=(const SharedHeap &) = delete;
+
+    /** Allocates zeroed, 16-byte-aligned shared (checked) memory. */
+    void *allocShared(std::size_t bytes);
+
+    /** Allocates zeroed private (unchecked) memory. */
+    void *allocPrivate(std::size_t bytes);
+
+    /** Typed shared array helper. */
+    template <typename T>
+    T *
+    allocSharedArray(std::size_t count)
+    {
+        return static_cast<T *>(allocShared(count * sizeof(T)));
+    }
+
+    /** Typed private array helper. */
+    template <typename T>
+    T *
+    allocPrivateArray(std::size_t count)
+    {
+        return static_cast<T *>(allocPrivate(count * sizeof(T)));
+    }
+
+    /** True iff @p addr lies in the private half. */
+    bool
+    isPrivate(Addr addr) const
+    {
+        return addr >= privateBase() && addr < privateBase() + privateUsed();
+    }
+
+    /** True iff @p addr lies anywhere in the reserved region. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= sharedBase() &&
+               addr < sharedBase() + config_.sharedBytes +
+                          config_.privateBytes;
+    }
+
+    Addr sharedBase() const { return reinterpret_cast<Addr>(base_); }
+    std::size_t sharedSpan() const { return config_.sharedBytes; }
+    Addr privateBase() const { return sharedBase() + config_.sharedBytes; }
+
+    /** Bytes handed out so far from each half. */
+    std::size_t sharedUsed() const { return sharedBump_.load(); }
+    std::size_t privateUsed() const { return privateBump_.load(); }
+
+  private:
+    void *bump(std::atomic<std::size_t> &cursor, std::size_t limit,
+               std::size_t offsetBase, std::size_t bytes);
+
+    SharedHeapConfig config_;
+    unsigned char *base_ = nullptr;
+    std::atomic<std::size_t> sharedBump_{0};
+    std::atomic<std::size_t> privateBump_{0};
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_SHARED_HEAP_H

@@ -1,0 +1,46 @@
+#include "core/sparse_shadow.h"
+
+#include <cstring>
+
+namespace clean
+{
+
+thread_local const SparseShadow *SparseShadow::cachedOwner_ = nullptr;
+thread_local Addr SparseShadow::cachedKey_ = ~Addr{0};
+thread_local EpochValue *SparseShadow::cachedChunk_ = nullptr;
+
+EpochValue *
+SparseShadow::slotsSlow(Addr addr, Addr key)
+{
+    EpochValue *chunk = nullptr;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        auto &slot = chunks_[key];
+        if (!slot) {
+            slot = std::make_unique<EpochValue[]>(kChunkBytes);
+            std::memset(slot.get(), 0, kChunkBytes * sizeof(EpochValue));
+        }
+        chunk = slot.get();
+    }
+    cachedOwner_ = this;
+    cachedKey_ = key;
+    cachedChunk_ = chunk;
+    return chunk + (addr & kChunkMask);
+}
+
+void
+SparseShadow::reset()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto &[key, chunk] : chunks_)
+        std::memset(chunk.get(), 0, kChunkBytes * sizeof(EpochValue));
+}
+
+std::size_t
+SparseShadow::chunkCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return chunks_.size();
+}
+
+} // namespace clean

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Portable chunked epoch store (ablation backend).
+ *
+ * Maps arbitrary 64-bit data addresses to epoch slots through a hash map
+ * of fixed-size chunks (64 KiB of data per chunk). Slots for adjacent
+ * bytes are contiguous within a chunk, so the vectorized multi-byte check
+ * still applies to accesses that do not straddle a chunk boundary.
+ *
+ * This backend exists (a) to support checking data outside the
+ * SharedHeap and (b) as the comparison point for the
+ * bench_ablation_shadow experiment: the paper's fixed-arithmetic layout
+ * (LinearShadow) wins precisely because it avoids this lookup.
+ */
+
+#ifndef CLEAN_CORE_SPARSE_SHADOW_H
+#define CLEAN_CORE_SPARSE_SHADOW_H
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/** Hash-of-chunks epoch store for arbitrary addresses. */
+class SparseShadow
+{
+  public:
+    /** Data bytes covered by one chunk (must be a power of two). */
+    static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+
+    SparseShadow() = default;
+
+    SparseShadow(const SparseShadow &) = delete;
+    SparseShadow &operator=(const SparseShadow &) = delete;
+
+    /** Epoch slot of the data byte at @p addr; creates the chunk lazily. */
+    CLEAN_ALWAYS_INLINE EpochValue *
+    slots(Addr addr)
+    {
+        const Addr key = addr >> kChunkShift;
+        if (CLEAN_LIKELY(key == cachedKey_ && cachedOwner_ == this))
+            return cachedChunk_ + (addr & kChunkMask);
+        return slotsSlow(addr, key);
+    }
+
+    /** Contiguity holds to the end of the 64 KiB chunk. */
+    CLEAN_ALWAYS_INLINE std::size_t
+    contiguousSlots(Addr addr) const
+    {
+        return kChunkBytes - static_cast<std::size_t>(addr & kChunkMask);
+    }
+
+    /** Zeroes every allocated chunk (rollover reset; O(allocated)). */
+    void reset();
+
+    /** Number of chunks materialized so far. */
+    std::size_t chunkCount() const;
+
+  private:
+    static constexpr unsigned kChunkShift = 16;
+    static constexpr Addr kChunkMask = kChunkBytes - 1;
+
+    EpochValue *slotsSlow(Addr addr, Addr key);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<Addr, std::unique_ptr<EpochValue[]>> chunks_;
+
+    // Per-thread single-entry chunk cache keyed by (owner, chunk index).
+    // Chunks are immortal once created, so a hit can never yield a stale
+    // pointer; the owner check keeps multiple SparseShadow instances from
+    // aliasing each other's cache.
+    static thread_local const SparseShadow *cachedOwner_;
+    static thread_local Addr cachedKey_;
+    static thread_local EpochValue *cachedChunk_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_SPARSE_SHADOW_H

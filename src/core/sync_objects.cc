@@ -1,0 +1,268 @@
+#include "core/sync_objects.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace clean
+{
+
+// ---------------------------------------------------------------------
+// CleanMutex
+// ---------------------------------------------------------------------
+
+CleanMutex::CleanMutex(CleanRuntime &rt)
+    : rt_(rt), vc_(rt.config().epoch, rt.config().maxThreads)
+{
+    rt_.registerSyncClock(&vc_);
+}
+
+CleanMutex::~CleanMutex()
+{
+    rt_.unregisterSyncClock(&vc_);
+}
+
+void
+CleanMutex::lock(ThreadContext &ctx)
+{
+    auto &kendo = rt_.kendo();
+    const ThreadId tid = ctx.tid();
+    // Kendo det_lock: retry under successive deterministic turns; every
+    // failed attempt advances logical time so the holder can reach its
+    // unlock turn (§2.4). With Kendo disabled, acquireTurn degenerates
+    // into rollover/abort polling and this is a plain spin lock.
+    for (;;) {
+        ctx.acquireTurn();
+        if (m_.try_lock())
+            break;
+        kendo.increment(tid);
+        rt_.throwIfAborted();
+        std::this_thread::yield();
+    }
+    // Acquire: synchronize-with every earlier release of this mutex.
+    ctx.state().vc.joinFrom(vc_);
+    kendo.increment(tid);
+}
+
+bool
+CleanMutex::tryLock(ThreadContext &ctx)
+{
+    auto &kendo = rt_.kendo();
+    ctx.acquireTurn();
+    const bool got = m_.try_lock();
+    if (got)
+        ctx.state().vc.joinFrom(vc_);
+    kendo.increment(ctx.tid());
+    return got;
+}
+
+void
+CleanMutex::unlock(ThreadContext &ctx)
+{
+    ctx.acquireTurn();
+    // Release: publish this thread's clock on the mutex, then advance the
+    // thread's own clock so post-release writes are not covered by it.
+    vc_.joinFrom(ctx.state().vc);
+    rt_.tickClock(ctx.state());
+    m_.unlock();
+    rt_.kendo().increment(ctx.tid());
+}
+
+void
+CleanMutex::releaseForWait(ThreadContext &ctx)
+{
+    // Same as unlock but inside the caller's already-held turn; the
+    // caller advances the deterministic counter once for the whole
+    // compound wait operation.
+    vc_.joinFrom(ctx.state().vc);
+    rt_.tickClock(ctx.state());
+    m_.unlock();
+}
+
+// ---------------------------------------------------------------------
+// CleanCondVar
+// ---------------------------------------------------------------------
+
+CleanCondVar::CleanCondVar(CleanRuntime &rt)
+    : rt_(rt), vc_(rt.config().epoch, rt.config().maxThreads)
+{
+    rt_.registerSyncClock(&vc_);
+}
+
+CleanCondVar::~CleanCondVar()
+{
+    rt_.unregisterSyncClock(&vc_);
+}
+
+void
+CleanCondVar::wait(ThreadContext &ctx, CleanMutex &m)
+{
+    auto &kendo = rt_.kendo();
+    const ThreadId tid = ctx.tid();
+    std::atomic<bool> flag{false};
+
+    // Registration, blocking and the mutex release form one compound
+    // synchronization operation under a single deterministic turn.
+    ctx.acquireTurn();
+    {
+        std::lock_guard<std::mutex> guard(im_);
+        waiters_.push_back({tid, &flag});
+        kendo.block(tid);
+    }
+    m.releaseForWait(ctx);
+    kendo.increment(tid);
+
+    rt_.setPhase(ctx.record(), ThreadRecord::Phase::Blocked);
+    while (!flag.load(std::memory_order_acquire)) {
+        if (CLEAN_UNLIKELY(rt_.raceOccurred())) {
+            // The signaler may never come; deregister and unwind. If a
+            // signaler popped us concurrently it set the flag under im_,
+            // so after taking im_ the state is unambiguous.
+            std::lock_guard<std::mutex> guard(im_);
+            auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                                   [&](const Waiter &w) {
+                                       return w.flag == &flag;
+                                   });
+            if (it != waiters_.end())
+                waiters_.erase(it);
+            else if (!flag.load(std::memory_order_acquire))
+                continue; // popped but flag not yet set: retry
+            rt_.resumeFromBlocked(ctx.record());
+            throw ExecutionAborted();
+        }
+        std::this_thread::yield();
+    }
+    rt_.resumeFromBlocked(ctx.record());
+
+    // Absorb the signaler's happens-before knowledge, then re-acquire
+    // the mutex deterministically.
+    {
+        std::lock_guard<std::mutex> guard(im_);
+        ctx.state().vc.joinFrom(vc_);
+    }
+    m.lock(ctx);
+}
+
+void
+CleanCondVar::wakeLocked(ThreadContext &ctx, bool all)
+{
+    auto &kendo = rt_.kendo();
+    // Publish the signaler's clock so wakees synchronize with it.
+    vc_.joinFrom(ctx.state().vc);
+    const det::DetCount resume = kendo.count(ctx.tid()) + 1;
+    const std::size_t n = all ? waiters_.size()
+                              : std::min<std::size_t>(1, waiters_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        Waiter w = waiters_.front();
+        waiters_.pop_front();
+        // Re-admit before raising the flag: once the flag is visible the
+        // wakee may run, and it must already count in the Kendo minimum.
+        kendo.unblock(w.tid, resume);
+        w.flag->store(true, std::memory_order_release);
+    }
+}
+
+void
+CleanCondVar::signal(ThreadContext &ctx)
+{
+    ctx.acquireTurn();
+    {
+        std::lock_guard<std::mutex> guard(im_);
+        wakeLocked(ctx, false);
+    }
+    rt_.tickClock(ctx.state());
+    rt_.kendo().increment(ctx.tid());
+}
+
+void
+CleanCondVar::broadcast(ThreadContext &ctx)
+{
+    ctx.acquireTurn();
+    {
+        std::lock_guard<std::mutex> guard(im_);
+        wakeLocked(ctx, true);
+    }
+    rt_.tickClock(ctx.state());
+    rt_.kendo().increment(ctx.tid());
+}
+
+// ---------------------------------------------------------------------
+// CleanBarrier
+// ---------------------------------------------------------------------
+
+CleanBarrier::CleanBarrier(CleanRuntime &rt, std::uint32_t parties)
+    : rt_(rt), parties_(parties),
+      vc_(rt.config().epoch, rt.config().maxThreads),
+      releaseVc_(rt.config().epoch, rt.config().maxThreads)
+{
+    CLEAN_ASSERT(parties_ > 0);
+    rt_.registerSyncClock(&vc_);
+    rt_.registerSyncClock(&releaseVc_);
+}
+
+CleanBarrier::~CleanBarrier()
+{
+    rt_.unregisterSyncClock(&vc_);
+    rt_.unregisterSyncClock(&releaseVc_);
+}
+
+void
+CleanBarrier::arrive(ThreadContext &ctx)
+{
+    auto &kendo = rt_.kendo();
+    const ThreadId tid = ctx.tid();
+    std::atomic<bool> flag{false};
+    bool last = false;
+
+    ctx.acquireTurn();
+    {
+        std::lock_guard<std::mutex> guard(im_);
+        vc_.joinFrom(ctx.state().vc);
+        rt_.tickClock(ctx.state());
+        ++arrived_;
+        if (arrived_ == parties_) {
+            last = true;
+            arrived_ = 0;
+            releaseVc_.assign(vc_);
+            const det::DetCount resume = kendo.count(tid) + 1;
+            for (const Waiter &w : waiters_) {
+                kendo.unblock(w.tid, resume);
+                w.flag->store(true, std::memory_order_release);
+            }
+            waiters_.clear();
+            // The releaser itself synchronizes with all parties.
+            ctx.state().vc.joinFrom(releaseVc_);
+        } else {
+            waiters_.push_back({tid, &flag});
+            kendo.block(tid);
+        }
+    }
+    kendo.increment(tid);
+    if (last)
+        return;
+
+    rt_.setPhase(ctx.record(), ThreadRecord::Phase::Blocked);
+    while (!flag.load(std::memory_order_acquire)) {
+        if (CLEAN_UNLIKELY(rt_.raceOccurred())) {
+            std::lock_guard<std::mutex> guard(im_);
+            auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                                   [&](const Waiter &w) {
+                                       return w.flag == &flag;
+                                   });
+            if (it != waiters_.end()) {
+                waiters_.erase(it);
+                --arrived_;
+            } else if (!flag.load(std::memory_order_acquire)) {
+                continue;
+            }
+            rt_.resumeFromBlocked(ctx.record());
+            throw ExecutionAborted();
+        }
+        std::this_thread::yield();
+    }
+    rt_.resumeFromBlocked(ctx.record());
+
+    std::lock_guard<std::mutex> guard(im_);
+    ctx.state().vc.joinFrom(releaseVc_);
+}
+
+} // namespace clean

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic, vector-clock-aware synchronization objects (§3.3).
+ *
+ * Each object keeps a vector clock that carries happens-before edges
+ * between threads (release joins the releaser's clock in; acquire joins
+ * the object's clock out), and every operation is a Kendo-ordered
+ * synchronization point: the thread first takes its deterministic turn,
+ * performs the operation, then advances its deterministic counter.
+ *
+ * Turn exclusivity (only the strict-minimum thread is ever inside a
+ * synchronization operation) makes the outcome of every try_lock — and
+ * hence the entire synchronization order — a deterministic function of
+ * the program input.
+ *
+ * Blocking operations (condition wait, barrier, join) mark the thread
+ * Blocked so it neither gates the Kendo minimum nor delays a rollover
+ * reset; the waking thread re-admits it with a deterministic resume
+ * counter (waker's counter + 1).
+ */
+
+#ifndef CLEAN_CORE_SYNC_OBJECTS_H
+#define CLEAN_CORE_SYNC_OBJECTS_H
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/vector_clock.h"
+
+namespace clean
+{
+
+/** Deterministic mutex with release/acquire vector-clock semantics. */
+class CleanMutex
+{
+  public:
+    explicit CleanMutex(CleanRuntime &rt);
+    ~CleanMutex();
+
+    CleanMutex(const CleanMutex &) = delete;
+    CleanMutex &operator=(const CleanMutex &) = delete;
+
+    void lock(ThreadContext &ctx);
+    /** One deterministic acquisition attempt. */
+    bool tryLock(ThreadContext &ctx);
+    void unlock(ThreadContext &ctx);
+
+  private:
+    friend class CleanCondVar;
+
+    /** Release m inside an already-held turn (condition wait). */
+    void releaseForWait(ThreadContext &ctx);
+
+    CleanRuntime &rt_;
+    std::mutex m_;
+    VectorClock vc_;
+};
+
+/** Deterministic condition variable (FIFO wakeup in registration order,
+ *  which is itself deterministic under Kendo). */
+class CleanCondVar
+{
+  public:
+    explicit CleanCondVar(CleanRuntime &rt);
+    ~CleanCondVar();
+
+    CleanCondVar(const CleanCondVar &) = delete;
+    CleanCondVar &operator=(const CleanCondVar &) = delete;
+
+    /** Atomically releases @p m and waits; re-acquires @p m before
+     *  returning. No spurious wakeups. */
+    void wait(ThreadContext &ctx, CleanMutex &m);
+
+    /** Wakes the longest-registered waiter, if any. */
+    void signal(ThreadContext &ctx);
+
+    /** Wakes every currently registered waiter. */
+    void broadcast(ThreadContext &ctx);
+
+  private:
+    struct Waiter
+    {
+        ThreadId tid;
+        std::atomic<bool> *flag;
+    };
+
+    void wakeLocked(ThreadContext &ctx, bool all);
+
+    CleanRuntime &rt_;
+    std::mutex im_;
+    std::deque<Waiter> waiters_;
+    VectorClock vc_;
+};
+
+/** Deterministic cyclic barrier over a fixed number of parties. */
+class CleanBarrier
+{
+  public:
+    CleanBarrier(CleanRuntime &rt, std::uint32_t parties);
+    ~CleanBarrier();
+
+    CleanBarrier(const CleanBarrier &) = delete;
+    CleanBarrier &operator=(const CleanBarrier &) = delete;
+
+    /** Arrive and wait for the remaining parties. */
+    void arrive(ThreadContext &ctx);
+
+    std::uint32_t parties() const { return parties_; }
+
+  private:
+    struct Waiter
+    {
+        ThreadId tid;
+        std::atomic<bool> *flag;
+    };
+
+    CleanRuntime &rt_;
+    std::uint32_t parties_;
+    std::mutex im_;
+    std::uint32_t arrived_ = 0;
+    std::vector<Waiter> waiters_;
+    VectorClock vc_;
+    VectorClock releaseVc_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_SYNC_OBJECTS_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-thread detector state: vector clock, cached own epoch, counters.
+ */
+
+#ifndef CLEAN_CORE_THREAD_STATE_H
+#define CLEAN_CORE_THREAD_STATE_H
+
+#include <cstdint>
+
+#include "core/epoch.h"
+#include "core/vector_clock.h"
+#include "support/common.h"
+#include "support/stats.h"
+
+namespace clean
+{
+
+/**
+ * Counters a thread bumps on its own accesses; merged after a run. They
+ * feed Figures 7 (shared-access frequency) and 8 (access-width and
+ * same-epoch statistics backing the vectorization optimization).
+ */
+struct CheckerStats
+{
+    std::uint64_t sharedReads = 0;
+    std::uint64_t sharedWrites = 0;
+    std::uint64_t accessedBytes = 0;
+    /** Accesses at least 4 bytes wide (paper: >= 91.9% on average). */
+    std::uint64_t wideAccesses = 0;
+    /** Wide accesses whose bytes all carried one epoch (paper: >= 99.7%). */
+    std::uint64_t wideSameEpoch = 0;
+    /** Write checks that had to publish a new epoch. */
+    std::uint64_t epochUpdates = 0;
+    /** CAS updates that performed 4 epochs at once (128-bit CAS, §4.4). */
+    std::uint64_t wideCasUpdates = 0;
+
+    void
+    merge(const CheckerStats &other)
+    {
+        sharedReads += other.sharedReads;
+        sharedWrites += other.sharedWrites;
+        accessedBytes += other.accessedBytes;
+        wideAccesses += other.wideAccesses;
+        wideSameEpoch += other.wideSameEpoch;
+        epochUpdates += other.epochUpdates;
+        wideCasUpdates += other.wideCasUpdates;
+    }
+
+    std::uint64_t accesses() const { return sharedReads + sharedWrites; }
+
+    /** Dumps into a StatSet under the given prefix. */
+    void
+    exportTo(StatSet &stats, const std::string &prefix) const
+    {
+        stats.counter(prefix + ".sharedReads") += sharedReads;
+        stats.counter(prefix + ".sharedWrites") += sharedWrites;
+        stats.counter(prefix + ".accessedBytes") += accessedBytes;
+        stats.counter(prefix + ".wideAccesses") += wideAccesses;
+        stats.counter(prefix + ".wideSameEpoch") += wideSameEpoch;
+        stats.counter(prefix + ".epochUpdates") += epochUpdates;
+        stats.counter(prefix + ".wideCasUpdates") += wideCasUpdates;
+    }
+};
+
+/**
+ * Detector-visible state of one running thread.
+ *
+ * The `ownEpoch` member caches vc.element(tid) — the "main element" of
+ * the thread's vector clock (§2.3). The runtime refreshes it whenever the
+ * thread's own clock ticks; the hardware model mirrors it as the per-core
+ * 32-bit register of §5.1.
+ */
+struct ThreadState
+{
+    ThreadState(const EpochConfig &config, ThreadId tid, ThreadId slots)
+        : tid(tid), vc(config, slots), ownEpoch(config.pack(tid, 0))
+    {
+    }
+
+    /** Re-derives the cached main element after a clock change. */
+    void refreshOwnEpoch() { ownEpoch = vc.element(tid); }
+
+    ThreadId tid;
+    VectorClock vc;
+    EpochValue ownEpoch;
+    CheckerStats stats;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_THREAD_STATE_H

@@ -1,0 +1,83 @@
+#include "core/vector_clock.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace clean
+{
+
+VectorClock::VectorClock(const EpochConfig &config, ThreadId slots)
+    : config_(config)
+{
+    CLEAN_ASSERT(config.valid());
+    CLEAN_ASSERT(slots <= config.maxThreads(),
+                 "slots=%u max=%u", slots, config.maxThreads());
+    elements_.resize(slots);
+    for (ThreadId t = 0; t < slots; ++t)
+        elements_[t] = config_.pack(t, 0);
+}
+
+void
+VectorClock::setClock(ThreadId tid, ClockValue clock)
+{
+    CLEAN_ASSERT(tid < size());
+    CLEAN_ASSERT(clock <= config_.maxClock());
+    elements_[tid] = config_.pack(tid, clock);
+}
+
+ClockValue
+VectorClock::tick(ThreadId tid)
+{
+    CLEAN_ASSERT(tid < size());
+    const ClockValue next = config_.clockOf(elements_[tid]) + 1;
+    CLEAN_ASSERT(next <= config_.maxClock(),
+                 "clock rollover must be handled by the caller");
+    elements_[tid] = config_.pack(tid, next);
+    return next;
+}
+
+void
+VectorClock::joinFrom(const VectorClock &other)
+{
+    CLEAN_ASSERT(other.size() == size());
+    // Elements carry identical tid bits at identical indices, so the raw
+    // max is the clock max.
+    for (ThreadId t = 0; t < size(); ++t)
+        elements_[t] = std::max(elements_[t], other.elements_[t]);
+}
+
+void
+VectorClock::clearClocks()
+{
+    for (ThreadId t = 0; t < size(); ++t)
+        elements_[t] = config_.pack(t, 0);
+}
+
+bool
+VectorClock::allLessOrEqual(const VectorClock &other) const
+{
+    CLEAN_ASSERT(other.size() == size());
+    for (ThreadId t = 0; t < size(); ++t) {
+        if (elements_[t] > other.elements_[t])
+            return false;
+    }
+    return true;
+}
+
+std::string
+VectorClock::toString() const
+{
+    std::ostringstream os;
+    os << '<';
+    for (ThreadId t = 0; t < size(); ++t) {
+        if (t)
+            os << ", ";
+        os << clockOf(t);
+    }
+    os << '>';
+    return os.str();
+}
+
+} // namespace clean

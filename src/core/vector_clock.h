@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Vector clocks tracking the happens-before relation (§2.3).
+ *
+ * Elements are stored as full epochs: element i carries thread id i in
+ * its tid bits. This makes join a raw element-wise max (same tid bits on
+ * both sides) and lets the race check compare a location epoch against an
+ * element with one integer comparison (§4.1).
+ */
+
+#ifndef CLEAN_CORE_VECTOR_CLOCK_H
+#define CLEAN_CORE_VECTOR_CLOCK_H
+
+#include <string>
+#include <vector>
+
+#include "core/epoch.h"
+#include "support/common.h"
+
+namespace clean
+{
+
+/** A fixed-width vector clock over `slots` thread ids. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    /** All elements start at clock 0 (nothing happened yet). */
+    VectorClock(const EpochConfig &config, ThreadId slots);
+
+    ThreadId size() const { return static_cast<ThreadId>(elements_.size()); }
+
+    /** Raw epoch-encoded element for thread @p tid. */
+    EpochValue element(ThreadId tid) const { return elements_[tid]; }
+
+    /** Clock component of the element for thread @p tid. */
+    ClockValue clockOf(ThreadId tid) const
+    {
+        return config_.clockOf(elements_[tid]);
+    }
+
+    /** Sets the clock component of @p tid's element. */
+    void setClock(ThreadId tid, ClockValue clock);
+
+    /** Increments @p tid's clock by one; returns the new clock value. */
+    ClockValue tick(ThreadId tid);
+
+    /** Element-wise maximum with @p other (the happens-before join). */
+    void joinFrom(const VectorClock &other);
+
+    /** Copies @p other into this clock. */
+    void assign(const VectorClock &other) { elements_ = other.elements_; }
+
+    /** Resets every element's clock to zero (rollover reset, §4.5). */
+    void clearClocks();
+
+    /** True iff every element of this clock is <= its peer in @p other.
+     *  ("this happens-before-or-equals other") */
+    bool allLessOrEqual(const VectorClock &other) const;
+
+    /** Epoch of thread @p tid at its current clock. */
+    EpochValue epochOf(ThreadId tid) const { return elements_[tid]; }
+
+    const EpochConfig &config() const { return config_; }
+
+    /** "<c0, c1, ...>" debug rendering of the clock components. */
+    std::string toString() const;
+
+  private:
+    EpochConfig config_;
+    std::vector<EpochValue> elements_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_VECTOR_CLOCK_H

@@ -1,0 +1,114 @@
+#include "det/kendo.h"
+
+#include <thread>
+
+#include "support/logging.h"
+
+namespace clean::det
+{
+
+Kendo::Kendo(bool enabled, ThreadId maxSlots)
+    : enabled_(enabled), maxSlots_(maxSlots)
+{
+    CLEAN_ASSERT(maxSlots > 0);
+    slots_ = new Slot[maxSlots];
+}
+
+Kendo::~Kendo()
+{
+    delete[] slots_;
+}
+
+void
+Kendo::activate(ThreadId slot, DetCount start)
+{
+    CLEAN_ASSERT(slot < maxSlots_);
+    Slot &s = slots_[slot];
+    DetCount current = s.count.load(std::memory_order_relaxed);
+    if (start > current)
+        s.count.store(start, std::memory_order_relaxed);
+    s.status.store(Status::Active, std::memory_order_release);
+}
+
+void
+Kendo::finish(ThreadId slot)
+{
+    slots_[slot].status.store(Status::Inactive, std::memory_order_release);
+}
+
+bool
+Kendo::tryTurn(ThreadId slot)
+{
+    if (!enabled_)
+        return true;
+    const Slot &self = slots_[slot];
+    const DetCount mine = self.count.load(std::memory_order_relaxed);
+    for (ThreadId j = 0; j < maxSlots_; ++j) {
+        if (j == slot)
+            continue;
+        const Slot &other = slots_[j];
+        if (other.status.load(std::memory_order_acquire) != Status::Active)
+            continue;
+        const DetCount theirs = other.count.load(std::memory_order_relaxed);
+        // Strict (count, tid) order; ties go to the smaller tid.
+        if (theirs < mine || (theirs == mine && j < slot))
+            return false;
+    }
+    return true;
+}
+
+void
+Kendo::waitForTurn(ThreadId slot)
+{
+    if (!enabled_)
+        return;
+    std::uint64_t localSpins = 0;
+    while (!tryTurn(slot)) {
+        // This host may have fewer cores than simulated threads; yield
+        // so the thread we are waiting on can actually run.
+        ++localSpins;
+        std::this_thread::yield();
+    }
+    spins_.fetch_add(localSpins, std::memory_order_relaxed);
+}
+
+void
+Kendo::block(ThreadId slot)
+{
+    if (!enabled_)
+        return;
+    slots_[slot].status.store(Status::Blocked, std::memory_order_release);
+}
+
+void
+Kendo::unblock(ThreadId slot, DetCount resumeAt)
+{
+    if (!enabled_)
+        return;
+    Slot &s = slots_[slot];
+    CLEAN_ASSERT(s.status.load() == Status::Blocked,
+                 "unblock of non-blocked slot %u", slot);
+    const DetCount current = s.count.load(std::memory_order_relaxed);
+    if (resumeAt > current)
+        s.count.store(resumeAt, std::memory_order_relaxed);
+    s.status.store(Status::Active, std::memory_order_release);
+}
+
+void
+Kendo::waitWhileBlocked(ThreadId slot)
+{
+    if (!enabled_)
+        return;
+    const Slot &s = slots_[slot];
+    while (s.status.load(std::memory_order_acquire) == Status::Blocked)
+        std::this_thread::yield();
+}
+
+bool
+Kendo::isActive(ThreadId slot) const
+{
+    return slots_[slot].status.load(std::memory_order_acquire) ==
+           Status::Active;
+}
+
+} // namespace clean::det

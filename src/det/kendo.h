@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Kendo-style deterministic synchronization (§2.4, §3.3).
+ *
+ * Every thread owns a *deterministic counter* that advances on
+ * deterministic events only (shim-observed accesses — the analogue of the
+ * paper's instrumented basic blocks — and synchronization operations). A
+ * thread may perform a synchronization operation only when its
+ * (counter, threadId) pair is the strict minimum over all runnable
+ * threads; otherwise it waits for the others to catch up. Because
+ * counters depend only on each thread's deterministic progress, the
+ * resulting total order of synchronization operations — and hence, for
+ * executions CLEAN allows to complete, the whole execution — is the same
+ * in every run.
+ *
+ * Threads blocked in a condition wait, a barrier, or a join are excluded
+ * from the minimum (they cannot perform synchronization), and are resumed
+ * with their counter raised above the waker's, which keeps the logical
+ * order deterministic.
+ *
+ * Staleness is benign: a waiter that reads a stale (smaller) counter for
+ * a peer only waits longer. Two threads can never both believe they hold
+ * the turn, because that would require each to have observed the other's
+ * counter above its own, and observed counters never exceed true ones.
+ */
+
+#ifndef CLEAN_DET_KENDO_H
+#define CLEAN_DET_KENDO_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/common.h"
+
+namespace clean::det
+{
+
+/** Deterministic logical time of one thread. */
+using DetCount = std::uint64_t;
+
+/** Deterministic-synchronization engine. */
+class Kendo
+{
+  public:
+    /**
+     * @param enabled  when false every operation is a no-op and program
+     *                 synchronization falls back to plain nondeterministic
+     *                 locking ("race detection only" configurations).
+     * @param maxSlots capacity of the slot table.
+     */
+    Kendo(bool enabled, ThreadId maxSlots);
+    ~Kendo();
+
+    Kendo(const Kendo &) = delete;
+    Kendo &operator=(const Kendo &) = delete;
+
+    bool enabled() const { return enabled_; }
+    ThreadId maxSlots() const { return maxSlots_; }
+
+    /** Marks @p slot runnable starting at deterministic time @p start. */
+    void activate(ThreadId slot, DetCount start);
+
+    /** Marks @p slot finished; it no longer gates anyone. */
+    void finish(ThreadId slot);
+
+    /** Advances @p slot's counter by @p n deterministic events. */
+    CLEAN_ALWAYS_INLINE void
+    increment(ThreadId slot, DetCount n = 1)
+    {
+        if (!enabled_)
+            return;
+        slots_[slot].count.store(
+            slots_[slot].count.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+    }
+
+    /** Current deterministic counter of @p slot. */
+    DetCount
+    count(ThreadId slot) const
+    {
+        return slots_[slot].count.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Blocks until (count, slot) is the strict minimum over runnable
+     * slots. No-op when disabled.
+     */
+    void waitForTurn(ThreadId slot);
+
+    /**
+     * One non-blocking evaluation of the turn predicate. Returns true
+     * (and vacuously when disabled) iff (count, slot) is currently the
+     * strict minimum over runnable slots. Callers loop over tryTurn so
+     * they can interleave rollover parking and abort polling.
+     */
+    bool tryTurn(ThreadId slot);
+
+    /** Raises @p slot's counter to at least @p value (self-resume after
+     *  an already-satisfied blocking condition). */
+    void
+    raiseTo(ThreadId slot, DetCount value)
+    {
+        if (!enabled_)
+            return;
+        Slot &s = slots_[slot];
+        if (value > s.count.load(std::memory_order_relaxed))
+            s.count.store(value, std::memory_order_relaxed);
+    }
+
+    /** Excludes @p slot from the minimum (entering a blocking wait). */
+    void block(ThreadId slot);
+
+    /**
+     * Re-admits @p slot with counter max(current, resumeAt). Called by
+     * the waking thread while @p slot is still blocked.
+     */
+    void unblock(ThreadId slot, DetCount resumeAt);
+
+    /** Spin-waits (yielding) until this blocked slot is unblocked. */
+    void waitWhileBlocked(ThreadId slot);
+
+    /** True iff @p slot is currently runnable. */
+    bool isActive(ThreadId slot) const;
+
+    /** Total waitForTurn spin iterations (det-sync overhead telemetry). */
+    std::uint64_t totalSpins() const
+    {
+        return spins_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    enum class Status : int { Inactive, Active, Blocked };
+
+    struct alignas(64) Slot
+    {
+        std::atomic<DetCount> count{0};
+        std::atomic<Status> status{Status::Inactive};
+    };
+
+    bool enabled_;
+    ThreadId maxSlots_;
+    Slot *slots_;
+    std::atomic<std::uint64_t> spins_{0};
+};
+
+} // namespace clean::det
+
+#endif // CLEAN_DET_KENDO_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Common interface and vector-clock plumbing for baseline race
+ * detectors (§2.3, §7).
+ *
+ * Baselines exist to quantify what CLEAN buys by *not* detecting WAR
+ * races:
+ *   FastTrackDetector — full precise WAW/RAW/WAR detection with adaptive
+ *       read metadata (epoch or promoted read vector clock) and sharded
+ *       locking for check atomicity;
+ *   TsanLiteDetector  — ThreadSanitizer-style imprecise detection with
+ *       k last-access records per 8-byte cell and no check atomicity.
+ *
+ * Unlike the CLEAN runtime, detectors never throw by default: they
+ * collect race reports so experiments can enumerate every race in a
+ * schedule (the workflow the paper suggests for debugging after a CLEAN
+ * exception). A stopOnFirst mode turns the first report into the return
+ * value of the access hook.
+ */
+
+#ifndef CLEAN_DETECTORS_DETECTOR_H
+#define CLEAN_DETECTORS_DETECTOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/race_exception.h"
+#include "core/vector_clock.h"
+#include "support/common.h"
+
+namespace clean::detectors
+{
+
+/** Identifier of a synchronization object (lock address or index). */
+using SyncId = std::uint64_t;
+
+/** One detected race. */
+struct RaceReport
+{
+    RaceKind kind;
+    Addr addr;
+    ThreadId current;
+    ThreadId previous;
+
+    bool
+    operator==(const RaceReport &other) const
+    {
+        return kind == other.kind && addr == other.addr &&
+               current == other.current && previous == other.previous;
+    }
+};
+
+/** Abstract dynamic race detector fed by access/sync hooks. */
+class Detector
+{
+  public:
+    explicit Detector(const EpochConfig &config, ThreadId maxThreads)
+        : config_(config), maxThreads_(maxThreads)
+    {
+        threads_.reserve(maxThreads);
+        for (ThreadId t = 0; t < maxThreads; ++t)
+            threads_.emplace_back(config, maxThreads);
+        // Reserve clock 0 for "no access yet"; threads start at 1.
+        for (ThreadId t = 0; t < maxThreads; ++t)
+            threads_[t].setClock(t, 1);
+    }
+
+    virtual ~Detector() = default;
+
+    virtual const char *name() const = 0;
+
+    /** True for detectors that can detect WAR races. */
+    virtual bool detectsWar() const = 0;
+
+    virtual void onRead(ThreadId t, Addr addr, std::size_t size) = 0;
+    virtual void onWrite(ThreadId t, Addr addr, std::size_t size) = 0;
+
+    /** Acquire: thread joins the sync object's clock. */
+    virtual void
+    onAcquire(ThreadId t, SyncId sync)
+    {
+        std::lock_guard<std::mutex> guard(syncMutex_);
+        auto it = syncClocks_.find(sync);
+        if (it != syncClocks_.end())
+            threads_[t].joinFrom(it->second);
+    }
+
+    /** Release: sync object joins the thread's clock; thread ticks. */
+    virtual void
+    onRelease(ThreadId t, SyncId sync)
+    {
+        std::lock_guard<std::mutex> guard(syncMutex_);
+        auto [it, fresh] = syncClocks_.try_emplace(
+            sync, VectorClock(config_, maxThreads_));
+        it->second.joinFrom(threads_[t]);
+        threads_[t].tick(t);
+    }
+
+    /** Fork: child inherits parent's clock; both tick. */
+    virtual void
+    onFork(ThreadId parent, ThreadId child)
+    {
+        std::lock_guard<std::mutex> guard(syncMutex_);
+        threads_[child].joinFrom(threads_[parent]);
+        threads_[child].tick(child);
+        threads_[parent].tick(parent);
+    }
+
+    /** Join: parent absorbs child's clock. */
+    virtual void
+    onJoin(ThreadId parent, ThreadId child)
+    {
+        std::lock_guard<std::mutex> guard(syncMutex_);
+        threads_[parent].joinFrom(threads_[child]);
+    }
+
+    /** All races reported so far. */
+    std::vector<RaceReport>
+    reports() const
+    {
+        std::lock_guard<std::mutex> guard(reportMutex_);
+        return reports_;
+    }
+
+    /** Total races reported (cheap, lock-free). */
+    std::size_t
+    reportCount() const
+    {
+        return reportCountAtomic_.load(std::memory_order_relaxed);
+    }
+
+    bool hasReports() const { return reportCount() > 0; }
+
+    const EpochConfig &config() const { return config_; }
+
+    /** Stored reports are capped to bound memory on very racy runs;
+     *  reportCount() keeps the true total. */
+    static constexpr std::size_t kMaxStoredReports = 100000;
+
+  protected:
+    void
+    report(RaceKind kind, Addr addr, ThreadId current, ThreadId previous)
+    {
+        reportCountAtomic_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> guard(reportMutex_);
+        if (reports_.size() < kMaxStoredReports)
+            reports_.push_back({kind, addr, current, previous});
+    }
+
+    EpochConfig config_;
+    ThreadId maxThreads_;
+    std::vector<VectorClock> threads_;
+    std::mutex syncMutex_;
+    std::unordered_map<SyncId, VectorClock> syncClocks_;
+
+  private:
+    mutable std::mutex reportMutex_;
+    std::vector<RaceReport> reports_;
+    std::atomic<std::size_t> reportCountAtomic_{0};
+};
+
+} // namespace clean::detectors
+
+#endif // CLEAN_DETECTORS_DETECTOR_H

@@ -1,0 +1,125 @@
+#include "detectors/fasttrack.h"
+
+namespace clean::detectors
+{
+
+FastTrackDetector::FastTrackDetector(const EpochConfig &config,
+                                     ThreadId maxThreads)
+    : Detector(config, maxThreads)
+{
+}
+
+FastTrackDetector::~FastTrackDetector() = default;
+
+FastTrackDetector::Chunk &
+FastTrackDetector::chunkFor(Addr addr)
+{
+    const Addr key = addr / kChunkBytes;
+    std::lock_guard<std::mutex> guard(chunkMapMutex_);
+    auto &slot = chunks_[key];
+    if (!slot)
+        slot = std::make_unique<Chunk>();
+    return *slot;
+}
+
+void
+FastTrackDetector::onRead(ThreadId t, Addr addr, std::size_t size)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        Chunk &chunk = chunkFor(addr + i);
+        std::lock_guard<std::mutex> guard(chunk.lock);
+        readByte(t, addr + i, chunk);
+    }
+}
+
+void
+FastTrackDetector::onWrite(ThreadId t, Addr addr, std::size_t size)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        Chunk &chunk = chunkFor(addr + i);
+        std::lock_guard<std::mutex> guard(chunk.lock);
+        writeByte(t, addr + i, chunk);
+    }
+}
+
+void
+FastTrackDetector::readByte(ThreadId t, Addr addr, Chunk &chunk)
+{
+    Cell &cell = chunk.cells[addr % kChunkBytes];
+    const VectorClock &vc = threads_[t];
+    const EpochValue myEpoch = vc.element(t);
+
+    // FT: [read same epoch] — nothing to do.
+    if (cell.readEpoch == myEpoch)
+        return;
+
+    // RAW check against the last write.
+    if (cell.write != 0) {
+        const ThreadId writer = config_.tidOf(cell.write);
+        if (config_.clockOf(cell.write) > vc.clockOf(writer) && writer != t)
+            report(RaceKind::Raw, addr, t, writer);
+    }
+
+    if (cell.readVc) {
+        // [read shared]: record this read in the read vector clock.
+        if (vc.clockOf(t) > cell.readVc->clockOf(t))
+            cell.readVc->setClock(t, vc.clockOf(t));
+        return;
+    }
+    const ThreadId prevReader = config_.tidOf(cell.readEpoch);
+    if (cell.readEpoch == 0 ||
+        config_.clockOf(cell.readEpoch) <= vc.clockOf(prevReader)) {
+        // [read exclusive]: previous read happens-before this one.
+        cell.readEpoch = myEpoch;
+    } else {
+        // [read share]: two concurrent readers — promote to a read VC.
+        cell.readVc = std::make_unique<VectorClock>(config_, maxThreads_);
+        cell.readVc->setClock(prevReader,
+                              config_.clockOf(cell.readEpoch));
+        cell.readVc->setClock(t, vc.clockOf(t));
+        cell.readEpoch = 0;
+    }
+}
+
+void
+FastTrackDetector::writeByte(ThreadId t, Addr addr, Chunk &chunk)
+{
+    Cell &cell = chunk.cells[addr % kChunkBytes];
+    const VectorClock &vc = threads_[t];
+    const EpochValue myEpoch = vc.element(t);
+
+    // FT: [write same epoch].
+    if (cell.write == myEpoch)
+        return;
+
+    // WAW check.
+    if (cell.write != 0) {
+        const ThreadId writer = config_.tidOf(cell.write);
+        if (config_.clockOf(cell.write) > vc.clockOf(writer) && writer != t)
+            report(RaceKind::Waw, addr, t, writer);
+    }
+
+    // WAR checks: this is the expensive case CLEAN skips by design — a
+    // write can race with *any* earlier read, so the full read vector
+    // clock must be scanned.
+    if (cell.readVc) {
+        for (ThreadId j = 0; j < maxThreads_; ++j) {
+            if (j == t)
+                continue;
+            if (cell.readVc->clockOf(j) > vc.clockOf(j))
+                report(RaceKind::War, addr, t, j);
+        }
+        cell.readVc.reset();
+    } else if (cell.readEpoch != 0) {
+        const ThreadId reader = config_.tidOf(cell.readEpoch);
+        if (config_.clockOf(cell.readEpoch) > vc.clockOf(reader) &&
+            reader != t) {
+            report(RaceKind::War, addr, t, reader);
+        }
+    }
+
+    cell.write = myEpoch;
+    cell.readEpoch = 0;
+}
+
+} // namespace clean::detectors

@@ -1,0 +1,100 @@
+#include "detectors/tsan_lite.h"
+
+#include <algorithm>
+
+namespace clean::detectors
+{
+
+TsanLiteDetector::TsanLiteDetector(const EpochConfig &config,
+                                   ThreadId maxThreads)
+    : Detector(config, maxThreads)
+{
+}
+
+TsanLiteDetector::~TsanLiteDetector() = default;
+
+TsanLiteDetector::Cell &
+TsanLiteDetector::cellFor(Addr wordAddr)
+{
+    const Addr key = wordAddr / kCellsPerChunk;
+    {
+        std::lock_guard<std::mutex> guard(chunkMapMutex_);
+        auto &slot = chunks_[key];
+        if (!slot)
+            slot = std::make_unique<Chunk>();
+        return slot->cells[wordAddr % kCellsPerChunk];
+    }
+}
+
+void
+TsanLiteDetector::onRead(ThreadId t, Addr addr, std::size_t size)
+{
+    access(t, addr, size, false);
+}
+
+void
+TsanLiteDetector::onWrite(ThreadId t, Addr addr, std::size_t size)
+{
+    access(t, addr, size, true);
+}
+
+void
+TsanLiteDetector::access(ThreadId t, Addr addr, std::size_t size,
+                         bool isWrite)
+{
+    const VectorClock &vc = threads_[t];
+    const EpochValue myEpoch = vc.element(t);
+
+    Addr pos = addr;
+    std::size_t remaining = size;
+    while (remaining > 0) {
+        const Addr word = pos >> 3;
+        const unsigned offset = pos & 7;
+        const std::size_t span = std::min<std::size_t>(remaining,
+                                                       8 - offset);
+        std::uint8_t mask = 0;
+        for (std::size_t i = 0; i < span; ++i)
+            mask |= static_cast<std::uint8_t>(1u << (offset + i));
+
+        Cell &cell = cellFor(word);
+        // Scan the k remembered accesses. Everything here is relaxed and
+        // unlocked by design: this is the imprecision the paper calls
+        // out in ThreadSanitizer.
+        for (unsigned r = 0; r < kRecordsPerCell; ++r) {
+            const PackedRecord rec =
+                cell.records[r].load(std::memory_order_relaxed);
+            if (!(rec >> 41 & 1))
+                continue;
+            const std::uint8_t recMask =
+                static_cast<std::uint8_t>(rec >> 32);
+            const bool recWrite = rec >> 40 & 1;
+            if (!(recMask & mask) || (!recWrite && !isWrite))
+                continue;
+            const EpochValue recEpoch = static_cast<EpochValue>(rec);
+            const ThreadId recTid = config_.tidOf(recEpoch);
+            if (recTid == t)
+                continue;
+            if (config_.clockOf(recEpoch) > vc.clockOf(recTid)) {
+                RaceKind kind;
+                if (recWrite && isWrite)
+                    kind = RaceKind::Waw;
+                else if (recWrite)
+                    kind = RaceKind::Raw;
+                else
+                    kind = RaceKind::War;
+                report(kind, pos, t, recTid);
+            }
+        }
+        // Round-robin eviction of one record slot.
+        const unsigned slot =
+            cell.next.fetch_add(1, std::memory_order_relaxed) %
+            kRecordsPerCell;
+        cell.records[slot].store(pack(myEpoch, mask, isWrite),
+                                 std::memory_order_relaxed);
+
+        pos += span;
+        remaining -= span;
+    }
+}
+
+} // namespace clean::detectors

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TsanLite — a ThreadSanitizer-style imprecise detector (§6.2.1, §7).
+ *
+ * The paper builds software CLEAN on top of ThreadSanitizer and uses
+ * TSan to find the races it removes from the benchmark suite. TsanLite
+ * reproduces TSan's two documented imprecision sources:
+ *
+ *   (i)  each 8-byte memory cell remembers only the last k = 4 accesses
+ *        (older concurrent accesses are forgotten -> missed races), and
+ *   (ii) concurrently executing checks are not atomic (records are
+ *        plain relaxed words -> racing checks can miss each other).
+ *
+ * It can also report a race twice or pair it with a stale access. In
+ * exchange, it is cheap: no locking, O(k) work per access.
+ */
+
+#ifndef CLEAN_DETECTORS_TSAN_LITE_H
+#define CLEAN_DETECTORS_TSAN_LITE_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "detectors/detector.h"
+
+namespace clean::detectors
+{
+
+/** Imprecise k-last-accesses detector over 8-byte shadow cells. */
+class TsanLiteDetector : public Detector
+{
+  public:
+    /** Access records kept per 8-byte cell. */
+    static constexpr unsigned kRecordsPerCell = 4;
+
+    TsanLiteDetector(const EpochConfig &config, ThreadId maxThreads);
+    ~TsanLiteDetector() override;
+
+    const char *name() const override { return "tsan-lite"; }
+    bool detectsWar() const override { return true; }
+
+    void onRead(ThreadId t, Addr addr, std::size_t size) override;
+    void onWrite(ThreadId t, Addr addr, std::size_t size) override;
+
+  private:
+    /**
+     * One packed access record:
+     *   bits  0..31 epoch (tid | clock),
+     *   bits 32..39 byte mask within the 8-byte cell,
+     *   bit  40     is-write,
+     *   bit  41     valid.
+     */
+    using PackedRecord = std::uint64_t;
+
+    struct Cell
+    {
+        std::atomic<PackedRecord> records[kRecordsPerCell];
+        std::atomic<std::uint32_t> next{0};
+    };
+
+    static constexpr std::size_t kCellsPerChunk = 512; // 4 KiB of data
+
+    struct Chunk
+    {
+        Cell cells[kCellsPerChunk];
+    };
+
+    static PackedRecord
+    pack(EpochValue epoch, std::uint8_t mask, bool isWrite)
+    {
+        return static_cast<PackedRecord>(epoch) |
+               (static_cast<PackedRecord>(mask) << 32) |
+               (static_cast<PackedRecord>(isWrite) << 40) |
+               (PackedRecord{1} << 41);
+    }
+
+    Cell &cellFor(Addr wordAddr);
+    void access(ThreadId t, Addr addr, std::size_t size, bool isWrite);
+
+    std::mutex chunkMapMutex_;
+    std::unordered_map<Addr, std::unique_ptr<Chunk>> chunks_;
+};
+
+} // namespace clean::detectors
+
+#endif // CLEAN_DETECTORS_TSAN_LITE_H

@@ -1,0 +1,75 @@
+#include "sim/cache.h"
+
+#include "support/logging.h"
+
+namespace clean::sim
+{
+
+Cache::Cache(std::size_t capacityBytes, unsigned assoc,
+             std::size_t lineBytes)
+    : assoc_(assoc)
+{
+    const std::size_t lines = capacityBytes / lineBytes;
+    CLEAN_ASSERT(lines >= assoc && lines % assoc == 0);
+    sets_ = lines / assoc;
+    ways_.resize(sets_ * assoc_);
+}
+
+Cache::AccessResult
+Cache::access(Addr line)
+{
+    ++tick_;
+    Way *set = &ways_[setOf(line) * assoc_];
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].lastUse = tick_;
+            ++hits_;
+            return {true, false, 0};
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+        } else if (victim->valid && set[w].lastUse < victim->lastUse) {
+            victim = &set[w];
+        }
+    }
+    ++misses_;
+    AccessResult result{false, victim->valid, victim->line};
+    victim->valid = true;
+    victim->line = line;
+    victim->lastUse = tick_;
+    return result;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    const Way *set = &ways_[setOf(line) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].line == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidate(Addr line)
+{
+    Way *set = &ways_[setOf(line) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].valid = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::reset()
+{
+    for (Way &way : ways_)
+        way.valid = false;
+    tick_ = 0;
+}
+
+} // namespace clean::sim

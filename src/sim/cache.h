@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement (§6.3.1).
+ *
+ * Tag-only (no data): the simulator is trace-driven and needs hit/miss
+ * decisions and evictions, not contents. Lines are identified by line
+ * address (byte address >> 6 for the paper's 64-byte lines).
+ */
+
+#ifndef CLEAN_SIM_CACHE_H
+#define CLEAN_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/common.h"
+
+namespace clean::sim
+{
+
+/** One tag-only set-associative cache. */
+class Cache
+{
+  public:
+    /** @param capacityBytes total size; @param assoc ways per set. */
+    Cache(std::size_t capacityBytes, unsigned assoc,
+          std::size_t lineBytes = kCacheLineBytes);
+
+    /** Outcome of an allocating access. */
+    struct AccessResult
+    {
+        bool hit = false;
+        bool evicted = false;
+        Addr evictedLine = 0;
+    };
+
+    /** Touches @p line; allocates on miss (LRU victim reported). */
+    AccessResult access(Addr line);
+
+    /** True iff @p line is present (no LRU update). */
+    bool contains(Addr line) const;
+
+    /** Drops @p line if present (coherence invalidation). */
+    void invalidate(Addr line);
+
+    /** Drops every line (used between simulator runs). */
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t sets_;
+    unsigned assoc_;
+    std::vector<Way> ways_; // sets_ x assoc_
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+
+    std::size_t setOf(Addr line) const { return line % sets_; }
+};
+
+} // namespace clean::sim
+
+#endif // CLEAN_SIM_CACHE_H

@@ -1,0 +1,294 @@
+#include "sim/clean_hw.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace clean::sim
+{
+
+const char *
+epochModeName(EpochMode mode)
+{
+    switch (mode) {
+      case EpochMode::Clean: return "clean";
+      case EpochMode::Byte1: return "1B-epoch";
+      case EpochMode::Byte4: return "4B-epoch";
+    }
+    return "?";
+}
+
+void
+HwStats::exportTo(StatSet &stats, const std::string &prefix) const
+{
+    stats.counter(prefix + ".private") += privateAccesses;
+    stats.counter(prefix + ".fast") += fastAccesses;
+    stats.counter(prefix + ".vcLoad") += vcLoadAccesses;
+    stats.counter(prefix + ".update") += updateAccesses;
+    stats.counter(prefix + ".vcLoadUpdate") += vcLoadUpdateAccesses;
+    stats.counter(prefix + ".expand") += expandAccesses;
+    stats.counter(prefix + ".compactLineAccesses") += compactLineAccesses;
+    stats.counter(prefix + ".expandedLineAccesses") +=
+        expandedLineAccesses;
+    stats.counter(prefix + ".lineExpansions") += lineExpansions;
+    stats.counter(prefix + ".miscalcPenalties") += miscalcPenalties;
+    stats.counter(prefix + ".racesDetected") += racesDetected;
+}
+
+CleanHwUnit::CleanHwUnit(MemoryHierarchy &mem, unsigned cores,
+                         EpochMode mode, const EpochConfig &config)
+    : mem_(mem), mode_(mode), config_(config)
+{
+    (void)cores;
+}
+
+EpochValue *
+CleanHwUnit::epochPage(Addr addr)
+{
+    const Addr key = addr / kPageBytes;
+    auto &slot = pages_[key];
+    if (!slot)
+        slot = std::make_unique<EpochValue[]>(kPageBytes);
+    return slot.get();
+}
+
+EpochValue
+CleanHwUnit::epochAt(Addr addr)
+{
+    return epochPage(addr)[addr % kPageBytes];
+}
+
+void
+CleanHwUnit::setEpoch(Addr addr, EpochValue e)
+{
+    epochPage(addr)[addr % kPageBytes] = e;
+}
+
+Cycles
+CleanHwUnit::checkAccess(unsigned core, const VectorClock &vc, Addr addr,
+                         std::size_t size, bool isWrite, ThreadId tid)
+{
+    if (tid == kTidFromCore)
+        tid = static_cast<ThreadId>(core);
+    if (mode_ == EpochMode::Clean)
+        return checkClean(core, tid, vc, addr, size, isWrite);
+    return checkFlat(core, tid, vc, addr, size, isWrite,
+                     mode_ == EpochMode::Byte1 ? 1 : 4);
+}
+
+Cycles
+CleanHwUnit::checkClean(unsigned core, ThreadId myTid,
+                        const VectorClock &vc, Addr addr,
+                        std::size_t size, bool isWrite)
+{
+    const EpochValue myEpoch = vc.element(myTid);
+
+    Cycles latency = 0;
+    bool needVcLoad = false;
+    bool needUpdate = false;
+    bool didExpand = false;
+
+    Addr pos = addr;
+    std::size_t remaining = size;
+    while (remaining > 0) {
+        const Addr dataLine = pos / kCacheLineBytes;
+        const Addr lineEnd = (dataLine + 1) * kCacheLineBytes;
+        const std::size_t span =
+            std::min<std::size_t>(remaining, lineEnd - pos);
+        auto expIt = expandedLines_.find(dataLine);
+        const bool expanded =
+            expIt != expandedLines_.end() && expIt->second;
+
+        if (expanded)
+            stats_.expandedLineAccesses++;
+        else
+            stats_.compactLineAccesses++;
+
+        // 1. Hardware always assumes compact layout first.
+        latency += mem_.accessLine(core, compactMetaLine(dataLine), false);
+
+        if (expanded) {
+            // Address miscalculation (§5.3): at least 1 extra cycle;
+            // epochs for bytes at line offset >= 16 live in additional
+            // epoch lines that must now be fetched.
+            latency += 1;
+            stats_.miscalcPenalties++;
+            const std::size_t off0 = pos % kCacheLineBytes;
+            const std::size_t off1 = off0 + span - 1;
+            for (unsigned s = off0 / 16 ? off0 / 16 : 1;
+                 s <= off1 / 16 && s <= 3; ++s) {
+                if (s >= 1)
+                    latency += mem_.accessLine(
+                        core, expandedMetaLine(dataLine, s), false);
+            }
+        }
+
+        // 2. Functional per-byte check + fast-path evaluation.
+        for (std::size_t i = 0; i < span; ++i) {
+            const EpochValue raw = epochAt(pos + i);
+            const EpochValue epoch = raw & ~EpochConfig::expandedBit();
+            const ThreadId writer = config_.tidOf(epoch);
+            if (writer != myTid && epoch != 0)
+                needVcLoad = true;
+            if (isWrite && epoch != (myEpoch & ~EpochConfig::expandedBit()))
+                needUpdate = true;
+            if (config_.clockOf(epoch) > vc.clockOf(writer))
+                stats_.racesDetected++;
+        }
+        // Without the Figure 4b comparator there is no sameThread /
+        // sameEpoch shortcut: the VC element is always fetched.
+        if (!fastPath_)
+            needVcLoad = true;
+
+        if (needVcLoad) {
+            // 3. Load the vector-clock element from memory and compare.
+            latency += mem_.accessLine(core, vcLine(core), false);
+        }
+
+        if (isWrite && needUpdate) {
+            bool expandNow = false;
+            if (!expanded) {
+                // Expansion test: a partially-covered 4-byte group that
+                // must change epoch forces the expanded layout.
+                const Addr firstGroup = pos / 4;
+                const Addr lastGroup = (pos + span - 1) / 4;
+                for (Addr g = firstGroup; g <= lastGroup && !expandNow;
+                     ++g) {
+                    const Addr gBegin = g * 4;
+                    const bool fullyCovered =
+                        gBegin >= pos && gBegin + 4 <= pos + span;
+                    if (fullyCovered)
+                        continue;
+                    const EpochValue groupEpoch =
+                        epochAt(gBegin) & ~EpochConfig::expandedBit();
+                    if (groupEpoch !=
+                        (myEpoch & ~EpochConfig::expandedBit())) {
+                        expandNow = true;
+                    }
+                }
+            }
+            if (expandNow) {
+                // Stretch: 1 cycle + write all 4 epoch lines (§5.3).
+                latency += 1;
+                latency +=
+                    mem_.accessLine(core, compactMetaLine(dataLine), true);
+                for (unsigned s = 1; s <= 3; ++s)
+                    latency += mem_.accessLine(
+                        core, expandedMetaLine(dataLine, s), true);
+                expandedLines_[dataLine] = true;
+                stats_.lineExpansions++;
+                didExpand = true;
+                // Functionally the per-byte store below still applies.
+                for (std::size_t i = 0; i < span; ++i)
+                    setEpoch(pos + i, myEpoch);
+            } else if (!expanded) {
+                // Compact update: whole groups adopt the new epoch.
+                latency +=
+                    mem_.accessLine(core, compactMetaLine(dataLine), true);
+                const Addr firstGroup = pos / 4;
+                const Addr lastGroup = (pos + span - 1) / 4;
+                for (Addr g = firstGroup; g <= lastGroup; ++g) {
+                    const Addr gBegin = g * 4;
+                    const bool fullyCovered =
+                        gBegin >= pos && gBegin + 4 <= pos + span;
+                    if (fullyCovered ||
+                        (epochAt(gBegin) & ~EpochConfig::expandedBit()) ==
+                            (myEpoch & ~EpochConfig::expandedBit())) {
+                        for (Addr b = gBegin; b < gBegin + 4; ++b)
+                            setEpoch(b, myEpoch);
+                    }
+                }
+            } else {
+                // Expanded update: write the epoch lines covering the
+                // accessed bytes.
+                const std::size_t off0 = pos % kCacheLineBytes;
+                const std::size_t off1 = off0 + span - 1;
+                for (unsigned s = off0 / 16; s <= off1 / 16 && s <= 3;
+                     ++s) {
+                    const Addr metaLine =
+                        s == 0 ? compactMetaLine(dataLine)
+                               : expandedMetaLine(dataLine, s);
+                    latency += mem_.accessLine(core, metaLine, true);
+                }
+                for (std::size_t i = 0; i < span; ++i)
+                    setEpoch(pos + i, myEpoch);
+            }
+        }
+
+        pos += span;
+        remaining -= span;
+    }
+
+    // Per-access classification (Figure 10 left bars).
+    if (didExpand)
+        stats_.expandAccesses++;
+    else if (needVcLoad && isWrite && needUpdate)
+        stats_.vcLoadUpdateAccesses++;
+    else if (needVcLoad)
+        stats_.vcLoadAccesses++;
+    else if (isWrite && needUpdate)
+        stats_.updateAccesses++;
+    else
+        stats_.fastAccesses++;
+
+    return latency;
+}
+
+Cycles
+CleanHwUnit::checkFlat(unsigned core, ThreadId myTid,
+                       const VectorClock &vc, Addr addr,
+                       std::size_t size, bool isWrite,
+                       unsigned bytesPerEpoch)
+{
+    const EpochValue myEpoch = vc.element(myTid);
+
+    Cycles latency = 0;
+    bool needVcLoad = false;
+    bool needUpdate = false;
+
+    // Metadata occupies bytesPerEpoch bytes per data byte at a flat
+    // offset; compute the metadata line range for the access.
+    const Addr metaStart =
+        kCompactBase + addr * bytesPerEpoch;
+    const Addr metaEnd = metaStart + size * bytesPerEpoch;
+    for (Addr line = metaStart / kCacheLineBytes;
+         line <= (metaEnd - 1) / kCacheLineBytes; ++line) {
+        latency += mem_.accessLine(core, line, false);
+    }
+
+    for (std::size_t i = 0; i < size; ++i) {
+        const EpochValue epoch =
+            epochAt(addr + i) & ~EpochConfig::expandedBit();
+        const ThreadId writer = config_.tidOf(epoch);
+        if (writer != myTid && epoch != 0)
+            needVcLoad = true;
+        if (isWrite && epoch != (myEpoch & ~EpochConfig::expandedBit()))
+            needUpdate = true;
+        if (config_.clockOf(epoch) > vc.clockOf(writer))
+            stats_.racesDetected++;
+    }
+
+    if (needVcLoad)
+        latency += mem_.accessLine(core, vcLine(core), false);
+    if (isWrite && needUpdate) {
+        for (Addr line = metaStart / kCacheLineBytes;
+             line <= (metaEnd - 1) / kCacheLineBytes; ++line) {
+            latency += mem_.accessLine(core, line, true);
+        }
+        for (std::size_t i = 0; i < size; ++i)
+            setEpoch(addr + i, myEpoch);
+    }
+
+    if (needVcLoad && isWrite && needUpdate)
+        stats_.vcLoadUpdateAccesses++;
+    else if (needVcLoad)
+        stats_.vcLoadAccesses++;
+    else if (isWrite && needUpdate)
+        stats_.updateAccesses++;
+    else
+        stats_.fastAccesses++;
+
+    return latency;
+}
+
+} // namespace clean::sim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The CLEAN hardware race-check unit (§5, Figures 3-5).
+ *
+ * Per potentially-shared access the unit, in parallel with the data
+ * access:
+ *   1. computes the epoch address assuming the compact layout and loads
+ *      the epoch line through the regular cache hierarchy;
+ *   2. runs the fast-path comparator against the per-core cached main
+ *      vector-clock element: sameThread && (read || sameEpoch) finishes
+ *      the check immediately (Figure 4b);
+ *   3. otherwise loads the needed vector-clock element from memory and
+ *      compares (race => exception), and for writes publishes the new
+ *      epoch (metadata write);
+ *   4. maintains the compact/expanded line state (§5.3): a partial
+ *      4-byte-group write with a different epoch "stretches" the line
+ *      into 4 epoch lines (1 cycle + 4 line writes); accesses to
+ *      expanded lines pay the address-miscalculation penalty (>= 1
+ *      cycle, possibly an extra epoch-line access).
+ *
+ * The check runs concurrently with the data access, so the unit returns
+ * its own latency and the caller charges max(dataLatency, checkLatency)
+ * (§5.4).
+ *
+ * Epoch-size ablations (Figure 11): Byte1 models hypothetical 8-bit
+ * epochs (1:1 metadata, no compaction — the performance upper bound);
+ * Byte4 models 4-byte epochs per data byte without compaction (4:1
+ * metadata, the cache-pressure worst case). Both change only metadata
+ * addressing/traffic; the functional check is identical.
+ */
+
+#ifndef CLEAN_SIM_CLEAN_HW_H
+#define CLEAN_SIM_CLEAN_HW_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/epoch.h"
+#include "core/vector_clock.h"
+#include "sim/memory_hierarchy.h"
+#include "support/common.h"
+#include "support/stats.h"
+
+namespace clean::sim
+{
+
+/** Metadata organization under evaluation (Figure 11). */
+enum class EpochMode { Clean, Byte1, Byte4 };
+
+const char *epochModeName(EpochMode mode);
+
+/** Counters behind Figures 9 and 10. */
+struct HwStats
+{
+    std::uint64_t privateAccesses = 0;
+    std::uint64_t fastAccesses = 0;
+    std::uint64_t vcLoadAccesses = 0;
+    std::uint64_t updateAccesses = 0;
+    std::uint64_t vcLoadUpdateAccesses = 0;
+    std::uint64_t expandAccesses = 0;
+    std::uint64_t compactLineAccesses = 0;
+    std::uint64_t expandedLineAccesses = 0;
+    std::uint64_t lineExpansions = 0;
+    std::uint64_t miscalcPenalties = 0;
+    std::uint64_t racesDetected = 0;
+
+    std::uint64_t
+    sharedAccesses() const
+    {
+        return fastAccesses + vcLoadAccesses + updateAccesses +
+               vcLoadUpdateAccesses + expandAccesses;
+    }
+
+    void exportTo(StatSet &stats, const std::string &prefix) const;
+};
+
+/** One per machine; cores share it the way they share the hierarchy. */
+class CleanHwUnit
+{
+  public:
+    CleanHwUnit(MemoryHierarchy &mem, unsigned cores,
+                EpochMode mode = EpochMode::Clean,
+                const EpochConfig &config = kDefaultEpochConfig);
+
+    /**
+     * Ablation: disable the Figure 4b fast-path comparator. Every
+     * shared access then loads the vector-clock element from memory,
+     * modeling hardware without the per-core cached main element —
+     * quantifies what the paper's "majority of accesses resolve
+     * swiftly" observation (§5.2) is worth.
+     */
+    void setFastPathEnabled(bool enabled) { fastPath_ = enabled; }
+
+    /**
+     * Models the race check for a shared access. @p vc is the accessing
+     * thread's vector clock (its main element is the per-core cached
+     * register). Returns the check path's latency; races are counted in
+     * stats (the trace-driven evaluation runs race-free programs, so a
+     * nonzero count flags a modeling or workload bug).
+     *
+     * @p tid identifies the accessing *thread*; it defaults to the core
+     * index (the paper's 1-thread-per-core configuration) and must be
+     * passed explicitly when the machine time-shares cores.
+     */
+    Cycles checkAccess(unsigned core, const VectorClock &vc, Addr addr,
+                       std::size_t size, bool isWrite,
+                       ThreadId tid = kTidFromCore);
+
+    static constexpr ThreadId kTidFromCore = ~ThreadId{0};
+
+    /** Records a private access (no check; Figure 10's left category). */
+    void notePrivate() { stats_.privateAccesses++; }
+
+    HwStats &stats() { return stats_; }
+    const EpochConfig &config() const { return config_; }
+    EpochMode mode() const { return mode_; }
+
+  private:
+    // Synthetic metadata address spaces (data addresses are normalized
+    // to start near 1 MiB, far below these).
+    static constexpr Addr kCompactBase = Addr{1} << 45;
+    static constexpr Addr kExpandedBase = Addr{1} << 46;
+    static constexpr Addr kVcBase = Addr{1} << 44;
+
+    static constexpr std::size_t kPageBytes = 4096;
+
+    EpochValue *epochPage(Addr addr);
+    EpochValue epochAt(Addr addr);
+    void setEpoch(Addr addr, EpochValue e);
+
+    /** Compact-layout epoch line (one per data line). */
+    Addr
+    compactMetaLine(Addr dataLine) const
+    {
+        return (kCompactBase / kCacheLineBytes) + dataLine;
+    }
+
+    /** Expanded-layout epoch line s (1..3) of a data line; s == 0 lives
+     *  at the compact address (Figure 5c). */
+    Addr
+    expandedMetaLine(Addr dataLine, unsigned s) const
+    {
+        return (kExpandedBase / kCacheLineBytes) + dataLine * 3 + (s - 1);
+    }
+
+    Addr
+    vcLine(unsigned core) const
+    {
+        return (kVcBase / kCacheLineBytes) + core;
+    }
+
+    Cycles checkClean(unsigned core, ThreadId myTid,
+                      const VectorClock &vc, Addr addr,
+                      std::size_t size, bool isWrite);
+    Cycles checkFlat(unsigned core, ThreadId myTid,
+                     const VectorClock &vc, Addr addr,
+                     std::size_t size, bool isWrite,
+                     unsigned bytesPerEpoch);
+
+    MemoryHierarchy &mem_;
+    EpochMode mode_;
+    EpochConfig config_;
+    bool fastPath_ = true;
+    HwStats stats_;
+
+    std::unordered_map<Addr, std::unique_ptr<EpochValue[]>> pages_;
+    /** Data lines currently in the expanded state (Clean mode). */
+    std::unordered_map<Addr, bool> expandedLines_;
+};
+
+} // namespace clean::sim
+
+#endif // CLEAN_SIM_CLEAN_HW_H

@@ -1,0 +1,460 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace clean::sim
+{
+
+void
+MachineStats::exportTo(StatSet &stats, const std::string &prefix) const
+{
+    stats.counter(prefix + ".totalCycles") += totalCycles;
+    stats.counter(prefix + ".instructions") += instructions;
+    stats.counter(prefix + ".memoryAccesses") += memoryAccesses;
+    stats.counter(prefix + ".syncOps") += syncOps;
+    stats.counter(prefix + ".contextSwitches") += contextSwitches;
+    stats.counter(prefix + ".llcMisses") += llcMisses;
+    stats.counter(prefix + ".l1Hits") += l1Hits;
+    stats.counter(prefix + ".l1Misses") += l1Misses;
+    stats.counter(prefix + ".invalidations") += invalidations;
+    hw.exportTo(stats, prefix + ".hw");
+}
+
+namespace
+{
+
+/** Replay state of one synchronization object. */
+struct ObjState
+{
+    std::uint32_t completed = 0;
+    Cycles lastDone = 0;
+    VectorClock vc;
+    // Barrier bookkeeping.
+    std::uint32_t arrivedInGen = 0;
+    Cycles genMaxCycle = 0;
+    std::vector<unsigned> waiters;
+};
+
+/** Replay state of one core/thread. */
+struct CoreState
+{
+    const std::vector<wl::TraceEvent> *events = nullptr;
+    std::size_t pos = 0;
+    Cycles cycle = 0;
+    VectorClock vc;
+    bool blocked = false;
+
+    bool finished() const { return !blocked && pos >= events->size(); }
+};
+
+} // namespace
+
+namespace
+{
+MachineStats simulateScheduled(const wl::Trace &trace,
+                               const MachineConfig &config);
+} // namespace
+
+MachineStats
+simulate(const wl::Trace &trace, const MachineConfig &config)
+{
+    const unsigned nCores =
+        static_cast<unsigned>(trace.perThread.size());
+    CLEAN_ASSERT(nCores > 0);
+    if (config.cores != 0 && config.cores < nCores)
+        return simulateScheduled(trace, config);
+
+    MemoryHierarchy mem(nCores, config.latency);
+    CleanHwUnit unit(mem, nCores, config.epochMode, config.epoch);
+    unit.setFastPathEnabled(config.hwFastPath);
+
+    // Normalize data addresses near 1 MiB so the synthetic metadata
+    // regions never collide.
+    const Addr dataBase = Addr{1} << 20;
+    const Addr traceBase =
+        trace.minAddr == ~Addr{0} ? 0 : trace.minAddr;
+    auto norm = [&](Addr a) { return a - traceBase + dataBase; };
+
+    std::vector<CoreState> cores(nCores);
+    for (unsigned c = 0; c < nCores; ++c) {
+        cores[c].events = &trace.perThread[c];
+        cores[c].vc = VectorClock(config.epoch,
+                                  static_cast<ThreadId>(nCores));
+        cores[c].vc.setClock(static_cast<ThreadId>(c), 1);
+    }
+
+    std::vector<ObjState> objects(trace.objects.size());
+    for (auto &obj : objects)
+        obj.vc = VectorClock(config.epoch, static_cast<ThreadId>(nCores));
+
+    MachineStats stats;
+
+    auto ready = [&](const CoreState &core) -> bool {
+        if (core.blocked || core.pos >= core.events->size())
+            return false;
+        const wl::TraceEvent &e = (*core.events)[core.pos];
+        switch (e.kind) {
+          case wl::TraceEvent::Kind::Acquire:
+          case wl::TraceEvent::Kind::Release:
+          case wl::TraceEvent::Kind::BarrierArrive:
+            return objects[e.object].completed == e.seq;
+          default:
+            return true;
+        }
+    };
+
+    for (;;) {
+        // Pick the runnable core with the smallest local cycle.
+        int pick = -1;
+        bool anyPending = false;
+        for (unsigned c = 0; c < nCores; ++c) {
+            if (!cores[c].finished())
+                anyPending = true;
+            if (!ready(cores[c]))
+                continue;
+            if (pick < 0 || cores[c].cycle < cores[pick].cycle)
+                pick = static_cast<int>(c);
+        }
+        if (pick < 0) {
+            if (!anyPending)
+                break;
+            panic("trace replay deadlock: no runnable core");
+        }
+
+        CoreState &core = cores[pick];
+        const wl::TraceEvent &e = (*core.events)[core.pos++];
+        const unsigned c = static_cast<unsigned>(pick);
+
+        switch (e.kind) {
+          case wl::TraceEvent::Kind::Compute:
+            core.cycle += e.addr;
+            stats.instructions += e.addr;
+            break;
+
+          case wl::TraceEvent::Kind::Read:
+          case wl::TraceEvent::Kind::Write: {
+            const bool isWrite = e.kind == wl::TraceEvent::Kind::Write;
+            const Addr addr = norm(e.addr);
+            stats.instructions += 1;
+            stats.memoryAccesses += 1;
+            const Cycles dataLat = mem.access(c, addr, e.size, isWrite);
+            Cycles checkLat = 0;
+            if (config.raceDetection) {
+                if (e.isPrivate)
+                    unit.notePrivate();
+                else
+                    checkLat = unit.checkAccess(c, core.vc, addr, e.size,
+                                                isWrite);
+            }
+            // The check runs in parallel with the data access; only the
+            // excess is exposed (§5.4).
+            core.cycle += 1 + std::max(dataLat, checkLat);
+            break;
+          }
+
+          case wl::TraceEvent::Kind::Acquire: {
+            ObjState &obj = objects[e.object];
+            stats.syncOps += 1;
+            core.cycle = std::max(core.cycle, obj.lastDone) +
+                         config.syncOverhead;
+            core.vc.joinFrom(obj.vc);
+            obj.completed += 1;
+            obj.lastDone = core.cycle;
+            break;
+          }
+
+          case wl::TraceEvent::Kind::Release: {
+            ObjState &obj = objects[e.object];
+            stats.syncOps += 1;
+            core.cycle = std::max(core.cycle, obj.lastDone) +
+                         config.syncOverhead;
+            obj.vc.joinFrom(core.vc);
+            core.vc.tick(static_cast<ThreadId>(c));
+            obj.completed += 1;
+            obj.lastDone = core.cycle;
+            break;
+          }
+
+          case wl::TraceEvent::Kind::BarrierArrive: {
+            ObjState &obj = objects[e.object];
+            stats.syncOps += 1;
+            const std::uint32_t parties =
+                trace.objects[e.object].parties;
+            CLEAN_ASSERT(parties > 0);
+            obj.completed += 1;
+            obj.vc.joinFrom(core.vc);
+            core.vc.tick(static_cast<ThreadId>(c));
+            obj.arrivedInGen += 1;
+            obj.genMaxCycle = std::max(obj.genMaxCycle,
+                                       core.cycle + config.syncOverhead);
+            if (obj.arrivedInGen == parties) {
+                const Cycles release = obj.genMaxCycle;
+                for (unsigned waiter : obj.waiters) {
+                    cores[waiter].cycle = release;
+                    cores[waiter].vc.joinFrom(obj.vc);
+                    cores[waiter].blocked = false;
+                }
+                obj.waiters.clear();
+                core.cycle = release;
+                core.vc.joinFrom(obj.vc);
+                obj.arrivedInGen = 0;
+                obj.genMaxCycle = 0;
+                obj.lastDone = release;
+            } else {
+                obj.waiters.push_back(c);
+                core.blocked = true;
+            }
+            break;
+          }
+        }
+    }
+
+    for (const CoreState &core : cores) {
+        stats.coreCycles.push_back(core.cycle);
+        stats.totalCycles = std::max(stats.totalCycles, core.cycle);
+    }
+    stats.hw = unit.stats();
+    stats.llcMisses = mem.llcMisses();
+    stats.l1Hits = mem.l1Hits();
+    stats.l1Misses = mem.l1Misses();
+    stats.invalidations = mem.invalidations();
+    return stats;
+}
+
+namespace
+{
+
+/**
+ * Time-shared variant: T trace threads scheduled on C < T cores with
+ * static assignment (thread t runs on core t % C). A core runs its
+ * current thread until it finishes, blocks in a barrier, or stalls on a
+ * not-yet-ready synchronization event, then switches to another ready
+ * thread of that core, paying contextSwitchCost plus one memory access
+ * to reload the per-core main vector-clock register (§5.1).
+ */
+MachineStats
+simulateScheduled(const wl::Trace &trace, const MachineConfig &config)
+{
+    const unsigned nThreads =
+        static_cast<unsigned>(trace.perThread.size());
+    const unsigned nCores = config.cores;
+    CLEAN_ASSERT(nCores > 0 && nCores < nThreads);
+
+    MemoryHierarchy mem(nCores, config.latency);
+    CleanHwUnit unit(mem, nCores, config.epochMode, config.epoch);
+    unit.setFastPathEnabled(config.hwFastPath);
+
+    const Addr dataBase = Addr{1} << 20;
+    const Addr traceBase =
+        trace.minAddr == ~Addr{0} ? 0 : trace.minAddr;
+    auto norm = [&](Addr a) { return a - traceBase + dataBase; };
+    // Synthetic in-memory location of each thread's saved VC register
+    // image, touched on every switch-in.
+    const Addr switchVcLineBase = (Addr{1} << 43) / kCacheLineBytes;
+
+    struct ThreadRep
+    {
+        const std::vector<wl::TraceEvent> *events = nullptr;
+        std::size_t pos = 0;
+        VectorClock vc;
+        bool blocked = false;  // parked in a barrier
+        Cycles readyAt = 0;    // earliest resume time after a release
+
+        bool finished() const { return !blocked && pos >= events->size(); }
+    };
+    struct CoreRep
+    {
+        Cycles clock = 0;
+        int current = -1;
+    };
+
+    std::vector<ThreadRep> threads(nThreads);
+    for (unsigned t = 0; t < nThreads; ++t) {
+        threads[t].events = &trace.perThread[t];
+        threads[t].vc =
+            VectorClock(config.epoch, static_cast<ThreadId>(nThreads));
+        threads[t].vc.setClock(static_cast<ThreadId>(t), 1);
+    }
+    std::vector<CoreRep> cores(nCores);
+    auto coreOf = [&](unsigned t) { return t % nCores; };
+
+    std::vector<ObjState> objects(trace.objects.size());
+    for (auto &obj : objects)
+        obj.vc = VectorClock(config.epoch,
+                             static_cast<ThreadId>(nThreads));
+
+    MachineStats stats;
+
+    auto ready = [&](const ThreadRep &thread) -> bool {
+        if (thread.blocked || thread.pos >= thread.events->size())
+            return false;
+        const wl::TraceEvent &e = (*thread.events)[thread.pos];
+        switch (e.kind) {
+          case wl::TraceEvent::Kind::Acquire:
+          case wl::TraceEvent::Kind::Release:
+          case wl::TraceEvent::Kind::BarrierArrive:
+            return objects[e.object].completed == e.seq;
+          default:
+            return true;
+        }
+    };
+
+    for (;;) {
+        // Core with the smallest clock that has a ready thread.
+        int pickCore = -1;
+        bool anyPending = false;
+        for (unsigned t = 0; t < nThreads; ++t) {
+            if (!threads[t].finished())
+                anyPending = true;
+            if (!ready(threads[t]))
+                continue;
+            const unsigned c = coreOf(t);
+            if (pickCore < 0 || cores[c].clock < cores[pickCore].clock)
+                pickCore = static_cast<int>(c);
+        }
+        if (pickCore < 0) {
+            if (!anyPending)
+                break;
+            panic("scheduled replay deadlock: no runnable thread");
+        }
+        CoreRep &core = cores[pickCore];
+
+        // Thread selection on this core: stick with the current thread
+        // while it is ready; otherwise switch to the ready thread that
+        // became runnable earliest (ties to the smallest index).
+        int pickThread = -1;
+        if (core.current >= 0 &&
+            coreOf(static_cast<unsigned>(core.current)) ==
+                static_cast<unsigned>(pickCore) &&
+            ready(threads[core.current])) {
+            pickThread = core.current;
+        } else {
+            for (unsigned t = static_cast<unsigned>(pickCore);
+                 t < nThreads; t += nCores) {
+                if (!ready(threads[t]))
+                    continue;
+                if (pickThread < 0 ||
+                    threads[t].readyAt <
+                        threads[pickThread].readyAt) {
+                    pickThread = static_cast<int>(t);
+                }
+            }
+        }
+        CLEAN_ASSERT(pickThread >= 0);
+        if (pickThread != core.current) {
+            if (core.current >= 0) {
+                core.clock += config.contextSwitchCost;
+                core.clock += mem.accessLine(
+                    static_cast<unsigned>(pickCore),
+                    switchVcLineBase + pickThread, false);
+                stats.contextSwitches++;
+            }
+            core.current = pickThread;
+        }
+        ThreadRep &thread = threads[pickThread];
+        core.clock = std::max(core.clock, thread.readyAt);
+
+        const wl::TraceEvent &e = (*thread.events)[thread.pos++];
+        const unsigned c = static_cast<unsigned>(pickCore);
+        const ThreadId tid = static_cast<ThreadId>(pickThread);
+
+        switch (e.kind) {
+          case wl::TraceEvent::Kind::Compute:
+            core.clock += e.addr;
+            stats.instructions += e.addr;
+            break;
+
+          case wl::TraceEvent::Kind::Read:
+          case wl::TraceEvent::Kind::Write: {
+            const bool isWrite = e.kind == wl::TraceEvent::Kind::Write;
+            const Addr addr = norm(e.addr);
+            stats.instructions += 1;
+            stats.memoryAccesses += 1;
+            const Cycles dataLat = mem.access(c, addr, e.size, isWrite);
+            Cycles checkLat = 0;
+            if (config.raceDetection) {
+                if (e.isPrivate)
+                    unit.notePrivate();
+                else
+                    checkLat = unit.checkAccess(c, thread.vc, addr,
+                                                e.size, isWrite, tid);
+            }
+            core.clock += 1 + std::max(dataLat, checkLat);
+            break;
+          }
+
+          case wl::TraceEvent::Kind::Acquire: {
+            ObjState &obj = objects[e.object];
+            stats.syncOps += 1;
+            core.clock = std::max(core.clock, obj.lastDone) +
+                         config.syncOverhead;
+            thread.vc.joinFrom(obj.vc);
+            obj.completed += 1;
+            obj.lastDone = core.clock;
+            break;
+          }
+
+          case wl::TraceEvent::Kind::Release: {
+            ObjState &obj = objects[e.object];
+            stats.syncOps += 1;
+            core.clock = std::max(core.clock, obj.lastDone) +
+                         config.syncOverhead;
+            obj.vc.joinFrom(thread.vc);
+            thread.vc.tick(tid);
+            obj.completed += 1;
+            obj.lastDone = core.clock;
+            break;
+          }
+
+          case wl::TraceEvent::Kind::BarrierArrive: {
+            ObjState &obj = objects[e.object];
+            stats.syncOps += 1;
+            const std::uint32_t parties =
+                trace.objects[e.object].parties;
+            CLEAN_ASSERT(parties > 0);
+            obj.completed += 1;
+            obj.vc.joinFrom(thread.vc);
+            thread.vc.tick(tid);
+            obj.arrivedInGen += 1;
+            obj.genMaxCycle = std::max(obj.genMaxCycle,
+                                       core.clock + config.syncOverhead);
+            if (obj.arrivedInGen == parties) {
+                const Cycles release = obj.genMaxCycle;
+                for (unsigned waiter : obj.waiters) {
+                    threads[waiter].readyAt = release;
+                    threads[waiter].vc.joinFrom(obj.vc);
+                    threads[waiter].blocked = false;
+                }
+                obj.waiters.clear();
+                core.clock = release;
+                thread.vc.joinFrom(obj.vc);
+                obj.arrivedInGen = 0;
+                obj.genMaxCycle = 0;
+                obj.lastDone = release;
+            } else {
+                obj.waiters.push_back(
+                    static_cast<unsigned>(pickThread));
+                thread.blocked = true;
+            }
+            break;
+          }
+        }
+    }
+
+    for (const CoreRep &core : cores) {
+        stats.coreCycles.push_back(core.clock);
+        stats.totalCycles = std::max(stats.totalCycles, core.clock);
+    }
+    stats.hw = unit.stats();
+    stats.llcMisses = mem.llcMisses();
+    stats.l1Hits = mem.l1Hits();
+    stats.l1Misses = mem.l1Misses();
+    stats.invalidations = mem.invalidations();
+    return stats;
+}
+
+} // namespace
+
+} // namespace clean::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace-replay timing machine (§6.3.1).
+ *
+ * Replays a wl::Trace on the paper's 8-core model: simple cores (1
+ * cycle per non-memory instruction), the MemoryHierarchy for data and
+ * metadata, the CleanHwUnit for race checks (optional — Figure 9
+ * normalizes against a run with no detection), +100 cycles per
+ * synchronization operation for software vector-clock maintenance.
+ *
+ * Scheduling: the runnable core with the smallest local cycle executes
+ * its next event. Synchronization events carry the per-object sequence
+ * recorded at trace time; an event is runnable only when every earlier
+ * event on its object has completed, and its start cycle is lifted to
+ * the completion time of its predecessor — this replays the recorded
+ * synchronization order with faithful waiting time. Barrier events
+ * block until their whole generation has arrived and release at the
+ * latest arrival.
+ */
+
+#ifndef CLEAN_SIM_MACHINE_H
+#define CLEAN_SIM_MACHINE_H
+
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/vector_clock.h"
+#include "sim/clean_hw.h"
+#include "sim/memory_hierarchy.h"
+#include "support/stats.h"
+#include "workloads/trace.h"
+
+namespace clean::sim
+{
+
+/** Machine parameters. */
+struct MachineConfig
+{
+    /** Run the CLEAN race-check unit alongside each shared access. */
+    bool raceDetection = true;
+    EpochMode epochMode = EpochMode::Clean;
+    /** Ablation: disable the §5.2 fast-path comparator. */
+    bool hwFastPath = true;
+    /**
+     * Physical core count; 0 = one core per trace thread (the paper's
+     * configuration). With fewer cores than threads, threads
+     * time-share cores (static assignment t % cores) and the machine
+     * models the context-switch case of §5.1: a switch costs
+     * contextSwitchCost cycles plus one memory access to reload the
+     * per-core main vector-clock register.
+     */
+    unsigned cores = 0;
+    Cycles contextSwitchCost = 100;
+    /** Extra cycles per synchronization op (VC maintenance, §6.3.1). */
+    Cycles syncOverhead = 100;
+    LatencyConfig latency;
+    EpochConfig epoch = kDefaultEpochConfig;
+};
+
+/** Everything measured in one simulation. */
+struct MachineStats
+{
+    Cycles totalCycles = 0;
+    std::vector<Cycles> coreCycles;
+    std::uint64_t instructions = 0;
+    std::uint64_t memoryAccesses = 0;
+    std::uint64_t syncOps = 0;
+    std::uint64_t contextSwitches = 0;
+    HwStats hw;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t invalidations = 0;
+
+    void exportTo(StatSet &stats, const std::string &prefix) const;
+};
+
+/** Simulates @p trace under @p config and returns the measurements. */
+MachineStats simulate(const wl::Trace &trace, const MachineConfig &config);
+
+} // namespace clean::sim
+
+#endif // CLEAN_SIM_MACHINE_H

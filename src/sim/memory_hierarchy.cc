@@ -1,0 +1,108 @@
+#include "sim/memory_hierarchy.h"
+
+namespace clean::sim
+{
+
+MemoryHierarchy::MemoryHierarchy(unsigned cores,
+                                 const LatencyConfig &latency)
+    : cores_(cores), latency_(latency),
+      l3_(16 * 1024 * 1024, 16)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        l1_.push_back(std::make_unique<Cache>(64 * 1024, 8));
+        l2_.push_back(std::make_unique<Cache>(256 * 1024, 8));
+    }
+}
+
+Cycles
+MemoryHierarchy::accessLine(unsigned core, Addr line, bool write)
+{
+    ++accesses_;
+    Cycles latency;
+
+    if (l1_[core]->contains(line)) {
+        latency = latency_.l1Hit;
+        l1_[core]->access(line); // LRU touch
+    } else if (l2_[core]->contains(line)) {
+        latency = latency_.l2LocalHit;
+        l2_[core]->access(line);
+        l1_[core]->access(line); // fill
+    } else {
+        // Snoop the other cores' private caches.
+        bool remote = false;
+        for (unsigned o = 0; o < cores_ && !remote; ++o) {
+            if (o == core)
+                continue;
+            remote = l2_[o]->contains(line) || l1_[o]->contains(line);
+        }
+        if (remote) {
+            latency = latency_.l2RemoteHit;
+        } else if (l3_.contains(line)) {
+            latency = latency_.l3Hit;
+        } else {
+            latency = latency_.memory;
+            ++llcMisses_;
+        }
+        // Fill the local hierarchy (and L3 on the way in).
+        l3_.access(line);
+        l2_[core]->access(line);
+        l1_[core]->access(line);
+    }
+
+    if (write) {
+        // MESI upgrade: invalidate every other private copy.
+        for (unsigned o = 0; o < cores_; ++o) {
+            if (o == core)
+                continue;
+            if (l1_[o]->contains(line) || l2_[o]->contains(line)) {
+                l1_[o]->invalidate(line);
+                l2_[o]->invalidate(line);
+                ++invalidations_;
+            }
+        }
+    }
+    return latency;
+}
+
+Cycles
+MemoryHierarchy::access(unsigned core, Addr addr, std::size_t size,
+                        bool write)
+{
+    const Addr firstLine = addr / kCacheLineBytes;
+    const Addr lastLine = (addr + (size ? size - 1 : 0)) / kCacheLineBytes;
+    Cycles total = 0;
+    for (Addr line = firstLine; line <= lastLine; ++line)
+        total += accessLine(core, line, write);
+    return total;
+}
+
+std::uint64_t
+MemoryHierarchy::l1Hits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &cache : l1_)
+        n += cache->hits();
+    return n;
+}
+
+std::uint64_t
+MemoryHierarchy::l1Misses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &cache : l1_)
+        n += cache->misses();
+    return n;
+}
+
+void
+MemoryHierarchy::exportTo(StatSet &stats, const std::string &prefix) const
+{
+    stats.counter(prefix + ".accesses") += accesses_;
+    stats.counter(prefix + ".l1Hits") += l1Hits();
+    stats.counter(prefix + ".l1Misses") += l1Misses();
+    stats.counter(prefix + ".l3Hits") += l3_.hits();
+    stats.counter(prefix + ".llcMisses") += llcMisses_;
+    stats.counter(prefix + ".invalidations") += invalidations_;
+}
+
+} // namespace clean::sim

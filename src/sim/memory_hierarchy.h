@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's 8-core memory hierarchy (§6.3.1).
+ *
+ * Private L1 (8-way 64 KB) and L2 (8-way 256 KB) per core, a shared L3
+ * (16-way 16 MB), 64-byte lines, MESI-style invalidation, and the exact
+ * access latencies the paper simulates:
+ *
+ *   L1 hit 1, local L2 hit 10, remote L2 hit 15, L3 hit 35, L3 miss
+ *   (memory) 120 cycles.
+ *
+ * The model is tag-functional: it tracks presence and invalidation, not
+ * data. On a write, copies in every other core's private caches are
+ * invalidated (the MESI upgrade); fetches fill L1+L2 of the requester
+ * and the shared L3. Metadata (epoch) accesses issued by the CLEAN
+ * hardware unit go through the same hierarchy, so metadata cache
+ * pressure — the effect behind Figure 11 — is emergent.
+ */
+
+#ifndef CLEAN_SIM_MEMORY_HIERARCHY_H
+#define CLEAN_SIM_MEMORY_HIERARCHY_H
+
+#include <memory>
+#include <vector>
+
+#include "sim/cache.h"
+#include "support/common.h"
+#include "support/stats.h"
+
+namespace clean::sim
+{
+
+/** Fixed latency parameters (cycles). */
+struct LatencyConfig
+{
+    Cycles l1Hit = 1;
+    Cycles l2LocalHit = 10;
+    Cycles l2RemoteHit = 15;
+    Cycles l3Hit = 35;
+    Cycles memory = 120;
+};
+
+/** The multiprocessor cache/coherence model. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(unsigned cores, const LatencyConfig &latency = {});
+
+    /**
+     * Performs one access of @p size bytes at @p addr by @p core and
+     * returns its latency. Accesses spanning multiple lines pay for
+     * each line.
+     */
+    Cycles access(unsigned core, Addr addr, std::size_t size, bool write);
+
+    /** Latency of touching exactly one line (used by the race-check
+     *  unit for metadata). */
+    Cycles accessLine(unsigned core, Addr line, bool write);
+
+    unsigned cores() const { return cores_; }
+
+    std::uint64_t l1Hits() const;
+    std::uint64_t l1Misses() const;
+    std::uint64_t llcMisses() const { return llcMisses_; }
+    std::uint64_t invalidations() const { return invalidations_; }
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Dump counters into @p stats under @p prefix. */
+    void exportTo(StatSet &stats, const std::string &prefix) const;
+
+  private:
+    unsigned cores_;
+    LatencyConfig latency_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    Cache l3_;
+    std::uint64_t llcMisses_ = 0;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace clean::sim
+
+#endif // CLEAN_SIM_MEMORY_HIERARCHY_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Project-wide fundamental types and small helper macros.
+ *
+ * Everything in the CLEAN reproduction lives under the `clean` namespace;
+ * subsystems use nested namespaces (clean::core, clean::det, clean::sim,
+ * clean::wl).
+ */
+
+#ifndef CLEAN_SUPPORT_COMMON_H
+#define CLEAN_SUPPORT_COMMON_H
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__GNUC__)
+#define CLEAN_ALWAYS_INLINE inline __attribute__((always_inline))
+#define CLEAN_NOINLINE __attribute__((noinline))
+#define CLEAN_LIKELY(x) __builtin_expect(!!(x), 1)
+#define CLEAN_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define CLEAN_ALWAYS_INLINE inline
+#define CLEAN_NOINLINE
+#define CLEAN_LIKELY(x) (x)
+#define CLEAN_UNLIKELY(x) (x)
+#endif
+
+namespace clean
+{
+
+/** Application data address, as seen by the race detector. */
+using Addr = std::uint64_t;
+
+/** Simulated time in cycles. */
+using Cycles = std::uint64_t;
+
+/** Dense thread identifier (reusable after join, see EpochConfig). */
+using ThreadId = std::uint32_t;
+
+/** Scalar Lamport-style clock value (low bits of an epoch). */
+using ClockValue = std::uint32_t;
+
+/** A packed (threadId, clock) pair; the unit of CLEAN write metadata. */
+using EpochValue = std::uint32_t;
+
+/** Number of bytes in one cache line in the simulated hierarchy. */
+constexpr std::size_t kCacheLineBytes = 64;
+
+/** Shadow bytes maintained per byte of program data (one 32-bit epoch). */
+constexpr std::size_t kShadowBytesPerByte = 4;
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_COMMON_H

@@ -1,0 +1,122 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+namespace detail
+{
+
+namespace
+{
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *fmt, va_list ap)
+{
+    if (level == LogLevel::Inform && !verboseEnabled())
+        return;
+    std::fprintf(stderr, "[clean:%s] ", levelTag(level));
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(level, fmt, ap);
+    va_end(ap);
+}
+
+void
+assertFail(const char *cond, const char *file, int line, const char *fmt,
+           ...)
+{
+    std::fprintf(stderr, "[clean:panic] assertion failed: %s (%s:%d) ",
+                 cond, file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace detail
+
+bool
+verboseEnabled()
+{
+    static const bool enabled = std::getenv("CLEAN_VERBOSE") != nullptr;
+    return enabled;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "[clean:panic] ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "[clean:fatal] ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "[clean:warn] ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseEnabled())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "[clean:info] ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+}
+
+} // namespace clean

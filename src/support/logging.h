@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal logging/assertion facilities in the gem5 spirit.
+ *
+ * panic()  — an internal invariant was violated (library bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something questionable happened but execution continues.
+ * inform() — status messages.
+ */
+
+#ifndef CLEAN_SUPPORT_LOGGING_H
+#define CLEAN_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace clean
+{
+
+/** Severity for Logger::log. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail
+{
+/** Formats printf-style and routes to stderr; terminates for Fatal/Panic. */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+} // namespace detail
+
+/** Report an unrecoverable internal error and abort (library bug). */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void panic(const char *fmt, ...);
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void fatal(const char *fmt, ...);
+
+/** Report a suspicious-but-survivable condition. */
+[[gnu::format(printf, 1, 2)]]
+void warn(const char *fmt, ...);
+
+/** Report normal status. Suppressed unless CLEAN_VERBOSE is set. */
+[[gnu::format(printf, 1, 2)]]
+void inform(const char *fmt, ...);
+
+/** True when CLEAN_VERBOSE is set in the environment. */
+bool verboseEnabled();
+
+namespace detail
+{
+/** Prints an assertion failure (with optional printf detail) and aborts. */
+[[noreturn, gnu::format(printf, 4, 5)]]
+void assertFail(const char *cond, const char *file, int line,
+                const char *fmt, ...);
+} // namespace detail
+
+/**
+ * Assert an internal invariant; compiled in all build types because the
+ * race-detection guarantees depend on these holding. Optional printf
+ * detail: CLEAN_ASSERT(x > 0, "x=%d", x).
+ */
+#define CLEAN_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (CLEAN_UNLIKELY(!(cond)))                                       \
+            ::clean::detail::assertFail(#cond, __FILE__, __LINE__,         \
+                                        " " __VA_ARGS__);                  \
+    } while (0)
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_LOGGING_H

@@ -1,0 +1,92 @@
+#include "support/options.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace clean
+{
+
+Options
+Options::parse(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            opts.positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            opts.values_[arg] = argv[++i];
+        } else {
+            opts.values_[arg] = "1";
+        }
+    }
+    return opts;
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    if (values_.count(name))
+        return true;
+    std::string env = "CLEAN_";
+    for (char c : name)
+        env += static_cast<char>(c == '-' ? '_' : std::toupper(c));
+    return std::getenv(env.c_str()) != nullptr;
+}
+
+std::string
+Options::getString(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    if (it != values_.end())
+        return it->second;
+    std::string env = "CLEAN_";
+    for (char c : name)
+        env += static_cast<char>(c == '-' ? '_' : std::toupper(c));
+    if (const char *v = std::getenv(env.c_str()))
+        return v;
+    return def;
+}
+
+std::int64_t
+Options::getInt(const std::string &name, std::int64_t def) const
+{
+    const std::string v = getString(name);
+    if (v.empty())
+        return def;
+    return std::strtoll(v.c_str(), nullptr, 0);
+}
+
+double
+Options::getDouble(const std::string &name, double def) const
+{
+    const std::string v = getString(name);
+    if (v.empty())
+        return def;
+    return std::strtod(v.c_str(), nullptr);
+}
+
+bool
+Options::getBool(const std::string &name, bool def) const
+{
+    const std::string v = getString(name);
+    if (v.empty())
+        return def;
+    return v != "0" && v != "false" && v != "no";
+}
+
+void
+Options::set(const std::string &name, const std::string &value)
+{
+    values_[name] = value;
+}
+
+} // namespace clean

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tiny command-line / environment option parser used by benches and
+ * examples.
+ *
+ * Syntax: --name=value or --name value or bare --flag (boolean true).
+ * Environment fallback: option "threads" also reads CLEAN_THREADS.
+ */
+
+#ifndef CLEAN_SUPPORT_OPTIONS_H
+#define CLEAN_SUPPORT_OPTIONS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clean
+{
+
+/** Parsed option bag with typed getters and defaults. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /** Parses argv; unrecognized positional arguments are kept in order. */
+    static Options parse(int argc, char **argv);
+
+    /** True when --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    std::string getString(const std::string &name,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+    double getDouble(const std::string &name, double def) const;
+    bool getBool(const std::string &name, bool def = false) const;
+
+    /** Positional (non --option) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Manually inject an option (used by tests). */
+    void set(const std::string &name, const std::string &value);
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_OPTIONS_H

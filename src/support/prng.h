@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * Workload kernels must be bitwise reproducible for the determinism
+ * experiments (§6.2.2), so they never use std::random_device or
+ * rand(); every source of pseudo-randomness is one of these seeded
+ * generators, and per-thread generators are seeded from the deterministic
+ * thread id.
+ */
+
+#ifndef CLEAN_SUPPORT_PRNG_H
+#define CLEAN_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/** SplitMix64: used to expand a single seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Xoshiro256**: the workhorse generator. Small, fast, and good enough
+ * statistically for synthetic workload generation.
+ */
+class Prng
+{
+  public:
+    explicit Prng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &s : state_)
+            s = sm.next();
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Lemire-style reduction; slight modulo bias is irrelevant here.
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    nextInRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** True with probability p. */
+    bool nextBool(double p = 0.5) { return nextDouble() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_PRNG_H

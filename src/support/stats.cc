@@ -1,0 +1,55 @@
+#include "support/stats.h"
+
+#include <sstream>
+
+namespace clean
+{
+
+std::uint64_t &
+StatSet::counter(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+        it = index_.emplace(name, slots_.size()).first;
+        slots_.emplace_back(name, 0);
+    }
+    return slots_[it->second].second;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : slots_[it->second].second;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.slots_)
+        counter(name) += value;
+}
+
+void
+StatSet::clear()
+{
+    for (auto &slot : slots_)
+        slot.second = 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatSet::entries() const
+{
+    return slots_;
+}
+
+std::string
+StatSet::format(const std::string &indent) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : slots_)
+        os << indent << name << ": " << value << "\n";
+    return os.str();
+}
+
+} // namespace clean

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lightweight named-counter statistics.
+ *
+ * Each subsystem owns a StatSet; counters are plain uint64 slots that hot
+ * paths bump without synchronization (per-thread sets are merged after a
+ * run). Benches print StatSets as aligned tables.
+ */
+
+#ifndef CLEAN_SUPPORT_STATS_H
+#define CLEAN_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clean
+{
+
+/** An ordered collection of named uint64 counters. */
+class StatSet
+{
+  public:
+    StatSet() = default;
+
+    /** Returns a reference to the counter, creating it at zero if new. */
+    std::uint64_t &counter(const std::string &name);
+
+    /** Read-only lookup; returns 0 for unknown counters. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Adds every counter of @p other into this set. */
+    void merge(const StatSet &other);
+
+    /** Sets every counter to zero (keeps the names). */
+    void clear();
+
+    /** All counters in insertion order as (name, value) pairs. */
+    std::vector<std::pair<std::string, std::uint64_t>> entries() const;
+
+    /** Multi-line "name: value" dump, sorted by insertion order. */
+    std::string format(const std::string &indent = "  ") const;
+
+  private:
+    std::map<std::string, std::size_t> index_;
+    std::vector<std::pair<std::string, std::uint64_t>> slots_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_STATS_H

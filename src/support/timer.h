@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the software-overhead benches.
+ */
+
+#ifndef CLEAN_SUPPORT_TIMER_H
+#define CLEAN_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace clean
+{
+
+/** Monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds since construction or the last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Nanoseconds since construction or the last reset(). */
+    std::uint64_t
+    elapsedNanos() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_TIMER_H

@@ -1,0 +1,592 @@
+#include "workloads/backend.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/prng.h"
+
+namespace clean::wl
+{
+
+namespace
+{
+
+std::uint64_t
+mix64(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+std::uint64_t
+workerSeed(std::uint64_t base, unsigned index)
+{
+    SplitMix64 sm(base + 0x1000 + index);
+    return sm.next();
+}
+
+} // namespace
+
+std::uint64_t
+hashOutput(const void *data, std::size_t bytes,
+           const std::vector<std::uint64_t> &sinks)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i)
+        h = (h ^ p[i]) * 0x100000001b3ULL;
+    for (std::uint64_t s : sinks)
+        h = mix64(h, s);
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// PlainEnv
+// ---------------------------------------------------------------------
+
+PlainEnv::PlainEnv(Worker::Mode mode, std::uint64_t seed,
+                   const SharedHeapConfig &heapConfig)
+    : heap_(heapConfig), seed_(seed), mode_(mode)
+{
+}
+
+PlainEnv::~PlainEnv() = default;
+
+void *
+PlainEnv::allocSharedRaw(std::size_t bytes)
+{
+    return heap_.allocShared(bytes);
+}
+
+void *
+PlainEnv::allocPrivateRaw(std::size_t bytes)
+{
+    return heap_.allocPrivate(bytes);
+}
+
+unsigned
+PlainEnv::createMutex()
+{
+    mutexes_.emplace_back();
+    return static_cast<unsigned>(mutexes_.size() - 1);
+}
+
+unsigned
+PlainEnv::createBarrier(unsigned parties)
+{
+    barriers_.emplace_back(parties);
+    return static_cast<unsigned>(barriers_.size() - 1);
+}
+
+unsigned
+PlainEnv::createCond()
+{
+    conds_.emplace_back();
+    return static_cast<unsigned>(conds_.size() - 1);
+}
+
+void
+PlainEnv::parallel(unsigned n, const std::function<void(Worker &)> &fn)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    {
+        std::lock_guard<std::mutex> guard(totalsMutex_);
+        if (sinkHashes_.size() < n)
+            sinkHashes_.resize(n, 0);
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        threads.emplace_back([this, i, n, &fn] {
+            Worker worker(*this, mode_, i, n, workerSeed(seed_, i));
+            fn(worker);
+            std::lock_guard<std::mutex> guard(totalsMutex_);
+            totals_.reads += worker.nativeReads();
+            totals_.writes += worker.nativeWrites();
+            totals_.bytes += worker.nativeBytes();
+            sinkHashes_[i] = mix64(sinkHashes_[i], worker.sinkHash());
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+PlainEnv::declareOutput(const void *data, std::size_t bytes)
+{
+    outputData_ = data;
+    outputBytes_ = bytes;
+}
+
+void
+PlainEnv::lockOp(Worker &w, unsigned id)
+{
+    mutexes_[id].lock();
+    onAcquired(w, id);
+}
+
+void
+PlainEnv::unlockOp(Worker &w, unsigned id)
+{
+    onReleasing(w, id);
+    mutexes_[id].unlock();
+}
+
+void
+PlainEnv::barrierOp(Worker &w, unsigned id)
+{
+    const std::uint64_t gen = barriers_[id].arrive(
+        [&](std::uint64_t g) { onBarrierArrive(w, id, g); });
+    onBarrierLeave(w, id, gen);
+}
+
+void
+PlainEnv::condWaitOp(Worker &w, unsigned cond, unsigned mutex)
+{
+    onReleasing(w, mutex);
+    {
+        std::unique_lock<std::mutex> lock(mutexes_[mutex], std::adopt_lock);
+        conds_[cond].cv.wait(lock);
+        lock.release(); // stays held; caller unlocks via unlockOp
+    }
+    onCondWoke(w, cond);
+    onAcquired(w, mutex);
+}
+
+void
+PlainEnv::condSignalOp(Worker &w, unsigned cond)
+{
+    onCondNotify(w, cond, false);
+    conds_[cond].cv.notify_one();
+}
+
+void
+PlainEnv::condBroadcastOp(Worker &w, unsigned cond)
+{
+    onCondNotify(w, cond, true);
+    conds_[cond].cv.notify_all();
+}
+
+EnvTotals
+PlainEnv::totals() const
+{
+    std::lock_guard<std::mutex> guard(totalsMutex_);
+    EnvTotals t = totals_;
+    t.outputHash = hashOutput(outputData_, outputBytes_, sinkHashes_);
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// DetectorEnv
+// ---------------------------------------------------------------------
+
+DetectorEnv::DetectorEnv(detectors::Detector &detector, std::uint64_t seed)
+    : PlainEnv(Worker::Mode::Hooked, seed), detector_(detector)
+{
+}
+
+void
+DetectorEnv::readHook(Worker &w, Addr addr, std::size_t size)
+{
+    detector_.onRead(workerTid(w), addr, size);
+}
+
+void
+DetectorEnv::writeHook(Worker &w, Addr addr, std::size_t size)
+{
+    detector_.onWrite(workerTid(w), addr, size);
+}
+
+void
+DetectorEnv::onAcquired(Worker &w, unsigned id)
+{
+    detector_.onAcquire(workerTid(w), mutexSync(id));
+}
+
+void
+DetectorEnv::onReleasing(Worker &w, unsigned id)
+{
+    detector_.onRelease(workerTid(w), mutexSync(id));
+}
+
+void
+DetectorEnv::onBarrierArrive(Worker &w, unsigned id,
+                             std::uint64_t generation)
+{
+    // A barrier is a release on arrival...
+    detector_.onRelease(workerTid(w), barrierSync(id, generation));
+}
+
+void
+DetectorEnv::onBarrierLeave(Worker &w, unsigned id,
+                            std::uint64_t generation)
+{
+    // ...and an acquire of *this generation's* releases once it
+    // completed. Using a per-generation sync id keeps a late-waking
+    // waiter from absorbing releases of later generations.
+    detector_.onAcquire(workerTid(w), barrierSync(id, generation));
+}
+
+void
+DetectorEnv::onCondWoke(Worker &w, unsigned id)
+{
+    detector_.onAcquire(workerTid(w), condSync(id));
+}
+
+void
+DetectorEnv::onCondNotify(Worker &w, unsigned id, bool)
+{
+    detector_.onRelease(workerTid(w), condSync(id));
+}
+
+void
+DetectorEnv::parallel(unsigned n, const std::function<void(Worker &)> &fn)
+{
+    // Fork edges for every worker before any of them runs: on a host
+    // with fewer cores than workers they may physically serialize, and
+    // in-thread fork hooks would then fabricate happens-before edges
+    // between siblings.
+    for (unsigned i = 0; i < n; ++i)
+        detector_.onFork(0, i + 1);
+    PlainEnv::parallel(n, fn);
+    for (unsigned i = 0; i < n; ++i)
+        detector_.onJoin(0, i + 1);
+}
+
+// ---------------------------------------------------------------------
+// TraceEnv
+// ---------------------------------------------------------------------
+
+TraceEnv::TraceEnv(std::uint64_t seed)
+    : PlainEnv(Worker::Mode::Hooked, seed)
+{
+}
+
+unsigned
+TraceEnv::createMutex()
+{
+    const unsigned id = PlainEnv::createMutex();
+    auto meta = std::make_unique<ObjectMeta>();
+    meta->kind = TraceSyncObject::Kind::Mutex;
+    objects_.push_back(std::move(meta));
+    mutexObject_.push_back(static_cast<unsigned>(objects_.size() - 1));
+    return id;
+}
+
+unsigned
+TraceEnv::createBarrier(unsigned parties)
+{
+    const unsigned id = PlainEnv::createBarrier(parties);
+    auto meta = std::make_unique<ObjectMeta>();
+    meta->kind = TraceSyncObject::Kind::Barrier;
+    meta->parties = parties;
+    objects_.push_back(std::move(meta));
+    barrierObject_.push_back(static_cast<unsigned>(objects_.size() - 1));
+    return id;
+}
+
+unsigned
+TraceEnv::createCond()
+{
+    const unsigned id = PlainEnv::createCond();
+    auto meta = std::make_unique<ObjectMeta>();
+    meta->kind = TraceSyncObject::Kind::Cond;
+    objects_.push_back(std::move(meta));
+    condObject_.push_back(static_cast<unsigned>(objects_.size() - 1));
+    return id;
+}
+
+std::vector<TraceEvent> *
+TraceEnv::eventsOf(Worker &w)
+{
+    return &buffers_[w.index()];
+}
+
+void
+TraceEnv::recordAccess(Worker &w, Addr addr, std::size_t size, bool write)
+{
+    TraceEvent e;
+    e.kind = write ? TraceEvent::Kind::Write : TraceEvent::Kind::Read;
+    e.addr = addr;
+    e.size = static_cast<std::uint8_t>(size);
+    e.isPrivate = heap_.isPrivate(addr);
+    eventsOf(w)->push_back(e);
+}
+
+void
+TraceEnv::recordSync(Worker &w, TraceEvent::Kind kind, unsigned object)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.object = object;
+    e.seq = objects_[object]->nextSeq.fetch_add(1,
+                                                std::memory_order_relaxed);
+    eventsOf(w)->push_back(e);
+}
+
+void
+TraceEnv::readHook(Worker &w, Addr addr, std::size_t size)
+{
+    recordAccess(w, addr, size, false);
+}
+
+void
+TraceEnv::writeHook(Worker &w, Addr addr, std::size_t size)
+{
+    recordAccess(w, addr, size, true);
+}
+
+void
+TraceEnv::privateReadHook(Worker &w, Addr addr, std::size_t size)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Read;
+    e.addr = addr;
+    e.size = static_cast<std::uint8_t>(size);
+    e.isPrivate = true;
+    eventsOf(w)->push_back(e);
+}
+
+void
+TraceEnv::privateWriteHook(Worker &w, Addr addr, std::size_t size)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Write;
+    e.addr = addr;
+    e.size = static_cast<std::uint8_t>(size);
+    e.isPrivate = true;
+    eventsOf(w)->push_back(e);
+}
+
+void
+TraceEnv::computeHook(Worker &w, std::uint64_t n)
+{
+    auto *events = eventsOf(w);
+    // Merge adjacent compute chunks to keep traces compact.
+    if (!events->empty() &&
+        events->back().kind == TraceEvent::Kind::Compute) {
+        events->back().addr += n;
+        return;
+    }
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Compute;
+    e.addr = n;
+    events->push_back(e);
+}
+
+void
+TraceEnv::onAcquired(Worker &w, unsigned id)
+{
+    recordSync(w, TraceEvent::Kind::Acquire, mutexObject_[id]);
+}
+
+void
+TraceEnv::onReleasing(Worker &w, unsigned id)
+{
+    recordSync(w, TraceEvent::Kind::Release, mutexObject_[id]);
+}
+
+void
+TraceEnv::onBarrierArrive(Worker &w, unsigned id, std::uint64_t)
+{
+    // Runs under the barrier's internal lock, so the per-object
+    // sequence numbers reflect the true arrival order.
+    recordSync(w, TraceEvent::Kind::BarrierArrive, barrierObject_[id]);
+}
+
+void
+TraceEnv::onCondWoke(Worker &w, unsigned id)
+{
+    recordSync(w, TraceEvent::Kind::Acquire, condObject_[id]);
+}
+
+void
+TraceEnv::onCondNotify(Worker &w, unsigned id, bool)
+{
+    recordSync(w, TraceEvent::Kind::Release, condObject_[id]);
+}
+
+void
+TraceEnv::parallel(unsigned n, const std::function<void(Worker &)> &fn)
+{
+    {
+        std::lock_guard<std::mutex> guard(traceMutex_);
+        buffers_.clear();
+        buffers_.resize(n);
+    }
+    PlainEnv::parallel(n, fn);
+    std::lock_guard<std::mutex> guard(traceMutex_);
+    if (trace_.perThread.size() < n)
+        trace_.perThread.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        auto &dst = trace_.perThread[i];
+        auto &src = buffers_[i];
+        dst.insert(dst.end(), src.begin(), src.end());
+        src.clear();
+        src.shrink_to_fit();
+    }
+}
+
+Trace
+TraceEnv::takeTrace()
+{
+    std::lock_guard<std::mutex> guard(traceMutex_);
+    trace_.objects.clear();
+    for (const auto &meta : objects_) {
+        TraceSyncObject obj;
+        obj.kind = meta->kind;
+        obj.parties = meta->parties;
+        obj.eventCount = meta->nextSeq.load(std::memory_order_relaxed);
+        trace_.objects.push_back(obj);
+    }
+    trace_.minAddr = ~Addr{0};
+    trace_.maxAddr = 0;
+    for (const auto &thread : trace_.perThread) {
+        for (const auto &e : thread) {
+            if (e.kind != TraceEvent::Kind::Read &&
+                e.kind != TraceEvent::Kind::Write) {
+                continue;
+            }
+            trace_.minAddr = std::min(trace_.minAddr, e.addr);
+            trace_.maxAddr = std::max(trace_.maxAddr, e.addr + e.size);
+        }
+    }
+    return std::move(trace_);
+}
+
+// ---------------------------------------------------------------------
+// CleanEnv
+// ---------------------------------------------------------------------
+
+CleanEnv::CleanEnv(CleanRuntime &rt, std::uint64_t seed)
+    : rt_(rt), seed_(seed)
+{
+}
+
+CleanEnv::~CleanEnv() = default;
+
+void *
+CleanEnv::allocSharedRaw(std::size_t bytes)
+{
+    return rt_.heap().allocShared(bytes);
+}
+
+void *
+CleanEnv::allocPrivateRaw(std::size_t bytes)
+{
+    return rt_.heap().allocPrivate(bytes);
+}
+
+unsigned
+CleanEnv::createMutex()
+{
+    mutexes_.emplace_back(rt_);
+    return static_cast<unsigned>(mutexes_.size() - 1);
+}
+
+unsigned
+CleanEnv::createBarrier(unsigned parties)
+{
+    barriers_.emplace_back(rt_, parties);
+    return static_cast<unsigned>(barriers_.size() - 1);
+}
+
+unsigned
+CleanEnv::createCond()
+{
+    conds_.emplace_back(rt_);
+    return static_cast<unsigned>(conds_.size() - 1);
+}
+
+void
+CleanEnv::parallel(unsigned n, const std::function<void(Worker &)> &fn)
+{
+    {
+        std::lock_guard<std::mutex> guard(totalsMutex_);
+        if (sinkHashes_.size() < n)
+            sinkHashes_.resize(n, 0);
+    }
+    std::vector<ThreadHandle> handles;
+    handles.reserve(n);
+    // If a worker races while we are still spawning, spawn() throws
+    // ExecutionAborted. Every already-spawned worker still references
+    // fn and the workload's stack frame, so all of them MUST be joined
+    // before the exception is allowed to unwind the caller.
+    try {
+        for (unsigned i = 0; i < n; ++i) {
+            handles.push_back(rt_.spawn(
+                rt_.mainContext(), [this, i, n, &fn](ThreadContext &ctx) {
+                    Worker worker(*this, Worker::Mode::Clean, i, n,
+                                  workerSeed(seed_, i));
+                    worker.bindContext(&ctx);
+                    fn(worker);
+                    std::lock_guard<std::mutex> guard(totalsMutex_);
+                    sinkHashes_[i] =
+                        mix64(sinkHashes_[i], worker.sinkHash());
+                }));
+        }
+    } catch (const ExecutionAborted &) {
+        // fall through to the joins below and rethrow afterwards
+    }
+    for (const ThreadHandle &h : handles)
+        rt_.join(rt_.mainContext(), h);
+    if (rt_.raceOccurred())
+        throw ExecutionAborted();
+}
+
+void
+CleanEnv::declareOutput(const void *data, std::size_t bytes)
+{
+    outputData_ = data;
+    outputBytes_ = bytes;
+}
+
+void
+CleanEnv::lockOp(Worker &w, unsigned id)
+{
+    mutexes_[id].lock(*w.context());
+}
+
+void
+CleanEnv::unlockOp(Worker &w, unsigned id)
+{
+    mutexes_[id].unlock(*w.context());
+}
+
+void
+CleanEnv::barrierOp(Worker &w, unsigned id)
+{
+    barriers_[id].arrive(*w.context());
+}
+
+void
+CleanEnv::condWaitOp(Worker &w, unsigned cond, unsigned mutex)
+{
+    conds_[cond].wait(*w.context(), mutexes_[mutex]);
+}
+
+void
+CleanEnv::condSignalOp(Worker &w, unsigned cond)
+{
+    conds_[cond].signal(*w.context());
+}
+
+void
+CleanEnv::condBroadcastOp(Worker &w, unsigned cond)
+{
+    conds_[cond].broadcast(*w.context());
+}
+
+EnvTotals
+CleanEnv::totals() const
+{
+    std::lock_guard<std::mutex> guard(totalsMutex_);
+    EnvTotals t;
+    const CheckerStats stats = rt_.aggregatedCheckerStats();
+    t.reads = stats.sharedReads;
+    t.writes = stats.sharedWrites;
+    t.bytes = stats.accessedBytes;
+    t.outputHash = hashOutput(outputData_, outputBytes_, sinkHashes_);
+    return t;
+}
+
+} // namespace clean::wl

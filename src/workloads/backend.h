@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Concrete Env/Backend implementations binding workload kernels to:
+ *
+ *   NativeEnv    — plain std::thread execution with per-worker access
+ *                  counters: the uninstrumented baseline of Figure 6 and
+ *                  the shared-access-frequency source of Figure 7.
+ *   CleanEnv     — the software-only CLEAN runtime (race exceptions,
+ *                  Kendo determinism, rollover).
+ *   DetectorEnv  — native execution observed by a baseline detector
+ *                  (FastTrack / TsanLite) for the ablation benches.
+ *   TraceEnv     — native execution recording per-thread traces and the
+ *                  per-object synchronization order for the hardware
+ *                  simulator (§6.3).
+ *
+ * NativeEnv, DetectorEnv and TraceEnv share PlainEnv (std::thread,
+ * std::mutex, a condvar barrier); CleanEnv routes everything through
+ * CleanRuntime and its deterministic sync objects.
+ */
+
+#ifndef CLEAN_WORKLOADS_BACKEND_H
+#define CLEAN_WORKLOADS_BACKEND_H
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "core/shared_heap.h"
+#include "core/sync_objects.h"
+#include "detectors/detector.h"
+#include "workloads/shim.h"
+#include "workloads/trace.h"
+
+namespace clean::wl
+{
+
+/** Aggregated outcome of one Env run (filled by the runner). */
+struct EnvTotals
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t outputHash = 0;
+};
+
+namespace detail
+{
+
+/** Classic generation-counting barrier for the plain backends. */
+class PosixBarrier
+{
+  public:
+    explicit PosixBarrier(unsigned parties) : parties_(parties) {}
+
+    /**
+     * Arrives and waits; returns the generation this arrival was in.
+     * @p atArrival (optional) runs under the barrier's internal lock at
+     * arrival time — observers use it to record the arrival with its
+     * true generation and order.
+     */
+    std::uint64_t
+    arrive(const std::function<void(std::uint64_t)> &atArrival = {})
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        const std::uint64_t gen = generation_;
+        if (atArrival)
+            atArrival(gen);
+        if (++arrived_ == parties_) {
+            arrived_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return gen;
+        }
+        cv_.wait(lock, [&] { return generation_ != gen; });
+        return gen;
+    }
+
+  private:
+    unsigned parties_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    unsigned arrived_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace detail
+
+/**
+ * std::thread-based environment. Subclasses override the *Hook methods
+ * (from Backend) and the sync notification points to observe execution.
+ */
+class PlainEnv : public Env, public Backend
+{
+  public:
+    explicit PlainEnv(Worker::Mode mode, std::uint64_t seed,
+                      const SharedHeapConfig &heapConfig = {});
+    ~PlainEnv() override;
+
+    // Env
+    void *allocSharedRaw(std::size_t bytes) override;
+    void *allocPrivateRaw(std::size_t bytes) override;
+    unsigned createMutex() override;
+    unsigned createBarrier(unsigned parties) override;
+    unsigned createCond() override;
+    void parallel(unsigned n,
+                  const std::function<void(Worker &)> &fn) override;
+    void declareOutput(const void *data, std::size_t bytes) override;
+
+    // Backend
+    void lockOp(Worker &w, unsigned id) override;
+    void unlockOp(Worker &w, unsigned id) override;
+    void barrierOp(Worker &w, unsigned id) override;
+    void condWaitOp(Worker &w, unsigned cond, unsigned mutex) override;
+    void condSignalOp(Worker &w, unsigned cond) override;
+    void condBroadcastOp(Worker &w, unsigned cond) override;
+
+    /** Totals across all parallel sections so far. */
+    EnvTotals totals() const;
+
+    SharedHeap &heap() { return heap_; }
+
+  protected:
+    /** Detector-style tid of a worker (0 is the orchestrating thread). */
+    static ThreadId workerTid(const Worker &w) { return w.index() + 1; }
+
+    // Observation points for subclasses; called at well-defined positions
+    // relative to the underlying operation (see backend.cc).
+    virtual void onAcquired(Worker &, unsigned) {}
+    virtual void onReleasing(Worker &, unsigned) {}
+    /** At arrival, under the barrier's internal lock, with the arrival's
+     *  generation. */
+    virtual void onBarrierArrive(Worker &, unsigned, std::uint64_t) {}
+    /** After the barrier released (the acquire side of its HB edge).
+     *  @p generation identifies the completed crossing: detectors must
+     *  not absorb releases of later generations (a late-waking waiter
+     *  on a loaded host would otherwise fabricate happens-before that
+     *  masks real races). */
+    virtual void onBarrierLeave(Worker &, unsigned, std::uint64_t) {}
+    virtual void onCondWoke(Worker &, unsigned) {}
+    virtual void onCondNotify(Worker &, unsigned, bool) {}
+
+    struct CondState
+    {
+        std::condition_variable cv;
+    };
+
+    SharedHeap heap_;
+    std::uint64_t seed_;
+    Worker::Mode mode_;
+
+    std::deque<std::mutex> mutexes_;
+    std::deque<detail::PosixBarrier> barriers_;
+    std::deque<CondState> conds_;
+
+    mutable std::mutex totalsMutex_;
+    EnvTotals totals_;
+    std::vector<std::uint64_t> sinkHashes_;
+    const void *outputData_ = nullptr;
+    std::size_t outputBytes_ = 0;
+};
+
+/** The uninstrumented baseline. */
+class NativeEnv : public PlainEnv
+{
+  public:
+    explicit NativeEnv(std::uint64_t seed)
+        : PlainEnv(Worker::Mode::Native, seed)
+    {
+    }
+};
+
+/** Native execution observed by a baseline detector. */
+class DetectorEnv : public PlainEnv
+{
+  public:
+    DetectorEnv(detectors::Detector &detector, std::uint64_t seed);
+
+    void readHook(Worker &w, Addr addr, std::size_t size) override;
+    void writeHook(Worker &w, Addr addr, std::size_t size) override;
+
+    /** Forks before any worker runs, joins after all exit — matching
+     *  pthread_create/join semantics regardless of host scheduling. */
+    void parallel(unsigned n,
+                  const std::function<void(Worker &)> &fn) override;
+
+  protected:
+    void onAcquired(Worker &w, unsigned id) override;
+    void onReleasing(Worker &w, unsigned id) override;
+    void onBarrierArrive(Worker &w, unsigned id,
+                         std::uint64_t generation) override;
+    void onBarrierLeave(Worker &w, unsigned id,
+                        std::uint64_t generation) override;
+    void onCondWoke(Worker &w, unsigned id) override;
+    void onCondNotify(Worker &w, unsigned id, bool broadcast) override;
+
+  private:
+    /** Sync-id spaces for mutexes/barriers/conds (disjoint; barriers
+     *  get one id per generation so a crossing only carries that
+     *  generation's releases). */
+    static detectors::SyncId mutexSync(unsigned id) { return id * 3 + 0; }
+    static detectors::SyncId
+    barrierSync(unsigned id, std::uint64_t generation)
+    {
+        return (generation << 24) | (id * 3 + 1);
+    }
+    static detectors::SyncId condSync(unsigned id) { return id * 3 + 2; }
+
+    detectors::Detector &detector_;
+};
+
+/** Native execution recording a Trace for the hardware simulator. */
+class TraceEnv : public PlainEnv
+{
+  public:
+    explicit TraceEnv(std::uint64_t seed);
+
+    void readHook(Worker &w, Addr addr, std::size_t size) override;
+    void writeHook(Worker &w, Addr addr, std::size_t size) override;
+    void privateReadHook(Worker &w, Addr addr, std::size_t size) override;
+    void privateWriteHook(Worker &w, Addr addr, std::size_t size) override;
+    void computeHook(Worker &w, std::uint64_t n) override;
+
+    /** The finished trace (move out after the workload ran). */
+    Trace takeTrace();
+
+    unsigned createMutex() override;
+    unsigned createBarrier(unsigned parties) override;
+    unsigned createCond() override;
+    void parallel(unsigned n,
+                  const std::function<void(Worker &)> &fn) override;
+
+  protected:
+    void onAcquired(Worker &w, unsigned id) override;
+    void onReleasing(Worker &w, unsigned id) override;
+    void onBarrierArrive(Worker &w, unsigned id,
+                         std::uint64_t generation) override;
+    void onCondWoke(Worker &w, unsigned id) override;
+    void onCondNotify(Worker &w, unsigned id, bool broadcast) override;
+
+  private:
+    struct ObjectMeta
+    {
+        TraceSyncObject::Kind kind;
+        std::uint32_t parties = 0;
+        std::atomic<std::uint32_t> nextSeq{0};
+    };
+
+    /** Object-id spaces: mutex m -> 3m, barrier b -> 3b+1, cond c -> 3c+2
+     *  mapped densely into objects_ at creation. */
+    std::vector<std::unique_ptr<ObjectMeta>> objects_;
+    std::vector<unsigned> mutexObject_;
+    std::vector<unsigned> barrierObject_;
+    std::vector<unsigned> condObject_;
+
+    std::vector<TraceEvent> *eventsOf(Worker &w);
+    void recordAccess(Worker &w, Addr addr, std::size_t size, bool write);
+    void recordSync(Worker &w, TraceEvent::Kind kind, unsigned object);
+
+    std::mutex traceMutex_;
+    Trace trace_;
+    /** Per-worker event buffers for the current parallel section. */
+    std::vector<std::vector<TraceEvent>> buffers_;
+};
+
+/** The software-only CLEAN backend. */
+class CleanEnv : public Env, public Backend
+{
+  public:
+    CleanEnv(CleanRuntime &rt, std::uint64_t seed);
+    ~CleanEnv() override;
+
+    // Env
+    void *allocSharedRaw(std::size_t bytes) override;
+    void *allocPrivateRaw(std::size_t bytes) override;
+    unsigned createMutex() override;
+    unsigned createBarrier(unsigned parties) override;
+    unsigned createCond() override;
+    void parallel(unsigned n,
+                  const std::function<void(Worker &)> &fn) override;
+    void declareOutput(const void *data, std::size_t bytes) override;
+
+    // Backend
+    void lockOp(Worker &w, unsigned id) override;
+    void unlockOp(Worker &w, unsigned id) override;
+    void barrierOp(Worker &w, unsigned id) override;
+    void condWaitOp(Worker &w, unsigned cond, unsigned mutex) override;
+    void condSignalOp(Worker &w, unsigned cond) override;
+    void condBroadcastOp(Worker &w, unsigned cond) override;
+
+    EnvTotals totals() const;
+    CleanRuntime &runtime() { return rt_; }
+
+  private:
+    CleanRuntime &rt_;
+    std::uint64_t seed_;
+    std::deque<CleanMutex> mutexes_;
+    std::deque<CleanBarrier> barriers_;
+    std::deque<CleanCondVar> conds_;
+
+    mutable std::mutex totalsMutex_;
+    std::vector<std::uint64_t> sinkHashes_;
+    const void *outputData_ = nullptr;
+    std::size_t outputBytes_ = 0;
+};
+
+/** Order-independent fold of the declared output region + worker sinks. */
+std::uint64_t hashOutput(const void *data, std::size_t bytes,
+                         const std::vector<std::uint64_t> &sinks);
+
+} // namespace clean::wl
+
+#endif // CLEAN_WORKLOADS_BACKEND_H

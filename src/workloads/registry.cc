@@ -1,0 +1,97 @@
+#include "workloads/registry.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/logging.h"
+#include "workloads/suite/factories.h"
+
+namespace clean::wl
+{
+
+namespace
+{
+
+using Factory = std::unique_ptr<Workload> (*)();
+
+struct Entry
+{
+    const char *name;
+    Factory factory;
+};
+
+// Figure order: SPLASH-2 first, then PARSEC, both alphabetical.
+constexpr Entry kEntries[] = {
+    {"barnes", suite::makeBarnes},
+    {"cholesky", suite::makeCholesky},
+    {"fft", suite::makeFft},
+    {"fmm", suite::makeFmm},
+    {"lu_cb", suite::makeLuCb},
+    {"lu_ncb", suite::makeLuNcb},
+    {"ocean_cp", suite::makeOceanCp},
+    {"ocean_ncp", suite::makeOceanNcp},
+    {"radiosity", suite::makeRadiosity},
+    {"radix", suite::makeRadix},
+    {"raytrace", suite::makeRaytrace},
+    {"volrend", suite::makeVolrend},
+    {"water_nsq", suite::makeWaterNsq},
+    {"water_sp", suite::makeWaterSp},
+    {"blackscholes", suite::makeBlackscholes},
+    {"bodytrack", suite::makeBodytrack},
+    {"canneal", suite::makeCanneal},
+    {"dedup", suite::makeDedup},
+    {"facesim", suite::makeFacesim},
+    {"ferret", suite::makeFerret},
+    {"fluidanimate", suite::makeFluidanimate},
+    {"raytrace_p", suite::makeRaytraceP},
+    {"streamcluster", suite::makeStreamcluster},
+    {"swaptions", suite::makeSwaptions},
+    {"vips", suite::makeVips},
+    {"x264", suite::makeX264},
+};
+
+std::map<std::string, std::unique_ptr<Workload>> &
+instances()
+{
+    static std::map<std::string, std::unique_ptr<Workload>> map = [] {
+        std::map<std::string, std::unique_ptr<Workload>> m;
+        for (const Entry &e : kEntries)
+            m.emplace(e.name, e.factory());
+        return m;
+    }();
+    return map;
+}
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const Entry &e : kEntries)
+        names.emplace_back(e.name);
+    return names;
+}
+
+std::vector<std::string>
+racyWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Entry &e : kEntries) {
+        if (instances().at(e.name)->hasRacyVariant())
+            names.emplace_back(e.name);
+    }
+    return names;
+}
+
+Workload &
+findWorkload(const std::string &name)
+{
+    auto it = instances().find(name);
+    if (it == instances().end())
+        fatal("unknown workload '%s'", name.c_str());
+    return *it->second;
+}
+
+} // namespace clean::wl

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Name-indexed access to the 26-benchmark suite (§6.1).
+ */
+
+#ifndef CLEAN_WORKLOADS_REGISTRY_H
+#define CLEAN_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace clean::wl
+{
+
+/** All benchmark names in the paper's figure order. */
+std::vector<std::string> workloadNames();
+
+/** Names of the 17 benchmarks with a racy (unmodified) variant. */
+std::vector<std::string> racyWorkloadNames();
+
+/** Singleton kernel for @p name; fatal() on unknown names. */
+Workload &findWorkload(const std::string &name);
+
+} // namespace clean::wl
+
+#endif // CLEAN_WORKLOADS_REGISTRY_H

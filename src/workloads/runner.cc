@@ -1,0 +1,151 @@
+#include "workloads/runner.h"
+
+#include "detectors/fasttrack.h"
+#include "detectors/tsan_lite.h"
+#include "support/logging.h"
+#include "support/timer.h"
+#include "workloads/backend.h"
+#include "workloads/registry.h"
+
+namespace clean::wl
+{
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Native: return "native";
+      case BackendKind::Clean: return "clean";
+      case BackendKind::DetectOnly: return "detect-only";
+      case BackendKind::KendoOnly: return "kendo-only";
+      case BackendKind::FastTrack: return "fasttrack";
+      case BackendKind::TsanLite: return "tsan-lite";
+      case BackendKind::Trace: return "trace";
+    }
+    return "?";
+}
+
+namespace
+{
+
+RunResult
+runClean(Workload &workload, const RunSpec &spec)
+{
+    RuntimeConfig config = spec.runtime;
+    config.detection = spec.backend != BackendKind::KendoOnly;
+    config.deterministic = spec.backend != BackendKind::DetectOnly;
+
+    CleanRuntime rt(config);
+    CleanEnv env(rt, spec.params.seed);
+
+    RunResult result;
+    Timer timer;
+    try {
+        workload.run(env, spec.params);
+    } catch (const RaceException &race) {
+        result.raceException = true;
+        result.raceMessage = race.what();
+    } catch (const ExecutionAborted &) {
+        result.raceException = true;
+        if (const RaceException *race = rt.firstRace())
+            result.raceMessage = race->what();
+    }
+    result.seconds = timer.elapsedSeconds();
+
+    if (rt.raceOccurred() && !result.raceException) {
+        result.raceException = true;
+        if (const RaceException *race = rt.firstRace())
+            result.raceMessage = race->what();
+    }
+
+    const EnvTotals totals = env.totals();
+    result.outputHash = totals.outputHash;
+    result.checker = rt.aggregatedCheckerStats();
+    result.reads = result.checker.sharedReads;
+    result.writes = result.checker.sharedWrites;
+    result.bytes = result.checker.accessedBytes;
+    result.detCounts = rt.finalDetCounts();
+    result.rollovers = rt.rolloverResets();
+    return result;
+}
+
+RunResult
+runPlain(Workload &workload, const RunSpec &spec)
+{
+    RunResult result;
+
+    if (spec.backend == BackendKind::Native) {
+        NativeEnv env(spec.params.seed);
+        Timer timer;
+        workload.run(env, spec.params);
+        result.seconds = timer.elapsedSeconds();
+        const EnvTotals totals = env.totals();
+        result.outputHash = totals.outputHash;
+        result.reads = totals.reads;
+        result.writes = totals.writes;
+        result.bytes = totals.bytes;
+        return result;
+    }
+
+    if (spec.backend == BackendKind::Trace) {
+        TraceEnv env(spec.params.seed);
+        Timer timer;
+        workload.run(env, spec.params);
+        result.seconds = timer.elapsedSeconds();
+        const EnvTotals totals = env.totals();
+        result.outputHash = totals.outputHash;
+        result.reads = totals.reads;
+        result.writes = totals.writes;
+        result.bytes = totals.bytes;
+        result.trace = env.takeTrace();
+        return result;
+    }
+
+    // Baseline detector backends.
+    const ThreadId slots = spec.params.threads + 1;
+    std::unique_ptr<detectors::Detector> detector;
+    if (spec.backend == BackendKind::FastTrack) {
+        detector = std::make_unique<detectors::FastTrackDetector>(
+            spec.runtime.epoch, slots);
+    } else {
+        detector = std::make_unique<detectors::TsanLiteDetector>(
+            spec.runtime.epoch, slots);
+    }
+    DetectorEnv env(*detector, spec.params.seed);
+    Timer timer;
+    workload.run(env, spec.params);
+    result.seconds = timer.elapsedSeconds();
+
+    const EnvTotals totals = env.totals();
+    result.outputHash = totals.outputHash;
+    result.reads = totals.reads;
+    result.writes = totals.writes;
+    result.bytes = totals.bytes;
+    result.detectorReports = detector->reportCount();
+    for (const auto &report : detector->reports()) {
+        switch (report.kind) {
+          case RaceKind::Waw: ++result.detectorWaw; break;
+          case RaceKind::Raw: ++result.detectorRaw; break;
+          case RaceKind::War: ++result.detectorWar; break;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const RunSpec &spec)
+{
+    Workload &workload = findWorkload(spec.workload);
+    switch (spec.backend) {
+      case BackendKind::Clean:
+      case BackendKind::DetectOnly:
+      case BackendKind::KendoOnly:
+        return runClean(workload, spec);
+      default:
+        return runPlain(workload, spec);
+    }
+}
+
+} // namespace clean::wl

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * One-call workload execution under any backend, with the measurements
+ * the paper's figures need.
+ */
+
+#ifndef CLEAN_WORKLOADS_RUNNER_H
+#define CLEAN_WORKLOADS_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/thread_state.h"
+#include "workloads/trace.h"
+#include "workloads/workload.h"
+
+namespace clean::wl
+{
+
+/** Which system executes the workload. */
+enum class BackendKind
+{
+    Native,       ///< uninstrumented baseline
+    Clean,        ///< detection + deterministic sync (full CLEAN)
+    DetectOnly,   ///< WAW/RAW detection only (Fig. 6 middle bar)
+    KendoOnly,    ///< deterministic sync only (Fig. 6 left bar)
+    FastTrack,    ///< full precise baseline detector
+    TsanLite,     ///< imprecise baseline detector
+    Trace,        ///< record a Trace for the hardware simulator
+};
+
+const char *backendKindName(BackendKind kind);
+
+/** Full description of one run. */
+struct RunSpec
+{
+    std::string workload;
+    WorkloadParams params;
+    BackendKind backend = BackendKind::Clean;
+    /** Knobs for the Clean backends (epoch width, vectorization,
+     *  atomicity, shadow kind). detection/deterministic are derived from
+     *  `backend` and ignored here. */
+    RuntimeConfig runtime;
+};
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    double seconds = 0;
+    bool raceException = false;
+    std::string raceMessage;
+
+    std::uint64_t outputHash = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes = 0;
+
+    // Clean backends
+    CheckerStats checker;
+    std::vector<det::DetCount> detCounts;
+    std::uint64_t rollovers = 0;
+
+    // Detector backends
+    std::size_t detectorReports = 0;
+    std::size_t detectorWaw = 0;
+    std::size_t detectorRaw = 0;
+    std::size_t detectorWar = 0;
+
+    // Trace backend
+    Trace trace;
+
+    /** The §6.2.2 determinism fingerprint: a run is deterministic iff
+     *  this triple is identical across repetitions. */
+    struct Fingerprint
+    {
+        std::uint64_t outputHash;
+        std::uint64_t accesses;
+        std::vector<det::DetCount> detCounts;
+
+        bool
+        operator==(const Fingerprint &o) const
+        {
+            return outputHash == o.outputHash && accesses == o.accesses &&
+                   detCounts == o.detCounts;
+        }
+    };
+
+    Fingerprint
+    fingerprint() const
+    {
+        return {outputHash, reads + writes, detCounts};
+    }
+};
+
+/** Executes @p spec and gathers measurements. */
+RunResult runWorkload(const RunSpec &spec);
+
+} // namespace clean::wl
+
+#endif // CLEAN_WORKLOADS_RUNNER_H

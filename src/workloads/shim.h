@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The Worker/Env shim — this library's analogue of the paper's compiler
+ * instrumentation (§4.1).
+ *
+ * Workload kernels perform every potentially-shared access through
+ * Worker::read/write and every synchronization operation through
+ * Worker::lock/unlock/barrier/cond*. The backend decides what happens
+ * per access:
+ *
+ *   Native   — raw load/store plus a per-worker access counter: the
+ *              uninstrumented baseline every slowdown is normalized to.
+ *   Clean    — CleanRuntime race check in §4.3 order (throws on races).
+ *   Hooked   — an arbitrary observer (baseline detectors, the tracer
+ *              feeding the hardware simulator) sees the access around a
+ *              raw load/store.
+ *
+ * Memory accesses are dispatched inline on a mode enum so the Native
+ * path stays close to uninstrumented; synchronization goes through one
+ * virtual call (sync operations are orders of magnitude rarer).
+ */
+
+#ifndef CLEAN_WORKLOADS_SHIM_H
+#define CLEAN_WORKLOADS_SHIM_H
+
+#include <cstring>
+#include <functional>
+#include <type_traits>
+
+#include "core/runtime.h"
+#include "support/common.h"
+#include "support/prng.h"
+
+namespace clean::wl
+{
+
+class Worker;
+
+/** Backend hooks a Worker forwards to. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    // Synchronization (always virtual; rare).
+    virtual void lockOp(Worker &w, unsigned id) = 0;
+    virtual void unlockOp(Worker &w, unsigned id) = 0;
+    virtual void barrierOp(Worker &w, unsigned id) = 0;
+    virtual void condWaitOp(Worker &w, unsigned cond, unsigned mutex) = 0;
+    virtual void condSignalOp(Worker &w, unsigned cond) = 0;
+    virtual void condBroadcastOp(Worker &w, unsigned cond) = 0;
+
+    // Memory hooks for Mode::Hooked workers (detectors, tracer).
+    virtual void readHook(Worker &, Addr, std::size_t) {}
+    virtual void writeHook(Worker &, Addr, std::size_t) {}
+    /** Private (stack-like) accesses: invisible to detectors, but the
+     *  tracer records them so the simulator sees their cache traffic. */
+    virtual void privateReadHook(Worker &, Addr, std::size_t) {}
+    virtual void privateWriteHook(Worker &, Addr, std::size_t) {}
+    /** Pure-compute progress (deterministic events / simulated cycles). */
+    virtual void computeHook(Worker &, std::uint64_t) {}
+};
+
+/** Per-thread handle a workload kernel runs against. */
+class Worker
+{
+  public:
+    enum class Mode { Native, Clean, Hooked };
+
+    Worker(Backend &backend, Mode mode, unsigned index, unsigned count,
+           std::uint64_t seed)
+        : backend_(backend), mode_(mode), index_(index), count_(count),
+          rng_(seed)
+    {
+    }
+
+    Worker(const Worker &) = delete;
+    Worker &operator=(const Worker &) = delete;
+
+    unsigned index() const { return index_; }
+    unsigned count() const { return count_; }
+    Prng &rng() { return rng_; }
+    Backend &backend() { return backend_; }
+
+    /** Set by the Clean backend only. */
+    void bindContext(ThreadContext *ctx) { ctx_ = ctx; }
+    ThreadContext *context() { return ctx_; }
+
+    /** Instrumented load of a potentially-shared scalar. */
+    template <typename T>
+    T
+    read(const T *p)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        switch (mode_) {
+          case Mode::Native: {
+            ++reads_;
+            bytes_ += sizeof(T);
+            T v;
+            std::memcpy(&v, p, sizeof(T));
+            return v;
+          }
+          case Mode::Clean:
+            return ctx_->read(p);
+          case Mode::Hooked: {
+            ++reads_;
+            bytes_ += sizeof(T);
+            T v;
+            std::memcpy(&v, p, sizeof(T));
+            backend_.readHook(*this, reinterpret_cast<Addr>(p), sizeof(T));
+            return v;
+          }
+        }
+        __builtin_unreachable();
+    }
+
+    /** Instrumented store of a potentially-shared scalar. */
+    template <typename T>
+    void
+    write(T *p, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        switch (mode_) {
+          case Mode::Native:
+            ++writes_;
+            bytes_ += sizeof(T);
+            std::memcpy(p, &v, sizeof(T));
+            return;
+          case Mode::Clean:
+            ctx_->write(p, v);
+            return;
+          case Mode::Hooked:
+            ++writes_;
+            bytes_ += sizeof(T);
+            backend_.writeHook(*this, reinterpret_cast<Addr>(p), sizeof(T));
+            std::memcpy(p, &v, sizeof(T));
+            return;
+        }
+    }
+
+    /** read-modify-write convenience. */
+    template <typename T, typename F>
+    void
+    update(T *p, F f)
+    {
+        write(p, f(read(p)));
+    }
+
+    /**
+     * Load of thread-private (stack-like) data. The paper's compiler
+     * instrumentation skips accesses to locals whose address never
+     * escapes (§4.1); the hardware simulator still models their cache
+     * traffic as "private" accesses (Figure 10).
+     */
+    template <typename T>
+    T
+    readPrivate(const T *p)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        std::memcpy(&v, p, sizeof(T));
+        switch (mode_) {
+          case Mode::Native:
+            ++privateAccesses_;
+            break;
+          case Mode::Clean:
+            ctx_->detTick(1);
+            break;
+          case Mode::Hooked:
+            ++privateAccesses_;
+            backend_.privateReadHook(*this, reinterpret_cast<Addr>(p),
+                                     sizeof(T));
+            break;
+        }
+        return v;
+    }
+
+    /** Store to thread-private data; see readPrivate. */
+    template <typename T>
+    void
+    writePrivate(T *p, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::memcpy(p, &v, sizeof(T));
+        switch (mode_) {
+          case Mode::Native:
+            ++privateAccesses_;
+            break;
+          case Mode::Clean:
+            ctx_->detTick(1);
+            break;
+          case Mode::Hooked:
+            ++privateAccesses_;
+            backend_.privateWriteHook(*this, reinterpret_cast<Addr>(p),
+                                      sizeof(T));
+            break;
+        }
+    }
+
+    // Synchronization.
+    void lock(unsigned m) { backend_.lockOp(*this, m); }
+    void unlock(unsigned m) { backend_.unlockOp(*this, m); }
+    void barrier(unsigned b) { backend_.barrierOp(*this, b); }
+    void condWait(unsigned c, unsigned m) { backend_.condWaitOp(*this, c, m); }
+    void condSignal(unsigned c) { backend_.condSignalOp(*this, c); }
+    void condBroadcast(unsigned c) { backend_.condBroadcastOp(*this, c); }
+
+    /** Declares @p n units of pure computation (simulated ALU work /
+     *  deterministic events between accesses). */
+    void
+    compute(std::uint64_t n)
+    {
+        if (mode_ == Mode::Clean)
+            ctx_->detTick(n);
+        else
+            backend_.computeHook(*this, n);
+    }
+
+    /** Folds a value into this worker's deterministic output hash. */
+    void
+    sink(std::uint64_t v)
+    {
+        hash_ ^= v + 0x9e3779b97f4a7c15ULL + (hash_ << 6) + (hash_ >> 2);
+    }
+
+    std::uint64_t sinkHash() const { return hash_; }
+    std::uint64_t nativeReads() const { return reads_; }
+    std::uint64_t nativeWrites() const { return writes_; }
+    std::uint64_t nativeBytes() const { return bytes_; }
+    std::uint64_t privateAccesses() const { return privateAccesses_; }
+
+  private:
+    Backend &backend_;
+    Mode mode_;
+    unsigned index_;
+    unsigned count_;
+    Prng rng_;
+    ThreadContext *ctx_ = nullptr;
+    std::uint64_t hash_ = 0;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t privateAccesses_ = 0;
+};
+
+/** What a workload kernel sees: allocation, sync objects, parallelism. */
+class Env
+{
+  public:
+    virtual ~Env() = default;
+
+    virtual void *allocSharedRaw(std::size_t bytes) = 0;
+    virtual void *allocPrivateRaw(std::size_t bytes) = 0;
+
+    template <typename T>
+    T *
+    allocShared(std::size_t count)
+    {
+        return static_cast<T *>(allocSharedRaw(count * sizeof(T)));
+    }
+
+    template <typename T>
+    T *
+    allocPrivate(std::size_t count)
+    {
+        return static_cast<T *>(allocPrivateRaw(count * sizeof(T)));
+    }
+
+    virtual unsigned createMutex() = 0;
+    virtual unsigned createBarrier(unsigned parties) = 0;
+    virtual unsigned createCond() = 0;
+
+    /** Runs @p fn on @p n concurrent workers and waits for all. */
+    virtual void parallel(unsigned n,
+                          const std::function<void(Worker &)> &fn) = 0;
+
+    /** Registers the result region hashed into the output fingerprint. */
+    virtual void declareOutput(const void *data, std::size_t bytes) = 0;
+};
+
+} // namespace clean::wl
+
+#endif // CLEAN_WORKLOADS_SHIM_H

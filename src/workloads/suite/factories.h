@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Factory declarations for every workload kernel in the suite.
+ *
+ * Registration is explicit (registry.cc lists these) rather than via
+ * static initializers, which archive linking would silently drop.
+ */
+
+#ifndef CLEAN_WORKLOADS_SUITE_FACTORIES_H
+#define CLEAN_WORKLOADS_SUITE_FACTORIES_H
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace clean::wl::suite
+{
+
+// SPLASH-2
+std::unique_ptr<Workload> makeBarnes();
+std::unique_ptr<Workload> makeCholesky();
+std::unique_ptr<Workload> makeFft();
+std::unique_ptr<Workload> makeFmm();
+std::unique_ptr<Workload> makeLuCb();
+std::unique_ptr<Workload> makeLuNcb();
+std::unique_ptr<Workload> makeOceanCp();
+std::unique_ptr<Workload> makeOceanNcp();
+std::unique_ptr<Workload> makeRadiosity();
+std::unique_ptr<Workload> makeRadix();
+std::unique_ptr<Workload> makeRaytrace();
+std::unique_ptr<Workload> makeVolrend();
+std::unique_ptr<Workload> makeWaterNsq();
+std::unique_ptr<Workload> makeWaterSp();
+
+// PARSEC
+std::unique_ptr<Workload> makeBlackscholes();
+std::unique_ptr<Workload> makeBodytrack();
+std::unique_ptr<Workload> makeCanneal();
+std::unique_ptr<Workload> makeDedup();
+std::unique_ptr<Workload> makeFacesim();
+std::unique_ptr<Workload> makeFerret();
+std::unique_ptr<Workload> makeFluidanimate();
+std::unique_ptr<Workload> makeRaytraceP();
+std::unique_ptr<Workload> makeStreamcluster();
+std::unique_ptr<Workload> makeSwaptions();
+std::unique_ptr<Workload> makeVips();
+std::unique_ptr<Workload> makeX264();
+
+} // namespace clean::wl::suite
+
+#endif // CLEAN_WORKLOADS_SUITE_FACTORIES_H

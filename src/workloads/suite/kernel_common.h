@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared scaffolding for workload kernels.
+ */
+
+#ifndef CLEAN_WORKLOADS_SUITE_KERNEL_COMMON_H
+#define CLEAN_WORKLOADS_SUITE_KERNEL_COMMON_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "workloads/shim.h"
+#include "workloads/workload.h"
+
+namespace clean::wl::suite
+{
+
+/** Boilerplate base: identity + racy-variant flag. */
+class KernelBase : public Workload
+{
+  public:
+    KernelBase(const char *name, const char *suiteName, bool racy)
+        : name_(name), suite_(suiteName), racy_(racy)
+    {
+    }
+
+    const char *name() const override { return name_; }
+    const char *suite() const override { return suite_; }
+    bool hasRacyVariant() const override { return racy_; }
+
+  private:
+    const char *name_;
+    const char *suite_;
+    bool racy_;
+};
+
+/** Picks a size for the requested scale class. */
+inline std::uint64_t
+scaled(Scale s, std::uint64_t test, std::uint64_t small, std::uint64_t large)
+{
+    switch (s) {
+      case Scale::Test: return test;
+      case Scale::Small: return small;
+      case Scale::Large: return large;
+    }
+    return test;
+}
+
+/** [begin, end) slice of n items for worker w of c workers. */
+struct Slice
+{
+    std::uint64_t begin;
+    std::uint64_t end;
+};
+
+inline Slice
+sliceOf(std::uint64_t n, unsigned w, unsigned c)
+{
+    const std::uint64_t per = (n + c - 1) / c;
+    const std::uint64_t b = std::min<std::uint64_t>(n, per * w);
+    const std::uint64_t e = std::min<std::uint64_t>(n, b + per);
+    return {b, e};
+}
+
+} // namespace clean::wl::suite
+
+#endif // CLEAN_WORKLOADS_SUITE_KERNEL_COMMON_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * blackscholes — embarrassingly parallel option pricing (PARSEC).
+ *
+ * Each thread prices a disjoint slice of options with the Black-Scholes
+ * closed form: five 8-byte reads and one 8-byte write per option, so
+ * virtually every shared access is wide and same-epoch — the best case
+ * for the vectorized multi-byte check (Figure 8). Race-free; one of the
+ * paper's 9 clean benchmarks.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Option
+{
+    double spot, strike, rate, vol, time;
+    double price;
+    double pad[2];
+};
+
+double
+cndf(double x)
+{
+    // Abramowitz-Stegun polynomial approximation.
+    const double a1 = 0.319381530, a2 = -0.356563782, a3 = 1.781477937,
+                 a4 = -1.821255978, a5 = 1.330274429;
+    const double l = std::fabs(x);
+    const double k = 1.0 / (1.0 + 0.2316419 * l);
+    double cnd =
+        1.0 - 1.0 / std::sqrt(2 * 3.14159265358979) *
+                  std::exp(-l * l / 2.0) *
+                  (a1 * k + a2 * k * k + a3 * k * k * k +
+                   a4 * k * k * k * k + a5 * k * k * k * k * k);
+    return x < 0 ? 1.0 - cnd : cnd;
+}
+
+class Blackscholes : public KernelBase
+{
+  public:
+    Blackscholes() : KernelBase("blackscholes", "parsec", false) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nOptions =
+            scaled(p.scale, 4096, 16384, 65536);
+        const std::uint64_t rounds = scaled(p.scale, 2, 3, 5);
+
+        auto *options = env.allocShared<Option>(nOptions);
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nOptions; ++i) {
+                options[i].spot = 50.0 + init.nextDouble() * 50.0;
+                options[i].strike = 50.0 + init.nextDouble() * 50.0;
+                options[i].rate = 0.01 + init.nextDouble() * 0.05;
+                options[i].vol = 0.1 + init.nextDouble() * 0.4;
+                options[i].time = 0.25 + init.nextDouble() * 2.0;
+                options[i].price = 0.0;
+            }
+        }
+
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice slice = sliceOf(nOptions, w.index(), w.count());
+            // Stack-like scratch for the intermediate terms (the real
+            // kernel spills these locals).
+            auto *scratch = env.allocPrivate<double>(4);
+            for (std::uint64_t r = 0; r < rounds; ++r) {
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double s = w.read(&options[i].spot);
+                    const double k = w.read(&options[i].strike);
+                    const double rf = w.read(&options[i].rate);
+                    const double v = w.read(&options[i].vol);
+                    const double t = w.read(&options[i].time);
+                    w.writePrivate(&scratch[0],
+                                   (std::log(s / k) +
+                                    (rf + v * v / 2.0) * t) /
+                                       (v * std::sqrt(t)));
+                    w.writePrivate(&scratch[1],
+                                   w.readPrivate(&scratch[0]) -
+                                       v * std::sqrt(t));
+                    w.writePrivate(&scratch[2],
+                                   cndf(w.readPrivate(&scratch[0])));
+                    w.writePrivate(&scratch[3],
+                                   cndf(w.readPrivate(&scratch[1])));
+                    const double call =
+                        s * w.readPrivate(&scratch[2]) -
+                        k * std::exp(-rf * t) *
+                            w.readPrivate(&scratch[3]);
+                    w.write(&options[i].price, call);
+                    w.compute(40);
+                }
+                w.barrier(phase);
+            }
+            std::uint64_t h = 0;
+            for (std::uint64_t i = slice.begin; i < slice.end;
+                 i += 1 + (slice.end - slice.begin) / 64) {
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 w.read(&options[i].price) * 1e4);
+            }
+            w.sink(h);
+        });
+
+        env.declareOutput(options, nOptions * sizeof(Option));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBlackscholes()
+{
+    return std::make_unique<Blackscholes>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * bodytrack — particle-filter body tracking (PARSEC).
+ *
+ * Per frame: threads score a disjoint slice of particles against a
+ * shared observation model (read-heavy), the particle weights are
+ * normalized via a lock-protected global sum, and the filter resamples
+ * into a new particle set (disjoint writes), with barriers between the
+ * stages.
+ *
+ * Racy variant: the weight-sum reduction is accumulated into the shared
+ * total without the lock — unsynchronized RMW (WAW), and the normalizing
+ * readers race with late adders (RAW).
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Bodytrack : public KernelBase
+{
+  public:
+    Bodytrack() : KernelBase("bodytrack", "parsec", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nParticles = scaled(p.scale, 512, 2048, 8192);
+        const std::uint64_t nFrames = scaled(p.scale, 2, 4, 8);
+        const std::uint64_t modelSize = 512;
+
+        auto *pose = env.allocShared<double>(nParticles * 4);
+        auto *weight = env.allocShared<double>(nParticles);
+        auto *model = env.allocShared<double>(modelSize);
+        auto *weightSum = env.allocShared<double>(1);
+        auto *newPose = env.allocShared<double>(nParticles * 4);
+        const unsigned sumLock = env.createMutex();
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nParticles * 4; ++i)
+                pose[i] = init.nextDouble();
+            for (std::uint64_t i = 0; i < modelSize; ++i)
+                model[i] = init.nextDouble();
+            weightSum[0] = 0.0;
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice slice = sliceOf(nParticles, w.index(), w.count());
+            // Private observation window (bodytrack's per-thread image
+            // patches).
+            auto *window = env.allocPrivate<double>(16);
+            for (std::uint64_t frame = 0; frame < nFrames; ++frame) {
+                if (w.index() == 0)
+                    w.write(&weightSum[0], 0.0);
+                w.barrier(phase);
+
+                // Score particles against the observation model.
+                double localSum = 0.0;
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    // Stage the observation window privately, then
+                    // score against it.
+                    for (std::uint64_t m = 0; m < 16; ++m) {
+                        const std::uint64_t idx =
+                            (i * 16 + m + frame) % modelSize;
+                        w.writePrivate(&window[m], w.read(&model[idx]));
+                    }
+                    double score = 0.0;
+                    for (std::uint64_t m = 0; m < 16; ++m) {
+                        const double obs = w.readPrivate(&window[m]);
+                        const double q =
+                            w.read(&pose[i * 4 + (m & 3)]);
+                        score += std::exp(-(obs - q) * (obs - q));
+                        w.compute(8);
+                    }
+                    w.write(&weight[i], score);
+                    localSum += score;
+                }
+                if (racy) {
+                    // Unlocked reduction into the shared total.
+                    w.update(&weightSum[0], [localSum](double v) {
+                        return v + localSum;
+                    });
+                } else {
+                    w.lock(sumLock);
+                    w.update(&weightSum[0], [localSum](double v) {
+                        return v + localSum;
+                    });
+                    w.unlock(sumLock);
+                }
+                w.barrier(phase);
+
+                // Resample: systematic pick proportional to weight.
+                const double total = w.read(&weightSum[0]);
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double wi = w.read(&weight[i]) /
+                                      std::max(1e-12, total);
+                    const std::uint64_t srcIdx =
+                        (i + static_cast<std::uint64_t>(
+                                 wi * nParticles)) %
+                        nParticles;
+                    for (unsigned d = 0; d < 4; ++d) {
+                        const double v =
+                            w.read(&pose[srcIdx * 4 + d]) * 0.9 +
+                            0.1 * wi;
+                        w.write(&newPose[i * 4 + d], v);
+                    }
+                    w.compute(10);
+                }
+                w.barrier(phase);
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    for (unsigned d = 0; d < 4; ++d)
+                        w.write(&pose[i * 4 + d],
+                                w.read(&newPose[i * 4 + d]));
+                }
+                w.barrier(phase);
+            }
+            std::uint64_t h = 0;
+            for (std::uint64_t i = slice.begin; i < slice.end; ++i)
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 w.read(&weight[i]) * 1e6);
+            w.sink(h);
+        });
+
+        env.declareOutput(pose, nParticles * 4 * sizeof(double));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBodytrack()
+{
+    return std::make_unique<Bodytrack>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * canneal — lock-free simulated annealing for chip placement (PARSEC).
+ *
+ * canneal's defining trait is its *intentionally racy* synchronization
+ * strategy: threads swap element locations concurrently with plain loads
+ * and stores, accepting stale reads as annealing noise. The paper could
+ * not produce a race-free version by hand ("too many races to be removed
+ * manually") and omits canneal from the modified suite —
+ * excludedFromModified() reflects that.
+ *
+ * The racy (canonical) variant swaps placements without any locking:
+ * WAW on the location words appears almost immediately. The lockified
+ * variant (this reproduction's addition, used only where a clean run is
+ * required) orders each swap with two address-ordered element locks.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Canneal : public KernelBase
+{
+  public:
+    Canneal() : KernelBase("canneal", "parsec", true) {}
+
+    bool excludedFromModified() const override { return true; }
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nElements = scaled(p.scale, 512, 2048, 8192);
+        const std::uint64_t swapsPerThread =
+            scaled(p.scale, 512, 2048, 8192);
+        const unsigned nNets = 4;
+
+        // loc[e] = current (x << 16 | y) placement of element e.
+        auto *loc = env.allocShared<std::uint32_t>(nElements);
+        // nets[e][k]: elements connected to e (read-only).
+        auto *nets = env.allocShared<std::uint32_t>(nElements * nNets);
+
+        std::vector<unsigned> elemLocks;
+        for (unsigned i = 0; i < 128; ++i)
+            elemLocks.push_back(env.createMutex());
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t e = 0; e < nElements; ++e) {
+                loc[e] = static_cast<std::uint32_t>(
+                    (init.nextBelow(256) << 16) | init.nextBelow(256));
+                for (unsigned k = 0; k < nNets; ++k)
+                    nets[e * nNets + k] = static_cast<std::uint32_t>(
+                        init.nextBelow(nElements));
+            }
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            auto dist = [&](std::uint32_t a, std::uint32_t b) {
+                const int ax = a >> 16, ay = a & 0xffff;
+                const int bx = b >> 16, by = b & 0xffff;
+                return std::abs(ax - bx) + std::abs(ay - by);
+            };
+            auto lockOf = [&](std::uint64_t e) {
+                return elemLocks[e % elemLocks.size()];
+            };
+
+            double temperature = 100.0;
+            std::int64_t accepted = 0;
+            for (std::uint64_t s = 0; s < swapsPerThread; ++s) {
+                const std::uint64_t a = w.rng().nextBelow(nElements);
+                std::uint64_t b = w.rng().nextBelow(nElements);
+                if (b == a)
+                    b = (b + 1) % nElements;
+
+                // Every access to loc[x] is protected by x's shard lock
+                // in the lockified variant; neighbor locations are read
+                // one lock at a time *before* the swap locks are taken,
+                // so locks never nest beyond the address-ordered pair
+                // (slightly stale deltas are just annealing noise).
+                auto readLoc = [&](std::uint64_t e) {
+                    if (racy)
+                        return w.read(&loc[e]);
+                    const unsigned l = lockOf(e);
+                    w.lock(l);
+                    const std::uint32_t v = w.read(&loc[e]);
+                    w.unlock(l);
+                    return v;
+                };
+
+                const std::uint32_t locA0 = readLoc(a);
+                const std::uint32_t locB0 = readLoc(b);
+                // Routing cost delta over both elements' nets.
+                std::int64_t delta = 0;
+                for (unsigned k = 0; k < nNets; ++k) {
+                    const std::uint32_t na =
+                        w.read(&nets[a * nNets + k]);
+                    const std::uint32_t nb =
+                        w.read(&nets[b * nNets + k]);
+                    const std::uint32_t ln = readLoc(na);
+                    const std::uint32_t lm = readLoc(nb);
+                    delta += dist(locB0, ln) - dist(locA0, ln);
+                    delta += dist(locA0, lm) - dist(locB0, lm);
+                    w.compute(16);
+                }
+                const bool accept =
+                    delta < 0 ||
+                    w.rng().nextDouble() <
+                        std::exp(-static_cast<double>(delta) /
+                                 temperature);
+                if (accept) {
+                    if (racy) {
+                        // The canonical canneal race: concurrent
+                        // unlocked swaps (WAW on loc words).
+                        w.write(&loc[a], locB0);
+                        w.write(&loc[b], locA0);
+                    } else {
+                        // Shard-ordered two-lock swap.
+                        const unsigned s1 =
+                            std::min(lockOf(a), lockOf(b));
+                        const unsigned s2 =
+                            std::max(lockOf(a), lockOf(b));
+                        w.lock(s1);
+                        if (s2 != s1)
+                            w.lock(s2);
+                        const std::uint32_t la = w.read(&loc[a]);
+                        const std::uint32_t lb = w.read(&loc[b]);
+                        w.write(&loc[a], lb);
+                        w.write(&loc[b], la);
+                        if (s2 != s1)
+                            w.unlock(s2);
+                        w.unlock(s1);
+                    }
+                    ++accepted;
+                }
+                temperature *= 0.9995;
+            }
+            w.sink(static_cast<std::uint64_t>(accepted));
+        });
+
+        env.declareOutput(loc, nElements * sizeof(std::uint32_t));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCanneal()
+{
+    return std::make_unique<Canneal>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * dedup — pipelined compression with deduplication (PARSEC).
+ *
+ * Three stages connected by bounded queues (mutex + condvars):
+ *   chunkers  read the input stream *byte by byte* (content-defined
+ *             chunk boundaries via a rolling hash);
+ *   dedupers  hash each chunk into a bucket-locked hash table;
+ *   writers   "compress" unique chunks byte-by-byte into a shared
+ *             output buffer at chunk-granularity offsets.
+ *
+ * This is the paper's hardware worst case (Figure 9: 46.7% slowdown;
+ * Figure 10: most accesses to expanded lines): different threads write
+ * single bytes inside the same 4-byte groups of the output buffer, so
+ * the compact 1-epoch-per-4-bytes representation keeps expanding.
+ *
+ * Racy variant: hash-table inserts skip the bucket lock — WAW on bucket
+ * heads — and duplicate suppression races (RAW on entry fields).
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Chunk
+{
+    std::uint64_t offset;
+    std::uint32_t length;
+    std::uint32_t hash;
+};
+
+class Dedup : public KernelBase
+{
+  public:
+    Dedup() : KernelBase("dedup", "parsec", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t inputSize =
+            scaled(p.scale, 12000, 48000, 200000);
+        const std::uint64_t nBuckets = 256;
+        const std::uint64_t queueCap = 64;
+        const std::uint64_t maxChunks = inputSize / 6 + 64;
+
+        auto *input = env.allocShared<std::uint8_t>(inputSize);
+        // Stage hand-off buffer: chunkers normalize the stream into it
+        // byte by byte and downstream stages read it byte by byte — the
+        // byte-granularity sharing that keeps dedup's metadata lines
+        // expanded in the paper's Figure 10.
+        auto *scratch = env.allocShared<std::uint8_t>(inputSize);
+        auto *output = env.allocShared<std::uint8_t>(inputSize + 4096);
+        auto *outCursor = env.allocShared<std::uint64_t>(1);
+        // Hash table: bucketHead[b] -> chunk index + 1 (0 = empty),
+        // chain via entryNext.
+        auto *bucketHead = env.allocShared<std::uint32_t>(nBuckets);
+        auto *entryNext = env.allocShared<std::uint32_t>(maxChunks);
+        auto *entryHash = env.allocShared<std::uint32_t>(maxChunks);
+        auto *entryCount = env.allocShared<std::uint32_t>(1);
+        // Two bounded queues of Chunks.
+        auto *q1 = env.allocShared<Chunk>(queueCap);
+        auto *q2 = env.allocShared<Chunk>(queueCap);
+        auto *q1State = env.allocShared<std::uint64_t>(3); // head tail done
+        auto *q2State = env.allocShared<std::uint64_t>(3);
+
+        const unsigned q1Lock = env.createMutex();
+        const unsigned q2Lock = env.createMutex();
+        const unsigned q1NotEmpty = env.createCond();
+        const unsigned q1NotFull = env.createCond();
+        const unsigned q2NotEmpty = env.createCond();
+        const unsigned q2NotFull = env.createCond();
+        const unsigned cursorLock = env.createMutex();
+        const unsigned entryLock = env.createMutex();
+        std::vector<unsigned> bucketLocks;
+        for (unsigned b = 0; b < 32; ++b)
+            bucketLocks.push_back(env.createMutex());
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < inputSize; ++i) {
+                // Repetitive stream so dedup finds duplicates.
+                input[i] = static_cast<std::uint8_t>(
+                    (i % 64 < 48) ? (i % 17) : init.nextBelow(256));
+            }
+            for (std::uint64_t b = 0; b < nBuckets; ++b)
+                bucketHead[b] = 0;
+            entryCount[0] = 0;
+            outCursor[0] = 0;
+            for (int i = 0; i < 3; ++i)
+                q1State[i] = q2State[i] = 0;
+        }
+
+        const bool racy = p.racy;
+        // The pipeline needs >= 1 chunker, >= 2 dedupers (so the racy
+        // hash-table insert actually races) and >= 1 writer.
+        const unsigned threads = std::max(4u, p.threads);
+        const unsigned nChunkers = std::max(1u, threads / 4);
+        const unsigned nDedupers = std::max(2u, threads / 4);
+
+        env.parallel(threads, [&](Worker &w) {
+            auto push = [&](Chunk c, unsigned lock, unsigned notEmpty,
+                            unsigned notFull, Chunk *q,
+                            std::uint64_t *state) {
+                w.lock(lock);
+                while (w.read(&state[1]) - w.read(&state[0]) >= queueCap)
+                    w.condWait(notFull, lock);
+                const std::uint64_t tail = w.read(&state[1]);
+                Chunk *slot = &q[tail % queueCap];
+                w.write(&slot->offset, c.offset);
+                w.write(&slot->length, c.length);
+                w.write(&slot->hash, c.hash);
+                w.write(&state[1], tail + 1);
+                w.condBroadcast(notEmpty);
+                w.unlock(lock);
+            };
+            auto pop = [&](Chunk &c, unsigned lock, unsigned notEmpty,
+                           unsigned notFull, Chunk *q,
+                           std::uint64_t *state, unsigned producers)
+                -> bool {
+                w.lock(lock);
+                for (;;) {
+                    const std::uint64_t head = w.read(&state[0]);
+                    if (head < w.read(&state[1])) {
+                        const Chunk *slot = &q[head % queueCap];
+                        c.offset = w.read(&slot->offset);
+                        c.length = w.read(&slot->length);
+                        c.hash = w.read(&slot->hash);
+                        w.write(&state[0], head + 1);
+                        w.condBroadcast(notFull);
+                        w.unlock(lock);
+                        return true;
+                    }
+                    if (w.read(&state[2]) >= producers) {
+                        w.unlock(lock);
+                        return false;
+                    }
+                    w.condWait(notEmpty, lock);
+                }
+            };
+            auto markDone = [&](unsigned lock, unsigned notEmpty,
+                                std::uint64_t *state) {
+                w.lock(lock);
+                w.update(&state[2],
+                         [](std::uint64_t v) { return v + 1; });
+                w.condBroadcast(notEmpty);
+                w.unlock(lock);
+            };
+
+            const unsigned role = w.index() < nChunkers
+                                      ? 0
+                                      : (w.index() < nChunkers + nDedupers
+                                             ? 1
+                                             : 2);
+            if (role == 0) {
+                // Chunker: byte-granularity scan of an input slice.
+                const Slice s =
+                    sliceOf(inputSize, w.index(), nChunkers);
+                std::uint32_t rolling = 0, hash = 2166136261u;
+                std::uint64_t start = s.begin;
+                for (std::uint64_t i = s.begin; i < s.end; ++i) {
+                    const std::uint8_t byte = w.read(&input[i]);
+                    // Normalize into the hand-off buffer (byte write).
+                    w.write(&scratch[i],
+                            static_cast<std::uint8_t>(byte ^ 0x5a));
+                    rolling = (rolling << 1) ^ byte;
+                    hash = (hash ^ byte) * 16777619u;
+                    // Short chunks (avg ~12 bytes): successive chunks
+                    // land inside the same 4-byte metadata groups with
+                    // different epochs, which is what keeps dedup's data
+                    // lines in the expanded state (Figure 10).
+                    const bool boundary =
+                        ((rolling & 0xf) == 0xf) ||
+                        (i - start >= 24) || (i + 1 == s.end);
+                    if (boundary && i >= start) {
+                        Chunk c;
+                        c.offset = start;
+                        c.length =
+                            static_cast<std::uint32_t>(i + 1 - start);
+                        c.hash = hash;
+                        push(c, q1Lock, q1NotEmpty, q1NotFull, q1,
+                             q1State);
+                        start = i + 1;
+                        hash = 2166136261u;
+                    }
+                }
+                markDone(q1Lock, q1NotEmpty, q1State);
+            } else if (role == 1) {
+                // Deduper: hash-table lookup/insert per chunk.
+                Chunk c;
+                while (pop(c, q1Lock, q1NotEmpty, q1NotFull, q1, q1State,
+                           nChunkers)) {
+                    const std::uint64_t b = c.hash % nBuckets;
+                    const unsigned bLock =
+                        bucketLocks[b % bucketLocks.size()];
+                    bool duplicate = false;
+                    if (!racy)
+                        w.lock(bLock);
+                    std::uint32_t e = w.read(&bucketHead[b]);
+                    while (e != 0) {
+                        if (w.read(&entryHash[e - 1]) == c.hash) {
+                            duplicate = true;
+                            break;
+                        }
+                        e = w.read(&entryNext[e - 1]);
+                    }
+                    if (!duplicate) {
+                        // Allocate an entry and link it in. The racy
+                        // variant performs the whole sequence unlocked:
+                        // WAW on bucketHead and entryCount.
+                        std::uint32_t idx;
+                        if (racy) {
+                            idx = w.read(&entryCount[0]);
+                            w.write(&entryCount[0], idx + 1);
+                        } else {
+                            w.lock(entryLock);
+                            idx = w.read(&entryCount[0]);
+                            w.write(&entryCount[0], idx + 1);
+                            w.unlock(entryLock);
+                        }
+                        if (idx < maxChunks) {
+                            w.write(&entryHash[idx], c.hash);
+                            w.write(&entryNext[idx],
+                                    w.read(&bucketHead[b]));
+                            w.write(&bucketHead[b], idx + 1);
+                        }
+                    }
+                    if (!racy)
+                        w.unlock(bLock);
+                    if (!duplicate)
+                        push(c, q2Lock, q2NotEmpty, q2NotFull, q2,
+                             q2State);
+                    w.compute(8);
+                }
+                // Final unique-entry audit: racy dedupers read the
+                // entry counter unlocked *after* their last queue
+                // operation, racing with the other deduper's allocs in
+                // every schedule.
+                if (racy) {
+                    w.update(&entryCount[0],
+                             [](std::uint32_t v) { return v; });
+                } else {
+                    w.lock(entryLock);
+                    w.read(&entryCount[0]);
+                    w.unlock(entryLock);
+                }
+                markDone(q2Lock, q2NotEmpty, q2State);
+            } else {
+                // Writer: byte-wise "compression" into the shared
+                // output at a reserved offset (the expanded-line
+                // generator: single-byte writes from many threads).
+                Chunk c;
+                std::uint64_t written = 0;
+                while (pop(c, q2Lock, q2NotEmpty, q2NotFull, q2, q2State,
+                           nDedupers)) {
+                    w.lock(cursorLock);
+                    const std::uint64_t at = w.read(&outCursor[0]);
+                    w.write(&outCursor[0], at + c.length);
+                    w.unlock(cursorLock);
+                    std::uint8_t prev = 0;
+                    for (std::uint32_t i = 0; i < c.length; ++i) {
+                        const std::uint8_t byte =
+                            w.read(&scratch[c.offset + i]);
+                        const std::uint8_t enc = static_cast<std::uint8_t>(
+                            byte ^ prev);
+                        w.write(&output[at + i], enc);
+                        prev = byte;
+                        w.compute(2);
+                    }
+                    written += c.length;
+                }
+                w.sink(written);
+            }
+        });
+
+        env.declareOutput(output, 4096);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDedup()
+{
+    return std::make_unique<Dedup>();
+}
+
+} // namespace clean::wl::suite

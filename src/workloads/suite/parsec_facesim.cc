@@ -1,0 +1,151 @@
+/**
+ * @file
+ * facesim — mesh physics simulation (PARSEC).
+ *
+ * A tetrahedral-mesh stand-in: elements connect 4 vertices; per
+ * timestep every thread processes a slice of elements, computing an
+ * elastic force from the element's vertex positions and scatter-adding
+ * it to the vertices under striped vertex locks, then integrates its
+ * own vertex slice. Barriers separate the force and integrate phases.
+ * Moderately frequent synchronization puts facesim in the paper's
+ * rollover list (Table 1: 8.2 rollovers/second). Race-free.
+ *
+ * (The paper omits facesim from the *hardware* simulation for running
+ * time; bench_fig9 mirrors that.)
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Facesim : public KernelBase
+{
+  public:
+    Facesim() : KernelBase("facesim", "parsec", false) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nVertices = scaled(p.scale, 384, 1536, 6144);
+        const std::uint64_t nElements = nVertices * 2;
+        const std::uint64_t steps = scaled(p.scale, 2, 3, 6);
+
+        auto *posX = env.allocShared<double>(nVertices);
+        auto *posY = env.allocShared<double>(nVertices);
+        auto *velX = env.allocShared<double>(nVertices);
+        auto *velY = env.allocShared<double>(nVertices);
+        auto *frcX = env.allocShared<double>(nVertices);
+        auto *frcY = env.allocShared<double>(nVertices);
+        auto *elem = env.allocShared<std::uint32_t>(nElements * 4);
+
+        std::vector<unsigned> vertexLocks;
+        for (unsigned i = 0; i < 64; ++i)
+            vertexLocks.push_back(env.createMutex());
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t v = 0; v < nVertices; ++v) {
+                posX[v] = init.nextDouble();
+                posY[v] = init.nextDouble();
+                velX[v] = velY[v] = 0.0;
+                frcX[v] = frcY[v] = 0.0;
+            }
+            for (std::uint64_t e = 0; e < nElements; ++e) {
+                // Local neighborhoods: element vertices are nearby.
+                const std::uint64_t base = init.nextBelow(nVertices);
+                for (unsigned k = 0; k < 4; ++k)
+                    elem[e * 4 + k] = static_cast<std::uint32_t>(
+                        (base + k * 3 + init.nextBelow(3)) % nVertices);
+            }
+        }
+
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice ve = sliceOf(nVertices, w.index(), w.count());
+            const Slice el = sliceOf(nElements, w.index(), w.count());
+            auto lockOf = [&](std::uint32_t v) {
+                return vertexLocks[v % vertexLocks.size()];
+            };
+
+            for (std::uint64_t step = 0; step < steps; ++step) {
+                for (std::uint64_t v = ve.begin; v < ve.end; ++v) {
+                    w.write(&frcX[v], 0.0);
+                    w.write(&frcY[v], 0.0);
+                }
+                w.barrier(phase);
+
+                for (std::uint64_t e = el.begin; e < el.end; ++e) {
+                    std::uint32_t vs[4];
+                    double cx = 0.0, cy = 0.0;
+                    for (unsigned k = 0; k < 4; ++k) {
+                        vs[k] = w.read(&elem[e * 4 + k]);
+                        // Positions are stable during the force phase;
+                        // reading without the vertex lock is safe
+                        // (they are written only in integrate, across
+                        // a barrier).
+                        cx += w.read(&posX[vs[k]]);
+                        cy += w.read(&posY[vs[k]]);
+                    }
+                    cx *= 0.25;
+                    cy *= 0.25;
+                    for (unsigned k = 0; k < 4; ++k) {
+                        const double dx = cx - w.read(&posX[vs[k]]);
+                        const double dy = cy - w.read(&posY[vs[k]]);
+                        const double fx = 0.5 * dx;
+                        const double fy = 0.5 * dy;
+                        w.lock(lockOf(vs[k]));
+                        w.update(&frcX[vs[k]],
+                                 [fx](double v) { return v + fx; });
+                        w.update(&frcY[vs[k]],
+                                 [fy](double v) { return v + fy; });
+                        w.unlock(lockOf(vs[k]));
+                        w.compute(12);
+                    }
+                }
+                w.barrier(phase);
+
+                for (std::uint64_t v = ve.begin; v < ve.end; ++v) {
+                    const double dt = 0.02;
+                    const double vx =
+                        (w.read(&velX[v]) + dt * w.read(&frcX[v])) *
+                        0.995;
+                    const double vy =
+                        (w.read(&velY[v]) + dt * w.read(&frcY[v])) *
+                        0.995;
+                    w.write(&velX[v], vx);
+                    w.write(&velY[v], vy);
+                    w.update(&posX[v],
+                             [vx](double x) { return x + 0.02 * vx; });
+                    w.update(&posY[v],
+                             [vy](double y) { return y + 0.02 * vy; });
+                    w.compute(8);
+                }
+                w.barrier(phase);
+            }
+
+            std::uint64_t h = 0;
+            for (std::uint64_t v = ve.begin; v < ve.end; ++v)
+                h = h * 31 +
+                    static_cast<std::uint64_t>(
+                        (w.read(&posX[v]) + w.read(&posY[v])) * 1e6);
+            w.sink(h);
+        });
+
+        env.declareOutput(posX, nVertices * sizeof(double));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFacesim()
+{
+    return std::make_unique<Facesim>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * ferret — content-based similarity-search pipeline (PARSEC).
+ *
+ * Stages over a bounded queue: extractors turn "query images" into
+ * feature vectors (private compute), rankers scan the shared feature
+ * index (read-heavy) and insert candidates into a shared top-K list
+ * under a lock. Pipeline parallelism makes per-thread progress very
+ * uneven — one of the paper's examples of deterministic-counter
+ * imprecision hurting Kendo (Figure 6).
+ *
+ * Racy variant: the top-K insertion runs without the lock — WAW on the
+ * list entries and RAW against concurrent readers of the current
+ * minimum.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+constexpr unsigned kFeat = 16;
+constexpr unsigned kTopK = 16;
+
+class Ferret : public KernelBase
+{
+  public:
+    Ferret() : KernelBase("ferret", "parsec", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nQueries = scaled(p.scale, 48, 160, 512);
+        const std::uint64_t indexSize = scaled(p.scale, 512, 2048, 8192);
+        const std::uint64_t queueCap = 32;
+
+        auto *index = env.allocShared<float>(indexSize * kFeat);
+        auto *topScore = env.allocShared<float>(kTopK);
+        auto *topId = env.allocShared<std::uint32_t>(kTopK);
+        auto *queryStat = env.allocShared<std::uint64_t>(1);
+        auto *queue = env.allocShared<std::uint64_t>(queueCap * (kFeat + 1));
+        auto *qState = env.allocShared<std::uint64_t>(3); // head tail done
+
+        const unsigned qLock = env.createMutex();
+        const unsigned qNotEmpty = env.createCond();
+        const unsigned qNotFull = env.createCond();
+        const unsigned topLock = env.createMutex();
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < indexSize * kFeat; ++i)
+                index[i] = static_cast<float>(init.nextDouble());
+            for (unsigned k = 0; k < kTopK; ++k) {
+                topScore[k] = -1.0f;
+                topId[k] = 0;
+            }
+            qState[0] = qState[1] = qState[2] = 0;
+            queryStat[0] = 0;
+        }
+
+        const bool racy = p.racy;
+        // >= 1 extractor and >= 2 rankers (so racy top-K inserts race).
+        const unsigned threads = std::max(3u, p.threads);
+        const unsigned nExtractors = std::max(1u, threads / 2);
+
+        env.parallel(threads, [&](Worker &w) {
+            if (w.index() < nExtractors) {
+                // Extractor: synthesize feature vectors (private
+                // compute), push into the queue.
+                const Slice s = sliceOf(nQueries, w.index(), nExtractors);
+                auto *feat = env.allocPrivate<double>(kFeat);
+                for (std::uint64_t q = s.begin; q < s.end; ++q) {
+                    // "Decode/extract": iterate a hash into features.
+                    std::uint64_t x = p.seed ^ (q * 0x9e3779b9ULL);
+                    for (unsigned f = 0; f < kFeat; ++f) {
+                        x ^= x >> 33;
+                        x *= 0xff51afd7ed558ccdULL;
+                        w.writePrivate(&feat[f],
+                                       (x >> 11) * 0x1.0p-53);
+                        w.compute(20);
+                    }
+                    w.lock(qLock);
+                    while (w.read(&qState[1]) - w.read(&qState[0]) >=
+                           queueCap) {
+                        w.condWait(qNotFull, qLock);
+                    }
+                    const std::uint64_t tail = w.read(&qState[1]);
+                    std::uint64_t *slot =
+                        &queue[(tail % queueCap) * (kFeat + 1)];
+                    w.write(&slot[0], q);
+                    for (unsigned f = 0; f < kFeat; ++f) {
+                        w.write(&slot[1 + f],
+                                static_cast<std::uint64_t>(
+                                    w.readPrivate(&feat[f]) * 1e9));
+                    }
+                    w.write(&qState[1], tail + 1);
+                    w.condBroadcast(qNotEmpty);
+                    w.unlock(qLock);
+                }
+                w.lock(qLock);
+                w.update(&qState[2],
+                         [](std::uint64_t v) { return v + 1; });
+                w.condBroadcast(qNotEmpty);
+                w.unlock(qLock);
+                w.sink(s.end - s.begin);
+            } else {
+                // Ranker: scan the index for each queued query.
+                double localBest = 0.0;
+                for (;;) {
+                    std::uint64_t qid = 0;
+                    double feat[kFeat];
+                    bool got = false;
+                    w.lock(qLock);
+                    for (;;) {
+                        const std::uint64_t head = w.read(&qState[0]);
+                        if (head < w.read(&qState[1])) {
+                            const std::uint64_t *slot =
+                                &queue[(head % queueCap) * (kFeat + 1)];
+                            qid = w.read(&slot[0]);
+                            for (unsigned f = 0; f < kFeat; ++f)
+                                feat[f] = static_cast<double>(
+                                              w.read(&slot[1 + f])) *
+                                          1e-9;
+                            w.write(&qState[0], head + 1);
+                            w.condBroadcast(qNotFull);
+                            got = true;
+                            break;
+                        }
+                        if (w.read(&qState[2]) >= nExtractors)
+                            break;
+                        w.condWait(qNotEmpty, qLock);
+                    }
+                    w.unlock(qLock);
+                    if (!got)
+                        break;
+
+                    // Scan the shared index (read-heavy).
+                    float best = -1.0f;
+                    std::uint32_t bestId = 0;
+                    for (std::uint64_t d = 0; d < indexSize; ++d) {
+                        double dot = 0.0;
+                        for (unsigned f = 0; f < kFeat; ++f)
+                            dot += feat[f] *
+                                   w.read(&index[d * kFeat + f]);
+                        if (dot > best) {
+                            best = static_cast<float>(dot);
+                            bestId = static_cast<std::uint32_t>(d);
+                        }
+                        w.compute(kFeat);
+                    }
+                    localBest = std::max(localBest,
+                                         static_cast<double>(best));
+
+                    // Insert into the shared top-K.
+                    if (!racy)
+                        w.lock(topLock);
+                    unsigned minSlot = 0;
+                    float minVal = w.read(&topScore[0]);
+                    for (unsigned k = 1; k < kTopK; ++k) {
+                        const float v = w.read(&topScore[k]);
+                        if (v < minVal) {
+                            minVal = v;
+                            minSlot = k;
+                        }
+                    }
+                    if (best > minVal) {
+                        w.write(&topScore[minSlot], best);
+                        w.write(&topId[minSlot],
+                                static_cast<std::uint32_t>(
+                                    qid * 100000 + bestId));
+                    }
+                    if (!racy)
+                        w.unlock(topLock);
+                }
+                // Final ranked-query count: the racy variant updates it
+                // unlocked as the ranker's last shared action, so the
+                // WAW between rankers survives any schedule.
+                if (racy) {
+                    w.update(&queryStat[0],
+                             [](std::uint64_t v) { return v + 1; });
+                } else {
+                    w.lock(topLock);
+                    w.update(&queryStat[0],
+                             [](std::uint64_t v) { return v + 1; });
+                    w.unlock(topLock);
+                }
+                w.sink(static_cast<std::uint64_t>(localBest * 1e6));
+            }
+        });
+
+        env.declareOutput(topId, kTopK * sizeof(std::uint32_t));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFerret()
+{
+    return std::make_unique<Ferret>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * fluidanimate — smoothed-particle hydrodynamics (PARSEC).
+ *
+ * Particles in a 2D cell grid; per frame: rebin (per-cell locks),
+ * density from neighbors (scatter-add under cell locks — *very*
+ * frequent, tiny critical sections: fluidanimate has the paper's
+ * highest rollover rate, Table 1: 34.8/second, and one of the largest
+ * deterministic-synchronization overheads in Figure 6), then force +
+ * integrate. Barriers between phases.
+ *
+ * Racy variant: density accumulation skips the cell locks (WAW), the
+ * canonical SPH reduction race.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Fluidanimate : public KernelBase
+{
+  public:
+    Fluidanimate() : KernelBase("fluidanimate", "parsec", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nParticles = scaled(p.scale, 384, 1536, 6144);
+        const std::uint64_t frames = scaled(p.scale, 2, 3, 5);
+        const unsigned g = 8; // cells per side
+        const unsigned nCells = g * g;
+        const std::uint64_t cellCap = 8 * (nParticles / nCells + 8);
+
+        auto *px = env.allocShared<double>(nParticles);
+        auto *py = env.allocShared<double>(nParticles);
+        auto *vx = env.allocShared<double>(nParticles);
+        auto *vy = env.allocShared<double>(nParticles);
+        auto *density = env.allocShared<double>(nParticles);
+        auto *cellCount = env.allocShared<std::uint32_t>(nCells);
+        auto *cellList = env.allocShared<std::uint32_t>(nCells * cellCap);
+
+        std::vector<unsigned> cellLocks;
+        for (unsigned c = 0; c < nCells; ++c)
+            cellLocks.push_back(env.createMutex());
+        std::vector<unsigned> particleLocks;
+        for (unsigned i = 0; i < 64; ++i)
+            particleLocks.push_back(env.createMutex());
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nParticles; ++i) {
+                px[i] = init.nextDouble();
+                py[i] = init.nextDouble();
+                vx[i] = (init.nextDouble() - 0.5) * 0.1;
+                vy[i] = (init.nextDouble() - 0.5) * 0.1;
+                density[i] = 0.0;
+            }
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice s = sliceOf(nParticles, w.index(), w.count());
+            const Slice cs = sliceOf(nCells, w.index(), w.count());
+            auto cellOf = [&](std::uint64_t i) -> unsigned {
+                auto clampDim = [&](double v) {
+                    return std::min<unsigned>(
+                        g - 1, static_cast<unsigned>(
+                                   std::max(0.0, v * g)));
+                };
+                return clampDim(w.read(&py[i])) * g +
+                       clampDim(w.read(&px[i]));
+            };
+            auto pLockOf = [&](std::uint64_t i) {
+                return particleLocks[i % particleLocks.size()];
+            };
+
+            for (std::uint64_t frame = 0; frame < frames; ++frame) {
+                // Rebin.
+                for (std::uint64_t c = cs.begin; c < cs.end; ++c)
+                    w.write(&cellCount[c], std::uint32_t{0});
+                w.barrier(phase);
+                for (std::uint64_t i = s.begin; i < s.end; ++i) {
+                    const unsigned c = cellOf(i);
+                    w.lock(cellLocks[c]);
+                    const std::uint32_t k = w.read(&cellCount[c]);
+                    if (k < cellCap) {
+                        w.write(&cellList[c * cellCap + k],
+                                static_cast<std::uint32_t>(i));
+                        w.write(&cellCount[c], k + 1);
+                    }
+                    w.unlock(cellLocks[c]);
+                    w.write(&density[i], 0.0);
+                }
+                w.barrier(phase);
+
+                // Density: each owned cell scatters into its particles
+                // and its right/down neighbors' particles.
+                for (std::uint64_t c = cs.begin; c < cs.end; ++c) {
+                    const std::uint32_t cnt = w.read(&cellCount[c]);
+                    for (std::uint32_t a = 0; a < cnt; ++a) {
+                        const std::uint32_t i =
+                            w.read(&cellList[c * cellCap + a]);
+                        const double xi = w.read(&px[i]);
+                        const double yi = w.read(&py[i]);
+                        // neighbor cells: self, +1 col, +1 row
+                        const unsigned neigh[3] = {
+                            static_cast<unsigned>(c),
+                            static_cast<unsigned>((c + 1) % nCells),
+                            static_cast<unsigned>((c + g) % nCells)};
+                        for (unsigned nIdx = 0; nIdx < 3; ++nIdx) {
+                            const unsigned nc = neigh[nIdx];
+                            const std::uint32_t ncnt =
+                                w.read(&cellCount[nc]);
+                            for (std::uint32_t b = 0; b < ncnt; ++b) {
+                                const std::uint32_t j = w.read(
+                                    &cellList[nc * cellCap + b]);
+                                if (j == i)
+                                    continue;
+                                const double dx = xi - w.read(&px[j]);
+                                const double dy = yi - w.read(&py[j]);
+                                const double r2 = dx * dx + dy * dy;
+                                const double h2 = 0.02;
+                                if (r2 >= h2)
+                                    continue;
+                                const double term =
+                                    (h2 - r2) * (h2 - r2);
+                                if (racy) {
+                                    // Unlocked scatter-add: WAW.
+                                    w.update(&density[j],
+                                             [term](double v) {
+                                                 return v + term;
+                                             });
+                                } else {
+                                    w.lock(pLockOf(j));
+                                    w.update(&density[j],
+                                             [term](double v) {
+                                                 return v + term;
+                                             });
+                                    w.unlock(pLockOf(j));
+                                }
+                                w.compute(10);
+                            }
+                        }
+                    }
+                }
+                w.barrier(phase);
+
+                // Integrate own slice with a density-based pressure.
+                for (std::uint64_t i = s.begin; i < s.end; ++i) {
+                    const double d = w.read(&density[i]);
+                    const double press = 0.5 * d;
+                    const double nvx =
+                        (w.read(&vx[i]) - press * 0.01) * 0.99;
+                    const double nvy =
+                        (w.read(&vy[i]) + 0.001 - press * 0.01) * 0.99;
+                    w.write(&vx[i], nvx);
+                    w.write(&vy[i], nvy);
+                    auto wrap = [](double v) {
+                        if (v < 0.0)
+                            return v + 1.0;
+                        if (v >= 1.0)
+                            return v - 1.0;
+                        return v;
+                    };
+                    w.write(&px[i], wrap(w.read(&px[i]) + 0.02 * nvx));
+                    w.write(&py[i], wrap(w.read(&py[i]) + 0.02 * nvy));
+                    w.compute(8);
+                }
+                w.barrier(phase);
+            }
+
+            std::uint64_t h = 0;
+            for (std::uint64_t i = s.begin; i < s.end; ++i)
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 w.read(&density[i]) * 1e9);
+            w.sink(h);
+        });
+
+        env.declareOutput(density, nParticles * sizeof(double));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFluidanimate()
+{
+    return std::make_unique<Fluidanimate>();
+}
+
+} // namespace clean::wl::suite

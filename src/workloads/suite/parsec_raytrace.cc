@@ -1,0 +1,174 @@
+/**
+ * @file
+ * raytrace_p — PARSEC's real-time raytracer (distinct from SPLASH-2
+ * raytrace).
+ *
+ * A two-level grid acceleration structure over random triangles is
+ * built once (read-only), then threads pull screen tiles from a
+ * lock-protected queue and trace rays through the grid. Almost entirely
+ * shared reads + disjoint pixel writes; correctly synchronized —
+ * race-free in the paper's suite.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Tri
+{
+    double ax, ay, bx, by, cx, cy;
+    double shade;
+    double pad;
+};
+
+class RaytraceP : public KernelBase
+{
+  public:
+    RaytraceP() : KernelBase("raytrace_p", "parsec", false) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t dim = scaled(p.scale, 48, 96, 224);
+        const std::uint64_t nTris = scaled(p.scale, 64, 192, 512);
+        const unsigned g = 8; // acceleration grid side
+        const std::uint64_t cellCap = 8 * (nTris / (g * g) + 8);
+        const std::uint64_t tile = 8;
+        const std::uint64_t nTiles = (dim / tile) * (dim / tile);
+
+        auto *tris = env.allocShared<Tri>(nTris);
+        auto *gridCount = env.allocShared<std::uint32_t>(g * g);
+        auto *gridList = env.allocShared<std::uint32_t>(g * g * cellCap);
+        auto *image = env.allocShared<float>(dim * dim);
+        auto *tileCounter = env.allocShared<std::uint64_t>(1);
+        const unsigned counterLock = env.createMutex();
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t c = 0; c < g * g; ++c)
+                gridCount[c] = 0;
+            for (std::uint64_t t = 0; t < nTris; ++t) {
+                const double x = init.nextDouble(), y = init.nextDouble();
+                tris[t].ax = x;
+                tris[t].ay = y;
+                tris[t].bx = x + init.nextDouble() * 0.1;
+                tris[t].by = y + init.nextDouble() * 0.1;
+                tris[t].cx = x + init.nextDouble() * 0.1;
+                tris[t].cy = y - init.nextDouble() * 0.1;
+                tris[t].shade = init.nextDouble();
+                // Insert into overlapped grid cells (centroid cell).
+                const unsigned cx = std::min<unsigned>(
+                    g - 1, static_cast<unsigned>(x * g));
+                const unsigned cy = std::min<unsigned>(
+                    g - 1, static_cast<unsigned>(y * g));
+                const unsigned c = cy * g + cx;
+                if (gridCount[c] < cellCap)
+                    gridList[c * cellCap + gridCount[c]++] =
+                        static_cast<std::uint32_t>(t);
+            }
+            tileCounter[0] = 0;
+        }
+
+        env.parallel(p.threads, [&](Worker &w) {
+            double localSum = 0.0;
+            for (;;) {
+                std::uint64_t t;
+                w.lock(counterLock);
+                t = w.read(&tileCounter[0]);
+                w.write(&tileCounter[0], t + 1);
+                w.unlock(counterLock);
+                if (t >= nTiles)
+                    break;
+                const std::uint64_t tilesPerSide = dim / tile;
+                const std::uint64_t ty = (t / tilesPerSide) * tile;
+                const std::uint64_t tx = (t % tilesPerSide) * tile;
+                for (std::uint64_t py = ty; py < ty + tile; ++py) {
+                    for (std::uint64_t px = tx; px < tx + tile; ++px) {
+                        const double rx =
+                            (px + 0.5) / static_cast<double>(dim);
+                        const double ry =
+                            (py + 0.5) / static_cast<double>(dim);
+                        // Walk the grid cell the ray lands in plus one
+                        // neighbor ring (flat projection).
+                        double shade = 0.0;
+                        const unsigned cx = std::min<unsigned>(
+                            g - 1, static_cast<unsigned>(rx * g));
+                        const unsigned cy = std::min<unsigned>(
+                            g - 1, static_cast<unsigned>(ry * g));
+                        for (int dyc = -1; dyc <= 1; ++dyc) {
+                            for (int dxc = -1; dxc <= 1; ++dxc) {
+                                const int ncx = static_cast<int>(cx) + dxc;
+                                const int ncy = static_cast<int>(cy) + dyc;
+                                if (ncx < 0 || ncy < 0 ||
+                                    ncx >= static_cast<int>(g) ||
+                                    ncy >= static_cast<int>(g)) {
+                                    continue;
+                                }
+                                const unsigned c = ncy * g + ncx;
+                                const std::uint32_t cnt =
+                                    w.read(&gridCount[c]);
+                                for (std::uint32_t k = 0; k < cnt; ++k) {
+                                    const std::uint32_t ti = w.read(
+                                        &gridList[c * cellCap + k]);
+                                    // Barycentric point-in-triangle.
+                                    const double ax =
+                                        w.read(&tris[ti].ax);
+                                    const double ay =
+                                        w.read(&tris[ti].ay);
+                                    const double bx =
+                                        w.read(&tris[ti].bx);
+                                    const double by =
+                                        w.read(&tris[ti].by);
+                                    const double cxx =
+                                        w.read(&tris[ti].cx);
+                                    const double cyy =
+                                        w.read(&tris[ti].cy);
+                                    const double d =
+                                        (by - cyy) * (ax - cxx) +
+                                        (cxx - bx) * (ay - cyy);
+                                    if (std::fabs(d) < 1e-12)
+                                        continue;
+                                    const double l1 =
+                                        ((by - cyy) * (rx - cxx) +
+                                         (cxx - bx) * (ry - cyy)) /
+                                        d;
+                                    const double l2 =
+                                        ((cyy - ay) * (rx - cxx) +
+                                         (ax - cxx) * (ry - cyy)) /
+                                        d;
+                                    const double l3 = 1.0 - l1 - l2;
+                                    if (l1 >= 0 && l2 >= 0 && l3 >= 0)
+                                        shade = std::max(
+                                            shade,
+                                            w.read(&tris[ti].shade));
+                                    w.compute(20);
+                                }
+                            }
+                        }
+                        w.write(&image[py * dim + px],
+                                static_cast<float>(shade));
+                        localSum += shade;
+                    }
+                }
+            }
+            w.sink(static_cast<std::uint64_t>(localSum * 1e6));
+        });
+
+        env.declareOutput(image, dim * dim * sizeof(float));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRaytraceP()
+{
+    return std::make_unique<RaytraceP>();
+}
+
+} // namespace clean::wl::suite

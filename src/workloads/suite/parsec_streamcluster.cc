@@ -1,0 +1,138 @@
+/**
+ * @file
+ * streamcluster — online k-median clustering (PARSEC).
+ *
+ * Iterations of: assign points to the nearest open center (parallel,
+ * read centers / write own assignment), reduce the total cost under a
+ * lock, let thread 0 decide whether to open a new center, repeat —
+ * with a barrier after every step. streamcluster is PARSEC's most
+ * barrier-intensive benchmark; the paper calls it out as the workload
+ * that *speeds up* under deterministic synchronization because Kendo's
+ * spin-based waits replace pthread blocking waits (Figure 6).
+ * Race-free.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+constexpr unsigned kDims = 8;
+
+class Streamcluster : public KernelBase
+{
+  public:
+    Streamcluster() : KernelBase("streamcluster", "parsec", false) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nPoints = scaled(p.scale, 512, 2048, 8192);
+        const std::uint64_t maxCenters = 24;
+        const std::uint64_t rounds = scaled(p.scale, 8, 12, 20);
+
+        auto *points = env.allocShared<double>(nPoints * kDims);
+        auto *centers = env.allocShared<double>(maxCenters * kDims);
+        auto *nCenters = env.allocShared<std::uint32_t>(1);
+        auto *assign = env.allocShared<std::uint32_t>(nPoints);
+        auto *totalCost = env.allocShared<double>(1);
+        const unsigned costLock = env.createMutex();
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nPoints * kDims; ++i)
+                points[i] = init.nextDouble();
+            for (unsigned d = 0; d < kDims; ++d)
+                centers[d] = points[d];
+            nCenters[0] = 1;
+            totalCost[0] = 0.0;
+        }
+
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice s = sliceOf(nPoints, w.index(), w.count());
+            // Private snapshot of the open centers for the assign scan
+            // (streamcluster's per-thread center cache).
+            auto *centerCache =
+                env.allocPrivate<double>(maxCenters * kDims);
+            for (std::uint64_t round = 0; round < rounds; ++round) {
+                if (w.index() == 0)
+                    w.write(&totalCost[0], 0.0);
+                w.barrier(phase);
+
+                // Assign: nearest open center for each owned point.
+                const std::uint32_t k = w.read(&nCenters[0]);
+                for (std::uint32_t c = 0; c < k; ++c)
+                    for (unsigned d = 0; d < kDims; ++d)
+                        w.writePrivate(&centerCache[c * kDims + d],
+                                       w.read(&centers[c * kDims + d]));
+                double localCost = 0.0;
+                for (std::uint64_t i = s.begin; i < s.end; ++i) {
+                    double best = 1e30;
+                    std::uint32_t bestC = 0;
+                    for (std::uint32_t c = 0; c < k; ++c) {
+                        double d2 = 0.0;
+                        for (unsigned d = 0; d < kDims; ++d) {
+                            const double diff =
+                                w.read(&points[i * kDims + d]) -
+                                w.readPrivate(
+                                    &centerCache[c * kDims + d]);
+                            d2 += diff * diff;
+                        }
+                        if (d2 < best) {
+                            best = d2;
+                            bestC = c;
+                        }
+                        w.compute(kDims * 3);
+                    }
+                    w.write(&assign[i], bestC);
+                    localCost += best;
+                }
+                w.lock(costLock);
+                w.update(&totalCost[0], [localCost](double v) {
+                    return v + localCost;
+                });
+                w.unlock(costLock);
+                w.barrier(phase);
+
+                // Open a new center if the cost warrants it (thread 0).
+                if (w.index() == 0) {
+                    const double cost = w.read(&totalCost[0]);
+                    const std::uint32_t cur = w.read(&nCenters[0]);
+                    if (cur < maxCenters &&
+                        cost > 10.0 * static_cast<double>(cur)) {
+                        // Seed from a deterministic point index.
+                        const std::uint64_t pick =
+                            (round * 7919) % nPoints;
+                        for (unsigned d = 0; d < kDims; ++d)
+                            w.write(&centers[cur * kDims + d],
+                                    w.read(&points[pick * kDims + d]));
+                        w.write(&nCenters[0], cur + 1);
+                    }
+                }
+                w.barrier(phase);
+            }
+
+            std::uint64_t h = 0;
+            for (std::uint64_t i = s.begin; i < s.end; ++i)
+                h = h * 31 + w.read(&assign[i]);
+            w.sink(h);
+        });
+
+        env.declareOutput(assign, nPoints * sizeof(std::uint32_t));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStreamcluster()
+{
+    return std::make_unique<Streamcluster>();
+}
+
+} // namespace clean::wl::suite

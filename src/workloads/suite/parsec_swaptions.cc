@@ -1,0 +1,108 @@
+/**
+ * @file
+ * swaptions — Monte-Carlo HJM swaption pricing (PARSEC).
+ *
+ * Each swaption is priced independently by simulating interest-rate
+ * paths; the working set is per-thread path buffers (private shim
+ * accesses), with only the swaption parameters read and one result
+ * written per swaption. The lowest shared-access frequency in the
+ * suite — swaptions sits at the cheap end of Figures 6 and 7.
+ * Race-free.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Swaption
+{
+    double strike, maturity, vol, rate0;
+    double price;
+    double pad[3];
+};
+
+class Swaptions : public KernelBase
+{
+  public:
+    Swaptions() : KernelBase("swaptions", "parsec", false) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nSwaptions = scaled(p.scale, 16, 32, 64);
+        const std::uint64_t nPaths = scaled(p.scale, 64, 256, 1024);
+        const std::uint64_t steps = 32;
+
+        auto *swaptions = env.allocShared<Swaption>(nSwaptions);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nSwaptions; ++i) {
+                swaptions[i].strike = 0.02 + init.nextDouble() * 0.06;
+                swaptions[i].maturity = 1.0 + init.nextDouble() * 9.0;
+                swaptions[i].vol = 0.05 + init.nextDouble() * 0.2;
+                swaptions[i].rate0 = 0.01 + init.nextDouble() * 0.05;
+                swaptions[i].price = 0.0;
+            }
+        }
+
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice s = sliceOf(nSwaptions, w.index(), w.count());
+            auto *path = env.allocPrivate<double>(steps);
+            std::uint64_t h = 0;
+            for (std::uint64_t i = s.begin; i < s.end; ++i) {
+                const double strike = w.read(&swaptions[i].strike);
+                const double vol = w.read(&swaptions[i].vol);
+                const double r0 = w.read(&swaptions[i].rate0);
+                double payoffSum = 0.0;
+                // Deterministic per-swaption path generator.
+                Prng paths(p.seed ^ (i * 0x9e3779b97f4a7c15ULL));
+                for (std::uint64_t path_i = 0; path_i < nPaths;
+                     ++path_i) {
+                    double r = r0;
+                    for (std::uint64_t t = 0; t < steps; ++t) {
+                        const double z =
+                            paths.nextDouble() + paths.nextDouble() +
+                            paths.nextDouble() - 1.5; // ~gaussian-ish
+                        r = std::max(1e-5,
+                                     r + 0.001 * (0.03 - r) +
+                                         vol * 0.05 * z);
+                        w.writePrivate(&path[t], r);
+                        w.compute(10);
+                    }
+                    // Payoff: discounted swap value above strike.
+                    double disc = 1.0, value = 0.0;
+                    for (std::uint64_t t = 0; t < steps; ++t) {
+                        const double rt = w.readPrivate(&path[t]);
+                        disc /= (1.0 + rt / steps);
+                        value += disc * (rt - strike) / steps;
+                        w.compute(6);
+                    }
+                    payoffSum += std::max(0.0, value);
+                }
+                const double price =
+                    payoffSum / static_cast<double>(nPaths);
+                w.write(&swaptions[i].price, price);
+                h = h * 31 + static_cast<std::uint64_t>(price * 1e6);
+            }
+            w.sink(h);
+        });
+
+        env.declareOutput(swaptions, nSwaptions * sizeof(Swaption));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSwaptions()
+{
+    return std::make_unique<Swaptions>();
+}
+
+} // namespace clean::wl::suite

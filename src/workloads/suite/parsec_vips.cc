@@ -1,0 +1,173 @@
+/**
+ * @file
+ * vips — image-processing pipeline over region tasks (PARSEC).
+ *
+ * A chain of whole-image operations (linear transform, 3x3 convolution,
+ * threshold) is applied region by region; regions are handed out from a
+ * lock-protected task queue per operation, with a barrier between
+ * operations (vips evaluates demand-driven regions; the task queue is
+ * the shape that matters: uneven worker progress, pipeline-ish
+ * imbalance for deterministic counters).
+ *
+ * Racy variant: the per-operation shared progress/statistics record
+ * (processed-pixel count + max value) is updated without the lock —
+ * WAW — the same flavor as vips' real tracked-allocation races.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Vips : public KernelBase
+{
+  public:
+    Vips() : KernelBase("vips", "parsec", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t dim = scaled(p.scale, 64, 160, 448);
+        const std::uint64_t region = 16;
+        const std::uint64_t regionsPerSide = dim / region;
+        const std::uint64_t nRegions = regionsPerSide * regionsPerSide;
+
+        auto *imgA = env.allocShared<float>(dim * dim);
+        auto *imgB = env.allocShared<float>(dim * dim);
+        auto *taskCounter = env.allocShared<std::uint64_t>(1);
+        auto *stats = env.allocShared<double>(2); // pixels, max
+        const unsigned taskLock = env.createMutex();
+        const unsigned statsLock = env.createMutex();
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < dim * dim; ++i)
+                imgA[i] = static_cast<float>(init.nextDouble());
+            taskCounter[0] = 0;
+            stats[0] = stats[1] = 0.0;
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            auto nextRegion = [&]() -> std::uint64_t {
+                w.lock(taskLock);
+                const std::uint64_t t = w.read(&taskCounter[0]);
+                w.write(&taskCounter[0], t + 1);
+                w.unlock(taskLock);
+                return t;
+            };
+            auto bumpStats = [&](double pixels, double maxv) {
+                if (racy) {
+                    // Unlocked statistics record: WAW.
+                    w.update(&stats[0],
+                             [pixels](double v) { return v + pixels; });
+                    if (maxv > w.read(&stats[1]))
+                        w.write(&stats[1], maxv);
+                } else {
+                    w.lock(statsLock);
+                    w.update(&stats[0],
+                             [pixels](double v) { return v + pixels; });
+                    if (maxv > w.read(&stats[1]))
+                        w.write(&stats[1], maxv);
+                    w.unlock(statsLock);
+                }
+            };
+            auto regionBounds = [&](std::uint64_t t, std::uint64_t &x0,
+                                    std::uint64_t &y0) {
+                y0 = (t / regionsPerSide) * region;
+                x0 = (t % regionsPerSide) * region;
+            };
+
+            // Op 1: linear transform A -> B.
+            for (;;) {
+                const std::uint64_t t = nextRegion();
+                if (t >= nRegions)
+                    break;
+                std::uint64_t x0, y0;
+                regionBounds(t, x0, y0);
+                double maxv = 0.0;
+                for (std::uint64_t y = y0; y < y0 + region; ++y) {
+                    for (std::uint64_t x = x0; x < x0 + region; ++x) {
+                        const float v = w.read(&imgA[y * dim + x]);
+                        const float out = 1.2f * v + 0.05f;
+                        w.write(&imgB[y * dim + x], out);
+                        maxv = std::max(maxv,
+                                        static_cast<double>(out));
+                        w.compute(3);
+                    }
+                }
+                bumpStats(static_cast<double>(region * region), maxv);
+            }
+            w.barrier(phase);
+            if (w.index() == 0) {
+                w.lock(taskLock);
+                w.write(&taskCounter[0], std::uint64_t{0});
+                w.unlock(taskLock);
+            }
+            w.barrier(phase);
+
+            // Op 2: 3x3 box convolution B -> A.
+            for (;;) {
+                const std::uint64_t t = nextRegion();
+                if (t >= nRegions)
+                    break;
+                std::uint64_t x0, y0;
+                regionBounds(t, x0, y0);
+                double maxv = 0.0;
+                for (std::uint64_t y = y0; y < y0 + region; ++y) {
+                    for (std::uint64_t x = x0; x < x0 + region; ++x) {
+                        float acc = 0.0f;
+                        int count = 0;
+                        for (int dy = -1; dy <= 1; ++dy) {
+                            for (int dx = -1; dx <= 1; ++dx) {
+                                const std::int64_t yy =
+                                    static_cast<std::int64_t>(y) + dy;
+                                const std::int64_t xx =
+                                    static_cast<std::int64_t>(x) + dx;
+                                if (yy < 0 || xx < 0 ||
+                                    yy >= static_cast<std::int64_t>(dim) ||
+                                    xx >= static_cast<std::int64_t>(dim)) {
+                                    continue;
+                                }
+                                acc += w.read(&imgB[yy * dim + xx]);
+                                ++count;
+                            }
+                        }
+                        const float out = acc / count;
+                        w.write(&imgA[y * dim + x], out);
+                        maxv = std::max(maxv,
+                                        static_cast<double>(out));
+                        w.compute(12);
+                    }
+                }
+                bumpStats(static_cast<double>(region * region), maxv);
+            }
+            // Per-worker completion mark on the shared statistics
+            // record; unlocked in the racy variant and performed by all
+            // workers inside the same barrier phase, so the WAW exists
+            // in every schedule.
+            bumpStats(1.0, 0.0);
+            w.barrier(phase);
+
+            w.sink(static_cast<std::uint64_t>(
+                w.read(&imgA[(w.index() * 31) % (dim * dim)]) * 1e6));
+        });
+
+        env.declareOutput(imgA, dim * dim * sizeof(float));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVips()
+{
+    return std::make_unique<Vips>();
+}
+
+} // namespace clean::wl::suite

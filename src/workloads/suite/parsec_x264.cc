@@ -1,0 +1,165 @@
+/**
+ * @file
+ * x264 — pipelined video encoding with inter-frame dependencies
+ * (PARSEC).
+ *
+ * Frames are encoded in a pipeline: each worker owns one frame at a
+ * time and encodes it row by row; motion estimation for row r of frame
+ * f searches a window of the *reconstructed previous frame* around row
+ * r, so it must wait until frame f-1's progress counter passes r + W.
+ * Progress is published under a mutex and waited on with a condition
+ * variable — exactly x264's frame-parallel progress protocol.
+ *
+ * Racy variant: the encoder skips the progress wait and reads the
+ * reference rows immediately — RAW against the previous frame's writer
+ * (x264's real races are exactly such missed-ordering reads of
+ * reconstruction data).
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class X264 : public KernelBase
+{
+  public:
+    X264() : KernelBase("x264", "parsec", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t width = scaled(p.scale, 64, 128, 320);
+        const std::uint64_t rows = scaled(p.scale, 32, 64, 144);
+        const std::uint64_t nFrames =
+            std::max<std::uint64_t>(p.threads, scaled(p.scale, 8, 16, 32));
+        const std::uint64_t window = 2;
+
+        auto *source = env.allocShared<std::uint8_t>(
+            nFrames * rows * width);
+        auto *recon = env.allocShared<std::uint8_t>(
+            nFrames * rows * width);
+        auto *progress = env.allocShared<std::int64_t>(nFrames);
+        auto *bits = env.allocShared<std::uint64_t>(nFrames);
+        const unsigned progressLock = env.createMutex();
+        const unsigned progressCond = env.createCond();
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nFrames * rows * width; ++i) {
+                // Slowly-varying content so motion search finds matches.
+                source[i] = static_cast<std::uint8_t>(
+                    128 + 64 * std::sin(i * 0.01) +
+                    static_cast<double>(init.nextBelow(16)));
+                recon[i] = 0;
+            }
+            for (std::uint64_t f = 0; f < nFrames; ++f) {
+                progress[f] = -1;
+                bits[f] = 0;
+            }
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            std::uint64_t encodedBits = 0;
+            // Frame f is encoded by worker f % threads; workers walk
+            // their frames in order, forming the pipeline.
+            for (std::uint64_t f = w.index(); f < nFrames;
+                 f += w.count()) {
+                for (std::uint64_t r = 0; r < rows; ++r) {
+                    // Wait for the reference window in frame f-1.
+                    if (f > 0) {
+                        const std::int64_t need = std::min<std::int64_t>(
+                            static_cast<std::int64_t>(rows) - 1,
+                            static_cast<std::int64_t>(r + window));
+                        if (!racy) {
+                            w.lock(progressLock);
+                            while (w.read(&progress[f - 1]) < need)
+                                w.condWait(progressCond, progressLock);
+                            w.unlock(progressLock);
+                        } else {
+                            // Racy progress protocol: spin on the
+                            // unlocked progress word the previous
+                            // frame's owner publishes without the lock
+                            // — a guaranteed RAW the moment a published
+                            // value is observed.
+                            while (w.read(&progress[f - 1]) < need)
+                                w.compute(2);
+                        }
+                    }
+
+                    // Encode row r: motion search over the reference
+                    // window, then write the reconstruction row.
+                    for (std::uint64_t x = 0; x < width; ++x) {
+                        const std::uint8_t src = w.read(
+                            &source[(f * rows + r) * width + x]);
+                        std::uint8_t best = src;
+                        if (f > 0) {
+                            unsigned bestCost = 255;
+                            for (std::int64_t dy = -1;
+                                 dy <= static_cast<std::int64_t>(window);
+                                 ++dy) {
+                                const std::int64_t rr =
+                                    static_cast<std::int64_t>(r) + dy;
+                                if (rr < 0 ||
+                                    rr >= static_cast<std::int64_t>(rows))
+                                    continue;
+                                const std::uint8_t ref = w.read(
+                                    &recon[((f - 1) * rows + rr) *
+                                               width +
+                                           x]);
+                                const unsigned cost =
+                                    ref > src ? ref - src : src - ref;
+                                if (cost < bestCost) {
+                                    bestCost = cost;
+                                    best = ref;
+                                }
+                                w.compute(6);
+                            }
+                            encodedBits += bestCost;
+                        }
+                        // Reconstruction: predictor + quantized
+                        // residual.
+                        const std::uint8_t residual =
+                            static_cast<std::uint8_t>((src - best) & 0xf8);
+                        w.write(&recon[(f * rows + r) * width + x],
+                                static_cast<std::uint8_t>(best + residual));
+                        w.compute(4);
+                    }
+
+                    // Publish row progress.
+                    if (racy) {
+                        w.write(&progress[f],
+                                static_cast<std::int64_t>(r));
+                    } else {
+                        w.lock(progressLock);
+                        w.write(&progress[f],
+                                static_cast<std::int64_t>(r));
+                        w.condBroadcast(progressCond);
+                        w.unlock(progressLock);
+                    }
+                }
+                w.lock(progressLock);
+                w.write(&bits[f], encodedBits);
+                w.unlock(progressLock);
+            }
+            w.sink(encodedBits);
+        });
+
+        env.declareOutput(bits, nFrames * sizeof(std::uint64_t));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeX264()
+{
+    return std::make_unique<X264>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * barnes — Barnes-Hut-style hierarchical n-body (SPLASH-2).
+ *
+ * Modeled phases per timestep:
+ *   1. bounding-box reduction over all bodies (global mutex);
+ *   2. binning bodies into a uniform grid of cells standing in for the
+ *      oct-tree, with per-cell aggregate mass updates under cell locks;
+ *   3. force evaluation: each body reads the aggregates of every cell
+ *      (far field) and the bodies of its own cell (near field);
+ *   4. position integration over the thread's own slice.
+ *
+ * Sharing profile: read-heavy force phase, lock-protected scatter
+ * updates, barriers between phases — moderate-to-high sync frequency
+ * (barnes appears in the paper's Table 1 rollover list).
+ *
+ * Racy variant: the bounding-box reduction updates the shared min/max
+ * without the mutex — unsynchronized WAW on the bounds, a classic
+ * "benign-looking" reduction race.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Body
+{
+    double x, y;
+    double vx, vy;
+    double mass;
+    double ax, ay;
+    double pad;
+};
+
+struct Cell
+{
+    double mass;
+    double cx, cy; // mass-weighted centroid accumulators
+    std::uint32_t count;
+    std::uint32_t pad;
+};
+
+class Barnes : public KernelBase
+{
+  public:
+    Barnes() : KernelBase("barnes", "splash2", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nBodies = scaled(p.scale, 192, 1024, 4096);
+        const std::uint64_t steps = scaled(p.scale, 2, 3, 6);
+        const unsigned gridDim = 8;
+        const unsigned nCells = gridDim * gridDim;
+
+        auto *bodies = env.allocShared<Body>(nBodies);
+        auto *cells = env.allocShared<Cell>(nCells);
+        auto *bounds = env.allocShared<double>(4); // minx maxx miny maxy
+        auto *cellIndex = env.allocShared<std::uint32_t>(nBodies);
+
+        const unsigned boundsLock = env.createMutex();
+        std::vector<unsigned> cellLocks;
+        for (unsigned c = 0; c < nCells; ++c)
+            cellLocks.push_back(env.createMutex());
+        const unsigned phase = env.createBarrier(p.threads);
+
+        // Deterministic initial conditions (seeded per body).
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nBodies; ++i) {
+                bodies[i].x = init.nextDouble() * 100.0;
+                bodies[i].y = init.nextDouble() * 100.0;
+                bodies[i].vx = init.nextDouble() - 0.5;
+                bodies[i].vy = init.nextDouble() - 0.5;
+                bodies[i].mass = 1.0 + init.nextDouble();
+                bodies[i].ax = bodies[i].ay = 0.0;
+            }
+            bounds[0] = bounds[2] = 0.0;
+            bounds[1] = bounds[3] = 100.0;
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice slice = sliceOf(nBodies, w.index(), w.count());
+            // Private per-worker cache of cell centroids (the analogue
+            // of barnes' per-processor tree walk buffers).
+            auto *cellCache = env.allocPrivate<double>(nCells * 3);
+            for (std::uint64_t step = 0; step < steps; ++step) {
+                // Phase 0: one worker resets the bounds accumulator.
+                if (w.index() == 0) {
+                    w.write(&bounds[0], 1e30);
+                    w.write(&bounds[1], -1e30);
+                    w.write(&bounds[2], 1e30);
+                    w.write(&bounds[3], -1e30);
+                }
+                w.barrier(phase);
+
+                // Phase 1: bounding box reduction.
+                double minx = 1e30, maxx = -1e30, miny = 1e30,
+                       maxy = -1e30;
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double x = w.read(&bodies[i].x);
+                    const double y = w.read(&bodies[i].y);
+                    minx = std::min(minx, x);
+                    maxx = std::max(maxx, x);
+                    miny = std::min(miny, y);
+                    maxy = std::max(maxy, y);
+                    w.compute(4);
+                }
+                if (racy) {
+                    // Unlocked reduction: WAW on the shared bounds.
+                    if (minx < w.read(&bounds[0]))
+                        w.write(&bounds[0], minx);
+                    if (maxx > w.read(&bounds[1]))
+                        w.write(&bounds[1], maxx);
+                    if (miny < w.read(&bounds[2]))
+                        w.write(&bounds[2], miny);
+                    if (maxy > w.read(&bounds[3]))
+                        w.write(&bounds[3], maxy);
+                } else {
+                    w.lock(boundsLock);
+                    if (minx < w.read(&bounds[0]))
+                        w.write(&bounds[0], minx);
+                    if (maxx > w.read(&bounds[1]))
+                        w.write(&bounds[1], maxx);
+                    if (miny < w.read(&bounds[2]))
+                        w.write(&bounds[2], miny);
+                    if (maxy > w.read(&bounds[3]))
+                        w.write(&bounds[3], maxy);
+                    w.unlock(boundsLock);
+                }
+                w.barrier(phase);
+
+                // Phase 1b: one worker resets the grid cells.
+                if (w.index() == 0) {
+                    for (unsigned c = 0; c < nCells; ++c) {
+                        w.write(&cells[c].mass, 0.0);
+                        w.write(&cells[c].cx, 0.0);
+                        w.write(&cells[c].cy, 0.0);
+                        w.write(&cells[c].count, std::uint32_t{0});
+                    }
+                }
+                w.barrier(phase);
+
+                // Phase 2: bin bodies into cells ("tree build").
+                const double bx0 = w.read(&bounds[0]);
+                const double bx1 = w.read(&bounds[1]);
+                const double by0 = w.read(&bounds[2]);
+                const double by1 = w.read(&bounds[3]);
+                const double sx = gridDim / std::max(1e-9, bx1 - bx0);
+                const double sy = gridDim / std::max(1e-9, by1 - by0);
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double x = w.read(&bodies[i].x);
+                    const double y = w.read(&bodies[i].y);
+                    const double m = w.read(&bodies[i].mass);
+                    unsigned gx = std::min<unsigned>(
+                        gridDim - 1,
+                        static_cast<unsigned>(std::max(0.0, (x - bx0) * sx)));
+                    unsigned gy = std::min<unsigned>(
+                        gridDim - 1,
+                        static_cast<unsigned>(std::max(0.0, (y - by0) * sy)));
+                    const unsigned c = gy * gridDim + gx;
+                    w.write(&cellIndex[i], c);
+                    w.lock(cellLocks[c]);
+                    w.update(&cells[c].mass,
+                             [m](double v) { return v + m; });
+                    w.update(&cells[c].cx,
+                             [m, x](double v) { return v + m * x; });
+                    w.update(&cells[c].cy,
+                             [m, y](double v) { return v + m * y; });
+                    w.update(&cells[c].count,
+                             [](std::uint32_t v) { return v + 1; });
+                    w.unlock(cellLocks[c]);
+                    w.compute(8);
+                }
+                w.barrier(phase);
+
+                // Phase 3: force evaluation (read-heavy). Cell
+                // aggregates are snapshotted into the private cache
+                // once, then every body walks private memory.
+                for (unsigned c = 0; c < nCells; ++c) {
+                    const double cm = w.read(&cells[c].mass);
+                    w.writePrivate(&cellCache[c * 3], cm);
+                    w.writePrivate(&cellCache[c * 3 + 1],
+                                   cm > 0 ? w.read(&cells[c].cx) / cm
+                                          : 0.0);
+                    w.writePrivate(&cellCache[c * 3 + 2],
+                                   cm > 0 ? w.read(&cells[c].cy) / cm
+                                          : 0.0);
+                }
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double x = w.read(&bodies[i].x);
+                    const double y = w.read(&bodies[i].y);
+                    double ax = 0.0, ay = 0.0;
+                    for (unsigned c = 0; c < nCells; ++c) {
+                        const double cm =
+                            w.readPrivate(&cellCache[c * 3]);
+                        if (cm <= 0.0)
+                            continue;
+                        const double cx =
+                            w.readPrivate(&cellCache[c * 3 + 1]);
+                        const double cy =
+                            w.readPrivate(&cellCache[c * 3 + 2]);
+                        const double dx = cx - x;
+                        const double dy = cy - y;
+                        const double d2 = dx * dx + dy * dy + 0.5;
+                        const double inv = cm / (d2 * std::sqrt(d2));
+                        ax += dx * inv;
+                        ay += dy * inv;
+                        w.compute(10);
+                    }
+                    w.write(&bodies[i].ax, ax);
+                    w.write(&bodies[i].ay, ay);
+                }
+                w.barrier(phase);
+
+                // Phase 4: integrate own slice.
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double dt = 0.01;
+                    const double vx =
+                        w.read(&bodies[i].vx) + dt * w.read(&bodies[i].ax);
+                    const double vy =
+                        w.read(&bodies[i].vy) + dt * w.read(&bodies[i].ay);
+                    w.write(&bodies[i].vx, vx);
+                    w.write(&bodies[i].vy, vy);
+                    w.update(&bodies[i].x,
+                             [vx](double v) { return v + 0.01 * vx; });
+                    w.update(&bodies[i].y,
+                             [vy](double v) { return v + 0.01 * vy; });
+                    w.compute(6);
+                }
+                w.barrier(phase);
+            }
+            // Fold a stable per-worker checksum.
+            std::uint64_t h = 0;
+            for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                h ^= static_cast<std::uint64_t>(
+                    w.read(&bodies[i].x) * 1024.0);
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 w.read(&bodies[i].y) * 1024.0);
+            }
+            w.sink(h);
+        });
+
+        env.declareOutput(bodies, nBodies * sizeof(Body));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBarnes()
+{
+    return std::make_unique<Barnes>();
+}
+
+} // namespace clean::wl::suite

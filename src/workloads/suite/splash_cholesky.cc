@@ -1,0 +1,203 @@
+/**
+ * @file
+ * cholesky — blocked right-looking Cholesky factorization (SPLASH-2).
+ *
+ * A dense SPD matrix is factored in block-column steps. Within step k
+ * the diagonal block is factored by its owner, then the sub-diagonal
+ * panel and the trailing update are distributed over threads through a
+ * lock-protected dynamic task counter (SPLASH cholesky uses task queues
+ * the same way). Barriers separate the k-steps.
+ *
+ * Racy variant: the dynamic task counter is read-incremented without
+ * the lock — an unsynchronized RMW producing WAW (and duplicate /
+ * dropped tasks), the classic "homemade atomic" bug.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Cholesky : public KernelBase
+{
+  public:
+    Cholesky() : KernelBase("cholesky", "splash2", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t blockDim = scaled(p.scale, 4, 8, 12);
+        const std::uint64_t b = 8; // elements per block side
+        const std::uint64_t n = blockDim * b;
+
+        auto *matrix = env.allocShared<double>(n * n);
+        auto *taskCounter = env.allocShared<std::uint64_t>(1);
+        const unsigned taskLock = env.createMutex();
+        const unsigned phase = env.createBarrier(p.threads);
+
+        // SPD by construction: A = I*diag + small symmetric noise.
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                for (std::uint64_t j = 0; j <= i; ++j) {
+                    const double v =
+                        (i == j) ? (n + 1.0) : (init.nextDouble() * 0.5);
+                    matrix[i * n + j] = v;
+                    matrix[j * n + i] = v;
+                }
+            }
+            taskCounter[0] = 0;
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            auto at = [&](std::uint64_t r, std::uint64_t c) {
+                return &matrix[r * n + c];
+            };
+            auto fetchTask = [&]() -> std::uint64_t {
+                if (racy) {
+                    // Unlocked read-modify-write on the shared counter.
+                    const std::uint64_t t = w.read(&taskCounter[0]);
+                    w.write(&taskCounter[0], t + 1);
+                    return t;
+                }
+                w.lock(taskLock);
+                const std::uint64_t t = w.read(&taskCounter[0]);
+                w.write(&taskCounter[0], t + 1);
+                w.unlock(taskLock);
+                return t;
+            };
+
+            for (std::uint64_t k = 0; k < blockDim; ++k) {
+                // Diagonal block factorization by a single owner.
+                if (k % w.count() == w.index()) {
+                    for (std::uint64_t j = k * b; j < (k + 1) * b; ++j) {
+                        double d = w.read(at(j, j));
+                        for (std::uint64_t t = k * b; t < j; ++t) {
+                            const double l = w.read(at(j, t));
+                            d -= l * l;
+                            w.compute(2);
+                        }
+                        d = std::sqrt(std::max(1e-9, d));
+                        w.write(at(j, j), d);
+                        for (std::uint64_t i = j + 1; i < (k + 1) * b;
+                             ++i) {
+                            double s = w.read(at(i, j));
+                            for (std::uint64_t t = k * b; t < j; ++t) {
+                                s -= w.read(at(i, t)) * w.read(at(j, t));
+                                w.compute(2);
+                            }
+                            w.write(at(i, j), s / d);
+                        }
+                    }
+                    // Reset the task counter for the next phase.
+                    if (racy)
+                        w.write(&taskCounter[0], std::uint64_t{0});
+                    else {
+                        w.lock(taskLock);
+                        w.write(&taskCounter[0], std::uint64_t{0});
+                        w.unlock(taskLock);
+                    }
+                }
+                w.barrier(phase);
+
+                // Panel solve: blocks (i, k), i > k, as dynamic tasks.
+                const std::uint64_t panelTasks = blockDim - k - 1;
+                for (;;) {
+                    const std::uint64_t t = fetchTask();
+                    if (t >= panelTasks)
+                        break;
+                    const std::uint64_t bi = k + 1 + t;
+                    for (std::uint64_t j = k * b; j < (k + 1) * b; ++j) {
+                        const double d = w.read(at(j, j));
+                        for (std::uint64_t i = bi * b; i < (bi + 1) * b;
+                             ++i) {
+                            double s = w.read(at(i, j));
+                            for (std::uint64_t u = k * b; u < j; ++u) {
+                                s -= w.read(at(i, u)) * w.read(at(j, u));
+                                w.compute(2);
+                            }
+                            w.write(at(i, j), s / d);
+                        }
+                    }
+                }
+                w.barrier(phase);
+                if (k % w.count() == w.index()) {
+                    if (racy)
+                        w.write(&taskCounter[0], std::uint64_t{0});
+                    else {
+                        w.lock(taskLock);
+                        w.write(&taskCounter[0], std::uint64_t{0});
+                        w.unlock(taskLock);
+                    }
+                }
+                w.barrier(phase);
+
+                // Trailing update: blocks (i, j), k < j <= i.
+                std::uint64_t updateTasks = 0;
+                for (std::uint64_t j = k + 1; j < blockDim; ++j)
+                    updateTasks += blockDim - j;
+                for (;;) {
+                    const std::uint64_t t = fetchTask();
+                    if (t >= updateTasks)
+                        break;
+                    // Decode t -> (bi, bj).
+                    std::uint64_t rem = t, bj = k + 1;
+                    while (rem >= blockDim - bj) {
+                        rem -= blockDim - bj;
+                        ++bj;
+                    }
+                    const std::uint64_t bi = bj + rem;
+                    for (std::uint64_t i = bi * b; i < (bi + 1) * b; ++i) {
+                        for (std::uint64_t j = bj * b; j < (bj + 1) * b;
+                             ++j) {
+                            if (j > i)
+                                continue;
+                            double s = w.read(at(i, j));
+                            for (std::uint64_t u = k * b; u < (k + 1) * b;
+                                 ++u) {
+                                s -= w.read(at(i, u)) * w.read(at(j, u));
+                                w.compute(2);
+                            }
+                            w.write(at(i, j), s);
+                        }
+                    }
+                }
+                w.barrier(phase);
+                if (k % w.count() == w.index()) {
+                    if (racy)
+                        w.write(&taskCounter[0], std::uint64_t{0});
+                    else {
+                        w.lock(taskLock);
+                        w.write(&taskCounter[0], std::uint64_t{0});
+                        w.unlock(taskLock);
+                    }
+                }
+                w.barrier(phase);
+            }
+
+            std::uint64_t h = 0;
+            const Slice slice = sliceOf(n, w.index(), w.count());
+            for (std::uint64_t i = slice.begin; i < slice.end; ++i)
+                h = h * 31 +
+                    static_cast<std::uint64_t>(w.read(at(i, i)) * 4096.0);
+            w.sink(h);
+        });
+
+        env.declareOutput(matrix, n * n * sizeof(double));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCholesky()
+{
+    return std::make_unique<Cholesky>();
+}
+
+} // namespace clean::wl::suite

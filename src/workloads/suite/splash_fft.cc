@@ -1,0 +1,127 @@
+/**
+ * @file
+ * fft — radix-2 complex FFT with per-stage barriers (SPLASH-2).
+ *
+ * A power-of-two signal is transformed in log2(n) butterfly stages;
+ * every stage partitions the butterflies contiguously over threads and
+ * ends in a barrier (SPLASH's six-step FFT has the same
+ * compute/transpose/barrier rhythm). All writes in a stage are disjoint
+ * and the stage barrier orders them against the next stage's reads, so
+ * fft is race-free — it is one of the 9 benchmarks the paper found clean
+ * under ThreadSanitizer. Accesses are 8-byte doubles, so nearly every
+ * shared access is wide (Figure 8's >= 91.9% statistic).
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Fft : public KernelBase
+{
+  public:
+    Fft() : KernelBase("fft", "splash2", false) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t logN = scaled(p.scale, 10, 13, 16);
+        const std::uint64_t n = std::uint64_t{1} << logN;
+
+        auto *re = env.allocShared<double>(n);
+        auto *im = env.allocShared<double>(n);
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                re[i] = init.nextDouble() * 2.0 - 1.0;
+                im[i] = 0.0;
+            }
+        }
+
+        env.parallel(p.threads, [&](Worker &w) {
+            // Private twiddle-factor table, recomputed per stage — the
+            // SPLASH FFT keeps the same table in per-process memory.
+            auto *twiddle = env.allocPrivate<double>(n);
+            // Bit-reversal permutation: each worker swaps pairs whose
+            // smaller index falls in its slice (each pair touched once).
+            const Slice slice = sliceOf(n, w.index(), w.count());
+            for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                std::uint64_t j = 0;
+                for (std::uint64_t bit = 0; bit < logN; ++bit)
+                    j |= ((i >> bit) & 1) << (logN - 1 - bit);
+                if (j > i) {
+                    const double tr = w.read(&re[i]);
+                    const double ti = w.read(&im[i]);
+                    w.write(&re[i], w.read(&re[j]));
+                    w.write(&im[i], w.read(&im[j]));
+                    w.write(&re[j], tr);
+                    w.write(&im[j], ti);
+                }
+                w.compute(logN);
+            }
+            w.barrier(phase);
+
+            for (std::uint64_t s = 1; s <= logN; ++s) {
+                const std::uint64_t m = std::uint64_t{1} << s;
+                const std::uint64_t half = m >> 1;
+                // Stage twiddles into private memory.
+                for (std::uint64_t k = 0; k < half; ++k) {
+                    const double angle =
+                        -2.0 * 3.14159265358979323846 *
+                        static_cast<double>(k) / static_cast<double>(m);
+                    w.writePrivate(&twiddle[2 * k], std::cos(angle));
+                    w.writePrivate(&twiddle[2 * k + 1], std::sin(angle));
+                    w.compute(8);
+                }
+                const std::uint64_t butterflies = n >> 1;
+                const Slice bf = sliceOf(butterflies, w.index(), w.count());
+                for (std::uint64_t t = bf.begin; t < bf.end; ++t) {
+                    const std::uint64_t group = t / half;
+                    const std::uint64_t k = t % half;
+                    const std::uint64_t top = group * m + k;
+                    const std::uint64_t bot = top + half;
+                    const double wr = w.readPrivate(&twiddle[2 * k]);
+                    const double wi = w.readPrivate(&twiddle[2 * k + 1]);
+                    const double br = w.read(&re[bot]);
+                    const double bi = w.read(&im[bot]);
+                    const double tr = wr * br - wi * bi;
+                    const double ti = wr * bi + wi * br;
+                    const double ar = w.read(&re[top]);
+                    const double ai = w.read(&im[top]);
+                    w.write(&re[bot], ar - tr);
+                    w.write(&im[bot], ai - ti);
+                    w.write(&re[top], ar + tr);
+                    w.write(&im[top], ai + ti);
+                    w.compute(12);
+                }
+                w.barrier(phase);
+            }
+
+            std::uint64_t h = 0;
+            for (std::uint64_t i = slice.begin; i < slice.end;
+                 i += 1 + (slice.end - slice.begin) / 64) {
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 std::fabs(w.read(&re[i])) * 1e6);
+            }
+            w.sink(h);
+        });
+
+        env.declareOutput(re, n * sizeof(double));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft()
+{
+    return std::make_unique<Fft>();
+}
+
+} // namespace clean::wl::suite

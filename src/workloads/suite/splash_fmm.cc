@@ -1,0 +1,164 @@
+/**
+ * @file
+ * fmm — fast-multipole-style particle interaction (SPLASH-2).
+ *
+ * Particles live in a grid of cells; each timestep builds per-cell
+ * multipole coefficients (P2M: scatter-add under per-cell locks — many
+ * short critical sections, which is why fmm is one of the paper's
+ * frequent-synchronization / clock-rollover benchmarks, Table 1), then
+ * evaluates far-field interactions from the coefficients (M2P,
+ * read-heavy) and near-field interactions within the home cell.
+ *
+ * Racy variant: P2M accumulates into the shared coefficients without
+ * the cell lock — unsynchronized WAW on coefficient words.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+constexpr unsigned kTerms = 4;
+
+struct FmmCell
+{
+    double coeff[kTerms * 2]; // multipole terms, re/im interleaved
+    std::uint32_t count;
+    std::uint32_t pad;
+};
+
+class Fmm : public KernelBase
+{
+  public:
+    Fmm() : KernelBase("fmm", "splash2", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nParticles = scaled(p.scale, 256, 1536, 6144);
+        const std::uint64_t steps = scaled(p.scale, 2, 3, 5);
+        const unsigned gridDim = 8;
+        const unsigned nCells = gridDim * gridDim;
+
+        auto *px = env.allocShared<double>(nParticles);
+        auto *py = env.allocShared<double>(nParticles);
+        auto *pq = env.allocShared<double>(nParticles);
+        auto *potential = env.allocShared<double>(nParticles);
+        auto *cells = env.allocShared<FmmCell>(nCells);
+        auto *home = env.allocShared<std::uint32_t>(nParticles);
+
+        std::vector<unsigned> cellLocks;
+        for (unsigned c = 0; c < nCells; ++c)
+            cellLocks.push_back(env.createMutex());
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nParticles; ++i) {
+                px[i] = init.nextDouble();
+                py[i] = init.nextDouble();
+                pq[i] = init.nextDouble() + 0.1;
+                potential[i] = 0.0;
+            }
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice slice = sliceOf(nParticles, w.index(), w.count());
+            const Slice cellSlice = sliceOf(nCells, w.index(), w.count());
+            for (std::uint64_t step = 0; step < steps; ++step) {
+                // Reset the cells this worker owns.
+                for (std::uint64_t c = cellSlice.begin; c < cellSlice.end;
+                     ++c) {
+                    for (unsigned t = 0; t < kTerms * 2; ++t)
+                        w.write(&cells[c].coeff[t], 0.0);
+                    w.write(&cells[c].count, std::uint32_t{0});
+                }
+                w.barrier(phase);
+
+                // P2M: scatter particle charges into cell multipoles.
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double x = w.read(&px[i]);
+                    const double y = w.read(&py[i]);
+                    const double q = w.read(&pq[i]);
+                    const unsigned gx = std::min<unsigned>(
+                        gridDim - 1, static_cast<unsigned>(x * gridDim));
+                    const unsigned gy = std::min<unsigned>(
+                        gridDim - 1, static_cast<unsigned>(y * gridDim));
+                    const unsigned c = gy * gridDim + gx;
+                    w.write(&home[i], c);
+                    double terms[kTerms * 2];
+                    double zr = 1.0, zi = 0.0;
+                    for (unsigned t = 0; t < kTerms; ++t) {
+                        terms[2 * t] = q * zr;
+                        terms[2 * t + 1] = q * zi;
+                        const double nr = zr * x - zi * y;
+                        const double ni = zr * y + zi * x;
+                        zr = nr;
+                        zi = ni;
+                        w.compute(6);
+                    }
+                    if (!racy)
+                        w.lock(cellLocks[c]);
+                    for (unsigned t = 0; t < kTerms * 2; ++t) {
+                        w.update(&cells[c].coeff[t], [&](double v) {
+                            return v + terms[t];
+                        });
+                    }
+                    w.update(&cells[c].count,
+                             [](std::uint32_t v) { return v + 1; });
+                    if (!racy)
+                        w.unlock(cellLocks[c]);
+                }
+                w.barrier(phase);
+
+                // M2P + near field: evaluate potential at each particle.
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double x = w.read(&px[i]);
+                    const double y = w.read(&py[i]);
+                    double phi = 0.0;
+                    for (unsigned c = 0; c < nCells; ++c) {
+                        const double c0 = w.read(&cells[c].coeff[0]);
+                        const double c2 = w.read(&cells[c].coeff[2]);
+                        const double c3 = w.read(&cells[c].coeff[3]);
+                        const double cx =
+                            (static_cast<double>(c % gridDim) + 0.5) /
+                            gridDim;
+                        const double cy =
+                            (static_cast<double>(c / gridDim) + 0.5) /
+                            gridDim;
+                        const double dx = x - cx;
+                        const double dy = y - cy;
+                        const double r2 = dx * dx + dy * dy + 0.01;
+                        phi += c0 / std::sqrt(r2) +
+                               (c2 * dx + c3 * dy) / r2;
+                        w.compute(10);
+                    }
+                    w.write(&potential[i], phi);
+                }
+                w.barrier(phase);
+            }
+            std::uint64_t h = 0;
+            for (std::uint64_t i = slice.begin; i < slice.end; ++i)
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 w.read(&potential[i]) * 1e3);
+            w.sink(h);
+        });
+
+        env.declareOutput(potential, nParticles * sizeof(double));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFmm()
+{
+    return std::make_unique<Fmm>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * lu_cb / lu_ncb — dense LU factorization without pivoting (SPLASH-2).
+ *
+ * The canonical shared-access-frequency stress test: the inner loops
+ * touch matrix elements almost exclusively, so the per-access
+ * instrumentation cost dominates. In the paper, lu_cb and lu_ncb have
+ * the highest shared-access frequency (Figure 7) and the worst
+ * software-CLEAN slowdowns (Figure 6); this kernel keeps that profile by
+ * performing essentially no work outside shim accesses.
+ *
+ * lu_cb ("contiguous blocks") owns 2D blocks laid out contiguously in
+ * memory; lu_ncb works on the plain row-major matrix so a thread's
+ * blocks are strided across it (worse locality, more epoch lines).
+ *
+ * Racy variant (lu_ncb only, per our 17-racy assignment): the k-step's
+ * pivot-row broadcast skips the barrier that separates it from the
+ * trailing update — updaters can read pivot entries the owner is still
+ * writing (a RAW race) and can observe WAW on re-use of the scratch
+ * pivot buffer.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Lu : public KernelBase
+{
+  public:
+    Lu(const char *name, bool contiguous, bool racySupported)
+        : KernelBase(name, "splash2", racySupported),
+          contiguous_(contiguous)
+    {
+    }
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t n = scaled(p.scale, 48, 96, 192);
+        const std::uint64_t blockSide = 8;
+        const std::uint64_t nb = (n + blockSide - 1) / blockSide;
+
+        auto *matrix = env.allocShared<double>(n * n);
+        auto *pivotRow = env.allocShared<double>(n);
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < n; ++i)
+                for (std::uint64_t j = 0; j < n; ++j)
+                    matrix[i * n + j] =
+                        (i == j ? n * 2.0 : 0.0) + init.nextDouble();
+        }
+
+        const bool contiguous = contiguous_;
+        const bool racy = p.racy && hasRacyVariant();
+        env.parallel(p.threads, [&](Worker &w) {
+            // Private pivot-row copy (SPLASH LU does the same): each
+            // worker snapshots the shared pivot row once per k-step and
+            // streams the inner loop from stack-like private memory.
+            auto *privPivot = env.allocPrivate<double>(n);
+            // Element addressing: cb remaps blocks contiguously so one
+            // thread's working set is dense; ncb uses row-major directly.
+            auto at = [&](std::uint64_t i, std::uint64_t j) -> double * {
+                if (!contiguous)
+                    return &matrix[i * n + j];
+                const std::uint64_t bi = i / blockSide,
+                                    bj = j / blockSide;
+                const std::uint64_t ii = i % blockSide,
+                                    jj = j % blockSide;
+                const std::uint64_t blockIndex = bi * nb + bj;
+                return &matrix[blockIndex * blockSide * blockSide +
+                               ii * blockSide + jj];
+            };
+            auto ownsBlock = [&](std::uint64_t bi, std::uint64_t bj) {
+                return (bi * nb + bj) % w.count() == w.index();
+            };
+
+            for (std::uint64_t k = 0; k < n; ++k) {
+                const std::uint64_t kb = k / blockSide;
+                // Column owner scales the k-th column and publishes the
+                // pivot row for the trailing update.
+                if (kb % w.count() == w.index()) {
+                    const double pivot = w.read(at(k, k));
+                    for (std::uint64_t i = k + 1; i < n; ++i)
+                        w.update(at(i, k),
+                                 [pivot](double v) { return v / pivot; });
+                    for (std::uint64_t j = k; j < n; ++j)
+                        w.write(&pivotRow[j], w.read(at(k, j)));
+                }
+                if (!racy)
+                    w.barrier(phase);
+
+                // Snapshot the pivot row into private memory.
+                for (std::uint64_t j = k + 1; j < n; ++j)
+                    w.writePrivate(&privPivot[j], w.read(&pivotRow[j]));
+
+                // Trailing update, partitioned by block ownership.
+                for (std::uint64_t bi = kb; bi < nb; ++bi) {
+                    for (std::uint64_t bj = kb; bj < nb; ++bj) {
+                        if (!ownsBlock(bi, bj))
+                            continue;
+                        const std::uint64_t i0 =
+                            std::max(k + 1, bi * blockSide);
+                        const std::uint64_t i1 =
+                            std::min(n, (bi + 1) * blockSide);
+                        const std::uint64_t j0 =
+                            std::max(k + 1, bj * blockSide);
+                        const std::uint64_t j1 =
+                            std::min(n, (bj + 1) * blockSide);
+                        for (std::uint64_t i = i0; i < i1; ++i) {
+                            const double lik = w.read(at(i, k));
+                            for (std::uint64_t j = j0; j < j1; ++j) {
+                                const double u =
+                                    w.readPrivate(&privPivot[j]);
+                                w.update(at(i, j), [lik, u](double v) {
+                                    return v - lik * u;
+                                });
+                            }
+                        }
+                    }
+                }
+                w.barrier(phase);
+            }
+
+            std::uint64_t h = 0;
+            const Slice slice = sliceOf(n, w.index(), w.count());
+            for (std::uint64_t i = slice.begin; i < slice.end; ++i)
+                h = h * 31 +
+                    static_cast<std::uint64_t>(w.read(at(i, i)) * 256.0);
+            w.sink(h);
+        });
+
+        env.declareOutput(matrix, n * n * sizeof(double));
+    }
+
+  private:
+    bool contiguous_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLuCb()
+{
+    return std::make_unique<Lu>("lu_cb", true, false);
+}
+
+std::unique_ptr<Workload>
+makeLuNcb()
+{
+    return std::make_unique<Lu>("lu_ncb", false, true);
+}
+
+} // namespace clean::wl::suite

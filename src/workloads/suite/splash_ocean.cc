@@ -1,0 +1,139 @@
+/**
+ * @file
+ * ocean_cp / ocean_ncp — red-black Gauss-Seidel grid relaxation
+ * (SPLASH-2 ocean's SOR core).
+ *
+ * An n x n grid is relaxed for a fixed number of red/black half-sweeps
+ * with barriers between colors. ocean_cp partitions the grid into
+ * contiguous row bands (good locality); ocean_ncp deals rows round-robin
+ * so every thread strides across the whole grid — the cache-hostile
+ * variant whose LLC miss rate makes it a worst case for the 4-byte-epoch
+ * design in Figure 11.
+ *
+ * The red/black split makes neighbor reads safe: a red update reads only
+ * black cells and vice versa, and barriers separate the colors — so
+ * ocean_cp is race-free. Racy variant (ocean_ncp): the residual
+ * reduction is accumulated into a shared double without the lock (WAW),
+ * the standard convergence-test race.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Ocean : public KernelBase
+{
+  public:
+    Ocean(const char *name, bool contiguous, bool racySupported)
+        : KernelBase(name, "splash2", racySupported),
+          contiguous_(contiguous)
+    {
+    }
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t n = scaled(p.scale, 64, 192, 514);
+        const std::uint64_t sweeps = scaled(p.scale, 2, 3, 6);
+
+        auto *grid = env.allocShared<double>(n * n);
+        auto *residual = env.allocShared<double>(1);
+        const unsigned residualLock = env.createMutex();
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < n * n; ++i)
+                grid[i] = init.nextDouble();
+            residual[0] = 0.0;
+        }
+
+        const bool contiguous = contiguous_;
+        const bool racy = p.racy && hasRacyVariant();
+        env.parallel(p.threads, [&](Worker &w) {
+            // Row ownership: contiguous bands vs round-robin rows.
+            auto ownsRow = [&](std::uint64_t row) {
+                if (contiguous) {
+                    const Slice s = sliceOf(n - 2, w.index(), w.count());
+                    return row - 1 >= s.begin && row - 1 < s.end;
+                }
+                return (row - 1) % w.count() == w.index();
+            };
+
+            for (std::uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+                for (int color = 0; color < 2; ++color) {
+                    double localResidual = 0.0;
+                    for (std::uint64_t i = 1; i + 1 < n; ++i) {
+                        if (!ownsRow(i))
+                            continue;
+                        for (std::uint64_t j = 1 + ((i + color) & 1);
+                             j + 1 < n; j += 2) {
+                            const double up = w.read(&grid[(i - 1) * n + j]);
+                            const double down =
+                                w.read(&grid[(i + 1) * n + j]);
+                            const double left =
+                                w.read(&grid[i * n + j - 1]);
+                            const double right =
+                                w.read(&grid[i * n + j + 1]);
+                            const double old = w.read(&grid[i * n + j]);
+                            const double next =
+                                0.25 * (up + down + left + right);
+                            w.write(&grid[i * n + j], next);
+                            localResidual += std::fabs(next - old);
+                            w.compute(8);
+                        }
+                    }
+                    // Residual reduction.
+                    if (racy) {
+                        // Unlocked shared accumulation: WAW.
+                        w.update(&residual[0], [localResidual](double v) {
+                            return v + localResidual;
+                        });
+                    } else {
+                        w.lock(residualLock);
+                        w.update(&residual[0], [localResidual](double v) {
+                            return v + localResidual;
+                        });
+                        w.unlock(residualLock);
+                    }
+                    w.barrier(phase);
+                }
+            }
+
+            std::uint64_t h = 0;
+            for (std::uint64_t i = 1; i + 1 < n; ++i) {
+                if (!ownsRow(i))
+                    continue;
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 w.read(&grid[i * n + i]) * 1e6);
+            }
+            w.sink(h);
+        });
+
+        env.declareOutput(grid, n * n * sizeof(double));
+    }
+
+  private:
+    bool contiguous_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeOceanCp()
+{
+    return std::make_unique<Ocean>("ocean_cp", true, false);
+}
+
+std::unique_ptr<Workload>
+makeOceanNcp()
+{
+    return std::make_unique<Ocean>("ocean_ncp", false, true);
+}
+
+} // namespace clean::wl::suite

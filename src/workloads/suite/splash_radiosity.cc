@@ -1,0 +1,249 @@
+/**
+ * @file
+ * radiosity — task-queue-driven hierarchical radiosity (SPLASH-2).
+ *
+ * The defining trait of SPLASH radiosity is an enormous synchronization
+ * rate: work is a soup of small patch-interaction tasks flowing through
+ * shared task queues, so threads take and release queue locks
+ * constantly. That makes it the paper's top clock-rollover benchmark
+ * (Table 1: 31 rollovers/second) — every lock operation ticks vector
+ * clocks.
+ *
+ * Model: patches with radiosity values; a work list of (src, dst)
+ * interactions distributed through per-thread deques with lock-protected
+ * stealing; energy transfer updates dst patches under per-patch locks;
+ * tasks spawn refinement tasks until an energy threshold.
+ *
+ * Racy variant: the per-patch energy update skips the patch lock (WAW).
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Task
+{
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint32_t depth;
+    std::uint32_t pad;
+};
+
+class Radiosity : public KernelBase
+{
+  public:
+    Radiosity() : KernelBase("radiosity", "splash2", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t nPatches = scaled(p.scale, 64, 160, 512);
+        const std::uint64_t seedTasks = scaled(p.scale, 256, 1024, 4096);
+        const std::uint32_t maxDepth = 3;
+        const std::uint64_t queueCap = seedTasks * 8;
+
+        auto *radiosityVal = env.allocShared<double>(nPatches);
+        auto *formFactor = env.allocShared<double>(nPatches);
+        // Per-thread deques in shared memory: head/tail + storage.
+        const unsigned q = p.threads;
+        auto *qHead = env.allocShared<std::uint64_t>(q);
+        auto *qTail = env.allocShared<std::uint64_t>(q);
+        auto *qData = env.allocShared<Task>(q * queueCap);
+        auto *pending = env.allocShared<std::int64_t>(1);
+        // Global energy statistic, folded in once per worker at exit.
+        // In the racy variant this final unlocked RMW is each worker's
+        // last action — never covered by any later release, so the WAW
+        // between workers exists in *every* schedule.
+        auto *energyStat = env.allocShared<double>(1);
+
+        std::vector<unsigned> queueLocks, patchLocks;
+        for (unsigned i = 0; i < q; ++i)
+            queueLocks.push_back(env.createMutex());
+        for (std::uint64_t i = 0; i < std::min<std::uint64_t>(nPatches, 64);
+             ++i) {
+            patchLocks.push_back(env.createMutex());
+        }
+        const unsigned pendingLock = env.createMutex();
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < nPatches; ++i) {
+                radiosityVal[i] = init.nextDouble();
+                formFactor[i] = 0.05 + 0.4 * init.nextDouble();
+            }
+            // Seed tasks round-robin into the queues.
+            for (unsigned i = 0; i < q; ++i)
+                qHead[i] = qTail[i] = 0;
+            for (std::uint64_t t = 0; t < seedTasks; ++t) {
+                const unsigned owner = t % q;
+                Task &slot = qData[owner * queueCap + qTail[owner]++];
+                slot.src = static_cast<std::uint32_t>(
+                    init.nextBelow(nPatches));
+                slot.dst = static_cast<std::uint32_t>(
+                    init.nextBelow(nPatches));
+                slot.depth = 0;
+            }
+            pending[0] = static_cast<std::int64_t>(seedTasks);
+            energyStat[0] = 0.0;
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            const unsigned self = w.index();
+            auto patchLock = [&](std::uint32_t patch) {
+                return patchLocks[patch % patchLocks.size()];
+            };
+
+            auto tryPop = [&](unsigned victim, Task &out) -> bool {
+                w.lock(queueLocks[victim]);
+                const std::uint64_t head = w.read(&qHead[victim]);
+                const std::uint64_t tail = w.read(&qTail[victim]);
+                bool ok = head < tail;
+                if (ok) {
+                    const Task *slot =
+                        &qData[victim * queueCap + head];
+                    out.src = w.read(&slot->src);
+                    out.dst = w.read(&slot->dst);
+                    out.depth = w.read(&slot->depth);
+                    w.write(&qHead[victim], head + 1);
+                }
+                w.unlock(queueLocks[victim]);
+                return ok;
+            };
+            auto push = [&](const Task &task) {
+                w.lock(queueLocks[self]);
+                const std::uint64_t tail = w.read(&qTail[self]);
+                if (tail < queueCap) {
+                    Task *slot = &qData[self * queueCap + tail];
+                    w.write(&slot->src, task.src);
+                    w.write(&slot->dst, task.dst);
+                    w.write(&slot->depth, task.depth);
+                    w.write(&qTail[self], tail + 1);
+                    w.unlock(queueLocks[self]);
+                    // The racy variant maintains the outstanding-task
+                    // counter without its lock (radiosity's real races
+                    // include exactly such task-count bookkeeping).
+                    if (racy) {
+                        w.update(&pending[0],
+                                 [](std::int64_t v) { return v + 1; });
+                    } else {
+                        w.lock(pendingLock);
+                        w.update(&pending[0],
+                                 [](std::int64_t v) { return v + 1; });
+                        w.unlock(pendingLock);
+                    }
+                    return;
+                }
+                w.unlock(queueLocks[self]);
+            };
+
+            for (;;) {
+                Task task;
+                bool got = tryPop(self, task);
+                for (unsigned v = 1; !got && v < w.count(); ++v)
+                    got = tryPop((self + v) % w.count(), task);
+                if (!got) {
+                    std::int64_t left;
+                    if (racy) {
+                        left = w.read(&pending[0]);
+                    } else {
+                        w.lock(pendingLock);
+                        left = w.read(&pending[0]);
+                        w.unlock(pendingLock);
+                    }
+                    if (left <= 0)
+                        break;
+                    w.compute(2);
+                    continue;
+                }
+
+                // Energy transfer src -> dst. The source brightness is
+                // itself updated concurrently, so it must be read under
+                // the same patch lock in the race-free variant.
+                const double ff = w.read(&formFactor[task.dst]);
+                double srcB;
+                if (racy) {
+                    srcB = w.read(&radiosityVal[task.src]);
+                } else {
+                    w.lock(patchLock(task.src));
+                    srcB = w.read(&radiosityVal[task.src]);
+                    w.unlock(patchLock(task.src));
+                }
+                const double delta = ff * srcB * 0.25;
+                if (racy) {
+                    // Unlocked accumulate: WAW on the patch radiosity.
+                    w.update(&radiosityVal[task.dst],
+                             [delta](double v) { return v + delta; });
+                } else {
+                    w.lock(patchLock(task.dst));
+                    w.update(&radiosityVal[task.dst],
+                             [delta](double v) { return v + delta; });
+                    w.unlock(patchLock(task.dst));
+                }
+                w.compute(6);
+
+                // Refine: large transfers spawn follow-up interactions.
+                if (delta > 0.05 && task.depth < maxDepth) {
+                    Task child;
+                    child.src = task.dst;
+                    child.dst = (task.src + task.dst) %
+                                static_cast<std::uint32_t>(nPatches);
+                    child.depth = task.depth + 1;
+                    push(child);
+                }
+
+                if (racy) {
+                    w.update(&pending[0],
+                             [](std::int64_t v) { return v - 1; });
+                } else {
+                    w.lock(pendingLock);
+                    w.update(&pending[0],
+                             [](std::int64_t v) { return v - 1; });
+                    w.unlock(pendingLock);
+                }
+            }
+            // Fold this worker's contribution into the global energy
+            // statistic (radiosity's real global counters are updated
+            // exactly this way).
+            if (racy) {
+                w.update(&energyStat[0],
+                         [](double v) { return v + 1.0; });
+            } else {
+                w.lock(pendingLock);
+                w.update(&energyStat[0],
+                         [](double v) { return v + 1.0; });
+                w.unlock(pendingLock);
+            }
+            // Other workers may still be draining their queues, so the
+            // final sample is read under the patch lock.
+            const std::uint32_t samplePatch =
+                static_cast<std::uint32_t>(self % nPatches);
+            double sample;
+            if (racy) {
+                sample = w.read(&radiosityVal[samplePatch]);
+            } else {
+                w.lock(patchLock(samplePatch));
+                sample = w.read(&radiosityVal[samplePatch]);
+                w.unlock(patchLock(samplePatch));
+            }
+            w.sink(static_cast<std::uint64_t>(sample * 1e6));
+        });
+
+        env.declareOutput(radiosityVal, nPatches * sizeof(double));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadiosity()
+{
+    return std::make_unique<Radiosity>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * radix — parallel LSD radix sort (SPLASH-2).
+ *
+ * Per digit: local histogram over the thread's slice (private), a
+ * barrier, a prefix-sum of the global rank matrix by thread 0, another
+ * barrier, then the permutation: every key is written to its destination
+ * in the shared output array — the scattered-write pattern that gives
+ * radix its high LLC miss rate (a Figure 11 worst case for 4-byte
+ * epochs).
+ *
+ * Racy variant: the per-(thread,digit) rank cells are updated through a
+ * shared cursor array indexed only by digit — threads collide on the
+ * cursor (unsynchronized RMW -> WAW) and consequently on output slots.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Radix : public KernelBase
+{
+  public:
+    Radix() : KernelBase("radix", "splash2", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t n = scaled(p.scale, 1 << 12, 1 << 15, 1 << 18);
+        const unsigned radixBits = 8;
+        const unsigned buckets = 1u << radixBits;
+        const unsigned digits = 32 / radixBits;
+
+        auto *src = env.allocShared<std::uint32_t>(n);
+        auto *dst = env.allocShared<std::uint32_t>(n);
+        // rank[t][b]: running output cursor of bucket b for thread t.
+        auto *rank = env.allocShared<std::uint64_t>(
+            static_cast<std::uint64_t>(p.threads) * buckets);
+        // racy variant: one global cursor per bucket.
+        auto *globalCursor = env.allocShared<std::uint64_t>(buckets);
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < n; ++i)
+                src[i] = static_cast<std::uint32_t>(init.next());
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            const unsigned self = w.index();
+            const unsigned nt = w.count();
+            const Slice slice = sliceOf(n, self, nt);
+            // Per-thread histogram: stack-like private data, accessed
+            // through the private shim so the simulator sees its cache
+            // traffic (Figure 10's "private" category).
+            auto *hist = env.allocPrivate<std::uint64_t>(buckets);
+
+            std::uint32_t *from = src;
+            std::uint32_t *to = dst;
+            for (unsigned d = 0; d < digits; ++d) {
+                const unsigned shift = d * radixBits;
+                for (unsigned b = 0; b < buckets; ++b)
+                    w.writePrivate(&hist[b], std::uint64_t{0});
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const std::uint32_t key = w.read(&from[i]);
+                    const unsigned b = (key >> shift) & (buckets - 1);
+                    w.writePrivate(&hist[b],
+                                   w.readPrivate(&hist[b]) + 1);
+                    w.compute(2);
+                }
+                for (unsigned b = 0; b < buckets; ++b)
+                    w.write(&rank[self * buckets + b],
+                            w.readPrivate(&hist[b]));
+                w.barrier(phase);
+
+                // Thread 0 turns counts into starting cursors
+                // (column-major prefix over (bucket, thread)).
+                if (self == 0) {
+                    std::uint64_t running = 0;
+                    for (unsigned b = 0; b < buckets; ++b) {
+                        // After this pass rank[0][b] is the bucket base.
+                        for (unsigned t = 0; t < nt; ++t) {
+                            const std::uint64_t c =
+                                w.read(&rank[t * buckets + b]);
+                            w.write(&rank[t * buckets + b], running);
+                            running += c;
+                        }
+                        if (racy) {
+                            w.write(&globalCursor[b],
+                                    w.read(&rank[0 * buckets + b]));
+                        }
+                    }
+                }
+                w.barrier(phase);
+
+                // Permute.
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const std::uint32_t key = w.read(&from[i]);
+                    const unsigned b = (key >> shift) & (buckets - 1);
+                    std::uint64_t pos;
+                    if (racy) {
+                        // Shared per-bucket cursor without a lock:
+                        // unsynchronized RMW (WAW), colliding slots.
+                        pos = w.read(&globalCursor[b]);
+                        w.write(&globalCursor[b], pos + 1);
+                    } else {
+                        pos = w.read(&rank[self * buckets + b]);
+                        w.write(&rank[self * buckets + b], pos + 1);
+                    }
+                    w.write(&to[pos], key);
+                    w.compute(3);
+                }
+                w.barrier(phase);
+                std::swap(from, to);
+            }
+
+            std::uint64_t h = 0;
+            for (std::uint64_t i = slice.begin; i < slice.end;
+                 i += 1 + (slice.end - slice.begin) / 128) {
+                h = h * 31 + w.read(&from[i]);
+            }
+            w.sink(h);
+        });
+
+        env.declareOutput(src, n * sizeof(std::uint32_t));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadix()
+{
+    return std::make_unique<Radix>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * raytrace — sphere-scene ray tracer (SPLASH-2).
+ *
+ * Threads trace image tiles against a read-only sphere scene; pixel
+ * writes are disjoint per tile. Tiles are handed out through a global
+ * work counter protected by a lock.
+ *
+ * Racy variant: the global RayID/tile counter is incremented without
+ * the lock — the *actual* well-known data race in SPLASH-2 raytrace
+ * (its global RayID counter), an unsynchronized RMW (WAW) that also
+ * duplicates tiles.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Sphere
+{
+    double x, y, z, r;
+    double shade;
+    double pad[3];
+};
+
+class Raytrace : public KernelBase
+{
+  public:
+    Raytrace() : KernelBase("raytrace", "splash2", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t dim = scaled(p.scale, 48, 96, 256);
+        const std::uint64_t nSpheres = scaled(p.scale, 16, 32, 64);
+        const std::uint64_t tile = 8;
+        const std::uint64_t tilesPerSide = dim / tile;
+        const std::uint64_t nTiles = tilesPerSide * tilesPerSide;
+
+        auto *scene = env.allocShared<Sphere>(nSpheres);
+        auto *image = env.allocShared<float>(dim * dim);
+        auto *tileCounter = env.allocShared<std::uint64_t>(1);
+        const unsigned counterLock = env.createMutex();
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t s = 0; s < nSpheres; ++s) {
+                scene[s].x = init.nextDouble() * 2.0 - 1.0;
+                scene[s].y = init.nextDouble() * 2.0 - 1.0;
+                scene[s].z = 2.0 + init.nextDouble() * 4.0;
+                scene[s].r = 0.1 + init.nextDouble() * 0.3;
+                scene[s].shade = init.nextDouble();
+            }
+            tileCounter[0] = 0;
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            double localSum = 0.0;
+            for (;;) {
+                std::uint64_t t;
+                if (racy) {
+                    // The classic raytrace bug: unlocked RayID counter.
+                    t = w.read(&tileCounter[0]);
+                    w.write(&tileCounter[0], t + 1);
+                } else {
+                    w.lock(counterLock);
+                    t = w.read(&tileCounter[0]);
+                    w.write(&tileCounter[0], t + 1);
+                    w.unlock(counterLock);
+                }
+                if (t >= nTiles)
+                    break;
+                const std::uint64_t ty = (t / tilesPerSide) * tile;
+                const std::uint64_t tx = (t % tilesPerSide) * tile;
+                for (std::uint64_t py = ty; py < ty + tile; ++py) {
+                    for (std::uint64_t px = tx; px < tx + tile; ++px) {
+                        // Primary ray through the pixel.
+                        const double dx =
+                            (2.0 * px) / dim - 1.0;
+                        const double dy =
+                            (2.0 * py) / dim - 1.0;
+                        double best = 1e30;
+                        double shade = 0.0;
+                        for (std::uint64_t s = 0; s < nSpheres; ++s) {
+                            const double cx = w.read(&scene[s].x) - dx;
+                            const double cy = w.read(&scene[s].y) - dy;
+                            const double cz = w.read(&scene[s].z);
+                            const double r = w.read(&scene[s].r);
+                            // Ray dir ~ (dx, dy, 1); closest approach.
+                            const double tca =
+                                cx * dx + cy * dy + cz;
+                            const double d2 = cx * cx + cy * cy +
+                                              cz * cz - tca * tca /
+                                                  (dx * dx + dy * dy + 1);
+                            if (d2 < r * r && tca < best) {
+                                best = tca;
+                                shade = w.read(&scene[s].shade) /
+                                        (1.0 + 0.1 * tca);
+                            }
+                            w.compute(12);
+                        }
+                        w.write(&image[py * dim + px],
+                                static_cast<float>(shade));
+                        localSum += shade;
+                    }
+                }
+            }
+            w.sink(static_cast<std::uint64_t>(localSum * 1e6));
+        });
+
+        env.declareOutput(image, dim * dim * sizeof(float));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRaytrace()
+{
+    return std::make_unique<Raytrace>();
+}
+
+} // namespace clean::wl::suite

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * volrend — front-to-back volume ray casting (SPLASH-2).
+ *
+ * Threads cast rays through a shared 3D density volume (read-only after
+ * setup) into an image, pulling scanline tasks from a lock-protected
+ * queue. Read-heavy with byte-granularity volume samples (uint8), which
+ * exercises the sub-4-byte path of the multi-byte check.
+ *
+ * Racy variant: volrend's shared adaptive-sampling hint map is updated
+ * without synchronization while neighbors read it — RAW/WAW on the hint
+ * bytes (SPLASH volrend is one of the benchmarks ThreadSanitizer flags).
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+class Volrend : public KernelBase
+{
+  public:
+    Volrend() : KernelBase("volrend", "splash2", true) {}
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t vol = scaled(p.scale, 24, 40, 64); // volume^3
+        const std::uint64_t dim = scaled(p.scale, 32, 64, 128); // image
+        const std::uint64_t depthSteps = vol;
+
+        auto *volume = env.allocShared<std::uint8_t>(vol * vol * vol);
+        auto *image = env.allocShared<float>(dim * dim);
+        auto *hints = env.allocShared<std::uint8_t>(dim * dim);
+        auto *rowCounter = env.allocShared<std::uint64_t>(1);
+        // volrend's global ray statistics; the racy variant updates it
+        // without the lock (the actual TSan finding in volrend is an
+        // unprotected global counter of this flavor).
+        auto *rayStats = env.allocShared<std::uint64_t>(1);
+        const unsigned counterLock = env.createMutex();
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < vol * vol * vol; ++i)
+                volume[i] = static_cast<std::uint8_t>(init.nextBelow(200));
+            for (std::uint64_t i = 0; i < dim * dim; ++i)
+                hints[i] = 0;
+            rowCounter[0] = 0;
+            rayStats[0] = 0;
+        }
+
+        const bool racy = p.racy;
+        env.parallel(p.threads, [&](Worker &w) {
+            // Private ray buffer: samples accumulate here before the
+            // composited pixel is stored (volrend's per-process ray
+            // state).
+            auto *ray = env.allocPrivate<double>(2);
+            double localSum = 0.0;
+            for (;;) {
+                std::uint64_t row;
+                w.lock(counterLock);
+                row = w.read(&rowCounter[0]);
+                w.write(&rowCounter[0], row + 1);
+                w.unlock(counterLock);
+                // Global ray statistics; every worker updates them even
+                // on the final (empty) fetch, so in the racy variant the
+                // unlocked RMW races no matter how the scheduler
+                // interleaves the workers.
+                if (racy) {
+                    w.update(&rayStats[0],
+                             [dim](std::uint64_t v) { return v + dim; });
+                } else {
+                    w.lock(counterLock);
+                    w.update(&rayStats[0],
+                             [dim](std::uint64_t v) { return v + dim; });
+                    w.unlock(counterLock);
+                }
+                if (row >= dim)
+                    break;
+                for (std::uint64_t px = 0; px < dim; ++px) {
+                    // Adaptive sampling: consult neighbour hints.
+                    unsigned step = 1;
+                    if (racy && px > 0) {
+                        // Unsynchronized read of a hint another thread
+                        // may be writing (RAW).
+                        const std::uint8_t h =
+                            w.read(&hints[row * dim + px - 1]);
+                        step = 1 + (h & 1);
+                    }
+                    w.writePrivate(&ray[0], 0.0); // opacity
+                    w.writePrivate(&ray[1], 0.0); // intensity
+                    const std::uint64_t vx = (px * vol) / dim;
+                    const std::uint64_t vy = (row * vol) / dim;
+                    for (std::uint64_t z = 0;
+                         z < depthSteps && w.readPrivate(&ray[0]) < 0.95;
+                         z += step) {
+                        const std::uint8_t d = w.read(
+                            &volume[(z * vol + vy) * vol + vx]);
+                        const double a = d / 512.0;
+                        const double opacity = w.readPrivate(&ray[0]);
+                        w.writePrivate(&ray[1],
+                                       w.readPrivate(&ray[1]) +
+                                           (1.0 - opacity) * a *
+                                               (d / 255.0));
+                        w.writePrivate(&ray[0],
+                                       opacity + (1.0 - opacity) * a);
+                        w.compute(6);
+                    }
+                    const double intensity = w.readPrivate(&ray[1]);
+                    const double opacity = w.readPrivate(&ray[0]);
+                    w.write(&image[row * dim + px],
+                            static_cast<float>(intensity));
+                    localSum += intensity;
+                    if (racy) {
+                        // Unsynchronized hint write (WAW with the row
+                        // above/below writing the same hint bytes).
+                        const std::uint64_t hintIdx =
+                            ((row + 1) % dim) * dim + px;
+                        w.write(&hints[hintIdx],
+                                static_cast<std::uint8_t>(
+                                    opacity > 0.5 ? 1 : 0));
+                    }
+                }
+            }
+            w.sink(static_cast<std::uint64_t>(localSum * 1e4));
+        });
+
+        env.declareOutput(image, dim * dim * sizeof(float));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVolrend()
+{
+    return std::make_unique<Volrend>();
+}
+
+} // namespace clean::wl::suite

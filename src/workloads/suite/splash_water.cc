@@ -1,0 +1,254 @@
+/**
+ * @file
+ * water_nsq / water_sp — molecular dynamics (SPLASH-2).
+ *
+ * water_nsq: O(n^2) pairwise forces; each thread computes the pairs of
+ * its molecule slice and scatter-adds into *both* molecules' force
+ * accumulators under per-molecule locks (the SPLASH original does the
+ * same with per-molecule locks), then integrates its own slice after a
+ * barrier.
+ *
+ * water_sp: spatial decomposition — molecules binned into a 3D cell
+ * grid (per-cell locks), forces only from the home and neighbor cells;
+ * much fewer pair interactions, same integrate phase. Race-free.
+ *
+ * Racy variant (water_nsq): the force scatter-add skips the molecule
+ * locks — unsynchronized accumulate (WAW), the textbook MD reduction
+ * race.
+ */
+
+#include "workloads/suite/factories.h"
+#include "workloads/suite/kernel_common.h"
+
+namespace clean::wl::suite
+{
+
+namespace
+{
+
+struct Molecule
+{
+    double x, y, z;
+    double vx, vy, vz;
+    double fx, fy, fz;
+    double pad[3];
+};
+
+class Water : public KernelBase
+{
+  public:
+    Water(const char *name, bool spatial, bool racySupported)
+        : KernelBase(name, "splash2", racySupported), spatial_(spatial)
+    {
+    }
+
+    void
+    run(Env &env, const WorkloadParams &p) override
+    {
+        const std::uint64_t n =
+            spatial_ ? scaled(p.scale, 256, 1024, 4096)
+                     : scaled(p.scale, 96, 256, 768);
+        const std::uint64_t steps = scaled(p.scale, 2, 3, 5);
+        const unsigned cellsPerSide = 4;
+        const unsigned nCells =
+            cellsPerSide * cellsPerSide * cellsPerSide;
+        const std::uint64_t cellCap = 4 * (n / nCells + 8);
+
+        auto *mol = env.allocShared<Molecule>(n);
+        auto *cellCount = env.allocShared<std::uint32_t>(nCells);
+        auto *cellList = env.allocShared<std::uint32_t>(nCells * cellCap);
+
+        std::vector<unsigned> molLocks;
+        for (unsigned i = 0; i < 64; ++i)
+            molLocks.push_back(env.createMutex());
+        std::vector<unsigned> cellLocks;
+        for (unsigned c = 0; c < nCells; ++c)
+            cellLocks.push_back(env.createMutex());
+        const unsigned phase = env.createBarrier(p.threads);
+
+        {
+            Prng init(p.seed);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                mol[i].x = init.nextDouble();
+                mol[i].y = init.nextDouble();
+                mol[i].z = init.nextDouble();
+                mol[i].vx = init.nextDouble() - 0.5;
+                mol[i].vy = init.nextDouble() - 0.5;
+                mol[i].vz = init.nextDouble() - 0.5;
+                mol[i].fx = mol[i].fy = mol[i].fz = 0.0;
+            }
+        }
+
+        const bool spatial = spatial_;
+        const bool racy = p.racy && hasRacyVariant();
+        env.parallel(p.threads, [&](Worker &w) {
+            const Slice slice = sliceOf(n, w.index(), w.count());
+            auto lockOf = [&](std::uint64_t m) {
+                return molLocks[m % molLocks.size()];
+            };
+            auto addForce = [&](std::uint64_t m, double fx, double fy,
+                                double fz) {
+                if (!racy)
+                    w.lock(lockOf(m));
+                w.update(&mol[m].fx, [fx](double v) { return v + fx; });
+                w.update(&mol[m].fy, [fy](double v) { return v + fy; });
+                w.update(&mol[m].fz, [fz](double v) { return v + fz; });
+                if (!racy)
+                    w.unlock(lockOf(m));
+            };
+            auto pairForce = [&](std::uint64_t i, std::uint64_t j) {
+                const double dx = w.read(&mol[i].x) - w.read(&mol[j].x);
+                const double dy = w.read(&mol[i].y) - w.read(&mol[j].y);
+                const double dz = w.read(&mol[i].z) - w.read(&mol[j].z);
+                const double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                if (r2 > 0.09)
+                    return; // cutoff
+                const double inv = 1.0 / (r2 * r2 * r2);
+                const double f = 24.0 * inv * (2.0 * inv - 1.0) / r2;
+                addForce(i, f * dx, f * dy, f * dz);
+                addForce(j, -f * dx, -f * dy, -f * dz);
+                w.compute(20);
+            };
+            auto cellOf = [&](std::uint64_t i) -> unsigned {
+                auto clampDim = [&](double v) {
+                    return std::min<unsigned>(
+                        cellsPerSide - 1,
+                        static_cast<unsigned>(
+                            std::max(0.0, v * cellsPerSide)));
+                };
+                const unsigned cx = clampDim(w.read(&mol[i].x));
+                const unsigned cy = clampDim(w.read(&mol[i].y));
+                const unsigned cz = clampDim(w.read(&mol[i].z));
+                return (cz * cellsPerSide + cy) * cellsPerSide + cx;
+            };
+
+            for (std::uint64_t step = 0; step < steps; ++step) {
+                // Zero own forces.
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    w.write(&mol[i].fx, 0.0);
+                    w.write(&mol[i].fy, 0.0);
+                    w.write(&mol[i].fz, 0.0);
+                }
+                if (spatial) {
+                    // Rebin.
+                    const Slice cells =
+                        sliceOf(nCells, w.index(), w.count());
+                    for (std::uint64_t c = cells.begin; c < cells.end;
+                         ++c) {
+                        w.write(&cellCount[c], std::uint32_t{0});
+                    }
+                    w.barrier(phase);
+                    for (std::uint64_t i = slice.begin; i < slice.end;
+                         ++i) {
+                        const unsigned c = cellOf(i);
+                        w.lock(cellLocks[c]);
+                        const std::uint32_t k = w.read(&cellCount[c]);
+                        if (k < cellCap) {
+                            w.write(&cellList[c * cellCap + k],
+                                    static_cast<std::uint32_t>(i));
+                            w.write(&cellCount[c], k + 1);
+                        }
+                        w.unlock(cellLocks[c]);
+                    }
+                }
+                w.barrier(phase);
+
+                if (!spatial) {
+                    // O(n^2): thread owns pairs (i, j) with i in slice,
+                    // j > i.
+                    for (std::uint64_t i = slice.begin; i < slice.end;
+                         ++i) {
+                        for (std::uint64_t j = i + 1; j < n; ++j)
+                            pairForce(i, j);
+                    }
+                } else {
+                    // Home + forward-neighbor cells (half shell to avoid
+                    // double counting).
+                    const Slice cells =
+                        sliceOf(nCells, w.index(), w.count());
+                    for (std::uint64_t c = cells.begin; c < cells.end;
+                         ++c) {
+                        const std::uint32_t cnt = w.read(&cellCount[c]);
+                        for (std::uint32_t a = 0; a < cnt; ++a) {
+                            const std::uint32_t i =
+                                w.read(&cellList[c * cellCap + a]);
+                            // within cell
+                            for (std::uint32_t b2 = a + 1; b2 < cnt;
+                                 ++b2) {
+                                const std::uint32_t j = w.read(
+                                    &cellList[c * cellCap + b2]);
+                                pairForce(i, j);
+                            }
+                            // one forward neighbor (linearized)
+                            const unsigned nc =
+                                (static_cast<unsigned>(c) + 1) % nCells;
+                            const std::uint32_t ncnt =
+                                w.read(&cellCount[nc]);
+                            for (std::uint32_t b2 = 0; b2 < ncnt; ++b2) {
+                                const std::uint32_t j = w.read(
+                                    &cellList[nc * cellCap + b2]);
+                                if (j != i)
+                                    pairForce(i, j);
+                            }
+                        }
+                    }
+                }
+                w.barrier(phase);
+
+                // Integrate own slice.
+                for (std::uint64_t i = slice.begin; i < slice.end; ++i) {
+                    const double dt = 0.001;
+                    const double vx =
+                        w.read(&mol[i].vx) + dt * w.read(&mol[i].fx);
+                    const double vy =
+                        w.read(&mol[i].vy) + dt * w.read(&mol[i].fy);
+                    const double vz =
+                        w.read(&mol[i].vz) + dt * w.read(&mol[i].fz);
+                    w.write(&mol[i].vx, vx);
+                    w.write(&mol[i].vy, vy);
+                    w.write(&mol[i].vz, vz);
+                    auto wrap = [](double v) {
+                        if (v < 0.0)
+                            return v + 1.0;
+                        if (v >= 1.0)
+                            return v - 1.0;
+                        return v;
+                    };
+                    w.write(&mol[i].x, wrap(w.read(&mol[i].x) + dt * vx));
+                    w.write(&mol[i].y, wrap(w.read(&mol[i].y) + dt * vy));
+                    w.write(&mol[i].z, wrap(w.read(&mol[i].z) + dt * vz));
+                    w.compute(10);
+                }
+                w.barrier(phase);
+            }
+
+            std::uint64_t h = 0;
+            for (std::uint64_t i = slice.begin; i < slice.end; ++i)
+                h = h * 31 + static_cast<std::uint64_t>(
+                                 (w.read(&mol[i].x) + w.read(&mol[i].y)) *
+                                 1e6);
+            w.sink(h);
+        });
+
+        env.declareOutput(mol, n * sizeof(Molecule));
+    }
+
+  private:
+    bool spatial_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWaterNsq()
+{
+    return std::make_unique<Water>("water_nsq", false, true);
+}
+
+std::unique_ptr<Workload>
+makeWaterSp()
+{
+    return std::make_unique<Water>("water_sp", true, false);
+}
+
+} // namespace clean::wl::suite

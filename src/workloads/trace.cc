@@ -1,0 +1,178 @@
+#include "workloads/trace.h"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+namespace clean::wl
+{
+
+std::string
+Trace::summary() const
+{
+    std::size_t reads = 0, writes = 0, sync = 0, computeUnits = 0;
+    std::size_t privates = 0;
+    for (const auto &thread : perThread) {
+        for (const auto &e : thread) {
+            switch (e.kind) {
+              case TraceEvent::Kind::Read:
+                ++reads;
+                if (e.isPrivate)
+                    ++privates;
+                break;
+              case TraceEvent::Kind::Write:
+                ++writes;
+                if (e.isPrivate)
+                    ++privates;
+                break;
+              case TraceEvent::Kind::Compute:
+                computeUnits += e.addr;
+                break;
+              default:
+                ++sync;
+                break;
+            }
+        }
+    }
+    std::ostringstream os;
+    os << "threads=" << perThread.size() << " reads=" << reads
+       << " writes=" << writes << " private=" << privates
+       << " sync=" << sync << " objects=" << objects.size()
+       << " compute=" << computeUnits;
+    return os.str();
+}
+
+namespace
+{
+
+constexpr std::uint64_t kTraceMagic = 0x31454341525443ULL; // "CTRACE1"
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+writeU64(std::FILE *f, std::uint64_t v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU64(std::FILE *f, std::uint64_t &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+// One event serializes as two fixed 64-bit words:
+//   word0 = addr
+//   word1 = object | seq<<32 | kind<<62? (kind needs 3 bits) — use:
+//     bits  0..31 object, 32..55 seq-low24? seq can exceed 24 bits on
+//     long traces, so use three words instead: simple and safe.
+bool
+writeEvent(std::FILE *f, const TraceEvent &e)
+{
+    const std::uint64_t meta =
+        static_cast<std::uint64_t>(e.object) |
+        (static_cast<std::uint64_t>(e.seq) << 32);
+    const std::uint64_t tail =
+        static_cast<std::uint64_t>(static_cast<std::uint8_t>(e.kind)) |
+        (static_cast<std::uint64_t>(e.size) << 8) |
+        (static_cast<std::uint64_t>(e.isPrivate ? 1 : 0) << 16);
+    return writeU64(f, e.addr) && writeU64(f, meta) && writeU64(f, tail);
+}
+
+bool
+readEvent(std::FILE *f, TraceEvent &e)
+{
+    std::uint64_t addr, meta, tail;
+    if (!readU64(f, addr) || !readU64(f, meta) || !readU64(f, tail))
+        return false;
+    e.addr = addr;
+    e.object = static_cast<std::uint32_t>(meta);
+    e.seq = static_cast<std::uint32_t>(meta >> 32);
+    e.kind = static_cast<TraceEvent::Kind>(tail & 0xff);
+    e.size = static_cast<std::uint8_t>(tail >> 8);
+    e.isPrivate = ((tail >> 16) & 1) != 0;
+    return true;
+}
+
+} // namespace
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    if (!writeU64(f.get(), kTraceMagic) ||
+        !writeU64(f.get(), trace.perThread.size()) ||
+        !writeU64(f.get(), trace.objects.size()) ||
+        !writeU64(f.get(), trace.minAddr) ||
+        !writeU64(f.get(), trace.maxAddr)) {
+        return false;
+    }
+    for (const auto &obj : trace.objects) {
+        const std::uint64_t packed =
+            static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(obj.kind)) |
+            (static_cast<std::uint64_t>(obj.parties) << 8);
+        if (!writeU64(f.get(), packed) ||
+            !writeU64(f.get(), obj.eventCount)) {
+            return false;
+        }
+    }
+    for (const auto &thread : trace.perThread) {
+        if (!writeU64(f.get(), thread.size()))
+            return false;
+        for (const auto &e : thread) {
+            if (!writeEvent(f.get(), e))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadTrace(const std::string &path, Trace &out)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    std::uint64_t magic, threads, objects, minAddr, maxAddr;
+    if (!readU64(f.get(), magic) || magic != kTraceMagic ||
+        !readU64(f.get(), threads) || !readU64(f.get(), objects) ||
+        !readU64(f.get(), minAddr) || !readU64(f.get(), maxAddr)) {
+        return false;
+    }
+    Trace trace;
+    trace.minAddr = minAddr;
+    trace.maxAddr = maxAddr;
+    trace.objects.reserve(objects);
+    for (std::uint64_t i = 0; i < objects; ++i) {
+        std::uint64_t packed, eventCount;
+        if (!readU64(f.get(), packed) || !readU64(f.get(), eventCount))
+            return false;
+        TraceSyncObject obj;
+        obj.kind = static_cast<TraceSyncObject::Kind>(packed & 0xff);
+        obj.parties = static_cast<std::uint32_t>(packed >> 8);
+        obj.eventCount = static_cast<std::uint32_t>(eventCount);
+        trace.objects.push_back(obj);
+    }
+    trace.perThread.resize(threads);
+    for (std::uint64_t t = 0; t < threads; ++t) {
+        std::uint64_t count;
+        if (!readU64(f.get(), count))
+            return false;
+        trace.perThread[t].resize(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (!readEvent(f.get(), trace.perThread[t][i]))
+                return false;
+        }
+    }
+    out = std::move(trace);
+    return true;
+}
+
+} // namespace clean::wl

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Execution traces feeding the hardware-CLEAN timing simulator (§6.3.1).
+ *
+ * The paper drives its simulator with Pin: the benchmark executes and
+ * every memory access / synchronization operation is modeled as it
+ * happens. We split that into two phases with identical information
+ * content: run the workload once under the tracing backend, recording
+ * per-thread event streams plus the observed total order per
+ * synchronization object, then replay the streams on the timing model
+ * (sim/machine.h), which stalls an acquire until its recorded
+ * predecessors complete.
+ *
+ * Events:
+ *   Read/Write   — addr, size, private flag (the paper approximates
+ *                  private as stack accesses; we use the private heap
+ *                  half). Costs 1 issue cycle + memory latency; shared
+ *                  accesses additionally engage the race-check unit.
+ *   Acquire/Release — sync object id + per-object sequence number; the
+ *                  replay enforces the recorded order and charges the
+ *                  +100-cycle vector-clock maintenance of §6.3.1.
+ *   BarrierArrive — generation-complete semantics over `parties`.
+ *   Compute      — n 1-cycle ALU instructions.
+ */
+
+#ifndef CLEAN_WORKLOADS_TRACE_H
+#define CLEAN_WORKLOADS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace clean::wl
+{
+
+/** One recorded event. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Read,
+        Write,
+        Acquire,
+        Release,
+        BarrierArrive,
+        Compute,
+    };
+
+    /** Data address (Read/Write) or compute amount (Compute). */
+    std::uint64_t addr = 0;
+    /** Sync object id (sync kinds). */
+    std::uint32_t object = 0;
+    /** Per-object sequence number assigned at record time (sync kinds). */
+    std::uint32_t seq = 0;
+    Kind kind = Kind::Compute;
+    /** Access width in bytes (Read/Write). */
+    std::uint8_t size = 0;
+    /** True for accesses to the private (stack-like) heap half. */
+    bool isPrivate = false;
+};
+
+/** Metadata for one recorded synchronization object. */
+struct TraceSyncObject
+{
+    enum class Kind : std::uint8_t { Mutex, Barrier, Cond };
+
+    Kind kind = Kind::Mutex;
+    /** Parties for barriers; 0 otherwise. */
+    std::uint32_t parties = 0;
+    /** Total events recorded on this object. */
+    std::uint32_t eventCount = 0;
+};
+
+/** A complete multi-threaded execution trace. */
+struct Trace
+{
+    std::vector<std::vector<TraceEvent>> perThread;
+    std::vector<TraceSyncObject> objects;
+    /** Span of shared data addresses touched (for shadow sizing). */
+    Addr minAddr = ~Addr{0};
+    Addr maxAddr = 0;
+
+    std::size_t
+    totalEvents() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : perThread)
+            n += t.size();
+        return n;
+    }
+
+    std::size_t
+    memoryAccesses() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : perThread) {
+            for (const auto &e : t) {
+                if (e.kind == TraceEvent::Kind::Read ||
+                    e.kind == TraceEvent::Kind::Write) {
+                    ++n;
+                }
+            }
+        }
+        return n;
+    }
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Writes @p trace to @p path in a simple versioned binary format.
+ * Returns false on I/O failure. Traces are host-independent (addresses
+ * are normalized at simulation time), so a saved trace can be replayed
+ * repeatedly or elsewhere without re-running the workload.
+ */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/** Reads a trace written by saveTrace. Returns false on I/O failure or
+ *  format mismatch; @p out is untouched on failure. */
+bool loadTrace(const std::string &path, Trace &out);
+
+} // namespace clean::wl
+
+#endif // CLEAN_WORKLOADS_TRACE_H

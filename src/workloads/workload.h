@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload interface for the benchmark suite (§6.1).
+ *
+ * The paper evaluates on the SPLASH-2 and PARSEC Pthread benchmarks.
+ * This reproduction supplies 26 synthetic kernels, each named after and
+ * algorithmically modeled on its namesake (see DESIGN.md for the
+ * substitution argument): same qualitative shared-access frequency,
+ * access widths, sharing pattern and synchronization style.
+ *
+ * Every workload has a race-free variant and, for the 17 benchmarks the
+ * paper found racy under ThreadSanitizer, a racy variant that reproduces
+ * a realistic race of the right flavor (unlocked reduction, missing
+ * barrier edge, unprotected flag, ...). canneal is special: its racy
+ * (lock-free) form is the canonical one and the paper omits it from the
+ * modified, race-free set — excludedFromModified() mirrors that.
+ */
+
+#ifndef CLEAN_WORKLOADS_WORKLOAD_H
+#define CLEAN_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/common.h"
+
+namespace clean::wl
+{
+
+class Env;
+
+/** Problem-size class; analogous to PARSEC's input sets. */
+enum class Scale
+{
+    Test,  ///< seconds-long unit-test size
+    Small, ///< "simsmall": hardware-simulation size
+    Large, ///< "simlarge"/"native" stand-in: software benches
+};
+
+/** Run-shaping parameters. */
+struct WorkloadParams
+{
+    unsigned threads = 8;
+    Scale scale = Scale::Test;
+    bool racy = false;
+    std::uint64_t seed = 0xc0ffee;
+};
+
+/** One benchmark kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as it appears in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /** "splash2" or "parsec". */
+    virtual const char *suite() const = 0;
+
+    /** True iff the paper's unmodified benchmark is racy (17 of 26). */
+    virtual bool hasRacyVariant() const = 0;
+
+    /** True only for canneal: no manual race-free version exists in the
+     *  paper's modified suite. */
+    virtual bool excludedFromModified() const { return false; }
+
+    /**
+     * Executes the kernel against @p env. Allocation, synchronization
+     * and every potentially-shared access go through the Env/Worker
+     * shim so any backend (native, CLEAN, baseline detector, tracer)
+     * can observe it.
+     */
+    virtual void run(Env &env, const WorkloadParams &params) = 0;
+};
+
+} // namespace clean::wl
+
+#endif // CLEAN_WORKLOADS_WORKLOAD_H

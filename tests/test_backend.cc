@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Shim/backend tests: native counting, trace recording, detector
+ * plumbing, output hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detectors/fasttrack.h"
+#include "workloads/backend.h"
+
+namespace clean::wl
+{
+namespace
+{
+
+TEST(NativeEnv, CountsSharedAccesses)
+{
+    NativeEnv env(1);
+    auto *x = env.allocShared<std::uint64_t>(16);
+    env.parallel(2, [&](Worker &w) {
+        for (int i = 0; i < 10; ++i) {
+            w.write(&x[w.index() * 8], static_cast<std::uint64_t>(i));
+            w.read(&x[w.index() * 8]);
+        }
+    });
+    const auto totals = env.totals();
+    EXPECT_EQ(totals.reads, 20u);
+    EXPECT_EQ(totals.writes, 20u);
+    EXPECT_EQ(totals.bytes, 40u * 8u);
+}
+
+TEST(NativeEnv, PrivateAccessesCountedSeparately)
+{
+    NativeEnv env(1);
+    auto *p = env.allocPrivate<std::uint64_t>(4);
+    std::uint64_t privCount = 0;
+    env.parallel(1, [&](Worker &w) {
+        w.writePrivate(&p[0], std::uint64_t{1});
+        w.readPrivate(&p[0]);
+        privCount = w.privateAccesses();
+    });
+    EXPECT_EQ(privCount, 2u);
+    EXPECT_EQ(env.totals().reads, 0u);
+}
+
+TEST(NativeEnv, OutputHashCoversDeclaredRegionAndSinks)
+{
+    auto runOnce = [](std::uint64_t v) {
+        NativeEnv env(1);
+        auto *x = env.allocShared<std::uint64_t>(2);
+        env.declareOutput(x, 2 * sizeof(std::uint64_t));
+        env.parallel(1, [&](Worker &w) {
+            w.write(&x[0], v);
+            w.sink(v * 3);
+        });
+        return env.totals().outputHash;
+    };
+    EXPECT_EQ(runOnce(5), runOnce(5));
+    EXPECT_NE(runOnce(5), runOnce(6));
+}
+
+TEST(NativeEnv, SinkHashesCombineByWorkerIndex)
+{
+    NativeEnv env(1);
+    env.parallel(3, [&](Worker &w) { w.sink(w.index() * 100); });
+    const auto h1 = env.totals().outputHash;
+    NativeEnv env2(1);
+    env2.parallel(3, [&](Worker &w) { w.sink(w.index() * 100); });
+    EXPECT_EQ(h1, env2.totals().outputHash);
+}
+
+TEST(NativeEnv, MutexAndBarrierWork)
+{
+    NativeEnv env(1);
+    auto *x = env.allocShared<int>(1);
+    const unsigned m = env.createMutex();
+    const unsigned b = env.createBarrier(4);
+    env.parallel(4, [&](Worker &w) {
+        for (int i = 0; i < 50; ++i) {
+            w.lock(m);
+            w.write(&x[0], w.read(&x[0]) + 1);
+            w.unlock(m);
+        }
+        w.barrier(b);
+        EXPECT_EQ(w.read(&x[0]), 200);
+    });
+}
+
+TEST(NativeEnv, CondVarHandshake)
+{
+    NativeEnv env(1);
+    auto *flag = env.allocShared<int>(1);
+    const unsigned m = env.createMutex();
+    const unsigned cv = env.createCond();
+    env.parallel(2, [&](Worker &w) {
+        if (w.index() == 0) {
+            w.lock(m);
+            while (w.read(&flag[0]) == 0)
+                w.condWait(cv, m);
+            w.unlock(m);
+        } else {
+            w.lock(m);
+            w.write(&flag[0], 1);
+            w.condBroadcast(cv);
+            w.unlock(m);
+        }
+    });
+    SUCCEED();
+}
+
+TEST(TraceEnv, RecordsAccessesWithSizesAndPrivacy)
+{
+    TraceEnv env(1);
+    auto *x = env.allocShared<std::uint32_t>(4);
+    auto *p = env.allocPrivate<std::uint32_t>(4);
+    env.parallel(1, [&](Worker &w) {
+        w.write(&x[0], 1u);
+        w.read(&x[0]);
+        w.writePrivate(&p[0], 2u);
+        w.compute(17);
+    });
+    const Trace trace = env.takeTrace();
+    ASSERT_EQ(trace.perThread.size(), 1u);
+    const auto &events = trace.perThread[0];
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].kind, TraceEvent::Kind::Write);
+    EXPECT_EQ(events[0].size, 4u);
+    EXPECT_FALSE(events[0].isPrivate);
+    EXPECT_EQ(events[1].kind, TraceEvent::Kind::Read);
+    EXPECT_TRUE(events[2].isPrivate);
+    EXPECT_EQ(events[3].kind, TraceEvent::Kind::Compute);
+    EXPECT_EQ(events[3].addr, 17u);
+}
+
+TEST(TraceEnv, ComputeEventsCoalesce)
+{
+    TraceEnv env(1);
+    env.parallel(1, [&](Worker &w) {
+        w.compute(5);
+        w.compute(7);
+    });
+    const Trace trace = env.takeTrace();
+    ASSERT_EQ(trace.perThread[0].size(), 1u);
+    EXPECT_EQ(trace.perThread[0][0].addr, 12u);
+}
+
+TEST(TraceEnv, SyncEventsCarryPerObjectSequence)
+{
+    TraceEnv env(1);
+    auto *x = env.allocShared<int>(1);
+    const unsigned m = env.createMutex();
+    env.parallel(2, [&](Worker &w) {
+        for (int i = 0; i < 5; ++i) {
+            w.lock(m);
+            w.write(&x[0], w.read(&x[0]) + 1);
+            w.unlock(m);
+        }
+    });
+    const Trace trace = env.takeTrace();
+    ASSERT_EQ(trace.objects.size(), 1u);
+    EXPECT_EQ(trace.objects[0].kind, TraceSyncObject::Kind::Mutex);
+    EXPECT_EQ(trace.objects[0].eventCount, 20u);
+    // Sequences are unique and alternate acquire/release per pairing.
+    std::vector<bool> seen(20, false);
+    for (const auto &thread : trace.perThread) {
+        std::uint32_t lastSeq = 0;
+        bool haveLast = false;
+        for (const auto &e : thread) {
+            if (e.kind != TraceEvent::Kind::Acquire &&
+                e.kind != TraceEvent::Kind::Release) {
+                continue;
+            }
+            ASSERT_LT(e.seq, 20u);
+            EXPECT_FALSE(seen[e.seq]);
+            seen[e.seq] = true;
+            if (haveLast)
+                EXPECT_GT(e.seq, lastSeq); // per-thread monotone
+            lastSeq = e.seq;
+            haveLast = true;
+        }
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(TraceEnv, BarrierPartiesRecorded)
+{
+    TraceEnv env(1);
+    const unsigned b = env.createBarrier(3);
+    env.parallel(3, [&](Worker &w) {
+        w.barrier(b);
+        w.barrier(b);
+    });
+    const Trace trace = env.takeTrace();
+    ASSERT_EQ(trace.objects.size(), 1u);
+    EXPECT_EQ(trace.objects[0].kind, TraceSyncObject::Kind::Barrier);
+    EXPECT_EQ(trace.objects[0].parties, 3u);
+    EXPECT_EQ(trace.objects[0].eventCount, 6u);
+}
+
+TEST(TraceEnv, AddressBoundsTracked)
+{
+    TraceEnv env(1);
+    auto *x = env.allocShared<std::uint8_t>(128);
+    env.parallel(1, [&](Worker &w) {
+        w.write(&x[0], std::uint8_t{1});
+        w.write(&x[100], std::uint8_t{2});
+    });
+    const Trace trace = env.takeTrace();
+    EXPECT_EQ(trace.maxAddr - trace.minAddr, 101u);
+}
+
+TEST(TraceSerialization, RoundTripsExactly)
+{
+    TraceEnv env(1);
+    auto *x = env.allocShared<std::uint32_t>(64);
+    const unsigned m = env.createMutex();
+    const unsigned b = env.createBarrier(2);
+    env.parallel(2, [&](Worker &w) {
+        for (int i = 0; i < 20; ++i) {
+            w.lock(m);
+            w.write(&x[i % 64], static_cast<std::uint32_t>(i));
+            w.unlock(m);
+            w.compute(5);
+        }
+        w.barrier(b);
+        w.read(&x[0]);
+    });
+    const Trace original = env.takeTrace();
+
+    const std::string path = ::testing::TempDir() + "trace_rt.bin";
+    ASSERT_TRUE(saveTrace(original, path));
+    Trace loaded;
+    ASSERT_TRUE(loadTrace(path, loaded));
+
+    ASSERT_EQ(loaded.perThread.size(), original.perThread.size());
+    EXPECT_EQ(loaded.minAddr, original.minAddr);
+    EXPECT_EQ(loaded.maxAddr, original.maxAddr);
+    ASSERT_EQ(loaded.objects.size(), original.objects.size());
+    for (std::size_t o = 0; o < original.objects.size(); ++o) {
+        EXPECT_EQ(loaded.objects[o].kind, original.objects[o].kind);
+        EXPECT_EQ(loaded.objects[o].parties,
+                  original.objects[o].parties);
+        EXPECT_EQ(loaded.objects[o].eventCount,
+                  original.objects[o].eventCount);
+    }
+    for (std::size_t t = 0; t < original.perThread.size(); ++t) {
+        ASSERT_EQ(loaded.perThread[t].size(),
+                  original.perThread[t].size());
+        for (std::size_t i = 0; i < original.perThread[t].size(); ++i) {
+            const auto &a = original.perThread[t][i];
+            const auto &b2 = loaded.perThread[t][i];
+            EXPECT_EQ(a.kind, b2.kind);
+            EXPECT_EQ(a.addr, b2.addr);
+            EXPECT_EQ(a.object, b2.object);
+            EXPECT_EQ(a.seq, b2.seq);
+            EXPECT_EQ(a.size, b2.size);
+            EXPECT_EQ(a.isPrivate, b2.isPrivate);
+        }
+    }
+}
+
+TEST(TraceSerialization, LoadRejectsGarbage)
+{
+    const std::string path = ::testing::TempDir() + "trace_bad.bin";
+    FILE *f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a trace", f);
+    fclose(f);
+    Trace out;
+    EXPECT_FALSE(loadTrace(path, out));
+    EXPECT_FALSE(loadTrace("/nonexistent/path/trace.bin", out));
+}
+
+TEST(DetectorEnv, ForwardsAccessesWithWorkerTids)
+{
+    detectors::FastTrackDetector detector(kDefaultEpochConfig, 4);
+    DetectorEnv env(detector, 1);
+    auto *x = env.allocShared<int>(1);
+    env.parallel(2, [&](Worker &w) {
+        // Both workers write unsynchronized: FastTrack must report.
+        for (int i = 0; i < 100; ++i)
+            w.write(&x[0], i);
+    });
+    EXPECT_GE(detector.reportCount(), 1u);
+}
+
+TEST(DetectorEnv, LockedSharingIsClean)
+{
+    detectors::FastTrackDetector detector(kDefaultEpochConfig, 4);
+    DetectorEnv env(detector, 1);
+    auto *x = env.allocShared<int>(1);
+    const unsigned m = env.createMutex();
+    env.parallel(2, [&](Worker &w) {
+        for (int i = 0; i < 100; ++i) {
+            w.lock(m);
+            w.write(&x[0], w.read(&x[0]) + 1);
+            w.unlock(m);
+        }
+    });
+    EXPECT_EQ(detector.reportCount(), 0u);
+}
+
+} // namespace
+} // namespace clean::wl

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Set-associative cache model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace clean::sim
+{
+namespace
+{
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(1024, 2);
+    EXPECT_FALSE(cache.access(5).hit);
+    EXPECT_TRUE(cache.access(5).hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, ContainsDoesNotTouchLru)
+{
+    Cache cache(128, 2); // 2 lines, 1 set
+    cache.access(0);
+    cache.access(2); // set full: {0, 2}; LRU = 0
+    EXPECT_TRUE(cache.contains(0));
+    // contains() must not refresh 0; the next allocation evicts 0.
+    const auto r = cache.access(4);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedLine, 0u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache(128, 2); // 1 set, 2 ways
+    cache.access(0);
+    cache.access(2);
+    cache.access(0); // refresh 0; LRU = 2
+    const auto r = cache.access(4);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedLine, 2u);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache cache(256, 2); // 2 sets
+    // Even lines -> set 0, odd -> set 1.
+    cache.access(0);
+    cache.access(2);
+    cache.access(1);
+    cache.access(3);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(1));
+    // Filling set 0 further does not evict odd lines.
+    cache.access(4);
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache cache(1024, 4);
+    cache.access(9);
+    EXPECT_TRUE(cache.contains(9));
+    cache.invalidate(9);
+    EXPECT_FALSE(cache.contains(9));
+    EXPECT_FALSE(cache.access(9).hit);
+}
+
+TEST(Cache, InvalidateUnknownLineIsNoop)
+{
+    Cache cache(1024, 4);
+    cache.access(1);
+    cache.invalidate(99);
+    EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache cache(1024, 4);
+    for (Addr l = 0; l < 8; ++l)
+        cache.access(l);
+    cache.reset();
+    for (Addr l = 0; l < 8; ++l)
+        EXPECT_FALSE(cache.contains(l));
+}
+
+TEST(Cache, CapacityIsRespected)
+{
+    // 8 lines total; touching 16 distinct lines keeps only 8.
+    Cache cache(512, 2);
+    for (Addr l = 0; l < 16; ++l)
+        cache.access(l);
+    unsigned present = 0;
+    for (Addr l = 0; l < 16; ++l)
+        present += cache.contains(l);
+    EXPECT_EQ(present, 8u);
+}
+
+TEST(Cache, PaperL1Geometry)
+{
+    // 64 KB, 8-way, 64 B lines = 128 sets; no crash, sane behavior.
+    Cache cache(64 * 1024, 8);
+    for (Addr l = 0; l < 1024; ++l)
+        cache.access(l);
+    EXPECT_EQ(cache.misses(), 1024u);
+    for (Addr l = 0; l < 1024; ++l)
+        EXPECT_TRUE(cache.contains(l)); // exactly fits
+}
+
+} // namespace
+} // namespace clean::sim

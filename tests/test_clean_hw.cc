@@ -1,0 +1,247 @@
+/**
+ * @file
+ * CLEAN hardware race-check unit tests (§5): fast-path classification,
+ * VC loads, epoch updates, compact->expanded transitions, penalties,
+ * epoch-size modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clean_hw.h"
+
+namespace clean::sim
+{
+namespace
+{
+
+struct HwFixture : ::testing::Test
+{
+    HwFixture() : mem(2)
+    {
+        for (ThreadId t = 0; t < 2; ++t) {
+            vcs.emplace_back(kDefaultEpochConfig, 2);
+            vcs[t].setClock(t, 1);
+        }
+    }
+
+    std::unique_ptr<CleanHwUnit>
+    makeUnit(EpochMode mode = EpochMode::Clean)
+    {
+        return std::make_unique<CleanHwUnit>(mem, 2, mode);
+    }
+
+    MemoryHierarchy mem;
+    std::vector<VectorClock> vcs;
+};
+
+TEST_F(HwFixture, FirstWriteIsUpdateNotFast)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    EXPECT_EQ(unit->stats().updateAccesses, 1u);
+    EXPECT_EQ(unit->stats().fastAccesses, 0u);
+}
+
+TEST_F(HwFixture, RepeatWriteBySameThreadIsFast)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    EXPECT_EQ(unit->stats().fastAccesses, 1u);
+}
+
+TEST_F(HwFixture, OwnReadIsFast)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    unit->checkAccess(0, vcs[0], 0x100000, 4, false);
+    EXPECT_EQ(unit->stats().fastAccesses, 1u);
+}
+
+TEST_F(HwFixture, ReadOfUntouchedDataIsFast)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(1, vcs[1], 0x200000, 8, false);
+    EXPECT_EQ(unit->stats().fastAccesses, 1u);
+}
+
+TEST_F(HwFixture, CrossThreadReadNeedsVcLoad)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    // Thread 1 synchronized with thread 0 (no race), but the hardware
+    // still walks the VC-load path because sameThread is false.
+    vcs[1].joinFrom(vcs[0]);
+    unit->checkAccess(1, vcs[1], 0x100000, 4, false);
+    EXPECT_EQ(unit->stats().vcLoadAccesses, 1u);
+    EXPECT_EQ(unit->stats().racesDetected, 0u);
+}
+
+TEST_F(HwFixture, CrossThreadWriteIsVcLoadAndUpdate)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    vcs[1].joinFrom(vcs[0]);
+    unit->checkAccess(1, vcs[1], 0x100000, 4, true);
+    EXPECT_EQ(unit->stats().vcLoadUpdateAccesses, 1u);
+}
+
+TEST_F(HwFixture, UnorderedConflictCountsRace)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    // No join: thread 1's view of thread 0 is stale -> race.
+    unit->checkAccess(1, vcs[1], 0x100000, 4, false);
+    EXPECT_GE(unit->stats().racesDetected, 1u);
+}
+
+TEST_F(HwFixture, AlignedWritesKeepLineCompact)
+{
+    auto unit = makeUnit();
+    for (Addr a = 0x100000; a < 0x100040; a += 4)
+        unit->checkAccess(0, vcs[0], a, 4, true);
+    EXPECT_EQ(unit->stats().lineExpansions, 0u);
+    EXPECT_EQ(unit->stats().expandedLineAccesses, 0u);
+}
+
+TEST_F(HwFixture, PartialGroupWriteByOtherThreadExpands)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    vcs[1].joinFrom(vcs[0]);
+    // Single-byte write inside the 4-byte group by another thread: the
+    // group would need two different epochs -> expansion (§5.3).
+    unit->checkAccess(1, vcs[1], 0x100001, 1, true);
+    EXPECT_EQ(unit->stats().lineExpansions, 1u);
+    EXPECT_EQ(unit->stats().expandAccesses, 1u);
+}
+
+TEST_F(HwFixture, PartialGroupWriteSameEpochDoesNotExpand)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    // Same thread, same epoch: the group keeps one epoch value.
+    unit->checkAccess(0, vcs[0], 0x100001, 1, true);
+    EXPECT_EQ(unit->stats().lineExpansions, 0u);
+}
+
+TEST_F(HwFixture, ExpandedLineAccessesPayMiscalculation)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    vcs[1].joinFrom(vcs[0]);
+    unit->checkAccess(1, vcs[1], 0x100001, 1, true); // expand
+    unit->checkAccess(1, vcs[1], 0x100020, 4, false); // same data line
+    EXPECT_GE(unit->stats().miscalcPenalties, 1u);
+    EXPECT_GE(unit->stats().expandedLineAccesses, 1u);
+}
+
+TEST_F(HwFixture, ExpansionIsPerLine)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    vcs[1].joinFrom(vcs[0]);
+    unit->checkAccess(1, vcs[1], 0x100001, 1, true); // expands line 0
+    // A different data line stays compact.
+    unit->checkAccess(1, vcs[1], 0x100040, 4, true);
+    EXPECT_EQ(unit->stats().lineExpansions, 1u);
+    EXPECT_GE(unit->stats().compactLineAccesses, 2u);
+}
+
+TEST_F(HwFixture, FunctionalEpochsSurviveExpansion)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    vcs[1].joinFrom(vcs[0]);
+    unit->checkAccess(1, vcs[1], 0x100001, 1, true); // expand
+    // Unsynchronized third access must still see both writers' epochs:
+    VectorClock fresh(kDefaultEpochConfig, 2);
+    // fresh has zero clocks -> any prior write is a race.
+    const auto before = unit->stats().racesDetected;
+    unit->checkAccess(0, fresh, 0x100000, 4, false);
+    EXPECT_GT(unit->stats().racesDetected, before);
+}
+
+TEST_F(HwFixture, CheckLatencyReflectsMetadataMisses)
+{
+    auto unit = makeUnit();
+    // Cold metadata: the compact epoch line misses all the way to
+    // memory -> the check path costs at least the memory latency.
+    const Cycles lat = unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    EXPECT_GE(lat, 120u);
+    // Warm metadata afterwards.
+    const Cycles lat2 = unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    EXPECT_LE(lat2, 2u);
+}
+
+TEST_F(HwFixture, Byte4ModeTouchesMoreMetadataLines)
+{
+    auto unit1 = makeUnit(EpochMode::Byte1);
+    auto unit4 = makeUnit(EpochMode::Byte4);
+    // A 64-byte access: 1B epochs -> 1 metadata line; 4B epochs -> 4.
+    const auto before = mem.accesses();
+    unit1->checkAccess(0, vcs[0], 0x300000, 64, false);
+    const auto after1 = mem.accesses();
+    unit4->checkAccess(0, vcs[0], 0x400000, 64, false);
+    const auto after4 = mem.accesses();
+    EXPECT_EQ(after1 - before, 1u); // metadata-only traffic
+    EXPECT_EQ(after4 - after1, 4u);
+}
+
+TEST_F(HwFixture, FlatModesClassifyLikeClean)
+{
+    auto unit = makeUnit(EpochMode::Byte4);
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    unit->checkAccess(0, vcs[0], 0x100000, 4, false);
+    EXPECT_EQ(unit->stats().updateAccesses, 1u);
+    EXPECT_EQ(unit->stats().fastAccesses, 1u);
+}
+
+TEST_F(HwFixture, DisabledFastPathAlwaysLoadsVc)
+{
+    auto unit = makeUnit();
+    unit->setFastPathEnabled(false);
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    unit->checkAccess(0, vcs[0], 0x100000, 4, false);
+    // Both accesses walk the VC-load path even though sameThread holds.
+    EXPECT_EQ(unit->stats().fastAccesses, 0u);
+    EXPECT_GE(unit->stats().vcLoadAccesses +
+                  unit->stats().vcLoadUpdateAccesses,
+              2u);
+    // Functional outcome is unchanged: no race.
+    EXPECT_EQ(unit->stats().racesDetected, 0u);
+}
+
+TEST_F(HwFixture, DisabledFastPathCostsMore)
+{
+    auto fast = makeUnit();
+    auto slow = makeUnit();
+    slow->setFastPathEnabled(false);
+    // Warm both metadata paths identically first.
+    fast->checkAccess(0, vcs[0], 0x500000, 4, true);
+    slow->checkAccess(0, vcs[0], 0x600000, 4, true);
+    const Cycles f = fast->checkAccess(0, vcs[0], 0x500000, 4, false);
+    const Cycles s = slow->checkAccess(0, vcs[0], 0x600000, 4, false);
+    EXPECT_GT(s, f);
+}
+
+TEST_F(HwFixture, PrivateAccessesOnlyCounted)
+{
+    auto unit = makeUnit();
+    unit->notePrivate();
+    unit->notePrivate();
+    EXPECT_EQ(unit->stats().privateAccesses, 2u);
+    EXPECT_EQ(unit->stats().sharedAccesses(), 0u);
+}
+
+TEST_F(HwFixture, StatsExport)
+{
+    auto unit = makeUnit();
+    unit->checkAccess(0, vcs[0], 0x100000, 4, true);
+    StatSet stats;
+    unit->stats().exportTo(stats, "hw");
+    EXPECT_EQ(stats.get("hw.update"), 1u);
+}
+
+} // namespace
+} // namespace clean::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Epoch packing/unpacking tests (§4.5 layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/epoch.h"
+
+namespace clean
+{
+namespace
+{
+
+TEST(EpochConfig, DefaultLayoutIsValid)
+{
+    EXPECT_TRUE(kDefaultEpochConfig.valid());
+    EXPECT_EQ(kDefaultEpochConfig.clockBits, 23u);
+    EXPECT_EQ(kDefaultEpochConfig.tidBits, 8u);
+}
+
+TEST(EpochConfig, WideClockLayoutIsValid)
+{
+    EXPECT_TRUE(kWideClockEpochConfig.valid());
+    EXPECT_EQ(kWideClockEpochConfig.clockBits, 28u);
+}
+
+TEST(EpochConfig, RejectsOversizedLayouts)
+{
+    EXPECT_FALSE((EpochConfig{30, 8}.valid())); // needs bit 31 free
+    EXPECT_FALSE((EpochConfig{2, 8}.valid()));
+    EXPECT_FALSE((EpochConfig{23, 0}.valid()));
+}
+
+TEST(EpochConfig, PackUnpackRoundTrip)
+{
+    const EpochConfig cfg = kDefaultEpochConfig;
+    const EpochValue e = cfg.pack(17, 12345);
+    EXPECT_EQ(cfg.tidOf(e), 17u);
+    EXPECT_EQ(cfg.clockOf(e), 12345u);
+}
+
+TEST(EpochConfig, MaxValuesRoundTrip)
+{
+    const EpochConfig cfg = kDefaultEpochConfig;
+    const EpochValue e = cfg.pack(cfg.tidMask(), cfg.maxClock());
+    EXPECT_EQ(cfg.tidOf(e), cfg.tidMask());
+    EXPECT_EQ(cfg.clockOf(e), cfg.maxClock());
+}
+
+TEST(EpochConfig, ZeroEpochMeansThreadZeroClockZero)
+{
+    const EpochConfig cfg = kDefaultEpochConfig;
+    EXPECT_EQ(cfg.tidOf(0), 0u);
+    EXPECT_EQ(cfg.clockOf(0), 0u);
+}
+
+TEST(EpochConfig, ExpandedBitIsBit31)
+{
+    EXPECT_EQ(EpochConfig::expandedBit(), 0x80000000u);
+    // No packed epoch ever sets it.
+    const EpochConfig cfg = kDefaultEpochConfig;
+    EXPECT_EQ(cfg.pack(cfg.tidMask(), cfg.maxClock()) &
+                  EpochConfig::expandedBit(),
+              0u);
+}
+
+TEST(EpochConfig, DefaultSupports256Threads)
+{
+    EXPECT_EQ(kDefaultEpochConfig.maxThreads(), 256u);
+}
+
+TEST(EpochConfig, ClockOverflowWrapsIntoMask)
+{
+    const EpochConfig cfg = kDefaultEpochConfig;
+    // pack() masks; a clock above maxClock would alias — which is why
+    // the runtime must reset before reaching maxClock.
+    EXPECT_EQ(cfg.clockOf(cfg.pack(0, cfg.maxClock() + 1)), 0u);
+}
+
+TEST(EpochConfig, SameTidRawComparisonOrdersClocks)
+{
+    const EpochConfig cfg = kDefaultEpochConfig;
+    // The single-comparison trick (§4.1): same tid bits => raw integer
+    // order equals clock order.
+    EXPECT_LT(cfg.pack(5, 10), cfg.pack(5, 11));
+    EXPECT_GT(cfg.pack(5, 12), cfg.pack(5, 11));
+}
+
+/** Sweep layouts: pack/unpack holds for every supported clock width. */
+class EpochLayoutSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EpochLayoutSweep, RoundTripAtBoundaries)
+{
+    const unsigned clockBits = GetParam();
+    const EpochConfig cfg{clockBits, static_cast<unsigned>(31 - clockBits)};
+    ASSERT_TRUE(cfg.valid());
+    const ClockValue clocks[] = {0, 1, cfg.maxClock() / 2, cfg.maxClock()};
+    const ThreadId tids[] = {0, 1, cfg.tidMask()};
+    for (ClockValue c : clocks) {
+        for (ThreadId t : tids) {
+            const EpochValue e = cfg.pack(t, c);
+            EXPECT_EQ(cfg.tidOf(e), t);
+            EXPECT_EQ(cfg.clockOf(e), c);
+            EXPECT_EQ(e & EpochConfig::expandedBit(), 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EpochLayoutSweep,
+                         ::testing::Values(4u, 8u, 16u, 23u, 27u));
+
+} // namespace
+} // namespace clean

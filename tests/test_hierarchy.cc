@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Memory-hierarchy latency & coherence tests (§6.3.1 parameters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_hierarchy.h"
+
+namespace clean::sim
+{
+namespace
+{
+
+TEST(Hierarchy, ColdMissCosts120)
+{
+    MemoryHierarchy mem(2);
+    EXPECT_EQ(mem.access(0, 0x1000, 4, false), 120u);
+    EXPECT_EQ(mem.llcMisses(), 1u);
+}
+
+TEST(Hierarchy, L1HitCosts1)
+{
+    MemoryHierarchy mem(2);
+    mem.access(0, 0x1000, 4, false);
+    EXPECT_EQ(mem.access(0, 0x1000, 4, false), 1u);
+    EXPECT_EQ(mem.access(0, 0x1020, 4, false), 1u); // same line
+}
+
+TEST(Hierarchy, RemoteL2HitCosts15)
+{
+    MemoryHierarchy mem(2);
+    mem.access(0, 0x1000, 4, false); // core 0 now caches the line
+    EXPECT_EQ(mem.access(1, 0x1000, 4, false), 15u);
+}
+
+TEST(Hierarchy, L3HitCosts35AfterPrivateEviction)
+{
+    MemoryHierarchy mem(1);
+    // Fill far beyond L1+L2 (320 KB) so early lines leave the private
+    // caches but stay in the 16 MB L3.
+    for (Addr a = 0; a < (1u << 20); a += 64)
+        mem.access(0, a, 4, false);
+    // Line 0 must have been evicted from L1/L2 but still be in L3.
+    const Cycles lat = mem.access(0, 0, 4, false);
+    EXPECT_EQ(lat, 35u);
+}
+
+TEST(Hierarchy, WriteInvalidatesRemoteCopies)
+{
+    MemoryHierarchy mem(2);
+    mem.access(0, 0x2000, 4, false);
+    mem.access(1, 0x2000, 4, false); // both cache it
+    EXPECT_EQ(mem.access(1, 0x2000, 4, true), 1u);
+    EXPECT_GE(mem.invalidations(), 1u);
+    // Core 0 lost its copy: not an L1 hit anymore.
+    EXPECT_GT(mem.access(0, 0x2000, 4, false), 1u);
+}
+
+TEST(Hierarchy, LocalL2Hit10AfterL1Conflict)
+{
+    MemoryHierarchy mem(1);
+    // L1: 64 KB 8-way, 128 sets. Lines that map to set 0 and collide:
+    // addresses k * 128 * 64. Touch 9 of them: the first leaves L1 but
+    // stays in the 256 KB L2 (512 sets - different geometry).
+    for (int k = 0; k < 9; ++k)
+        mem.access(0, static_cast<Addr>(k) * 128 * 64, 4, false);
+    const Cycles lat = mem.access(0, 0, 4, false);
+    EXPECT_EQ(lat, 10u);
+}
+
+TEST(Hierarchy, MultiLineAccessPaysPerLine)
+{
+    MemoryHierarchy mem(1);
+    // 8 bytes straddling a 64 B boundary: two cold lines.
+    EXPECT_EQ(mem.access(0, 60, 8, false), 240u);
+}
+
+TEST(Hierarchy, AccessesAreCounted)
+{
+    MemoryHierarchy mem(1);
+    mem.access(0, 0, 4, false);
+    mem.access(0, 64, 4, false);
+    mem.access(0, 60, 8, false); // two lines
+    EXPECT_EQ(mem.accesses(), 4u);
+}
+
+TEST(Hierarchy, ExportsStats)
+{
+    MemoryHierarchy mem(1);
+    mem.access(0, 0, 4, false);
+    mem.access(0, 0, 4, false);
+    StatSet stats;
+    mem.exportTo(stats, "mem");
+    EXPECT_EQ(stats.get("mem.accesses"), 2u);
+    EXPECT_EQ(stats.get("mem.l1Hits"), 1u);
+    EXPECT_EQ(stats.get("mem.llcMisses"), 1u);
+}
+
+} // namespace
+} // namespace clean::sim

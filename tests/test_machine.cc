@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Trace-replay machine tests: event costs, sync ordering, barrier
+ * semantics, detection overhead, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace clean::sim
+{
+namespace
+{
+
+using wl::Trace;
+using wl::TraceEvent;
+using wl::TraceSyncObject;
+
+TraceEvent
+mem(bool write, Addr addr, std::uint8_t size, bool priv = false)
+{
+    TraceEvent e;
+    e.kind = write ? TraceEvent::Kind::Write : TraceEvent::Kind::Read;
+    e.addr = addr;
+    e.size = size;
+    e.isPrivate = priv;
+    return e;
+}
+
+TraceEvent
+compute(std::uint64_t n)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Compute;
+    e.addr = n;
+    return e;
+}
+
+TraceEvent
+sync(TraceEvent::Kind kind, unsigned object, std::uint32_t seq)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.object = object;
+    e.seq = seq;
+    return e;
+}
+
+Trace
+singleThread(std::vector<TraceEvent> events)
+{
+    Trace trace;
+    trace.perThread.push_back(std::move(events));
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x100000;
+    return trace;
+}
+
+TEST(Machine, ComputeCostsItsCycles)
+{
+    auto trace = singleThread({compute(100), compute(23)});
+    MachineConfig config;
+    config.raceDetection = false;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.totalCycles, 123u);
+    EXPECT_EQ(stats.instructions, 123u);
+}
+
+TEST(Machine, ColdAccessCostsIssuePlusMemory)
+{
+    auto trace = singleThread({mem(false, 0x1000, 4)});
+    MachineConfig config;
+    config.raceDetection = false;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.totalCycles, 1u + 120u);
+    EXPECT_EQ(stats.memoryAccesses, 1u);
+}
+
+TEST(Machine, WarmAccessCostsIssuePlusL1)
+{
+    auto trace =
+        singleThread({mem(false, 0x1000, 4), mem(false, 0x1000, 4)});
+    MachineConfig config;
+    config.raceDetection = false;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.totalCycles, 121u + 2u);
+}
+
+TEST(Machine, DetectionAddsMetadataCost)
+{
+    auto trace = singleThread({mem(true, 0x1000, 4)});
+    MachineConfig off, on;
+    off.raceDetection = false;
+    on.raceDetection = true;
+    const auto a = simulate(trace, off);
+    const auto b = simulate(trace, on);
+    EXPECT_GT(b.totalCycles, a.totalCycles);
+    EXPECT_EQ(b.hw.sharedAccesses(), 1u);
+}
+
+TEST(Machine, PrivateAccessesSkipTheCheck)
+{
+    auto trace = singleThread({mem(true, 0x1000, 4, true)});
+    MachineConfig config;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.hw.privateAccesses, 1u);
+    EXPECT_EQ(stats.hw.sharedAccesses(), 0u);
+    // Only data traffic: same cost as detection-off.
+    EXPECT_EQ(stats.totalCycles, 121u);
+}
+
+TEST(Machine, SyncOpsCost100)
+{
+    Trace trace;
+    trace.perThread.push_back(
+        {sync(TraceEvent::Kind::Acquire, 0, 0),
+         sync(TraceEvent::Kind::Release, 0, 1)});
+    trace.objects.push_back({TraceSyncObject::Kind::Mutex, 0, 2});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.totalCycles, 200u);
+    EXPECT_EQ(stats.syncOps, 2u);
+}
+
+TEST(Machine, RecordedLockOrderIsEnforced)
+{
+    // Thread 1 acquired first in the recording; thread 0's acquire has
+    // seq 2 and must wait for thread 1's release even though thread 0
+    // is otherwise free to run.
+    Trace trace;
+    trace.perThread.resize(2);
+    trace.perThread[0] = {sync(TraceEvent::Kind::Acquire, 0, 2),
+                          sync(TraceEvent::Kind::Release, 0, 3)};
+    trace.perThread[1] = {compute(1000),
+                          sync(TraceEvent::Kind::Acquire, 0, 0),
+                          sync(TraceEvent::Kind::Release, 0, 1)};
+    trace.objects.push_back({TraceSyncObject::Kind::Mutex, 0, 4});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    const auto stats = simulate(trace, config);
+    // Thread 0's acquire waits for t1: 1000 + 100 + 100, then its own
+    // two ops at +100 each.
+    EXPECT_EQ(stats.coreCycles[0], 1000u + 400u);
+}
+
+TEST(Machine, BarrierReleasesAllAtLatestArrival)
+{
+    Trace trace;
+    trace.perThread.resize(2);
+    trace.perThread[0] = {compute(50),
+                          sync(TraceEvent::Kind::BarrierArrive, 0, 0),
+                          compute(10)};
+    trace.perThread[1] = {compute(500),
+                          sync(TraceEvent::Kind::BarrierArrive, 0, 1),
+                          compute(10)};
+    trace.objects.push_back({TraceSyncObject::Kind::Barrier, 2, 2});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    const auto stats = simulate(trace, config);
+    // Release at max(50, 500) + 100 = 600; both finish at 610.
+    EXPECT_EQ(stats.coreCycles[0], 610u);
+    EXPECT_EQ(stats.coreCycles[1], 610u);
+}
+
+TEST(Machine, BarrierWorksAcrossGenerations)
+{
+    Trace trace;
+    trace.perThread.resize(2);
+    for (int t = 0; t < 2; ++t) {
+        std::vector<TraceEvent> events;
+        for (std::uint32_t g = 0; g < 3; ++g) {
+            events.push_back(compute(10 * (t + 1)));
+            events.push_back(sync(TraceEvent::Kind::BarrierArrive, 0,
+                                  g * 2 + static_cast<std::uint32_t>(t)));
+        }
+        trace.perThread[t] = events;
+    }
+    trace.objects.push_back({TraceSyncObject::Kind::Barrier, 2, 6});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.coreCycles[0], stats.coreCycles[1]);
+    EXPECT_EQ(stats.syncOps, 6u);
+}
+
+TEST(Machine, CoherenceChargesRemoteHits)
+{
+    // Core 1 reads a line core 0 wrote: remote L2 hit (15) not memory.
+    Trace trace;
+    trace.perThread.resize(2);
+    trace.perThread[0] = {mem(true, 0x1000, 4),
+                          sync(TraceEvent::Kind::Release, 0, 0)};
+    trace.perThread[1] = {sync(TraceEvent::Kind::Acquire, 0, 1),
+                          mem(false, 0x1000, 4)};
+    trace.objects.push_back({TraceSyncObject::Kind::Mutex, 0, 2});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    config.raceDetection = false;
+    const auto stats = simulate(trace, config);
+    // t1: waits for release at 221; acquire at 321; read 15+1.
+    EXPECT_EQ(stats.coreCycles[1], 321u + 16u);
+}
+
+TEST(Machine, HbOrderedSharingIsNotARace)
+{
+    Trace trace;
+    trace.perThread.resize(2);
+    trace.perThread[0] = {mem(true, 0x1000, 4),
+                          sync(TraceEvent::Kind::Release, 0, 0)};
+    trace.perThread[1] = {sync(TraceEvent::Kind::Acquire, 0, 1),
+                          mem(false, 0x1000, 4)};
+    trace.objects.push_back({TraceSyncObject::Kind::Mutex, 0, 2});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.hw.racesDetected, 0u);
+}
+
+TEST(Machine, UnorderedSharingIsCountedAsRace)
+{
+    Trace trace;
+    trace.perThread.resize(2);
+    trace.perThread[0] = {mem(true, 0x1000, 4)};
+    trace.perThread[1] = {compute(10000), mem(false, 0x1000, 4)};
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    const auto stats = simulate(trace, config);
+    EXPECT_GE(stats.hw.racesDetected, 1u);
+}
+
+TEST(Machine, ReplayIsDeterministic)
+{
+    Trace trace;
+    trace.perThread.resize(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        std::vector<TraceEvent> events;
+        for (int i = 0; i < 50; ++i) {
+            events.push_back(compute(t * 3 + 1));
+            events.push_back(
+                mem(i % 2 == 0, 0x1000 + t * 0x100 + (i % 16) * 8, 8));
+        }
+        trace.perThread[t] = events;
+    }
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    const auto a = simulate(trace, config);
+    const auto b = simulate(trace, config);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.coreCycles, b.coreCycles);
+    EXPECT_EQ(a.hw.fastAccesses, b.hw.fastAccesses);
+}
+
+Trace
+fourThreadMix()
+{
+    Trace trace;
+    trace.perThread.resize(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        std::vector<TraceEvent> events;
+        for (std::uint32_t g = 0; g < 4; ++g) {
+            events.push_back(compute(20 * (t + 1)));
+            events.push_back(
+                mem(t % 2 == 0, 0x1000 + t * 0x200 + g * 8, 8));
+            events.push_back(sync(TraceEvent::Kind::BarrierArrive, 0,
+                                  g * 4 + t));
+        }
+        trace.perThread[t] = events;
+    }
+    trace.objects.push_back({TraceSyncObject::Kind::Barrier, 4, 16});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    return trace;
+}
+
+TEST(MachineScheduled, TimeSharingCompletesAndSwitches)
+{
+    const auto trace = fourThreadMix();
+    MachineConfig config;
+    config.cores = 2;
+    const auto stats = simulate(trace, config);
+    EXPECT_EQ(stats.coreCycles.size(), 2u);
+    EXPECT_GT(stats.contextSwitches, 0u);
+    EXPECT_EQ(stats.syncOps, 16u);
+    EXPECT_EQ(stats.hw.racesDetected, 0u);
+}
+
+TEST(MachineScheduled, FewerCoresTakeLonger)
+{
+    const auto trace = fourThreadMix();
+    MachineConfig wide, narrow;
+    narrow.cores = 1;
+    const auto w = simulate(trace, wide);
+    const auto n = simulate(trace, narrow);
+    EXPECT_GT(n.totalCycles, w.totalCycles);
+}
+
+TEST(MachineScheduled, DetectionSemanticsUnchanged)
+{
+    // An unordered write/read pair must be flagged regardless of how
+    // many cores execute the trace.
+    Trace trace;
+    trace.perThread.resize(3);
+    trace.perThread[0] = {mem(true, 0x1000, 4)};
+    trace.perThread[1] = {compute(5000), mem(false, 0x1000, 4)};
+    trace.perThread[2] = {compute(10)};
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    config.cores = 2;
+    const auto stats = simulate(trace, config);
+    EXPECT_GE(stats.hw.racesDetected, 1u);
+}
+
+TEST(MachineScheduled, ReplayIsDeterministic)
+{
+    const auto trace = fourThreadMix();
+    MachineConfig config;
+    config.cores = 2;
+    const auto a = simulate(trace, config);
+    const auto b = simulate(trace, config);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+}
+
+TEST(MachineScheduled, CoresEqualThreadsUsesUnscheduledPath)
+{
+    const auto trace = fourThreadMix();
+    MachineConfig a, b;
+    a.cores = 0;
+    b.cores = 4; // not < threads: same path
+    const auto ra = simulate(trace, a);
+    const auto rb = simulate(trace, b);
+    EXPECT_EQ(ra.totalCycles, rb.totalCycles);
+    EXPECT_EQ(ra.contextSwitches, 0u);
+    EXPECT_EQ(rb.contextSwitches, 0u);
+}
+
+TEST(MachineDeath, IncompleteBarrierGenerationDeadlocks)
+{
+    Trace trace;
+    trace.perThread.resize(2);
+    trace.perThread[0] = {sync(TraceEvent::Kind::BarrierArrive, 0, 0)};
+    trace.perThread[1] = {}; // never arrives
+    trace.objects.push_back({TraceSyncObject::Kind::Barrier, 2, 1});
+    trace.minAddr = 0x1000;
+    trace.maxAddr = 0x2000;
+    MachineConfig config;
+    EXPECT_DEATH(simulate(trace, config), "deadlock");
+}
+
+} // namespace
+} // namespace clean::sim

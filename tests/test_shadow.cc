@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Shadow-backend tests (§4.2): slot mapping, contiguity, reset.
+ *
+ * Typed over both backends — the RaceChecker relies on exactly these
+ * properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/linear_shadow.h"
+#include "core/sparse_shadow.h"
+
+namespace clean
+{
+namespace
+{
+
+/** Uniform construction wrapper for the typed suite. */
+template <typename ShadowT>
+struct ShadowFixture;
+
+template <>
+struct ShadowFixture<LinearShadow>
+{
+    static constexpr Addr kBase = 0x10000000;
+    static constexpr std::size_t kSpan = 1 << 20;
+
+    ShadowFixture() : shadow(kBase, kSpan) {}
+    LinearShadow shadow;
+};
+
+template <>
+struct ShadowFixture<SparseShadow>
+{
+    static constexpr Addr kBase = 0x10000000;
+    static constexpr std::size_t kSpan = 1 << 20;
+
+    SparseShadow shadow;
+};
+
+template <typename ShadowT>
+class ShadowTest : public ::testing::Test
+{
+  protected:
+    ShadowFixture<ShadowT> fix;
+};
+
+using ShadowTypes = ::testing::Types<LinearShadow, SparseShadow>;
+TYPED_TEST_SUITE(ShadowTest, ShadowTypes);
+
+TYPED_TEST(ShadowTest, FreshSlotsAreZero)
+{
+    auto &shadow = this->fix.shadow;
+    const Addr base = ShadowFixture<TypeParam>::kBase;
+    for (Addr a = base; a < base + 64; ++a)
+        EXPECT_EQ(*shadow.slots(a), 0u);
+}
+
+TYPED_TEST(ShadowTest, SlotsAreStable)
+{
+    auto &shadow = this->fix.shadow;
+    const Addr a = ShadowFixture<TypeParam>::kBase + 100;
+    EpochValue *s1 = shadow.slots(a);
+    *s1 = 0xabcd;
+    EXPECT_EQ(*shadow.slots(a), 0xabcdu);
+    EXPECT_EQ(shadow.slots(a), s1);
+}
+
+TYPED_TEST(ShadowTest, AdjacentBytesHaveAdjacentSlots)
+{
+    auto &shadow = this->fix.shadow;
+    const Addr base = ShadowFixture<TypeParam>::kBase + 4096;
+    EpochValue *first = shadow.slots(base);
+    const std::size_t run = shadow.contiguousSlots(base);
+    const std::size_t check = std::min<std::size_t>(run, 256);
+    for (std::size_t i = 0; i < check; ++i)
+        EXPECT_EQ(shadow.slots(base + i), first + i);
+}
+
+TYPED_TEST(ShadowTest, DistinctBytesHaveDistinctSlots)
+{
+    auto &shadow = this->fix.shadow;
+    const Addr base = ShadowFixture<TypeParam>::kBase;
+    *shadow.slots(base + 10) = 1;
+    *shadow.slots(base + 11) = 2;
+    EXPECT_EQ(*shadow.slots(base + 10), 1u);
+    EXPECT_EQ(*shadow.slots(base + 11), 2u);
+}
+
+TYPED_TEST(ShadowTest, ContiguousSlotsIsPositive)
+{
+    auto &shadow = this->fix.shadow;
+    const Addr base = ShadowFixture<TypeParam>::kBase;
+    for (Addr off : {std::size_t{0}, std::size_t{1}, std::size_t{4095},
+                     std::size_t{4096}, std::size_t{65535}}) {
+        EXPECT_GE(shadow.contiguousSlots(base + off), 1u);
+    }
+}
+
+TYPED_TEST(ShadowTest, ResetZeroesEverything)
+{
+    auto &shadow = this->fix.shadow;
+    const Addr base = ShadowFixture<TypeParam>::kBase;
+    for (Addr a = base; a < base + 1000; a += 37)
+        *shadow.slots(a) = 0xdeadbeef;
+    shadow.reset();
+    for (Addr a = base; a < base + 1000; a += 37)
+        EXPECT_EQ(*shadow.slots(a), 0u);
+}
+
+TYPED_TEST(ShadowTest, SlotWidthIsFourBytesPerDataByte)
+{
+    auto &shadow = this->fix.shadow;
+    const Addr base = ShadowFixture<TypeParam>::kBase + 512;
+    const auto *s0 = reinterpret_cast<const char *>(shadow.slots(base));
+    const auto *s1 =
+        reinterpret_cast<const char *>(shadow.slots(base + 1));
+    EXPECT_EQ(s1 - s0, static_cast<std::ptrdiff_t>(kShadowBytesPerByte));
+}
+
+TEST(LinearShadow, CoversExactRange)
+{
+    LinearShadow shadow(0x1000, 0x100);
+    EXPECT_TRUE(shadow.covers(0x1000));
+    EXPECT_TRUE(shadow.covers(0x10ff));
+    EXPECT_FALSE(shadow.covers(0x0fff));
+    EXPECT_FALSE(shadow.covers(0x1100));
+}
+
+TEST(LinearShadow, ContiguousAcrossWholeRegion)
+{
+    LinearShadow shadow(0x1000, 0x100);
+    EXPECT_EQ(shadow.contiguousSlots(0x1000), 0x100u);
+    EXPECT_EQ(shadow.contiguousSlots(0x10ff), 1u);
+}
+
+TEST(LinearShadow, FixedArithmeticMapping)
+{
+    // The EPOCH_ADDRESS property: slot(addr) = base + (addr - dataBase),
+    // in units of 4-byte epochs.
+    LinearShadow shadow(0x2000, 0x1000);
+    EpochValue *base = shadow.slots(0x2000);
+    EXPECT_EQ(shadow.slots(0x2000 + 0x123), base + 0x123);
+}
+
+TEST(SparseShadow, ChunksMaterializeLazily)
+{
+    SparseShadow shadow;
+    EXPECT_EQ(shadow.chunkCount(), 0u);
+    *shadow.slots(0x123456789) = 7;
+    EXPECT_EQ(shadow.chunkCount(), 1u);
+    *shadow.slots(0x123456789 + SparseShadow::kChunkBytes) = 8;
+    EXPECT_EQ(shadow.chunkCount(), 2u);
+}
+
+TEST(SparseShadow, HandlesArbitraryAddresses)
+{
+    SparseShadow shadow;
+    const Addr addrs[] = {0x0, 0x7fffffffffff, 0x1234, 0xdeadbeef000};
+    EpochValue v = 1;
+    for (Addr a : addrs)
+        *shadow.slots(a) = v++;
+    v = 1;
+    for (Addr a : addrs)
+        EXPECT_EQ(*shadow.slots(a), v++);
+}
+
+TEST(SparseShadow, ContiguityWithinChunk)
+{
+    SparseShadow shadow;
+    const Addr base = 5 * SparseShadow::kChunkBytes;
+    EXPECT_EQ(shadow.contiguousSlots(base), SparseShadow::kChunkBytes);
+    EXPECT_EQ(shadow.contiguousSlots(base + SparseShadow::kChunkBytes - 1),
+              1u);
+}
+
+TEST(SparseShadow, PerInstanceIsolation)
+{
+    SparseShadow a, b;
+    *a.slots(0x100) = 11;
+    // b's cache must not alias a's chunk.
+    EXPECT_EQ(*b.slots(0x100), 0u);
+    *b.slots(0x100) = 22;
+    EXPECT_EQ(*a.slots(0x100), 11u);
+}
+
+} // namespace
+} // namespace clean

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SharedHeap tests (§4.2's fixed-region allocation model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/shared_heap.h"
+
+namespace clean
+{
+namespace
+{
+
+SharedHeapConfig
+tiny()
+{
+    SharedHeapConfig config;
+    config.sharedBytes = 1 << 20;
+    config.privateBytes = 1 << 20;
+    return config;
+}
+
+TEST(SharedHeap, AllocationsAreZeroed)
+{
+    SharedHeap heap(tiny());
+    auto *p = heap.allocSharedArray<std::uint64_t>(128);
+    for (int i = 0; i < 128; ++i)
+        EXPECT_EQ(p[i], 0u);
+}
+
+TEST(SharedHeap, AllocationsAre16ByteAligned)
+{
+    SharedHeap heap(tiny());
+    for (std::size_t sz : {1, 3, 17, 100}) {
+        void *p = heap.allocShared(sz);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+        void *q = heap.allocPrivate(sz);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 16, 0u);
+    }
+}
+
+TEST(SharedHeap, AllocationsAreDisjoint)
+{
+    SharedHeap heap(tiny());
+    auto *a = heap.allocSharedArray<char>(100);
+    auto *b = heap.allocSharedArray<char>(100);
+    std::memset(a, 1, 100);
+    std::memset(b, 2, 100);
+    EXPECT_EQ(a[99], 1);
+    EXPECT_EQ(b[0], 2);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(SharedHeap, SharedAndPrivateHalvesAreClassified)
+{
+    SharedHeap heap(tiny());
+    auto *s = heap.allocShared(64);
+    auto *p = heap.allocPrivate(64);
+    EXPECT_FALSE(heap.isPrivate(reinterpret_cast<Addr>(s)));
+    EXPECT_TRUE(heap.isPrivate(reinterpret_cast<Addr>(p)));
+    EXPECT_TRUE(heap.contains(reinterpret_cast<Addr>(s)));
+    EXPECT_TRUE(heap.contains(reinterpret_cast<Addr>(p)));
+    EXPECT_FALSE(heap.contains(0x10));
+}
+
+TEST(SharedHeap, SharedRegionIsContiguousFromBase)
+{
+    SharedHeap heap(tiny());
+    auto *first = heap.allocShared(16);
+    EXPECT_EQ(reinterpret_cast<Addr>(first), heap.sharedBase());
+}
+
+TEST(SharedHeap, UsageAccounting)
+{
+    SharedHeap heap(tiny());
+    EXPECT_EQ(heap.sharedUsed(), 0u);
+    heap.allocShared(10); // rounds to 16
+    heap.allocShared(16);
+    EXPECT_EQ(heap.sharedUsed(), 32u);
+    heap.allocPrivate(1);
+    EXPECT_EQ(heap.privateUsed(), 16u);
+}
+
+TEST(SharedHeap, ConcurrentAllocationsDoNotOverlap)
+{
+    SharedHeap heap(tiny());
+    constexpr int kThreads = 4, kPerThread = 200;
+    std::vector<void *> results[kThreads];
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                results[t].push_back(heap.allocShared(32));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    std::vector<void *> all;
+    for (auto &r : results)
+        all.insert(all.end(), r.begin(), r.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        EXPECT_GE(static_cast<char *>(all[i]),
+                  static_cast<char *>(all[i - 1]) + 32);
+    }
+}
+
+TEST(SharedHeapDeath, ExhaustionIsFatal)
+{
+    SharedHeapConfig config;
+    config.sharedBytes = 4096;
+    config.privateBytes = 4096;
+    SharedHeap heap(config);
+    EXPECT_EXIT(
+        {
+            for (int i = 0; i < 1000; ++i)
+                heap.allocShared(64);
+        },
+        ::testing::ExitedWithCode(1), "out of space");
+}
+
+} // namespace
+} // namespace clean

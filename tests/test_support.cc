@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the support layer: PRNG determinism, stats, options.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/options.h"
+#include "support/prng.h"
+#include "support/stats.h"
+
+namespace clean
+{
+namespace
+{
+
+TEST(Prng, DeterministicForSeed)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Prng, NextBelowInRange)
+{
+    Prng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Prng, NextDoubleInUnitInterval)
+{
+    Prng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Prng, NextInRangeInclusive)
+{
+    Prng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Prng, CoversRangeRoughlyUniformly)
+{
+    Prng rng(13);
+    int buckets[8] = {};
+    const int n = 8000;
+    for (int i = 0; i < n; ++i)
+        buckets[rng.nextBelow(8)]++;
+    for (int b = 0; b < 8; ++b) {
+        EXPECT_GT(buckets[b], n / 8 - n / 16);
+        EXPECT_LT(buckets[b], n / 8 + n / 16);
+    }
+}
+
+TEST(SplitMix, ExpandsSeedsDistinctly)
+{
+    SplitMix64 sm(0);
+    const auto a = sm.next(), b = sm.next();
+    EXPECT_NE(a, b);
+}
+
+TEST(Stats, CountersStartAtZero)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.get("nothing"), 0u);
+    EXPECT_EQ(stats.counter("x"), 0u);
+}
+
+TEST(Stats, CounterIncrements)
+{
+    StatSet stats;
+    stats.counter("a") += 3;
+    stats.counter("a") += 4;
+    EXPECT_EQ(stats.get("a"), 7u);
+}
+
+TEST(Stats, MergeAddsCounters)
+{
+    StatSet a, b;
+    a.counter("x") = 1;
+    b.counter("x") = 2;
+    b.counter("y") = 5;
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 5u);
+}
+
+TEST(Stats, EntriesPreserveInsertionOrder)
+{
+    StatSet stats;
+    stats.counter("z") = 1;
+    stats.counter("a") = 2;
+    const auto entries = stats.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].first, "z");
+    EXPECT_EQ(entries[1].first, "a");
+}
+
+TEST(Stats, ClearZeroesValuesKeepsNames)
+{
+    StatSet stats;
+    stats.counter("a") = 9;
+    stats.clear();
+    EXPECT_EQ(stats.get("a"), 0u);
+    EXPECT_EQ(stats.entries().size(), 1u);
+}
+
+TEST(Options, ParsesEqualsForm)
+{
+    const char *argv[] = {"prog", "--threads=4", "--name=foo"};
+    auto opts = Options::parse(3, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("threads", 0), 4);
+    EXPECT_EQ(opts.getString("name"), "foo");
+}
+
+TEST(Options, ParsesSpaceForm)
+{
+    const char *argv[] = {"prog", "--threads", "8"};
+    auto opts = Options::parse(3, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("threads", 0), 8);
+}
+
+TEST(Options, BareFlagIsTrue)
+{
+    const char *argv[] = {"prog", "--verbose"};
+    auto opts = Options::parse(2, const_cast<char **>(argv));
+    EXPECT_TRUE(opts.getBool("verbose", false));
+}
+
+TEST(Options, DefaultsWhenMissing)
+{
+    const char *argv[] = {"prog"};
+    auto opts = Options::parse(1, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("threads", 6), 6);
+    EXPECT_FALSE(opts.getBool("verbose", false));
+    EXPECT_DOUBLE_EQ(opts.getDouble("f", 1.5), 1.5);
+}
+
+TEST(Options, PositionalArgumentsKept)
+{
+    const char *argv[] = {"prog", "one", "--k=v", "two"};
+    auto opts = Options::parse(4, const_cast<char **>(argv));
+    ASSERT_EQ(opts.positional().size(), 2u);
+    EXPECT_EQ(opts.positional()[0], "one");
+    EXPECT_EQ(opts.positional()[1], "two");
+}
+
+TEST(Options, SetInjectsValue)
+{
+    Options opts;
+    opts.set("mode", "fast");
+    EXPECT_EQ(opts.getString("mode"), "fast");
+}
+
+} // namespace
+} // namespace clean

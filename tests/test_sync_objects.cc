@@ -1,0 +1,390 @@
+/**
+ * @file
+ * CleanMutex / CleanCondVar / CleanBarrier tests: happens-before
+ * semantics, deterministic ordering, abort behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <vector>
+
+#include "core/clean.h"
+#include "support/prng.h"
+
+namespace clean
+{
+namespace
+{
+
+RuntimeConfig
+smallConfig(bool deterministic = true)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.deterministic = deterministic;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    return config;
+}
+
+TEST(CleanMutexTest, LockOrdersConflictingWrites)
+{
+    CleanRuntime rt(smallConfig());
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    CleanMutex m(rt);
+    std::vector<ThreadHandle> handles;
+    for (int t = 0; t < 4; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+                for (int i = 0; i < 100; ++i) {
+                    m.lock(ctx);
+                    ctx.write(&x[0], ctx.read(&x[0]) + 1);
+                    m.unlock(ctx);
+                }
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    EXPECT_FALSE(rt.raceOccurred());
+    EXPECT_EQ(rt.mainContext().read(&x[0]), 400);
+}
+
+TEST(CleanMutexTest, TryLockAcquiresWhenFree)
+{
+    CleanRuntime rt(smallConfig());
+    CleanMutex m(rt);
+    EXPECT_TRUE(m.tryLock(rt.mainContext()));
+    m.unlock(rt.mainContext());
+}
+
+TEST(CleanMutexTest, TryLockFailsWhenHeld)
+{
+    CleanRuntime rt(smallConfig());
+    CleanMutex m(rt);
+    std::atomic<int> result{-1};
+    m.lock(rt.mainContext());
+    auto h = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        result = m.tryLock(ctx) ? 1 : 0;
+    });
+    rt.join(rt.mainContext(), h);
+    m.unlock(rt.mainContext());
+    EXPECT_EQ(result.load(), 0);
+}
+
+TEST(CleanMutexTest, UnlockedDataStillRaces)
+{
+    // The lock must not accidentally order unrelated data.
+    CleanRuntime rt(smallConfig());
+    auto *x = rt.heap().allocSharedArray<int>(2);
+    CleanMutex m(rt);
+    auto h1 = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        for (int i = 0; i < 10000; ++i) {
+            m.lock(ctx);
+            ctx.write(&x[0], i);
+            m.unlock(ctx);
+            ctx.write(&x[1], i); // unprotected
+        }
+    });
+    auto h2 = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        for (int i = 0; i < 10000; ++i) {
+            m.lock(ctx);
+            ctx.write(&x[0], -i);
+            m.unlock(ctx);
+            ctx.write(&x[1], -i); // unprotected -> WAW
+        }
+    });
+    rt.join(rt.mainContext(), h1);
+    rt.join(rt.mainContext(), h2);
+    EXPECT_TRUE(rt.raceOccurred());
+    ASSERT_NE(rt.firstRace(), nullptr);
+    EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Waw);
+}
+
+TEST(CleanBarrierTest, OrdersPhases)
+{
+    CleanRuntime rt(smallConfig());
+    const unsigned n = 4;
+    auto *x = rt.heap().allocSharedArray<int>(n);
+    CleanBarrier barrier(rt, n);
+    std::vector<ThreadHandle> handles;
+    std::atomic<int> sumErrors{0};
+    for (unsigned t = 0; t < n; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&, t](ThreadContext &ctx) {
+                ctx.write(&x[t], static_cast<int>(t) + 1);
+                barrier.arrive(ctx);
+                // Cross-reads after the barrier must be ordered.
+                int sum = 0;
+                for (unsigned u = 0; u < n; ++u)
+                    sum += ctx.read(&x[u]);
+                if (sum != 1 + 2 + 3 + 4)
+                    sumErrors.fetch_add(1);
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    EXPECT_FALSE(rt.raceOccurred());
+    EXPECT_EQ(sumErrors.load(), 0);
+}
+
+TEST(CleanBarrierTest, ReusableAcrossGenerations)
+{
+    CleanRuntime rt(smallConfig());
+    const unsigned n = 3;
+    auto *x = rt.heap().allocSharedArray<int>(n);
+    CleanBarrier barrier(rt, n);
+    std::vector<ThreadHandle> handles;
+    for (unsigned t = 0; t < n; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&, t](ThreadContext &ctx) {
+                for (int g = 0; g < 10; ++g) {
+                    ctx.write(&x[t], g);
+                    barrier.arrive(ctx);
+                    for (unsigned u = 0; u < n; ++u)
+                        ctx.read(&x[u]);
+                    barrier.arrive(ctx);
+                }
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    EXPECT_FALSE(rt.raceOccurred());
+}
+
+TEST(CleanCondVarTest, WaitSignalHandshake)
+{
+    CleanRuntime rt(smallConfig());
+    auto *flag = rt.heap().allocSharedArray<int>(1);
+    auto *data = rt.heap().allocSharedArray<int>(1);
+    CleanMutex m(rt);
+    CleanCondVar cv(rt);
+    std::atomic<int> got{0};
+    auto consumer = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        m.lock(ctx);
+        while (ctx.read(&flag[0]) == 0)
+            cv.wait(ctx, m);
+        got = ctx.read(&data[0]);
+        m.unlock(ctx);
+    });
+    auto producer = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        m.lock(ctx);
+        ctx.write(&data[0], 99);
+        ctx.write(&flag[0], 1);
+        cv.signal(ctx);
+        m.unlock(ctx);
+    });
+    rt.join(rt.mainContext(), consumer);
+    rt.join(rt.mainContext(), producer);
+    EXPECT_FALSE(rt.raceOccurred());
+    EXPECT_EQ(got.load(), 99);
+}
+
+TEST(CleanCondVarTest, BroadcastWakesAllWaiters)
+{
+    CleanRuntime rt(smallConfig());
+    auto *flag = rt.heap().allocSharedArray<int>(1);
+    CleanMutex m(rt);
+    CleanCondVar cv(rt);
+    std::atomic<int> woken{0};
+    std::vector<ThreadHandle> handles;
+    for (int t = 0; t < 3; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+                m.lock(ctx);
+                while (ctx.read(&flag[0]) == 0)
+                    cv.wait(ctx, m);
+                m.unlock(ctx);
+                woken.fetch_add(1);
+            }));
+    }
+    auto waker = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        // Give waiters a chance to register; correctness does not
+        // depend on it (they re-check the flag).
+        for (volatile int i = 0; i < 10000; ++i) {
+        }
+        m.lock(ctx);
+        ctx.write(&flag[0], 1);
+        cv.broadcast(ctx);
+        m.unlock(ctx);
+    });
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    rt.join(rt.mainContext(), waker);
+    EXPECT_FALSE(rt.raceOccurred());
+    EXPECT_EQ(woken.load(), 3);
+}
+
+TEST(CleanCondVarTest, SignalWithoutWaitersIsHarmless)
+{
+    CleanRuntime rt(smallConfig());
+    CleanCondVar cv(rt);
+    EXPECT_NO_THROW(cv.signal(rt.mainContext()));
+    EXPECT_NO_THROW(cv.broadcast(rt.mainContext()));
+}
+
+TEST(DeterminismTest, LockAcquisitionOrderIsReproducible)
+{
+    auto runOnce = [] {
+        CleanRuntime rt(smallConfig());
+        auto *order = rt.heap().allocSharedArray<int>(512);
+        auto *cursor = rt.heap().allocSharedArray<int>(1);
+        CleanMutex m(rt);
+        std::vector<ThreadHandle> handles;
+        for (int t = 0; t < 4; ++t) {
+            handles.push_back(
+                rt.spawn(rt.mainContext(), [&, t](ThreadContext &ctx) {
+                    for (int i = 0; i < 50; ++i) {
+                        m.lock(ctx);
+                        const int at = ctx.read(&cursor[0]);
+                        ctx.write(&order[at], t);
+                        ctx.write(&cursor[0], at + 1);
+                        m.unlock(ctx);
+                        // Uneven compute between acquisitions.
+                        ctx.detTick(static_cast<std::uint64_t>(
+                            (t + 1) * (i % 7)));
+                    }
+                }));
+        }
+        for (auto &h : handles)
+            rt.join(rt.mainContext(), h);
+        EXPECT_FALSE(rt.raceOccurred());
+        std::vector<int> result;
+        for (int i = 0; i < 200; ++i)
+            result.push_back(rt.mainContext().read(&order[i]));
+        return result;
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(CleanCondVarTest, ProducerConsumerQueueDeliversEverything)
+{
+    // Bounded queue with two condvars: the canonical condvar workout.
+    CleanRuntime rt(smallConfig());
+    constexpr int kItems = 120, kCap = 4;
+    auto *buffer = rt.heap().allocSharedArray<int>(kCap);
+    auto *state = rt.heap().allocSharedArray<int>(2); // head, tail
+    CleanMutex m(rt);
+    CleanCondVar notEmpty(rt), notFull(rt);
+    std::atomic<long> consumedSum{0};
+
+    auto producer = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        for (int i = 1; i <= kItems; ++i) {
+            m.lock(ctx);
+            while (ctx.read(&state[1]) - ctx.read(&state[0]) >= kCap)
+                notFull.wait(ctx, m);
+            const int tail = ctx.read(&state[1]);
+            ctx.write(&buffer[tail % kCap], i);
+            ctx.write(&state[1], tail + 1);
+            notEmpty.signal(ctx);
+            m.unlock(ctx);
+        }
+    });
+    auto consumer = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        long sum = 0;
+        for (int i = 0; i < kItems; ++i) {
+            m.lock(ctx);
+            while (ctx.read(&state[0]) == ctx.read(&state[1]))
+                notEmpty.wait(ctx, m);
+            const int head = ctx.read(&state[0]);
+            sum += ctx.read(&buffer[head % kCap]);
+            ctx.write(&state[0], head + 1);
+            notFull.signal(ctx);
+            m.unlock(ctx);
+        }
+        consumedSum = sum;
+    });
+    rt.join(rt.mainContext(), producer);
+    rt.join(rt.mainContext(), consumer);
+    EXPECT_FALSE(rt.raceOccurred());
+    EXPECT_EQ(consumedSum.load(),
+              static_cast<long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(CleanMutexTest, ManyLocksManyThreadsStress)
+{
+    CleanRuntime rt(smallConfig());
+    constexpr int kLocks = 8, kCells = 8;
+    auto *cells = rt.heap().allocSharedArray<int>(kCells);
+    std::deque<CleanMutex> locks;
+    for (int l = 0; l < kLocks; ++l)
+        locks.emplace_back(rt);
+    std::vector<ThreadHandle> handles;
+    for (int t = 0; t < 6; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&, t](ThreadContext &ctx) {
+                Prng rng(t + 99);
+                for (int i = 0; i < 300; ++i) {
+                    const unsigned cell = rng.nextBelow(kCells);
+                    locks[cell % kLocks].lock(ctx);
+                    ctx.write(&cells[cell], ctx.read(&cells[cell]) + 1);
+                    locks[cell % kLocks].unlock(ctx);
+                }
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    EXPECT_FALSE(rt.raceOccurred());
+    int total = 0;
+    for (int c = 0; c < kCells; ++c)
+        total += rt.mainContext().read(&cells[c]);
+    EXPECT_EQ(total, 6 * 300);
+}
+
+TEST(CleanBarrierTest, TwoBarriersInterleaved)
+{
+    CleanRuntime rt(smallConfig());
+    const unsigned n = 3;
+    auto *x = rt.heap().allocSharedArray<int>(2 * n);
+    CleanBarrier even(rt, n), odd(rt, n);
+    std::vector<ThreadHandle> handles;
+    std::atomic<int> errors{0};
+    for (unsigned t = 0; t < n; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&, t](ThreadContext &ctx) {
+                for (int g = 0; g < 8; ++g) {
+                    ctx.write(&x[t], g);
+                    even.arrive(ctx);
+                    ctx.write(&x[n + t], g);
+                    odd.arrive(ctx);
+                    for (unsigned u = 0; u < n; ++u) {
+                        if (ctx.read(&x[u]) != g ||
+                            ctx.read(&x[n + u]) != g) {
+                            errors.fetch_add(1);
+                        }
+                    }
+                    even.arrive(ctx);
+                }
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    EXPECT_FALSE(rt.raceOccurred());
+    EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(DeterminismTest, NondetModeStillCorrectJustUnordered)
+{
+    CleanRuntime rt(smallConfig(false));
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    CleanMutex m(rt);
+    std::vector<ThreadHandle> handles;
+    for (int t = 0; t < 4; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+                for (int i = 0; i < 200; ++i) {
+                    m.lock(ctx);
+                    ctx.write(&x[0], ctx.read(&x[0]) + 1);
+                    m.unlock(ctx);
+                }
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    EXPECT_FALSE(rt.raceOccurred());
+    EXPECT_EQ(rt.mainContext().read(&x[0]), 800);
+}
+
+} // namespace
+} // namespace clean

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Vector-clock algebra tests (§2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vector_clock.h"
+
+namespace clean
+{
+namespace
+{
+
+VectorClock
+makeVc(std::initializer_list<ClockValue> clocks)
+{
+    VectorClock vc(kDefaultEpochConfig,
+                   static_cast<ThreadId>(clocks.size()));
+    ThreadId t = 0;
+    for (ClockValue c : clocks)
+        vc.setClock(t++, c);
+    return vc;
+}
+
+TEST(VectorClock, StartsAtZero)
+{
+    VectorClock vc(kDefaultEpochConfig, 4);
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_EQ(vc.clockOf(t), 0u);
+}
+
+TEST(VectorClock, ElementsCarryTidBits)
+{
+    VectorClock vc(kDefaultEpochConfig, 4);
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_EQ(kDefaultEpochConfig.tidOf(vc.element(t)), t);
+}
+
+TEST(VectorClock, TickIncrements)
+{
+    VectorClock vc(kDefaultEpochConfig, 2);
+    EXPECT_EQ(vc.tick(1), 1u);
+    EXPECT_EQ(vc.tick(1), 2u);
+    EXPECT_EQ(vc.clockOf(1), 2u);
+    EXPECT_EQ(vc.clockOf(0), 0u);
+}
+
+TEST(VectorClock, JoinTakesElementwiseMax)
+{
+    auto a = makeVc({1, 5, 3});
+    const auto b = makeVc({2, 4, 3});
+    a.joinFrom(b);
+    EXPECT_EQ(a.clockOf(0), 2u);
+    EXPECT_EQ(a.clockOf(1), 5u);
+    EXPECT_EQ(a.clockOf(2), 3u);
+}
+
+TEST(VectorClock, JoinIsIdempotent)
+{
+    auto a = makeVc({3, 1});
+    const auto before = a;
+    a.joinFrom(before);
+    EXPECT_EQ(a.clockOf(0), 3u);
+    EXPECT_EQ(a.clockOf(1), 1u);
+}
+
+TEST(VectorClock, JoinIsCommutativeOnClocks)
+{
+    auto x = makeVc({1, 7, 2});
+    const auto y = makeVc({5, 3, 2});
+    x.joinFrom(y);
+
+    auto y2 = makeVc({5, 3, 2});
+    const auto x2 = makeVc({1, 7, 2});
+    y2.joinFrom(x2);
+
+    for (ThreadId t = 0; t < 3; ++t)
+        EXPECT_EQ(x.clockOf(t), y2.clockOf(t));
+}
+
+TEST(VectorClock, AllLessOrEqualDefinesHappensBefore)
+{
+    const auto a = makeVc({1, 2, 3});
+    const auto b = makeVc({2, 2, 4});
+    EXPECT_TRUE(a.allLessOrEqual(b));
+    EXPECT_FALSE(b.allLessOrEqual(a));
+}
+
+TEST(VectorClock, ConcurrentClocksAreUnordered)
+{
+    const auto a = makeVc({2, 1});
+    const auto b = makeVc({1, 2});
+    EXPECT_FALSE(a.allLessOrEqual(b));
+    EXPECT_FALSE(b.allLessOrEqual(a));
+}
+
+TEST(VectorClock, ClearClocksResetsAllToZero)
+{
+    auto a = makeVc({4, 5, 6});
+    a.clearClocks();
+    for (ThreadId t = 0; t < 3; ++t)
+        EXPECT_EQ(a.clockOf(t), 0u);
+    // Tid bits survive the reset.
+    EXPECT_EQ(kDefaultEpochConfig.tidOf(a.element(2)), 2u);
+}
+
+TEST(VectorClock, AssignCopies)
+{
+    auto a = makeVc({1, 2});
+    const auto b = makeVc({9, 8});
+    a.assign(b);
+    EXPECT_EQ(a.clockOf(0), 9u);
+    EXPECT_EQ(a.clockOf(1), 8u);
+}
+
+TEST(VectorClock, EpochOfReturnsOwnElement)
+{
+    auto a = makeVc({0, 7});
+    EXPECT_EQ(kDefaultEpochConfig.clockOf(a.epochOf(1)), 7u);
+    EXPECT_EQ(kDefaultEpochConfig.tidOf(a.epochOf(1)), 1u);
+}
+
+TEST(VectorClock, ToStringListsClocks)
+{
+    const auto a = makeVc({1, 2});
+    EXPECT_EQ(a.toString(), "<1, 2>");
+}
+
+TEST(VectorClockDeath, TickBeyondMaxClockPanics)
+{
+    const EpochConfig tiny{4, 8};
+    VectorClock vc(tiny, 1);
+    for (ClockValue c = 0; c < tiny.maxClock(); ++c)
+        vc.tick(0);
+    EXPECT_DEATH(vc.tick(0), "rollover");
+}
+
+} // namespace
+} // namespace clean

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Suite-wide workload tests, parameterized over all 26 benchmarks:
+ * the library form of the paper's §6.2.2 experiment.
+ *
+ *   - race-free variants run to completion under full CLEAN (no
+ *     exception) and give identical results across repeated runs;
+ *   - racy variants (the 17 benchmarks the paper found racy) always end
+ *     with a race exception;
+ *   - native execution works for every kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.h"
+#include "workloads/runner.h"
+
+namespace clean::wl
+{
+namespace
+{
+
+RunSpec
+baseSpec(const std::string &name, BackendKind backend, bool racy = false)
+{
+    RunSpec spec;
+    spec.workload = name;
+    spec.backend = backend;
+    spec.params.threads = 4;
+    spec.params.scale = Scale::Test;
+    spec.params.racy = racy;
+    spec.params.seed = 12345;
+    spec.runtime.maxThreads = 32;
+    spec.runtime.heap.sharedBytes = std::size_t{256} << 20;
+    spec.runtime.heap.privateBytes = std::size_t{64} << 20;
+    return spec;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloads, RegisteredWithMetadata)
+{
+    Workload &w = findWorkload(GetParam());
+    EXPECT_STREQ(w.name(), GetParam().c_str());
+    EXPECT_TRUE(std::string(w.suite()) == "splash2" ||
+                std::string(w.suite()) == "parsec");
+}
+
+TEST_P(AllWorkloads, RunsNatively)
+{
+    const auto result =
+        runWorkload(baseSpec(GetParam(), BackendKind::Native));
+    EXPECT_FALSE(result.raceException);
+    EXPECT_GT(result.reads + result.writes, 0u);
+}
+
+TEST_P(AllWorkloads, RaceFreeVariantCompletesUnderClean)
+{
+    const auto result =
+        runWorkload(baseSpec(GetParam(), BackendKind::Clean));
+    EXPECT_FALSE(result.raceException)
+        << "false positive: " << result.raceMessage;
+    EXPECT_GT(result.reads + result.writes, 0u);
+}
+
+TEST_P(AllWorkloads, CleanRunsAreDeterministic)
+{
+    const auto a = runWorkload(baseSpec(GetParam(), BackendKind::Clean));
+    const auto b = runWorkload(baseSpec(GetParam(), BackendKind::Clean));
+    ASSERT_FALSE(a.raceException);
+    ASSERT_FALSE(b.raceException);
+    EXPECT_TRUE(a.fingerprint() == b.fingerprint())
+        << "output " << a.outputHash << " vs " << b.outputHash
+        << ", accesses " << (a.reads + a.writes) << " vs "
+        << (b.reads + b.writes);
+}
+
+TEST_P(AllWorkloads, DetectOnlyCompletesRaceFree)
+{
+    const auto result =
+        runWorkload(baseSpec(GetParam(), BackendKind::DetectOnly));
+    EXPECT_FALSE(result.raceException)
+        << "false positive: " << result.raceMessage;
+}
+
+TEST_P(AllWorkloads, TraceBackendProducesReplayableTrace)
+{
+    auto spec = baseSpec(GetParam(), BackendKind::Trace);
+    const auto result = runWorkload(spec);
+    EXPECT_GT(result.trace.totalEvents(), 0u);
+    EXPECT_GE(result.trace.perThread.size(), spec.params.threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllWorkloads,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+class RacyWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RacyWorkloads, RacyVariantAlwaysThrows)
+{
+    Workload &w = findWorkload(GetParam());
+    ASSERT_TRUE(w.hasRacyVariant());
+    const auto result =
+        runWorkload(baseSpec(GetParam(), BackendKind::Clean, true));
+    EXPECT_TRUE(result.raceException)
+        << GetParam() << " racy variant completed without an exception";
+}
+
+TEST_P(RacyWorkloads, RacyVariantRunsToCompletionNatively)
+{
+    const auto result =
+        runWorkload(baseSpec(GetParam(), BackendKind::Native, true));
+    EXPECT_FALSE(result.raceException);
+}
+
+TEST_P(RacyWorkloads, FastTrackConfirmsTheRaces)
+{
+    const auto result =
+        runWorkload(baseSpec(GetParam(), BackendKind::FastTrack, true));
+    EXPECT_GT(result.detectorReports, 0u)
+        << GetParam() << ": FastTrack found no races in the racy variant";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, RacyWorkloads,
+                         ::testing::ValuesIn(racyWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(SuiteComposition, MatchesThePaper)
+{
+    // 26 benchmarks (freqmine excluded), 17 with races, canneal is the
+    // only one without a hand-made race-free version.
+    EXPECT_EQ(workloadNames().size(), 26u);
+    EXPECT_EQ(racyWorkloadNames().size(), 17u);
+    unsigned excluded = 0;
+    for (const auto &name : workloadNames())
+        excluded += findWorkload(name).excludedFromModified();
+    EXPECT_EQ(excluded, 1u);
+    EXPECT_TRUE(findWorkload("canneal").excludedFromModified());
+}
+
+TEST(SuiteComposition, RaceFreeBenchmarksHaveNoRacyVariant)
+{
+    for (const char *name : {"fft", "lu_cb", "ocean_cp", "water_sp",
+                             "blackscholes", "facesim", "raytrace_p",
+                             "streamcluster", "swaptions"}) {
+        EXPECT_FALSE(findWorkload(name).hasRacyVariant()) << name;
+    }
+}
+
+} // namespace
+} // namespace clean::wl

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * cleanrun — command-line driver for the CLEAN reproduction.
+ *
+ * Runs any suite workload under any backend and prints the full
+ * measurement record; can also record traces to disk and replay them on
+ * the hardware simulator.
+ *
+ *   cleanrun --list
+ *   cleanrun --workload=raytrace --backend=clean --racy
+ *   cleanrun --workload=fft --backend=fasttrack --threads=4
+ *   cleanrun --workload=ocean_cp --backend=trace --trace-out=o.trc
+ *   cleanrun --trace-in=o.trc --sim --epoch-mode=4B
+ *
+ * Backends: native, clean, detect-only, kendo-only, fasttrack,
+ * tsan-lite, trace. Scales: test, small, large.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/machine.h"
+#include "support/logging.h"
+#include "support/options.h"
+#include "workloads/registry.h"
+#include "workloads/runner.h"
+
+using namespace clean;
+using namespace clean::wl;
+
+namespace
+{
+
+BackendKind
+parseBackend(const std::string &name)
+{
+    if (name == "native")
+        return BackendKind::Native;
+    if (name == "clean")
+        return BackendKind::Clean;
+    if (name == "detect-only")
+        return BackendKind::DetectOnly;
+    if (name == "kendo-only")
+        return BackendKind::KendoOnly;
+    if (name == "fasttrack")
+        return BackendKind::FastTrack;
+    if (name == "tsan-lite")
+        return BackendKind::TsanLite;
+    if (name == "trace")
+        return BackendKind::Trace;
+    fatal("unknown backend '%s'", name.c_str());
+}
+
+Scale
+parseScale(const std::string &name)
+{
+    if (name == "test")
+        return Scale::Test;
+    if (name == "small")
+        return Scale::Small;
+    if (name == "large")
+        return Scale::Large;
+    fatal("unknown scale '%s'", name.c_str());
+}
+
+int
+simulateFromFile(const Options &opts)
+{
+    Trace trace;
+    const std::string path = opts.getString("trace-in");
+    if (!loadTrace(path, trace))
+        fatal("cannot load trace '%s'", path.c_str());
+    std::printf("loaded %s: %s\n", path.c_str(),
+                trace.summary().c_str());
+
+    sim::MachineConfig config;
+    config.raceDetection = !opts.getBool("no-detection", false);
+    const std::string mode = opts.getString("epoch-mode", "clean");
+    if (mode == "1B")
+        config.epochMode = sim::EpochMode::Byte1;
+    else if (mode == "4B")
+        config.epochMode = sim::EpochMode::Byte4;
+
+    const auto stats = sim::simulate(trace, config);
+    std::printf("cycles: %llu  instructions: %llu  accesses: %llu  "
+                "sync: %llu\n",
+                static_cast<unsigned long long>(stats.totalCycles),
+                static_cast<unsigned long long>(stats.instructions),
+                static_cast<unsigned long long>(stats.memoryAccesses),
+                static_cast<unsigned long long>(stats.syncOps));
+    StatSet statSet;
+    stats.exportTo(statSet, "sim");
+    std::printf("%s", statSet.format().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv);
+
+    if (opts.has("list")) {
+        std::printf("%-14s %-8s %-6s %s\n", "workload", "suite", "racy",
+                    "in-modified-suite");
+        for (const auto &name : workloadNames()) {
+            Workload &w = findWorkload(name);
+            std::printf("%-14s %-8s %-6s %s\n", name.c_str(), w.suite(),
+                        w.hasRacyVariant() ? "yes" : "no",
+                        w.excludedFromModified() ? "no" : "yes");
+        }
+        return 0;
+    }
+
+    if (opts.has("trace-in") && opts.getBool("sim", true))
+        return simulateFromFile(opts);
+
+    RunSpec spec;
+    spec.workload = opts.getString("workload", "fft");
+    spec.backend = parseBackend(opts.getString("backend", "clean"));
+    spec.params.threads =
+        static_cast<unsigned>(opts.getInt("threads", 8));
+    spec.params.scale = parseScale(opts.getString("scale", "test"));
+    spec.params.racy = opts.getBool("racy", false);
+    spec.params.seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 0xc0ffee));
+    spec.runtime.vectorized = !opts.getBool("no-vectorize", false);
+    spec.runtime.granuleLog2 =
+        static_cast<unsigned>(opts.getInt("granule-log2", 0));
+    spec.runtime.detChunk =
+        static_cast<std::uint32_t>(opts.getInt("det-chunk", 1));
+    if (opts.getBool("locked-atomicity", false))
+        spec.runtime.atomicity = AtomicityMode::Locked;
+    if (opts.getString("shadow", "linear") == "sparse")
+        spec.runtime.shadow = ShadowKind::Sparse;
+    const unsigned clockBits =
+        static_cast<unsigned>(opts.getInt("clock-bits", 23));
+    spec.runtime.epoch =
+        EpochConfig{clockBits, std::min(8u, 31 - clockBits)};
+
+    const unsigned runs =
+        static_cast<unsigned>(opts.getInt("runs", 1));
+    for (unsigned r = 0; r < runs; ++r) {
+        const auto result = runWorkload(spec);
+        std::printf("run %u: %s %s (%s)\n", r, spec.workload.c_str(),
+                    result.raceException ? "RACE-EXCEPTION" : "ok",
+                    backendKindName(spec.backend));
+        if (result.raceException)
+            std::printf("  %s\n", result.raceMessage.c_str());
+        std::printf("  time %.4fs  reads %llu  writes %llu  "
+                    "output %016llx  rollovers %llu\n",
+                    result.seconds,
+                    static_cast<unsigned long long>(result.reads),
+                    static_cast<unsigned long long>(result.writes),
+                    static_cast<unsigned long long>(result.outputHash),
+                    static_cast<unsigned long long>(result.rollovers));
+        if (result.detectorReports > 0) {
+            std::printf("  detector reports %zu (WAW %zu, RAW %zu, "
+                        "WAR %zu)\n",
+                        result.detectorReports, result.detectorWaw,
+                        result.detectorRaw, result.detectorWar);
+        }
+        if (spec.backend == BackendKind::Trace) {
+            std::printf("  trace: %s\n", result.trace.summary().c_str());
+            const std::string out = opts.getString("trace-out", "");
+            if (!out.empty()) {
+                if (saveTrace(result.trace, out))
+                    std::printf("  trace written to %s\n", out.c_str());
+                else
+                    warn("failed to write trace to %s", out.c_str());
+            }
+        }
+    }
+    return 0;
+}
