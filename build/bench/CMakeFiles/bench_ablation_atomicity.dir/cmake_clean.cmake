@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_atomicity.dir/bench_ablation_atomicity.cc.o"
+  "CMakeFiles/bench_ablation_atomicity.dir/bench_ablation_atomicity.cc.o.d"
+  "bench_ablation_atomicity"
+  "bench_ablation_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

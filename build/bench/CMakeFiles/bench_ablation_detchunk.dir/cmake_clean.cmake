@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_detchunk.dir/bench_ablation_detchunk.cc.o"
+  "CMakeFiles/bench_ablation_detchunk.dir/bench_ablation_detchunk.cc.o.d"
+  "bench_ablation_detchunk"
+  "bench_ablation_detchunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detchunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

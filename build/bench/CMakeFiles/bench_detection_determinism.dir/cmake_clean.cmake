@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_determinism.dir/bench_detection_determinism.cc.o"
+  "CMakeFiles/bench_detection_determinism.dir/bench_detection_determinism.cc.o.d"
+  "bench_detection_determinism"
+  "bench_detection_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_vectorization.dir/bench_fig8_vectorization.cc.o"
+  "CMakeFiles/bench_fig8_vectorization.dir/bench_fig8_vectorization.cc.o.d"
+  "bench_fig8_vectorization"
+  "bench_fig8_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

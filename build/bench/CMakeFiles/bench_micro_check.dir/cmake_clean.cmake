@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_check.dir/bench_micro_check.cc.o"
+  "CMakeFiles/bench_micro_check.dir/bench_micro_check.cc.o.d"
+  "bench_micro_check"
+  "bench_micro_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

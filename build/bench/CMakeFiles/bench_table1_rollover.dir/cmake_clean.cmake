@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rollover.dir/bench_table1_rollover.cc.o"
+  "CMakeFiles/bench_table1_rollover.dir/bench_table1_rollover.cc.o.d"
+  "bench_table1_rollover"
+  "bench_table1_rollover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rollover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging_races.dir/debugging_races.cpp.o"
+  "CMakeFiles/debugging_races.dir/debugging_races.cpp.o.d"
+  "debugging_races"
+  "debugging_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

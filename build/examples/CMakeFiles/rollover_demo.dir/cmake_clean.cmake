@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollover_demo.dir/rollover_demo.cpp.o"
+  "CMakeFiles/rollover_demo.dir/rollover_demo.cpp.o.d"
+  "rollover_demo"
+  "rollover_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollover_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/linear_shadow.cc" "src/CMakeFiles/clean_core.dir/core/linear_shadow.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/linear_shadow.cc.o.d"
+  "/root/repo/src/core/race_check.cc" "src/CMakeFiles/clean_core.dir/core/race_check.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/race_check.cc.o.d"
+  "/root/repo/src/core/rollover.cc" "src/CMakeFiles/clean_core.dir/core/rollover.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/rollover.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/clean_core.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/runtime.cc.o.d"
+  "/root/repo/src/core/shared_heap.cc" "src/CMakeFiles/clean_core.dir/core/shared_heap.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/shared_heap.cc.o.d"
+  "/root/repo/src/core/sparse_shadow.cc" "src/CMakeFiles/clean_core.dir/core/sparse_shadow.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/sparse_shadow.cc.o.d"
+  "/root/repo/src/core/sync_objects.cc" "src/CMakeFiles/clean_core.dir/core/sync_objects.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/sync_objects.cc.o.d"
+  "/root/repo/src/core/vector_clock.cc" "src/CMakeFiles/clean_core.dir/core/vector_clock.cc.o" "gcc" "src/CMakeFiles/clean_core.dir/core/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clean_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_det.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

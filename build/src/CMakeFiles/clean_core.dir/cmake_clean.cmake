@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_core.dir/core/linear_shadow.cc.o"
+  "CMakeFiles/clean_core.dir/core/linear_shadow.cc.o.d"
+  "CMakeFiles/clean_core.dir/core/race_check.cc.o"
+  "CMakeFiles/clean_core.dir/core/race_check.cc.o.d"
+  "CMakeFiles/clean_core.dir/core/rollover.cc.o"
+  "CMakeFiles/clean_core.dir/core/rollover.cc.o.d"
+  "CMakeFiles/clean_core.dir/core/runtime.cc.o"
+  "CMakeFiles/clean_core.dir/core/runtime.cc.o.d"
+  "CMakeFiles/clean_core.dir/core/shared_heap.cc.o"
+  "CMakeFiles/clean_core.dir/core/shared_heap.cc.o.d"
+  "CMakeFiles/clean_core.dir/core/sparse_shadow.cc.o"
+  "CMakeFiles/clean_core.dir/core/sparse_shadow.cc.o.d"
+  "CMakeFiles/clean_core.dir/core/sync_objects.cc.o"
+  "CMakeFiles/clean_core.dir/core/sync_objects.cc.o.d"
+  "CMakeFiles/clean_core.dir/core/vector_clock.cc.o"
+  "CMakeFiles/clean_core.dir/core/vector_clock.cc.o.d"
+  "libclean_core.a"
+  "libclean_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_det.dir/det/kendo.cc.o"
+  "CMakeFiles/clean_det.dir/det/kendo.cc.o.d"
+  "libclean_det.a"
+  "libclean_det.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

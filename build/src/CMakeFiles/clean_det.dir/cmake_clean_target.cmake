@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclean_det.a"
+)

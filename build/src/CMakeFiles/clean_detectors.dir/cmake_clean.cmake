@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_detectors.dir/detectors/fasttrack.cc.o"
+  "CMakeFiles/clean_detectors.dir/detectors/fasttrack.cc.o.d"
+  "CMakeFiles/clean_detectors.dir/detectors/tsan_lite.cc.o"
+  "CMakeFiles/clean_detectors.dir/detectors/tsan_lite.cc.o.d"
+  "libclean_detectors.a"
+  "libclean_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

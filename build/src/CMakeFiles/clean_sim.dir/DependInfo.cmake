@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/clean_sim.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/clean_sim.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/clean_hw.cc" "src/CMakeFiles/clean_sim.dir/sim/clean_hw.cc.o" "gcc" "src/CMakeFiles/clean_sim.dir/sim/clean_hw.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/clean_sim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/clean_sim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/memory_hierarchy.cc" "src/CMakeFiles/clean_sim.dir/sim/memory_hierarchy.cc.o" "gcc" "src/CMakeFiles/clean_sim.dir/sim/memory_hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_det.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_sim.dir/sim/cache.cc.o"
+  "CMakeFiles/clean_sim.dir/sim/cache.cc.o.d"
+  "CMakeFiles/clean_sim.dir/sim/clean_hw.cc.o"
+  "CMakeFiles/clean_sim.dir/sim/clean_hw.cc.o.d"
+  "CMakeFiles/clean_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/clean_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/clean_sim.dir/sim/memory_hierarchy.cc.o"
+  "CMakeFiles/clean_sim.dir/sim/memory_hierarchy.cc.o.d"
+  "libclean_sim.a"
+  "libclean_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_support.dir/support/logging.cc.o"
+  "CMakeFiles/clean_support.dir/support/logging.cc.o.d"
+  "CMakeFiles/clean_support.dir/support/options.cc.o"
+  "CMakeFiles/clean_support.dir/support/options.cc.o.d"
+  "CMakeFiles/clean_support.dir/support/stats.cc.o"
+  "CMakeFiles/clean_support.dir/support/stats.cc.o.d"
+  "libclean_support.a"
+  "libclean_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backend.cc" "src/CMakeFiles/clean_workloads.dir/workloads/backend.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/backend.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/clean_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/runner.cc" "src/CMakeFiles/clean_workloads.dir/workloads/runner.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/runner.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_blackscholes.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_blackscholes.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_blackscholes.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_bodytrack.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_bodytrack.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_bodytrack.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_canneal.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_canneal.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_canneal.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_dedup.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_dedup.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_dedup.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_facesim.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_facesim.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_facesim.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_ferret.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_ferret.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_ferret.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_fluidanimate.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_fluidanimate.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_fluidanimate.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_raytrace.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_raytrace.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_raytrace.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_streamcluster.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_streamcluster.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_streamcluster.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_swaptions.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_swaptions.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_swaptions.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_vips.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_vips.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_vips.cc.o.d"
+  "/root/repo/src/workloads/suite/parsec_x264.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_x264.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/parsec_x264.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_barnes.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_barnes.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_barnes.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_cholesky.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_cholesky.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_cholesky.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_fft.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_fft.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_fft.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_fmm.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_fmm.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_fmm.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_lu.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_lu.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_lu.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_ocean.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_ocean.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_ocean.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_radiosity.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_radiosity.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_radiosity.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_radix.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_radix.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_radix.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_raytrace.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_raytrace.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_raytrace.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_volrend.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_volrend.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_volrend.cc.o.d"
+  "/root/repo/src/workloads/suite/splash_water.cc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_water.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/suite/splash_water.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/clean_workloads.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/clean_workloads.dir/workloads/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_det.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_epoch.cc" "tests/CMakeFiles/test_core.dir/test_epoch.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_epoch.cc.o.d"
+  "/root/repo/tests/test_race_check.cc" "tests/CMakeFiles/test_core.dir/test_race_check.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_race_check.cc.o.d"
+  "/root/repo/tests/test_shadow.cc" "tests/CMakeFiles/test_core.dir/test_shadow.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_shadow.cc.o.d"
+  "/root/repo/tests/test_shared_heap.cc" "tests/CMakeFiles/test_core.dir/test_shared_heap.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_shared_heap.cc.o.d"
+  "/root/repo/tests/test_vector_clock.cc" "tests/CMakeFiles/test_core.dir/test_vector_clock.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clean_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_det.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_epoch.cc.o"
+  "CMakeFiles/test_core.dir/test_epoch.cc.o.d"
+  "CMakeFiles/test_core.dir/test_race_check.cc.o"
+  "CMakeFiles/test_core.dir/test_race_check.cc.o.d"
+  "CMakeFiles/test_core.dir/test_shadow.cc.o"
+  "CMakeFiles/test_core.dir/test_shadow.cc.o.d"
+  "CMakeFiles/test_core.dir/test_shared_heap.cc.o"
+  "CMakeFiles/test_core.dir/test_shared_heap.cc.o.d"
+  "CMakeFiles/test_core.dir/test_vector_clock.cc.o"
+  "CMakeFiles/test_core.dir/test_vector_clock.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_det.dir/test_kendo.cc.o"
+  "CMakeFiles/test_det.dir/test_kendo.cc.o.d"
+  "test_det"
+  "test_det.pdb"
+  "test_det[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_detector_cross.cc" "tests/CMakeFiles/test_detectors.dir/test_detector_cross.cc.o" "gcc" "tests/CMakeFiles/test_detectors.dir/test_detector_cross.cc.o.d"
+  "/root/repo/tests/test_detectors.cc" "tests/CMakeFiles/test_detectors.dir/test_detectors.cc.o" "gcc" "tests/CMakeFiles/test_detectors.dir/test_detectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clean_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_det.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clean_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

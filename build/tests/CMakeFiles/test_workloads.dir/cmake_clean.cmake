@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/test_backend.cc.o"
+  "CMakeFiles/test_workloads.dir/test_backend.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_integration.cc.o"
+  "CMakeFiles/test_workloads.dir/test_integration.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_runner.cc.o"
+  "CMakeFiles/test_workloads.dir/test_runner.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_workload_semantics.cc.o"
+  "CMakeFiles/test_workloads.dir/test_workload_semantics.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_workloads.cc.o"
+  "CMakeFiles/test_workloads.dir/test_workloads.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleanrun.dir/cleanrun.cc.o"
+  "CMakeFiles/cleanrun.dir/cleanrun.cc.o.d"
+  "cleanrun"
+  "cleanrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleanrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cleanrun_list "/root/repo/build/tools/cleanrun" "--list")
+set_tests_properties(cleanrun_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cleanrun_clean_run "/root/repo/build/tools/cleanrun" "--workload=fft" "--backend=clean" "--threads=4")
+set_tests_properties(cleanrun_clean_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cleanrun_racy_run "/root/repo/build/tools/cleanrun" "--workload=raytrace" "--backend=clean" "--racy" "--threads=4")
+set_tests_properties(cleanrun_racy_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
