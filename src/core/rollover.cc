@@ -1,12 +1,13 @@
 #include "core/rollover.h"
 
-#include <thread>
+#include "support/backoff.h"
 
 namespace clean
 {
 
 void
-RolloverController::parkAndMaybeReset(ThreadId self)
+RolloverController::parkAndMaybeReset(ThreadId self,
+                                      const std::function<bool()> &aborted)
 {
     if (!pending())
         return;
@@ -14,8 +15,18 @@ RolloverController::parkAndMaybeReset(ThreadId self)
     if (resetterClaimed_.compare_exchange_strong(expected, true)) {
         // Elected: wait until the rest of the world is quiescent, reset,
         // then release everyone.
-        while (!host_.allOthersQuiescent(self))
-            std::this_thread::yield();
+        SpinWait spin;
+        while (!host_.allOthersQuiescent(self)) {
+            if (aborted && aborted()) {
+                // The run is unwinding; un-claim so the controller stays
+                // usable and let the caller convert this into its abort
+                // exception. pending_ stays set — nobody will park on it
+                // again because every parker polls the same abort flag.
+                resetterClaimed_.store(false);
+                throw AbortedWait{};
+            }
+            spin.pause();
+        }
         host_.performReset();
         resets_.fetch_add(1, std::memory_order_relaxed);
         pending_.store(false);
@@ -23,8 +34,12 @@ RolloverController::parkAndMaybeReset(ThreadId self)
         return;
     }
     // Someone else is resetting; stay parked until they finish.
-    while (pending())
-        std::this_thread::yield();
+    SpinWait spin;
+    while (pending()) {
+        if (aborted && aborted())
+            throw AbortedWait{};
+        spin.pause();
+    }
 }
 
 } // namespace clean

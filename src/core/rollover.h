@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 
 #include "support/common.h"
 
@@ -79,8 +80,21 @@ class RolloverController
      * reset completes; one parked thread is elected to perform it. The
      * caller must have marked itself Parked in the host's thread table
      * before calling and marks itself Running again after.
+     *
+     * @p aborted (optional) is polled while parked; when it returns true
+     * the wait is abandoned by throwing the AbortedWait marker below (an
+     * elected resetter un-claims itself first so a later request can
+     * still elect one). The runtime translates the marker into
+     * ExecutionAborted.
      */
-    void parkAndMaybeReset(ThreadId self);
+    void parkAndMaybeReset(ThreadId self,
+                           const std::function<bool()> &aborted = {});
+
+    /** Thrown out of parkAndMaybeReset when @p aborted returned true;
+     *  the runtime translates it into ExecutionAborted. */
+    struct AbortedWait
+    {
+    };
 
   private:
     RolloverHost &host_;

@@ -1,9 +1,43 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/backoff.h"
+#include "support/json.h"
 
 namespace clean
 {
+
+const char *
+onRacePolicyName(OnRacePolicy policy)
+{
+    switch (policy) {
+      case OnRacePolicy::Throw: return "throw";
+      case OnRacePolicy::Report: return "report";
+      case OnRacePolicy::Count: return "count";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char *
+phaseName(ThreadRecord::Phase phase)
+{
+    switch (phase) {
+      case ThreadRecord::Phase::Unused: return "unused";
+      case ThreadRecord::Phase::Running: return "running";
+      case ThreadRecord::Phase::Parked: return "parked";
+      case ThreadRecord::Phase::Blocked: return "blocked";
+      case ThreadRecord::Phase::Finished: return "finished";
+    }
+    return "?";
+}
+
+} // namespace
 
 // ---------------------------------------------------------------------
 // ThreadContext
@@ -16,6 +50,7 @@ ThreadContext::ThreadContext(CleanRuntime &rt, ThreadId tid,
     state_ = rt.recordAt(record).state.get();
     CLEAN_ASSERT(state_ && state_->tid == tid);
     detChunk_ = std::max<std::uint32_t>(1, rt.config().detChunk);
+    plan_ = rt.injectionPlan();
 }
 
 void
@@ -37,11 +72,18 @@ void
 ThreadContext::onRead(Addr addr, std::size_t size)
 {
     rt_.throwIfAborted();
+    if (CLEAN_UNLIKELY(plan_ != nullptr) && injectAtAccess()) {
+        // Check skipped; the access still counts as a deterministic
+        // event so the Kendo schedule is unchanged by the fault.
+        if (++pendingDetEvents_ >= detChunk_)
+            flushDetEvents();
+        return;
+    }
     try {
         rt_.checkRead(*state_, addr, size);
     } catch (const RaceException &race) {
-        rt_.recordRace(race);
-        throw;
+        if (rt_.recordRace(race))
+            throw;
     }
     if (++pendingDetEvents_ >= detChunk_)
         flushDetEvents();
@@ -51,14 +93,50 @@ void
 ThreadContext::onWrite(Addr addr, std::size_t size)
 {
     rt_.throwIfAborted();
+    if (CLEAN_UNLIKELY(plan_ != nullptr) && injectAtAccess()) {
+        if (++pendingDetEvents_ >= detChunk_)
+            flushDetEvents();
+        return;
+    }
     try {
         rt_.checkWrite(*state_, addr, size);
     } catch (const RaceException &race) {
-        rt_.recordRace(race);
-        throw;
+        if (rt_.recordRace(race))
+            throw;
     }
     if (++pendingDetEvents_ >= detChunk_)
         flushDetEvents();
+}
+
+bool
+ThreadContext::injectAtAccess()
+{
+    const std::uint64_t coord = injectCoord_++;
+    if (plan_->killThread(state_->tid, coord))
+        throw inject::ThreadKilled(state_->tid, coord);
+    return plan_->skipCheck(state_->tid, coord);
+}
+
+void
+ThreadContext::injectAtSync()
+{
+    const std::uint64_t coord = injectCoord_++;
+    if (plan_->killThread(state_->tid, coord))
+        throw inject::ThreadKilled(state_->tid, coord);
+    if (const std::uint32_t us = plan_->delayMicros(state_->tid, coord))
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+    if (plan_->forceRollover(state_->tid, coord)) {
+        rt_.rollover().request();
+        pollRollover();
+    }
+}
+
+bool
+ThreadContext::injectSkipAcquire()
+{
+    if (CLEAN_LIKELY(plan_ == nullptr))
+        return false;
+    return plan_->skipAcquire(state_->tid, injectCoord_++);
 }
 
 void
@@ -75,7 +153,13 @@ ThreadContext::pollRollover()
     if (!rt_.rollover().pending())
         return;
     rt_.setPhase(record_, ThreadRecord::Phase::Parked);
-    rt_.rollover().parkAndMaybeReset(state_->tid);
+    try {
+        rt_.rollover().parkAndMaybeReset(
+            state_->tid, [this] { return rt_.aborted(); });
+    } catch (const RolloverController::AbortedWait &) {
+        rt_.setPhase(record_, ThreadRecord::Phase::Running);
+        throw ExecutionAborted();
+    }
     rt_.setPhase(record_, ThreadRecord::Phase::Running);
 }
 
@@ -87,13 +171,19 @@ ThreadContext::acquireTurn()
     // events must be visible before the turn predicate is evaluated.
     flushDetEvents();
     pollRollover();
+    if (CLEAN_UNLIKELY(plan_ != nullptr))
+        injectAtSync();
     auto &kendo = rt_.kendo();
     if (!kendo.enabled())
         return;
+    SpinWait spin(rt_.config().watchdogMs);
     while (!kendo.tryTurn(state_->tid)) {
         rt_.throwIfAborted();
         pollRollover();
-        std::this_thread::yield();
+        if (CLEAN_UNLIKELY(spin.expired()))
+            rt_.raiseDeadlock("acquireTurn", state_->tid,
+                              spin.elapsedMs());
+        spin.pause();
     }
 }
 
@@ -128,7 +218,11 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
 
     kendo_ = std::make_unique<det::Kendo>(config_.deterministic,
                                           config_.maxThreads);
+    kendo_->setWatchdogMs(config_.watchdogMs);
     lastClock_.resize(config_.maxThreads, 0);
+
+    if (config_.inject.any())
+        injectPlan_ = std::make_unique<inject::InjectionPlan>(config_.inject);
 
     // Register the main thread as tid 0, clock 1 (clock 0 is reserved so
     // a zero epoch always reads as "no previous write").
@@ -251,10 +345,23 @@ CleanRuntime::threadMain(std::uint32_t record,
         // Normal thread end is a synchronization point (§2.2): take the
         // deterministic turn so the final clock/counter are reproducible.
         ctx.acquireTurn();
+    } catch (const inject::ThreadKilled &) {
+        // Simulated crash: the thread vanishes with no finish handshake
+        // and no Kendo finish, so its slot stays Active at a frozen
+        // count. Siblings that wait on it are rescued by the watchdog
+        // (DeadlockError naming this slot) — which is the point of the
+        // fault.
+        r.error = std::current_exception();
+        r.phase.store(ThreadRecord::Phase::Finished,
+                      std::memory_order_release);
+        return;
     } catch (const RaceException &) {
         // recordRace already ran at the throw site.
         r.error = std::current_exception();
     } catch (const ExecutionAborted &) {
+        r.error = std::current_exception();
+    } catch (const DeadlockError &) {
+        // recordDeadlock already ran where the watchdog fired.
         r.error = std::current_exception();
     } catch (...) {
         r.error = std::current_exception();
@@ -284,6 +391,10 @@ CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
     CLEAN_ASSERT(r.osThread, "join of a non-spawned record");
 
     bool mustWait = false;
+    // Whatever goes wrong, the OS thread is physically reaped below
+    // before the error propagates (no leaked joinable threads, no
+    // use-after-free of state the child still touches while unwinding).
+    std::exception_ptr pending;
     // Join is a synchronization operation.
     try {
         parent.acquireTurn();
@@ -300,13 +411,36 @@ CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
         kendo_->increment(parent.state().tid);
     } catch (const ExecutionAborted &) {
         // Aborted runs still physically reap the thread below.
+    } catch (const DeadlockError &) {
+        pending = std::current_exception();
     }
 
     if (mustWait) {
         setPhase(parent.record(), ThreadRecord::Phase::Blocked);
-        while (!r.joinFlag.load(std::memory_order_acquire))
-            std::this_thread::yield();
-        resumeFromBlocked(parent.record());
+        // The handshake never comes if the child was killed mid-SFR:
+        // poll the abort flag and bound the wait with the watchdog.
+        SpinWait spin(config_.watchdogMs);
+        while (!r.joinFlag.load(std::memory_order_acquire)) {
+            if (CLEAN_UNLIKELY(aborted()))
+                break;
+            if (CLEAN_UNLIKELY(spin.expired())) {
+                try {
+                    raiseDeadlock("join", parent.state().tid,
+                                  spin.elapsedMs());
+                } catch (const DeadlockError &) {
+                    if (!pending)
+                        pending = std::current_exception();
+                }
+                break;
+            }
+            spin.pause();
+        }
+        try {
+            resumeFromBlocked(parent.record());
+        } catch (const ExecutionAborted &) {
+            if (!pending)
+                pending = std::current_exception();
+        }
     }
     r.osThread->join();
 
@@ -317,24 +451,91 @@ CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
         releaseTid(r.tid, r.state->vc.clockOf(r.tid));
         retiredDetCounts_.push_back(r.finalDetCount);
     }
+    if (pending)
+        std::rethrow_exception(pending);
 }
 
-void
+bool
 CleanRuntime::recordRace(const RaceException &race)
 {
     {
         std::lock_guard<std::mutex> guard(raceMutex_);
-        if (!firstRace_)
-            firstRace_ = std::make_unique<RaceException>(race);
+        if (races_.size() < kMaxReportedRaces)
+            races_.push_back(race);
     }
-    abortFlag_.store(true, std::memory_order_release);
+    raceCount_.fetch_add(1, std::memory_order_acq_rel);
+    switch (config_.onRace) {
+      case OnRacePolicy::Throw:
+        abortFlag_.store(true, std::memory_order_release);
+        return true;
+      case OnRacePolicy::Report:
+        warn("race reported (degraded mode, continuing): %s", race.what());
+        return false;
+      case OnRacePolicy::Count:
+        return false;
+    }
+    return true;
 }
 
 const RaceException *
 CleanRuntime::firstRace() const
 {
     std::lock_guard<std::mutex> guard(raceMutex_);
-    return firstRace_.get();
+    return races_.empty() ? nullptr : &races_.front();
+}
+
+void
+CleanRuntime::recordDeadlock(const DeadlockError &deadlock)
+{
+    {
+        std::lock_guard<std::mutex> guard(raceMutex_);
+        if (!firstDeadlock_)
+            firstDeadlock_ = std::make_unique<DeadlockError>(deadlock);
+    }
+    abortFlag_.store(true, std::memory_order_release);
+    warn("%s", deadlock.what());
+}
+
+void
+CleanRuntime::raiseDeadlock(const char *where, ThreadId waiter,
+                            std::uint64_t waitedMs)
+{
+    const ThreadId stuck = kendo_->minActiveSlot();
+    std::string phases;
+    {
+        std::lock_guard<std::mutex> guard(registryMutex_);
+        for (const auto &record : records_) {
+            if (!phases.empty())
+                phases += ", ";
+            phases += "tid " + std::to_string(record->tid) + "=" +
+                      phaseName(record->phase.load(
+                          std::memory_order_acquire));
+        }
+    }
+    DeadlockError deadlock(
+        "watchdog: thread " + std::to_string(waiter) + " waited " +
+            std::to_string(waitedMs) + " ms in " + where +
+            "; suspected stuck slot " +
+            (stuck < kendo_->maxSlots() ? std::to_string(stuck)
+                                        : std::string("<none>")) +
+            " [" + kendo_->snapshot() + "] [phases: " + phases + "]",
+        waiter, stuck < kendo_->maxSlots() ? stuck : waiter, waitedMs);
+    recordDeadlock(deadlock);
+    throw deadlock;
+}
+
+bool
+CleanRuntime::deadlockOccurred() const
+{
+    std::lock_guard<std::mutex> guard(raceMutex_);
+    return firstDeadlock_ != nullptr;
+}
+
+const DeadlockError *
+CleanRuntime::firstDeadlock() const
+{
+    std::lock_guard<std::mutex> guard(raceMutex_);
+    return firstDeadlock_.get();
 }
 
 void
@@ -378,7 +579,13 @@ CleanRuntime::resumeFromBlocked(std::uint32_t record)
             return;
         // A reset is pending or in progress; park until it completes.
         r.phase.store(ThreadRecord::Phase::Parked);
-        rollover_.parkAndMaybeReset(r.tid);
+        try {
+            rollover_.parkAndMaybeReset(r.tid,
+                                        [this] { return aborted(); });
+        } catch (const RolloverController::AbortedWait &) {
+            r.phase.store(ThreadRecord::Phase::Running);
+            throw ExecutionAborted();
+        }
     }
 }
 
@@ -434,6 +641,88 @@ CleanRuntime::finalDetCounts() const
     std::vector<det::DetCount> counts = retiredDetCounts_;
     counts.push_back(kendo_->count(0)); // main thread
     return counts;
+}
+
+std::string
+CleanRuntime::failureReportJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("version", std::uint64_t{1});
+    w.field("policy", onRacePolicyName(config_.onRace));
+    const bool deadlocked = deadlockOccurred();
+    w.field("outcome", deadlocked      ? "deadlock"
+                       : raceOccurred() ? "race"
+                                        : "clean");
+
+    w.key("races").beginObject();
+    w.field("count", raceCount());
+    w.key("reported").beginArray();
+    {
+        std::lock_guard<std::mutex> guard(raceMutex_);
+        for (const RaceException &race : races_) {
+            w.beginObject();
+            w.field("kind", raceKindName(race.kind()));
+            // Heap-relative: byte-identical across runs in spite of ASLR.
+            w.field("addrOffset",
+                    static_cast<std::uint64_t>(race.addr() - checkBase_));
+            w.field("accessor",
+                    static_cast<std::uint64_t>(race.accessor()));
+            w.field("previousWriter",
+                    static_cast<std::uint64_t>(race.previousWriter()));
+            w.field("previousClock",
+                    static_cast<std::uint64_t>(race.previousClock()));
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject();
+
+    {
+        std::lock_guard<std::mutex> guard(raceMutex_);
+        if (firstDeadlock_) {
+            w.key("deadlock").beginObject();
+            w.field("waiter",
+                    static_cast<std::uint64_t>(firstDeadlock_->waiter()));
+            w.field("stuckSlot", static_cast<std::uint64_t>(
+                                     firstDeadlock_->stuckSlot()));
+            w.field("waitedMs", firstDeadlock_->waitedMs());
+            w.field("message", firstDeadlock_->what());
+            w.endObject();
+        }
+    }
+
+    w.key("detCounts").beginArray();
+    {
+        std::lock_guard<std::mutex> guard(registryMutex_);
+        for (ThreadId tid = 0; tid < nextFreshTid_; ++tid)
+            w.value(static_cast<std::uint64_t>(kendo_->count(tid)));
+    }
+    w.endArray();
+
+    const CheckerStats stats = aggregatedCheckerStats();
+    w.key("checker").beginObject();
+    w.field("sharedReads", stats.sharedReads);
+    w.field("sharedWrites", stats.sharedWrites);
+    w.field("accessedBytes", stats.accessedBytes);
+    w.field("epochUpdates", stats.epochUpdates);
+    w.endObject();
+
+    w.field("rollovers", rollover_.resets());
+
+    if (injectPlan_) {
+        const inject::InjectionStats fired = injectPlan_->stats();
+        w.key("injection").beginObject();
+        w.field("seed", injectPlan_->config().seed);
+        w.field("skippedChecks", fired.skippedChecks);
+        w.field("skippedAcquires", fired.skippedAcquires);
+        w.field("delays", fired.delays);
+        w.field("rollovers", fired.rollovers);
+        w.field("kills", fired.kills);
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
 }
 
 } // namespace clean

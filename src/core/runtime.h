@@ -40,7 +40,9 @@
 #include "core/sparse_shadow.h"
 #include "core/thread_state.h"
 #include "det/kendo.h"
+#include "inject/injection.h"
 #include "support/common.h"
+#include "support/deadlock_error.h"
 #include "support/logging.h"
 #include "support/stats.h"
 
@@ -52,6 +54,27 @@ class ThreadContext;
 
 /** Shadow backend selection. */
 enum class ShadowKind { Linear, Sparse };
+
+/**
+ * What happens when a WAW/RAW race is detected (§3.1 vs degraded modes).
+ *
+ *   Throw  — the paper's semantics: the racing thread throws
+ *            RaceException before the racy write takes effect and the
+ *            whole execution aborts.
+ *   Report — TSan-style degraded mode: every race is logged and counted,
+ *            execution continues. Detection keeps running, so later racy
+ *            accesses are reported too.
+ *   Count  — like Report without the per-race log line; only the counter
+ *            and the failure report record the races.
+ *
+ * In Report/Count the racy write does take effect (its epoch publish is
+ * skipped, exactly as if the check had not fired), so the "no out-of-
+ * thin-air values" guarantee is deliberately given up — that is the
+ * degradation.
+ */
+enum class OnRacePolicy { Throw, Report, Count };
+
+const char *onRacePolicyName(OnRacePolicy policy);
 
 /** Top-level configuration of a CleanRuntime. */
 struct RuntimeConfig
@@ -85,6 +108,20 @@ struct RuntimeConfig
      * single synchronization operation can perform.
      */
     ClockValue rolloverMargin = 8;
+    /**
+     * Watchdog bound on every blocking wait (Kendo turn waits, condition
+     * and barrier waits, the join handshake, lock retry loops): a wait
+     * longer than this throws a structured DeadlockError instead of
+     * spinning forever. Must exceed the longest legitimate wait — i.e.
+     * the longest SFR / compute phase of the workload. 0 disables the
+     * watchdog (pre-hardening behaviour).
+     */
+    std::uint64_t watchdogMs = 10000;
+    /** Race response policy; see OnRacePolicy. */
+    OnRacePolicy onRace = OnRacePolicy::Throw;
+    /** Deterministic fault injection (chaos harness); disabled unless
+     *  inject.any(). */
+    inject::InjectionConfig inject;
 };
 
 /** Thrown in sibling threads after some thread raised a RaceException. */
@@ -190,11 +227,26 @@ class ThreadContext
     /** Rollover poll only (used inside blocking retries). */
     void pollRollover();
 
+    /**
+     * Injection hook for lock acquisitions: true when the configured
+     * plan drops this acquire's happens-before join (a simulated
+     * missed-instrumentation fault). Always false without injection.
+     */
+    bool injectSkipAcquire();
+
   private:
     friend class CleanRuntime;
 
     /** Publishes batched deterministic events to the Kendo counter. */
     void flushDetEvents();
+
+    /** Injection checks at a shared-access site; throws ThreadKilled on
+     *  a kill coordinate, returns true when the race check is skipped. */
+    bool injectAtAccess();
+
+    /** Injection checks at a synchronization site (delay / rollover /
+     *  kill). */
+    void injectAtSync();
 
     CleanRuntime &rt_;
     std::uint32_t record_;
@@ -202,6 +254,10 @@ class ThreadContext
     /** Deterministic events not yet published (see detChunk). */
     std::uint64_t pendingDetEvents_ = 0;
     std::uint32_t detChunk_ = 1;
+    /** Fault plan (null when injection is off) and this thread's
+     *  injection-site counter — the coordinate stream. */
+    inject::InjectionPlan *plan_ = nullptr;
+    std::uint64_t injectCoord_ = 0;
 };
 
 /** Final record of a spawned thread, consumed at join. */
@@ -259,15 +315,50 @@ class CleanRuntime : private RolloverHost
      */
     void join(ThreadContext &parent, ThreadHandle handle);
 
-    /** True once any thread raised a RaceException. */
+    /** True once any thread raised (or, in degraded modes, reported) a
+     *  RaceException. */
     bool
     raceOccurred() const
+    {
+        return raceCount_.load(std::memory_order_acquire) > 0;
+    }
+
+    /** True once the execution is unwinding: a race under the Throw
+     *  policy, a watchdog deadlock, or an unexpected exception. */
+    bool
+    aborted() const
     {
         return abortFlag_.load(std::memory_order_acquire);
     }
 
+    /** Number of races recorded so far (equals 1 under Throw). */
+    std::uint64_t
+    raceCount() const
+    {
+        return raceCount_.load(std::memory_order_acquire);
+    }
+
     /** First recorded race, if any (valid when raceOccurred()). */
     const RaceException *firstRace() const;
+
+    /** True once a watchdog converted a stuck wait into DeadlockError. */
+    bool deadlockOccurred() const;
+
+    /** First recorded deadlock, if any. */
+    const DeadlockError *firstDeadlock() const;
+
+    /** Fault plan of this run, null when injection is off. */
+    inject::InjectionPlan *injectionPlan() { return injectPlan_.get(); }
+
+    /**
+     * Machine-readable failure report: races (heap-relative offsets so
+     * reports are byte-identical across runs in spite of ASLR), deadlock
+     * diagnosis, per-slot deterministic counters, checker stats and
+     * injection telemetry. Byte-identical across runs whenever the
+     * execution itself is deterministic (any completed Kendo run,
+     * including degraded Report/Count runs that continued past races).
+     */
+    std::string failureReportJson() const;
 
     /** Number of deterministic metadata resets performed (§4.5). */
     std::uint64_t rolloverResets() const { return rollover_.resets(); }
@@ -311,8 +402,24 @@ class CleanRuntime : private RolloverHost
         return detection_ && addr >= checkBase_ && addr < checkEnd_;
     }
 
-    /** Raises the global abort flag with the race that caused it. */
-    void recordRace(const RaceException &race);
+    /**
+     * Records a detected race. Returns true when the caller must
+     * propagate the exception (OnRacePolicy::Throw — the abort flag is
+     * raised); in the degraded Report/Count modes the race is
+     * logged/counted and false tells the caller to continue.
+     */
+    bool recordRace(const RaceException &race);
+
+    /** Records a watchdog deadlock and raises the abort flag so every
+     *  sibling wait loop unwinds. */
+    void recordDeadlock(const DeadlockError &deadlock);
+
+    /**
+     * Builds, records and throws the DeadlockError for a watchdog that
+     * fired in @p where after @p waitedMs on thread @p waiter.
+     */
+    [[noreturn]] void raiseDeadlock(const char *where, ThreadId waiter,
+                                    std::uint64_t waitedMs);
 
     /** Throws ExecutionAborted if another thread raced. */
     CLEAN_ALWAYS_INLINE void
@@ -379,10 +486,16 @@ class CleanRuntime : private RolloverHost
     std::vector<det::DetCount> retiredDetCounts_;
 
     std::unique_ptr<ThreadContext> mainCtx_;
+    std::unique_ptr<inject::InjectionPlan> injectPlan_;
 
     std::atomic<bool> abortFlag_{false};
+    std::atomic<std::uint64_t> raceCount_{0};
     mutable std::mutex raceMutex_;
-    std::unique_ptr<RaceException> firstRace_;
+    /** First kMaxReportedRaces races, in recording order (report cap). */
+    std::vector<RaceException> races_;
+    std::unique_ptr<DeadlockError> firstDeadlock_;
+
+    static constexpr std::size_t kMaxReportedRaces = 64;
 };
 
 } // namespace clean

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "support/backoff.h"
+
 namespace clean
 {
 
@@ -30,16 +32,29 @@ CleanMutex::lock(ThreadContext &ctx)
     // failed attempt advances logical time so the holder can reach its
     // unlock turn (§2.4). With Kendo disabled, acquireTurn degenerates
     // into rollover/abort polling and this is a plain spin lock.
+    // acquireTurn provides the backoff while waiting for the holder's
+    // progress; a plain yield between attempts keeps the handoff fast.
+    // The watchdog spans the whole acquisition: a holder that never
+    // unlocks (e.g. a killed thread) becomes a DeadlockError, not a
+    // silent spin.
+    SpinWait watchdog(rt_.config().watchdogMs);
     for (;;) {
         ctx.acquireTurn();
         if (m_.try_lock())
             break;
         kendo.increment(tid);
         rt_.throwIfAborted();
+        if (CLEAN_UNLIKELY(watchdog.expired()))
+            rt_.raiseDeadlock("CleanMutex::lock", tid,
+                              watchdog.elapsedMs());
         std::this_thread::yield();
     }
-    // Acquire: synchronize-with every earlier release of this mutex.
-    ctx.state().vc.joinFrom(vc_);
+    // Acquire: synchronize-with every earlier release of this mutex —
+    // unless the injection plan drops this happens-before edge (the
+    // SkipAcquire fault; properly-locked accesses by later holders then
+    // surface as deterministic downstream races).
+    if (CLEAN_LIKELY(!ctx.injectSkipAcquire()))
+        ctx.state().vc.joinFrom(vc_);
     kendo.increment(tid);
 }
 
@@ -112,24 +127,36 @@ CleanCondVar::wait(ThreadContext &ctx, CleanMutex &m)
     kendo.increment(tid);
 
     rt_.setPhase(ctx.record(), ThreadRecord::Phase::Blocked);
+    SpinWait spin(rt_.config().watchdogMs);
     while (!flag.load(std::memory_order_acquire)) {
-        if (CLEAN_UNLIKELY(rt_.raceOccurred())) {
+        const bool abortNow = CLEAN_UNLIKELY(rt_.aborted());
+        const bool timedOut = !abortNow && CLEAN_UNLIKELY(spin.expired());
+        if (CLEAN_UNLIKELY(abortNow || timedOut)) {
             // The signaler may never come; deregister and unwind. If a
             // signaler popped us concurrently it set the flag under im_,
             // so after taking im_ the state is unambiguous.
-            std::lock_guard<std::mutex> guard(im_);
-            auto it = std::find_if(waiters_.begin(), waiters_.end(),
-                                   [&](const Waiter &w) {
-                                       return w.flag == &flag;
-                                   });
-            if (it != waiters_.end())
-                waiters_.erase(it);
-            else if (!flag.load(std::memory_order_acquire))
-                continue; // popped but flag not yet set: retry
+            {
+                std::lock_guard<std::mutex> guard(im_);
+                auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                                       [&](const Waiter &w) {
+                                           return w.flag == &flag;
+                                       });
+                if (it != waiters_.end())
+                    waiters_.erase(it);
+                else if (!flag.load(std::memory_order_acquire))
+                    continue; // popped but flag not yet set: retry
+                else
+                    break; // woken after all; proceed normally
+            }
+            // im_ is released before parking/throwing so signalers (and
+            // the rollover resetter waiting on them) cannot deadlock on
+            // this waiter.
             rt_.resumeFromBlocked(ctx.record());
-            throw ExecutionAborted();
+            if (abortNow)
+                throw ExecutionAborted();
+            rt_.raiseDeadlock("CleanCondVar::wait", tid, spin.elapsedMs());
         }
-        std::this_thread::yield();
+        spin.pause();
     }
     rt_.resumeFromBlocked(ctx.record());
 
@@ -241,23 +268,33 @@ CleanBarrier::arrive(ThreadContext &ctx)
         return;
 
     rt_.setPhase(ctx.record(), ThreadRecord::Phase::Blocked);
+    SpinWait spin(rt_.config().watchdogMs);
     while (!flag.load(std::memory_order_acquire)) {
-        if (CLEAN_UNLIKELY(rt_.raceOccurred())) {
-            std::lock_guard<std::mutex> guard(im_);
-            auto it = std::find_if(waiters_.begin(), waiters_.end(),
-                                   [&](const Waiter &w) {
-                                       return w.flag == &flag;
-                                   });
-            if (it != waiters_.end()) {
-                waiters_.erase(it);
-                --arrived_;
-            } else if (!flag.load(std::memory_order_acquire)) {
-                continue;
+        const bool abortNow = CLEAN_UNLIKELY(rt_.aborted());
+        const bool timedOut = !abortNow && CLEAN_UNLIKELY(spin.expired());
+        if (CLEAN_UNLIKELY(abortNow || timedOut)) {
+            {
+                std::lock_guard<std::mutex> guard(im_);
+                auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                                       [&](const Waiter &w) {
+                                           return w.flag == &flag;
+                                       });
+                if (it != waiters_.end()) {
+                    waiters_.erase(it);
+                    --arrived_;
+                } else if (!flag.load(std::memory_order_acquire)) {
+                    continue; // released but flag not yet set: retry
+                } else {
+                    break; // released after all; proceed normally
+                }
             }
             rt_.resumeFromBlocked(ctx.record());
-            throw ExecutionAborted();
+            if (abortNow)
+                throw ExecutionAborted();
+            rt_.raiseDeadlock("CleanBarrier::arrive", tid,
+                              spin.elapsedMs());
         }
-        std::this_thread::yield();
+        spin.pause();
     }
     rt_.resumeFromBlocked(ctx.record());
 

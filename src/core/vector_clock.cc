@@ -38,6 +38,18 @@ VectorClock::tick(ThreadId tid)
     return next;
 }
 
+ClockValue
+VectorClock::tickSaturating(ThreadId tid)
+{
+    CLEAN_ASSERT(tid < size());
+    const ClockValue current = config_.clockOf(elements_[tid]);
+    if (current >= config_.maxClock())
+        return current;
+    const ClockValue next = current + 1;
+    elements_[tid] = config_.pack(tid, next);
+    return next;
+}
+
 void
 VectorClock::joinFrom(const VectorClock &other)
 {

@@ -46,6 +46,12 @@ class VectorClock
     /** Increments @p tid's clock by one; returns the new clock value. */
     ClockValue tick(ThreadId tid);
 
+    /** Like tick(), but saturates at maxClock() instead of asserting.
+     *  For callers with no rollover machinery (the baseline detectors):
+     *  a saturated clock stops ordering new events, which can only make
+     *  such a detector report *more* races, never lose soundness. */
+    ClockValue tickSaturating(ThreadId tid);
+
     /** Element-wise maximum with @p other (the happens-before join). */
     void joinFrom(const VectorClock &other);
 

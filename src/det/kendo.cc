@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "support/backoff.h"
+#include "support/deadlock_error.h"
 #include "support/logging.h"
 
 namespace clean::det
@@ -62,14 +64,16 @@ Kendo::waitForTurn(ThreadId slot)
 {
     if (!enabled_)
         return;
-    std::uint64_t localSpins = 0;
+    // This host may have fewer cores than simulated threads; the backoff
+    // yields (then sleeps) so the thread we are waiting on can actually
+    // run instead of us burning its core.
+    SpinWait spin(watchdogMs_);
     while (!tryTurn(slot)) {
-        // This host may have fewer cores than simulated threads; yield
-        // so the thread we are waiting on can actually run.
-        ++localSpins;
-        std::this_thread::yield();
+        if (CLEAN_UNLIKELY(spin.expired()))
+            throwDeadlock(slot, "waitForTurn", spin.elapsedMs());
+        spin.pause();
     }
-    spins_.fetch_add(localSpins, std::memory_order_relaxed);
+    spins_.fetch_add(spin.iterations(), std::memory_order_relaxed);
 }
 
 void
@@ -100,8 +104,12 @@ Kendo::waitWhileBlocked(ThreadId slot)
     if (!enabled_)
         return;
     const Slot &s = slots_[slot];
-    while (s.status.load(std::memory_order_acquire) == Status::Blocked)
-        std::this_thread::yield();
+    SpinWait spin(watchdogMs_);
+    while (s.status.load(std::memory_order_acquire) == Status::Blocked) {
+        if (CLEAN_UNLIKELY(spin.expired()))
+            throwDeadlock(slot, "waitWhileBlocked", spin.elapsedMs());
+        spin.pause();
+    }
 }
 
 bool
@@ -109,6 +117,70 @@ Kendo::isActive(ThreadId slot) const
 {
     return slots_[slot].status.load(std::memory_order_acquire) ==
            Status::Active;
+}
+
+const char *
+Kendo::statusName(ThreadId slot) const
+{
+    switch (slots_[slot].status.load(std::memory_order_acquire)) {
+      case Status::Inactive: return "inactive";
+      case Status::Active: return "active";
+      case Status::Blocked: return "blocked";
+    }
+    return "?";
+}
+
+ThreadId
+Kendo::minActiveSlot() const
+{
+    ThreadId best = maxSlots_;
+    DetCount bestCount = 0;
+    for (ThreadId j = 0; j < maxSlots_; ++j) {
+        if (slots_[j].status.load(std::memory_order_acquire) !=
+            Status::Active) {
+            continue;
+        }
+        const DetCount c = slots_[j].count.load(std::memory_order_relaxed);
+        if (best == maxSlots_ || c < bestCount) {
+            best = j;
+            bestCount = c;
+        }
+    }
+    return best;
+}
+
+std::string
+Kendo::snapshot() const
+{
+    std::string out;
+    for (ThreadId j = 0; j < maxSlots_; ++j) {
+        if (slots_[j].status.load(std::memory_order_acquire) ==
+            Status::Inactive) {
+            continue;
+        }
+        if (!out.empty())
+            out += " | ";
+        out += "slot " + std::to_string(j) + ": det=" +
+               std::to_string(
+                   slots_[j].count.load(std::memory_order_relaxed)) +
+               " " + statusName(j);
+    }
+    return out.empty() ? std::string("no runnable slots") : out;
+}
+
+void
+Kendo::throwDeadlock(ThreadId slot, const char *where,
+                     std::uint64_t waitedMs) const
+{
+    const ThreadId stuck = minActiveSlot();
+    throw DeadlockError(
+        "watchdog: slot " + std::to_string(slot) + " waited " +
+            std::to_string(waitedMs) + " ms in Kendo::" + where +
+            "; suspected stuck slot " +
+            (stuck < maxSlots_ ? std::to_string(stuck)
+                               : std::string("<none>")) +
+            " [" + snapshot() + "]",
+        slot, stuck < maxSlots_ ? stuck : slot, waitedMs);
 }
 
 } // namespace clean::det

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "support/common.h"
 
@@ -56,6 +57,30 @@ class Kendo
 
     bool enabled() const { return enabled_; }
     ThreadId maxSlots() const { return maxSlots_; }
+
+    /**
+     * Arms the watchdog of this engine's own blocking loops
+     * (waitForTurn / waitWhileBlocked): a wait longer than @p ms throws
+     * DeadlockError naming the suspected stuck slot. 0 (the default)
+     * waits forever, preserving the historical behaviour.
+     */
+    void setWatchdogMs(std::uint64_t ms) { watchdogMs_ = ms; }
+    std::uint64_t watchdogMs() const { return watchdogMs_; }
+
+    /** Human-readable status of @p slot ("inactive"/"active"/"blocked"). */
+    const char *statusName(ThreadId slot) const;
+
+    /**
+     * The runnable slot with the strict minimum (count, tid) — the
+     * thread whose turn it currently is, and therefore the slot that is
+     * blocking everyone else if it never advances. Returns maxSlots()
+     * when no slot is Active.
+     */
+    ThreadId minActiveSlot() const;
+
+    /** One-line per-slot dump "slot 0: det=12 active | ..." used in
+     *  deadlock diagnostics. */
+    std::string snapshot() const;
 
     /** Marks @p slot runnable starting at deterministic time @p start. */
     void activate(ThreadId slot, DetCount start);
@@ -137,9 +162,13 @@ class Kendo
         std::atomic<Status> status{Status::Inactive};
     };
 
+    [[noreturn]] void throwDeadlock(ThreadId slot, const char *where,
+                                    std::uint64_t waitedMs) const;
+
     bool enabled_;
     ThreadId maxSlots_;
     Slot *slots_;
+    std::uint64_t watchdogMs_ = 0;
     std::atomic<std::uint64_t> spins_{0};
 };
 

@@ -98,7 +98,9 @@ class Detector
         auto [it, fresh] = syncClocks_.try_emplace(
             sync, VectorClock(config_, maxThreads_));
         it->second.joinFrom(threads_[t]);
-        threads_[t].tick(t);
+        // Saturating: the baselines have no rollover (§4.5 is CLEAN's
+        // machinery), and sync-heavy workloads can out-tick maxClock.
+        threads_[t].tickSaturating(t);
     }
 
     /** Fork: child inherits parent's clock; both tick. */
@@ -107,8 +109,8 @@ class Detector
     {
         std::lock_guard<std::mutex> guard(syncMutex_);
         threads_[child].joinFrom(threads_[parent]);
-        threads_[child].tick(child);
-        threads_[parent].tick(parent);
+        threads_[child].tickSaturating(child);
+        threads_[parent].tickSaturating(parent);
     }
 
     /** Join: parent absorbs child's clock. */

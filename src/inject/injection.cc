@@ -1,0 +1,150 @@
+#include "inject/injection.h"
+
+#include "support/logging.h"
+
+namespace clean::inject
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer; full avalanche over the packed coordinate. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+decisionHash(std::uint64_t seed, FaultKind kind, ThreadId tid,
+             std::uint64_t coord)
+{
+    std::uint64_t x = seed;
+    x = mix(x + 0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(kind) + 1));
+    x = mix(x ^ (static_cast<std::uint64_t>(tid) + 0x100));
+    x = mix(x ^ coord);
+    return x;
+}
+
+std::uint64_t
+rateToThreshold(double rate)
+{
+    if (rate <= 0)
+        return 0;
+    if (rate >= 1)
+        return ~std::uint64_t{0};
+    return static_cast<std::uint64_t>(rate * 18446744073709551615.0);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SkipCheck: return "skip-check";
+      case FaultKind::SkipAcquire: return "skip-acquire";
+      case FaultKind::Delay: return "delay";
+      case FaultKind::ForceRollover: return "rollover";
+      case FaultKind::KillThread: return "kill";
+      case FaultKind::kCount_: break;
+    }
+    return "?";
+}
+
+ThreadKilled::ThreadKilled(ThreadId tid, std::uint64_t coord)
+    : tid_(tid), coord_(coord)
+{
+    message_ = "injected kill of thread " + std::to_string(tid_) +
+               " at coordinate " + std::to_string(coord_);
+}
+
+InjectionPlan::InjectionPlan(const InjectionConfig &config)
+    : config_(config)
+{
+    thresholds_[static_cast<unsigned>(FaultKind::SkipCheck)] =
+        rateToThreshold(config.skipCheckRate);
+    thresholds_[static_cast<unsigned>(FaultKind::SkipAcquire)] =
+        rateToThreshold(config.skipAcquireRate);
+    thresholds_[static_cast<unsigned>(FaultKind::Delay)] =
+        rateToThreshold(config.delayRate);
+    thresholds_[static_cast<unsigned>(FaultKind::ForceRollover)] =
+        rateToThreshold(config.rolloverRate);
+    thresholds_[static_cast<unsigned>(FaultKind::KillThread)] =
+        rateToThreshold(config.killRate);
+}
+
+bool
+InjectionPlan::wouldFire(FaultKind kind, ThreadId tid,
+                         std::uint64_t coord) const
+{
+    const std::uint64_t threshold =
+        thresholds_[static_cast<unsigned>(kind)];
+    if (threshold == 0)
+        return false;
+    if (kind == FaultKind::KillThread && tid == 0)
+        return false;
+    return decisionHash(config_.seed, kind, tid, coord) <= threshold;
+}
+
+bool
+InjectionPlan::skipCheck(ThreadId tid, std::uint64_t coord)
+{
+    if (!wouldFire(FaultKind::SkipCheck, tid, coord))
+        return false;
+    skippedChecks_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+InjectionPlan::skipAcquire(ThreadId tid, std::uint64_t coord)
+{
+    if (!wouldFire(FaultKind::SkipAcquire, tid, coord))
+        return false;
+    skippedAcquires_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::uint32_t
+InjectionPlan::delayMicros(ThreadId tid, std::uint64_t coord)
+{
+    if (!wouldFire(FaultKind::Delay, tid, coord))
+        return 0;
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    return config_.delayMicros;
+}
+
+bool
+InjectionPlan::forceRollover(ThreadId tid, std::uint64_t coord)
+{
+    if (!wouldFire(FaultKind::ForceRollover, tid, coord))
+        return false;
+    rollovers_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+InjectionPlan::killThread(ThreadId tid, std::uint64_t coord)
+{
+    if (!wouldFire(FaultKind::KillThread, tid, coord))
+        return false;
+    kills_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+InjectionStats
+InjectionPlan::stats() const
+{
+    InjectionStats s;
+    s.skippedChecks = skippedChecks_.load(std::memory_order_relaxed);
+    s.skippedAcquires = skippedAcquires_.load(std::memory_order_relaxed);
+    s.delays = delays_.load(std::memory_order_relaxed);
+    s.rollovers = rollovers_.load(std::memory_order_relaxed);
+    s.kills = kills_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace clean::inject

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Deterministic fault injection (chaos harness).
+ *
+ * CLEAN's headline claim is *cleaner semantics under failure*: a WAW/RAW
+ * race stops the execution before the racy write takes effect, and every
+ * exception-free run is deterministic under Kendo. The failure paths
+ * themselves are therefore the part of the system most worth exercising
+ * on demand. This subsystem injects faults at deterministic coordinates
+ * so every provoked failure is exactly reproducible.
+ *
+ * A coordinate is the pair (tid, n): the n-th injection site this thread
+ * has passed. Per-thread site streams are deterministic (they follow the
+ * thread's own instruction stream), so a decision that is a pure hash of
+ * (seed, fault kind, tid, n) fires at the same program point in every
+ * run — replaying a seed replays the fault.
+ *
+ * Fault kinds:
+ *   SkipCheck     — drop the race check (and epoch publish) on one shared
+ *                   access: a compiler-instrumentation gap. Benign on
+ *                   race-free code (stale epochs are older, never racier);
+ *                   on racy code the race still surfaces through the
+ *                   remaining instrumented accesses.
+ *   SkipAcquire   — drop the vector-clock join of one lock acquisition: a
+ *                   missed happens-before edge. Properly-locked accesses
+ *                   by later holders then look concurrent and surface as
+ *                   WAW/RAW exceptions downstream — deterministically,
+ *                   because lock order is Kendo-ordered.
+ *   Delay         — stall at a synchronization point: schedule
+ *                   perturbation that must never change the Kendo-ordered
+ *                   outcome.
+ *   ForceRollover — request an early metadata reset at a sync point,
+ *                   exercising the §4.5 park/reset protocol under load.
+ *   KillThread    — the thread vanishes mid-SFR without running any
+ *                   unwind protocol: its Kendo slot stays Active at a
+ *                   frozen count, so siblings can only be rescued by the
+ *                   turn-wait watchdog (DeadlockError). Never fires for
+ *                   tid 0 (the orchestrating thread owns spawn/join).
+ */
+
+#ifndef CLEAN_INJECT_INJECTION_H
+#define CLEAN_INJECT_INJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "support/common.h"
+
+namespace clean::inject
+{
+
+/** The kinds of fault the plan can inject. */
+enum class FaultKind : unsigned
+{
+    SkipCheck = 0,
+    SkipAcquire,
+    Delay,
+    ForceRollover,
+    KillThread,
+    kCount_,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** Rates and seed of one injection campaign. All rates are per-site
+ *  probabilities in [0, 1]; 0 disables the kind. */
+struct InjectionConfig
+{
+    bool enabled = false;
+    std::uint64_t seed = 1;
+    double skipCheckRate = 0;
+    double skipAcquireRate = 0;
+    double delayRate = 0;
+    double rolloverRate = 0;
+    double killRate = 0;
+    /** Stall length of one Delay fault. */
+    std::uint32_t delayMicros = 100;
+
+    /** True iff any fault can actually fire. */
+    bool
+    any() const
+    {
+        return enabled &&
+               (skipCheckRate > 0 || skipAcquireRate > 0 || delayRate > 0 ||
+                rolloverRate > 0 || killRate > 0);
+    }
+};
+
+/** Faults actually fired during one run (telemetry, not decisions). */
+struct InjectionStats
+{
+    std::uint64_t skippedChecks = 0;
+    std::uint64_t skippedAcquires = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t rollovers = 0;
+    std::uint64_t kills = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return skippedChecks + skippedAcquires + delays + rollovers + kills;
+    }
+};
+
+/**
+ * Thrown at a KillThread coordinate. The runtime treats it unlike every
+ * other exception: the dying thread runs NO finish handshake and never
+ * calls Kendo::finish, simulating a thread that crashed or was killed by
+ * the OS mid-SFR. Siblings spinning on its frozen slot are rescued by
+ * the watchdog, which converts the livelock into a DeadlockError.
+ */
+class ThreadKilled : public std::exception
+{
+  public:
+    ThreadKilled(ThreadId tid, std::uint64_t coord);
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+    ThreadId tid() const { return tid_; }
+    std::uint64_t coord() const { return coord_; }
+
+  private:
+    ThreadId tid_;
+    std::uint64_t coord_;
+    std::string message_;
+};
+
+/**
+ * One run's injection decisions. Decision methods are pure functions of
+ * (seed, kind, tid, coord) — thread-safe and reproducible; the plan only
+ * mutates its fired-fault counters.
+ */
+class InjectionPlan
+{
+  public:
+    explicit InjectionPlan(const InjectionConfig &config);
+
+    const InjectionConfig &config() const { return config_; }
+
+    /** Pure decision: would @p kind fire at (tid, coord)? No counters. */
+    bool wouldFire(FaultKind kind, ThreadId tid, std::uint64_t coord) const;
+
+    // Deciding entry points; each counts the fault when it fires.
+    bool skipCheck(ThreadId tid, std::uint64_t coord);
+    bool skipAcquire(ThreadId tid, std::uint64_t coord);
+    /** Returns the stall in microseconds, 0 when no delay fires. */
+    std::uint32_t delayMicros(ThreadId tid, std::uint64_t coord);
+    bool forceRollover(ThreadId tid, std::uint64_t coord);
+    /** Never fires for tid 0; see the file comment. */
+    bool killThread(ThreadId tid, std::uint64_t coord);
+
+    InjectionStats stats() const;
+
+  private:
+    static constexpr unsigned kKinds =
+        static_cast<unsigned>(FaultKind::kCount_);
+
+    InjectionConfig config_;
+    /** Probability rates mapped onto the full u64 range. */
+    std::uint64_t thresholds_[kKinds];
+
+    std::atomic<std::uint64_t> skippedChecks_{0};
+    std::atomic<std::uint64_t> skippedAcquires_{0};
+    std::atomic<std::uint64_t> delays_{0};
+    std::atomic<std::uint64_t> rollovers_{0};
+    std::atomic<std::uint64_t> kills_{0};
+};
+
+} // namespace clean::inject
+
+#endif // CLEAN_INJECT_INJECTION_H

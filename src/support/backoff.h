@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Spin-with-backoff waiting and watchdog deadlines.
+ *
+ * Every blocking loop in the runtime (Kendo turn waits, condition/barrier
+ * flag waits, the join handshake, rollover parking) waits through a
+ * SpinWait: a short burst of sched_yield calls for low-latency handoff,
+ * then capped timed sleeps so a stalled peer cannot burn a whole core.
+ * The same object carries the optional watchdog deadline after which the
+ * caller converts the wait into a structured DeadlockError instead of
+ * spinning forever.
+ */
+
+#ifndef CLEAN_SUPPORT_BACKOFF_H
+#define CLEAN_SUPPORT_BACKOFF_H
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace clean
+{
+
+/** One blocking wait: yield burst, then timed sleeps, plus a deadline. */
+class SpinWait
+{
+  public:
+    /** @param timeoutMs watchdog deadline; 0 means wait forever. */
+    explicit SpinWait(std::uint64_t timeoutMs = 0)
+        : start_(Clock::now()), timeoutMs_(timeoutMs)
+    {
+    }
+
+    /** One wait step: yields for the first kYieldIters calls, then
+     *  sleeps with linearly growing, capped duration. */
+    void
+    pause()
+    {
+        ++iters_;
+        if (iters_ <= kYieldIters) {
+            std::this_thread::yield();
+            return;
+        }
+        const std::uint64_t over = iters_ - kYieldIters;
+        const std::uint64_t micros =
+            over < kMaxSleepMicros ? over : kMaxSleepMicros;
+        std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    }
+
+    /** True once the watchdog deadline has passed (never when disabled). */
+    bool
+    expired() const
+    {
+        return timeoutMs_ > 0 && elapsedMs() >= timeoutMs_;
+    }
+
+    std::uint64_t
+    elapsedMs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - start_)
+                .count());
+    }
+
+    std::uint64_t iterations() const { return iters_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** Pure yields before the first sleep: cheap handoff on loaded hosts
+     *  where the awaited thread is runnable but descheduled. */
+    static constexpr std::uint64_t kYieldIters = 64;
+    /** Sleep cap; also bounds how stale an abort/deadline poll can be. */
+    static constexpr std::uint64_t kMaxSleepMicros = 500;
+
+    Clock::time_point start_;
+    std::uint64_t timeoutMs_;
+    std::uint64_t iters_ = 0;
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_BACKOFF_H

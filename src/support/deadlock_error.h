@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Structured deadlock diagnosis thrown by watchdogged wait loops.
+ *
+ * When a blocking wait (Kendo turn wait, condition/barrier wait, join
+ * handshake) exceeds the configured watchdog bound, the waiting thread
+ * raises a DeadlockError instead of spinning forever. The error names
+ * the waiting thread, the slot suspected of blocking progress (the
+ * minimum-(count, tid) runnable Kendo slot — the thread whose turn it
+ * is), how long the waiter spun, and a per-slot snapshot so the failure
+ * is diagnosable from the exception alone.
+ */
+
+#ifndef CLEAN_SUPPORT_DEADLOCK_ERROR_H
+#define CLEAN_SUPPORT_DEADLOCK_ERROR_H
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+/** Raised when a watchdogged wait exceeded its bound. */
+class DeadlockError : public std::exception
+{
+  public:
+    DeadlockError(std::string message, ThreadId waiter, ThreadId stuckSlot,
+                  std::uint64_t waitedMs)
+        : message_(std::move(message)), waiter_(waiter),
+          stuckSlot_(stuckSlot), waitedMs_(waitedMs)
+    {
+    }
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+    /** Thread whose watchdog fired. */
+    ThreadId waiter() const { return waiter_; }
+
+    /** Slot suspected of blocking global progress. */
+    ThreadId stuckSlot() const { return stuckSlot_; }
+
+    /** How long the waiter waited before giving up. */
+    std::uint64_t waitedMs() const { return waitedMs_; }
+
+  private:
+    std::string message_;
+    ThreadId waiter_;
+    ThreadId stuckSlot_;
+    std::uint64_t waitedMs_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_DEADLOCK_ERROR_H

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Minimal JSON emitter for structured failure reports.
+ *
+ * Deliberately tiny: objects, arrays, strings, integers, booleans —
+ * enough for machine-readable failure reports whose byte-for-byte
+ * stability matters (deterministic-replay tests diff them verbatim).
+ * No floating point (formatting is locale/libc sensitive) and no
+ * pretty-printing options beyond a fixed layout.
+ */
+
+#ifndef CLEAN_SUPPORT_JSON_H
+#define CLEAN_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clean
+{
+
+/** Streaming JSON writer with comma/nesting bookkeeping. */
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        prefix();
+        out_ += '{';
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        stack_.pop_back();
+        out_ += '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        prefix();
+        out_ += '[';
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        stack_.pop_back();
+        out_ += ']';
+        return *this;
+    }
+
+    /** Emits the key of the next object member. */
+    JsonWriter &
+    key(std::string_view name)
+    {
+        prefix();
+        quote(name);
+        out_ += ':';
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view v)
+    {
+        prefix();
+        quote(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string_view(v));
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        prefix();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        prefix();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        prefix();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void
+    prefix()
+    {
+        if (pendingValue_) {
+            // Value directly after key(): no comma.
+            pendingValue_ = false;
+            return;
+        }
+        if (!stack_.empty()) {
+            if (stack_.back())
+                out_ += ',';
+            stack_.back() = true;
+        }
+    }
+
+    void
+    quote(std::string_view s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out_ += "\\\""; break;
+              case '\\': out_ += "\\\\"; break;
+              case '\n': out_ += "\\n"; break;
+              case '\r': out_ += "\\r"; break;
+              case '\t': out_ += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    /** Per nesting level: "already emitted a member, comma needed". */
+    std::vector<bool> stack_;
+    bool pendingValue_ = false;
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_JSON_H

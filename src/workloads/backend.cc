@@ -507,6 +507,7 @@ CleanEnv::parallel(unsigned n, const std::function<void(Worker &)> &fn)
     }
     std::vector<ThreadHandle> handles;
     handles.reserve(n);
+    std::exception_ptr pending;
     // If a worker races while we are still spawning, spawn() throws
     // ExecutionAborted. Every already-spawned worker still references
     // fn and the workload's stack frame, so all of them MUST be joined
@@ -526,10 +527,24 @@ CleanEnv::parallel(unsigned n, const std::function<void(Worker &)> &fn)
         }
     } catch (const ExecutionAborted &) {
         // fall through to the joins below and rethrow afterwards
+    } catch (const DeadlockError &) {
+        pending = std::current_exception();
     }
-    for (const ThreadHandle &h : handles)
-        rt_.join(rt_.mainContext(), h);
-    if (rt_.raceOccurred())
+    // Join every spawned worker even when a join itself fails — the
+    // first error is deferred, never allowed to leave workers unreaped.
+    for (const ThreadHandle &h : handles) {
+        try {
+            rt_.join(rt_.mainContext(), h);
+        } catch (...) {
+            if (!pending)
+                pending = std::current_exception();
+        }
+    }
+    if (pending)
+        std::rethrow_exception(pending);
+    // aborted(), not raceOccurred(): under the degraded Report/Count
+    // policies recorded races do not stop the run.
+    if (rt_.aborted())
         throw ExecutionAborted();
 }
 

@@ -45,18 +45,29 @@ runClean(Workload &workload, const RunSpec &spec)
     } catch (const RaceException &race) {
         result.raceException = true;
         result.raceMessage = race.what();
+    } catch (const DeadlockError &deadlock) {
+        result.deadlock = true;
+        result.deadlockMessage = deadlock.what();
     } catch (const ExecutionAborted &) {
-        result.raceException = true;
-        if (const RaceException *race = rt.firstRace())
-            result.raceMessage = race->what();
+        // Classified below from the runtime's recorded state (the abort
+        // may stem from a race or from a watchdog deadlock).
     }
     result.seconds = timer.elapsedSeconds();
 
-    if (rt.raceOccurred() && !result.raceException) {
+    result.raceCount = rt.raceCount();
+    if (rt.deadlockOccurred() && !result.deadlock) {
+        result.deadlock = true;
+        result.deadlockMessage = rt.firstDeadlock()->what();
+    }
+    // Under Throw any recorded race failed the run; under the degraded
+    // Report/Count policies the run completed and races are only counted.
+    if (config.onRace == OnRacePolicy::Throw && rt.raceOccurred())
         result.raceException = true;
+    if (result.raceException && result.raceMessage.empty()) {
         if (const RaceException *race = rt.firstRace())
             result.raceMessage = race->what();
     }
+    result.failureReport = rt.failureReportJson();
 
     const EnvTotals totals = env.totals();
     result.outputHash = totals.outputHash;

@@ -50,6 +50,13 @@ struct RunResult
     double seconds = 0;
     bool raceException = false;
     std::string raceMessage;
+    /** Races recorded (can exceed 1 under OnRacePolicy::Report/Count). */
+    std::uint64_t raceCount = 0;
+    /** A watchdog converted a stuck wait into a DeadlockError. */
+    bool deadlock = false;
+    std::string deadlockMessage;
+    /** CleanRuntime::failureReportJson() (empty for plain backends). */
+    std::string failureReport;
 
     std::uint64_t outputHash = 0;
     std::uint64_t reads = 0;

@@ -142,6 +142,7 @@ class Radiosity : public KernelBase
                 w.unlock(queueLocks[self]);
             };
 
+            unsigned fruitless = 0;
             for (;;) {
                 Task task;
                 bool got = tryPop(self, task);
@@ -158,9 +159,16 @@ class Radiosity : public KernelBase
                     }
                     if (left <= 0)
                         break;
+                    // The racy variant's unlocked counter can lose a
+                    // decrement (that IS its race); a stuck positive
+                    // count with every queue empty must not spin the
+                    // workers forever.
+                    if (racy && ++fruitless >= 4096)
+                        break;
                     w.compute(2);
                     continue;
                 }
+                fruitless = 0;
 
                 // Energy transfer src -> dst. The source brightness is
                 // itself updated concurrently, so it must be read under

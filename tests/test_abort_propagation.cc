@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Abort-propagation tests: a thread raises a RaceException while its
+ * siblings are blocked in every kind of blocking wait the runtime has
+ * (condition wait, barrier, join handshake). All of them must unwind
+ * with ExecutionAborted on their own — i.e. before the watchdog would
+ * have had to rescue them — so the §3.1 "the execution stops" semantics
+ * hold even for threads that were asleep when the race fired.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/clean.h"
+#include "support/timer.h"
+
+namespace clean
+{
+namespace
+{
+
+constexpr std::uint64_t kWatchdogMs = 8000;
+
+RuntimeConfig
+abortConfig()
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.watchdogMs = kWatchdogMs;
+    return config;
+}
+
+/**
+ * Jumps main far into the deterministic future. Main spends these tests
+ * spinning on plain atomics (it does not advance deterministic time),
+ * and a freshly spawned child ties with its parent's count — ties go to
+ * tid 0 — so without this the children would stall on main's turn
+ * instead of reaching the waits under test. Must be called AFTER the
+ * waiters are spawned (a child spawned later would tie at the new, huge
+ * count and stall all the same).
+ */
+void
+parkMain(CleanRuntime &rt)
+{
+    rt.mainContext().detTick(1000000);
+    rt.mainContext().acquireTurn();
+}
+
+/**
+ * Spawns two threads whose unsynchronized writes to @p x WAW-race after
+ * @p delayMs. Exactly one of them throws RaceException (the CAS epoch
+ * publish arbitrates); the other either races too or unwinds aborted.
+ */
+std::pair<ThreadHandle, ThreadHandle>
+spawnRacerPair(CleanRuntime &rt, int *x, unsigned delayMs)
+{
+    auto racer = [&rt, x, delayMs](ThreadContext &ctx) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+        ctx.write(x, static_cast<int>(ctx.tid()));
+    };
+    auto a = rt.spawn(rt.mainContext(), racer);
+    auto b = rt.spawn(rt.mainContext(), racer);
+    return {a, b};
+}
+
+TEST(AbortPropagation, CondVarWaiterUnwindsWhenSiblingRaces)
+{
+    CleanRuntime rt(abortConfig());
+    CleanMutex m(rt);
+    CleanCondVar cv(rt);
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    std::atomic<bool> waiterAborted{false};
+    std::atomic<bool> entered{false};
+
+    Timer timer;
+    auto waiter = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        try {
+            m.lock(ctx);
+            entered.store(true, std::memory_order_release);
+            cv.wait(ctx, m); // nobody signals; only the abort can end this
+            m.unlock(ctx);
+        } catch (const ExecutionAborted &) {
+            waiterAborted.store(true, std::memory_order_release);
+            throw;
+        }
+    });
+    parkMain(rt);
+    while (!entered.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    auto [a, b] = spawnRacerPair(rt, x, 50);
+    rt.join(rt.mainContext(), a);
+    rt.join(rt.mainContext(), b);
+    rt.join(rt.mainContext(), waiter);
+
+    EXPECT_TRUE(rt.raceOccurred());
+    EXPECT_TRUE(rt.aborted());
+    EXPECT_TRUE(waiterAborted.load());
+    // The abort flag reached the wait directly; the watchdog never had
+    // to diagnose a deadlock, and the unwind beat the watchdog bound.
+    EXPECT_FALSE(rt.deadlockOccurred());
+    EXPECT_LT(timer.elapsedSeconds(), kWatchdogMs / 1000.0);
+}
+
+TEST(AbortPropagation, BarrierWaiterUnwindsWhenSiblingRaces)
+{
+    CleanRuntime rt(abortConfig());
+    // Three parties but only one thread ever arrives: without the abort
+    // the arrival would wait forever for the missing parties.
+    CleanBarrier barrier(rt, 3);
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    std::atomic<bool> waiterAborted{false};
+    std::atomic<bool> entered{false};
+
+    Timer timer;
+    auto waiter = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        try {
+            entered.store(true, std::memory_order_release);
+            barrier.arrive(ctx);
+        } catch (const ExecutionAborted &) {
+            waiterAborted.store(true, std::memory_order_release);
+            throw;
+        }
+    });
+    parkMain(rt);
+    while (!entered.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    auto [a, b] = spawnRacerPair(rt, x, 50);
+    rt.join(rt.mainContext(), a);
+    rt.join(rt.mainContext(), b);
+    rt.join(rt.mainContext(), waiter);
+
+    EXPECT_TRUE(rt.raceOccurred());
+    EXPECT_TRUE(waiterAborted.load());
+    EXPECT_FALSE(rt.deadlockOccurred());
+    EXPECT_LT(timer.elapsedSeconds(), kWatchdogMs / 1000.0);
+}
+
+TEST(AbortPropagation, JoinerUnblocksWhenSiblingRaces)
+{
+    CleanRuntime rt(abortConfig());
+    auto *x = rt.heap().allocSharedArray<int>(1);
+
+    // The child keeps advancing (and publishing) deterministic time
+    // until the abort, so the joining main thread is parked in the join
+    // handshake (not in a turn wait) when the race fires.
+    auto child = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        while (!ctx.runtime().aborted()) {
+            ctx.detTick(1);
+            ctx.acquireTurn();
+        }
+    });
+    auto [a, b] = spawnRacerPair(rt, x, 100);
+
+    Timer timer;
+    // The handshake never completes normally; the abort must release it.
+    // join() absorbs child errors, so no throw is expected here.
+    rt.join(rt.mainContext(), child);
+    rt.join(rt.mainContext(), a);
+    rt.join(rt.mainContext(), b);
+
+    EXPECT_TRUE(rt.raceOccurred());
+    EXPECT_TRUE(rt.aborted());
+    EXPECT_FALSE(rt.deadlockOccurred());
+    EXPECT_LT(timer.elapsedSeconds(), kWatchdogMs / 1000.0);
+}
+
+TEST(AbortPropagation, AllThreeWaitKindsUnwindFromOneRace)
+{
+    // The full scenario from the issue: one racy pair while one sibling
+    // sits in a condition wait, one in a barrier and one being joined.
+    CleanRuntime rt(abortConfig());
+    CleanMutex m(rt);
+    CleanCondVar cv(rt);
+    CleanBarrier barrier(rt, 2);
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    std::atomic<int> unwound{0};
+    std::atomic<int> entered{0};
+
+    auto trackAbort = [&unwound](auto body) {
+        return [&unwound, body](ThreadContext &ctx) {
+            try {
+                body(ctx);
+            } catch (const ExecutionAborted &) {
+                unwound.fetch_add(1, std::memory_order_acq_rel);
+                throw;
+            }
+        };
+    };
+
+    Timer timer;
+    auto condWaiter =
+        rt.spawn(rt.mainContext(), trackAbort([&](ThreadContext &ctx) {
+                     m.lock(ctx);
+                     entered.fetch_add(1, std::memory_order_acq_rel);
+                     cv.wait(ctx, m);
+                     m.unlock(ctx);
+                 }));
+    auto barrierWaiter =
+        rt.spawn(rt.mainContext(), trackAbort([&](ThreadContext &ctx) {
+                     entered.fetch_add(1, std::memory_order_acq_rel);
+                     barrier.arrive(ctx);
+                 }));
+    auto spinner = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        entered.fetch_add(1, std::memory_order_acq_rel);
+        while (!ctx.runtime().aborted()) {
+            // Coarse ticks so the spinner catches up with the parked
+            // main in few turns.
+            ctx.detTick(1000);
+            ctx.acquireTurn();
+        }
+    });
+    parkMain(rt);
+    while (entered.load(std::memory_order_acquire) < 3)
+        std::this_thread::yield();
+
+    auto [a, b] = spawnRacerPair(rt, x, 100);
+    rt.join(rt.mainContext(), spinner);
+    rt.join(rt.mainContext(), condWaiter);
+    rt.join(rt.mainContext(), barrierWaiter);
+    rt.join(rt.mainContext(), a);
+    rt.join(rt.mainContext(), b);
+
+    EXPECT_TRUE(rt.raceOccurred());
+    EXPECT_EQ(unwound.load(), 2); // cond + barrier; spinner exits cleanly
+    EXPECT_FALSE(rt.deadlockOccurred());
+    EXPECT_LT(timer.elapsedSeconds(), kWatchdogMs / 1000.0);
+}
+
+} // namespace
+} // namespace clean

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Chaos / soak harness for CLEAN's failure semantics.
+ *
+ * Sweeps deterministic fault-injection seeds over the workload suite and
+ * checks the robustness invariant the paper's "cleaner semantics" rest
+ * on: every injected fault ends the run in exactly one of
+ *
+ *   clean completion | RaceException | DeadlockError
+ *
+ * — never a hang (the watchdog bounds every blocking wait), never a
+ * crash, never silent wrong output (race-free runs must reproduce the
+ * reference output hash). Because injection decisions are pure functions
+ * of (seed, tid, site index), re-running any seed must reproduce the
+ * identical outcome; the sweep replays a sample of seeds and fails on
+ * any divergence.
+ *
+ * Usage:
+ *   chaos_soak                          # 200 runs, the default sweep
+ *   chaos_soak --runs=500 --threads=8
+ *   chaos_soak --seed-base=1000 --replay-every=5 --verbose
+ *   chaos_soak --seed=137 --verbose     # replay one seed and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/options.h"
+#include "support/prng.h"
+#include "workloads/runner.h"
+
+namespace clean::wl
+{
+namespace
+{
+
+/** Workloads the sweep draws from. Race-free variants double as the
+ *  kill-fault targets (a kill on a racy workload makes the race-vs-
+ *  deadlock classification a physical coin toss; on a race-free one the
+ *  outcome is always the watchdog's DeadlockError). */
+const char *const kRaceFree[] = {"fft",       "lu_cb",    "streamcluster",
+                                 "swaptions", "water_sp", "blackscholes"};
+const char *const kRacy[] = {"radix", "raytrace", "volrend", "ferret",
+                             "canneal"};
+
+enum class Outcome { Clean, Race, Deadlock, Violation };
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Clean: return "clean";
+      case Outcome::Race: return "race";
+      case Outcome::Deadlock: return "deadlock";
+      case Outcome::Violation: return "VIOLATION";
+    }
+    return "?";
+}
+
+struct RunPlan
+{
+    std::string workload;
+    bool racy = false;
+    inject::FaultKind kind = inject::FaultKind::SkipCheck;
+    OnRacePolicy policy = OnRacePolicy::Throw;
+};
+
+/** Expands one sweep seed into a run: workload, fault kind, policy.
+ *  Pure function of the seed — replays rebuild the identical plan. */
+RunPlan
+planFor(std::uint64_t seed)
+{
+    Prng prng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    RunPlan plan;
+    const auto kind = static_cast<inject::FaultKind>(prng.nextBelow(5));
+    plan.kind = kind;
+    if (kind == inject::FaultKind::KillThread) {
+        // Kill faults stay on race-free variants (see table comment).
+        plan.workload = kRaceFree[prng.nextBelow(std::size(kRaceFree))];
+    } else if (prng.nextBool(0.5)) {
+        plan.workload = kRaceFree[prng.nextBelow(std::size(kRaceFree))];
+    } else {
+        plan.workload = kRacy[prng.nextBelow(std::size(kRacy))];
+        plan.racy = true;
+    }
+    // A slice of the non-kill runs exercises the degraded Report path:
+    // the run completes, races are only recorded.
+    if (kind != inject::FaultKind::KillThread && prng.nextBool(0.25))
+        plan.policy = OnRacePolicy::Report;
+    return plan;
+}
+
+struct SoakResult
+{
+    Outcome outcome = Outcome::Violation;
+    std::string detail;
+    std::uint64_t raceCount = 0;
+    std::uint64_t outputHash = 0;
+};
+
+SoakResult
+runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
+       std::uint64_t watchdogMs)
+{
+    RunSpec spec;
+    spec.workload = plan.workload;
+    spec.backend = BackendKind::Clean;
+    spec.params.threads = threads;
+    spec.params.scale = Scale::Test;
+    spec.params.racy = plan.racy;
+    spec.runtime.maxThreads = 32;
+    spec.runtime.heap.sharedBytes = std::size_t{256} << 20;
+    spec.runtime.heap.privateBytes = std::size_t{64} << 20;
+    spec.runtime.watchdogMs = watchdogMs;
+    spec.runtime.onRace = plan.policy;
+
+    auto &inject = spec.runtime.inject;
+    inject.enabled = true;
+    inject.seed = seed;
+    inject.delayMicros = 50;
+    switch (plan.kind) {
+      case inject::FaultKind::SkipCheck: inject.skipCheckRate = 0.001; break;
+      case inject::FaultKind::SkipAcquire:
+        inject.skipAcquireRate = 0.05;
+        break;
+      case inject::FaultKind::Delay: inject.delayRate = 0.001; break;
+      case inject::FaultKind::ForceRollover:
+        inject.rolloverRate = 0.0005;
+        break;
+      case inject::FaultKind::KillThread: inject.killRate = 0.0005; break;
+      default: break;
+    }
+
+    SoakResult soak;
+    try {
+        const RunResult result = runWorkload(spec);
+        soak.raceCount = result.raceCount;
+        soak.outputHash = result.outputHash;
+        if (result.deadlock) {
+            soak.outcome = Outcome::Deadlock;
+            soak.detail = result.deadlockMessage;
+        } else if (result.raceException) {
+            soak.outcome = Outcome::Race;
+            soak.detail = result.raceMessage;
+        } else {
+            soak.outcome = Outcome::Clean;
+        }
+    } catch (const std::exception &e) {
+        // runWorkload classifies every expected failure itself; anything
+        // that escapes is exactly what the soak exists to catch.
+        soak.outcome = Outcome::Violation;
+        soak.detail = std::string("escaped exception: ") + e.what();
+    } catch (...) {
+        soak.outcome = Outcome::Violation;
+        soak.detail = "escaped unknown exception";
+    }
+    return soak;
+}
+
+} // namespace
+} // namespace clean::wl
+
+int
+main(int argc, char **argv)
+{
+    using namespace clean;
+    using namespace clean::wl;
+
+    const Options opts = Options::parse(argc, argv);
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 200));
+    const auto seedBase =
+        static_cast<std::uint64_t>(opts.getInt("seed-base", 1));
+    const auto threads =
+        static_cast<unsigned>(opts.getInt("threads", 4));
+    const auto watchdogMs =
+        static_cast<std::uint64_t>(opts.getInt("watchdog-ms", 400));
+    const auto replayEvery =
+        static_cast<std::uint64_t>(opts.getInt("replay-every", 10));
+    const bool verbose = opts.getBool("verbose", false);
+
+    if (opts.has("seed")) {
+        const auto seed =
+            static_cast<std::uint64_t>(opts.getInt("seed", 1));
+        const RunPlan plan = planFor(seed);
+        const SoakResult r = runOne(seed, plan, threads, watchdogMs);
+        std::printf("seed %llu: %s/%s%s policy=%s -> %s (races %llu)\n",
+                    static_cast<unsigned long long>(seed),
+                    plan.workload.c_str(),
+                    inject::faultKindName(plan.kind),
+                    plan.racy ? " [racy]" : "",
+                    onRacePolicyName(plan.policy), outcomeName(r.outcome),
+                    static_cast<unsigned long long>(r.raceCount));
+        if (!r.detail.empty())
+            std::printf("  %s\n", r.detail.c_str());
+        return r.outcome == Outcome::Violation ? 1 : 0;
+    }
+
+    std::map<std::string, std::uint64_t> tally;
+    std::vector<Outcome> outcomes(runs, Outcome::Violation);
+    std::uint64_t violations = 0;
+
+    // Reference output hashes of race-free workloads: a clean completion
+    // that silently computed the wrong answer is a soak failure too.
+    std::map<std::string, std::uint64_t> reference;
+    for (const char *name : kRaceFree) {
+        RunPlan ref;
+        ref.workload = name;
+        ref.kind = inject::FaultKind::Delay; // rate 0.001, benign
+        reference[name] =
+            runOne(0, ref, threads, watchdogMs).outputHash;
+    }
+
+    for (std::uint64_t i = 0; i < runs; ++i) {
+        const std::uint64_t seed = seedBase + i;
+        const RunPlan plan = planFor(seed);
+        const SoakResult r = runOne(seed, plan, threads, watchdogMs);
+        outcomes[i] = r.outcome;
+        tally[std::string(inject::faultKindName(plan.kind)) + "/" +
+              outcomeName(r.outcome)]++;
+
+        bool bad = r.outcome == Outcome::Violation;
+        // Wrong-output check: a race-free workload that completed
+        // cleanly must have produced the reference answer.
+        if (r.outcome == Outcome::Clean && !plan.racy &&
+            plan.policy == OnRacePolicy::Throw && r.raceCount == 0 &&
+            r.outputHash != reference[plan.workload]) {
+            bad = true;
+            std::printf("seed %llu: SILENT WRONG OUTPUT on %s "
+                        "(%016llx != %016llx)\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        static_cast<unsigned long long>(r.outputHash),
+                        static_cast<unsigned long long>(
+                            reference[plan.workload]));
+        }
+        if (bad) {
+            ++violations;
+            std::printf("seed %llu: VIOLATION on %s/%s: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        inject::faultKindName(plan.kind),
+                        r.detail.c_str());
+        } else if (verbose) {
+            std::printf("seed %llu: %s/%s%s -> %s (races %llu)\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        inject::faultKindName(plan.kind),
+                        plan.racy ? " [racy]" : "",
+                        outcomeName(r.outcome),
+                        static_cast<unsigned long long>(r.raceCount));
+        }
+    }
+
+    // Determinism audit: replaying a seed must reproduce its outcome.
+    std::uint64_t replayed = 0, mismatches = 0;
+    for (std::uint64_t i = 0; i < runs; i += replayEvery) {
+        const std::uint64_t seed = seedBase + i;
+        const RunPlan plan = planFor(seed);
+        const SoakResult r = runOne(seed, plan, threads, watchdogMs);
+        ++replayed;
+        if (r.outcome != outcomes[i]) {
+            ++mismatches;
+            std::printf("seed %llu: REPLAY MISMATCH %s -> %s\n",
+                        static_cast<unsigned long long>(seed),
+                        outcomeName(outcomes[i]), outcomeName(r.outcome));
+        }
+    }
+
+    std::printf("\nchaos soak: %llu runs, %llu replays\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(replayed));
+    for (const auto &[key, count] : tally)
+        std::printf("  %-28s %llu\n", key.c_str(),
+                    static_cast<unsigned long long>(count));
+    std::printf("violations: %llu, replay mismatches: %llu\n",
+                static_cast<unsigned long long>(violations),
+                static_cast<unsigned long long>(mismatches));
+
+    if (violations || mismatches) {
+        std::printf("SOAK FAILED\n");
+        return 1;
+    }
+    std::printf("SOAK PASSED: every run ended in clean | race | deadlock "
+                "and every replay reproduced its outcome\n");
+    return 0;
+}

@@ -11,9 +11,20 @@
  *   cleanrun --workload=fft --backend=fasttrack --threads=4
  *   cleanrun --workload=ocean_cp --backend=trace --trace-out=o.trc
  *   cleanrun --trace-in=o.trc --sim --epoch-mode=4B
+ *   cleanrun --workload=radix --racy --on-race=report --report-json
+ *   cleanrun --workload=fft --inject-seed=7 --inject-kill=0.0001
  *
  * Backends: native, clean, detect-only, kendo-only, fasttrack,
  * tsan-lite, trace. Scales: test, small, large.
+ *
+ * Robustness knobs (clean backends):
+ *   --on-race=throw|report|count   race response policy
+ *   --watchdog-ms=N                deadlock watchdog (0 = off)
+ *   --report-json                  print the structured failure report
+ *   --inject-seed=S                enable deterministic fault injection
+ *   --inject-skip-check=R --inject-skip-acquire=R --inject-delay=R
+ *   --inject-rollover=R --inject-kill=R      per-site fault rates
+ *   --inject-delay-us=N            stall length of one Delay fault
  */
 
 #include <algorithm>
@@ -62,6 +73,19 @@ parseScale(const std::string &name)
     if (name == "large")
         return Scale::Large;
     fatal("unknown scale '%s'", name.c_str());
+}
+
+OnRacePolicy
+parseOnRace(const std::string &name)
+{
+    if (name == "throw")
+        return OnRacePolicy::Throw;
+    if (name == "report")
+        return OnRacePolicy::Report;
+    if (name == "count")
+        return OnRacePolicy::Count;
+    fatal("unknown on-race policy '%s' (throw|report|count)",
+          name.c_str());
 }
 
 int
@@ -139,16 +163,41 @@ main(int argc, char **argv)
         static_cast<unsigned>(opts.getInt("clock-bits", 23));
     spec.runtime.epoch =
         EpochConfig{clockBits, std::min(8u, 31 - clockBits)};
+    spec.runtime.onRace = parseOnRace(opts.getString("on-race", "throw"));
+    spec.runtime.watchdogMs = static_cast<std::uint64_t>(
+        opts.getInt("watchdog-ms", 10000));
+    if (opts.has("inject-seed")) {
+        auto &inject = spec.runtime.inject;
+        inject.enabled = true;
+        inject.seed =
+            static_cast<std::uint64_t>(opts.getInt("inject-seed", 1));
+        inject.skipCheckRate = opts.getDouble("inject-skip-check", 0);
+        inject.skipAcquireRate = opts.getDouble("inject-skip-acquire", 0);
+        inject.delayRate = opts.getDouble("inject-delay", 0);
+        inject.rolloverRate = opts.getDouble("inject-rollover", 0);
+        inject.killRate = opts.getDouble("inject-kill", 0);
+        inject.delayMicros = static_cast<std::uint32_t>(
+            opts.getInt("inject-delay-us", 100));
+    }
 
     const unsigned runs =
         static_cast<unsigned>(opts.getInt("runs", 1));
     for (unsigned r = 0; r < runs; ++r) {
         const auto result = runWorkload(spec);
+        const char *verdict = result.deadlock        ? "DEADLOCK"
+                              : result.raceException ? "RACE-EXCEPTION"
+                                                     : "ok";
         std::printf("run %u: %s %s (%s)\n", r, spec.workload.c_str(),
-                    result.raceException ? "RACE-EXCEPTION" : "ok",
-                    backendKindName(spec.backend));
+                    verdict, backendKindName(spec.backend));
         if (result.raceException)
             std::printf("  %s\n", result.raceMessage.c_str());
+        if (result.deadlock)
+            std::printf("  %s\n", result.deadlockMessage.c_str());
+        if (result.raceCount > 0 && !result.raceException) {
+            std::printf("  races recorded (degraded mode): %llu\n",
+                        static_cast<unsigned long long>(
+                            result.raceCount));
+        }
         std::printf("  time %.4fs  reads %llu  writes %llu  "
                     "output %016llx  rollovers %llu\n",
                     result.seconds,
@@ -161,6 +210,10 @@ main(int argc, char **argv)
                         "WAR %zu)\n",
                         result.detectorReports, result.detectorWaw,
                         result.detectorRaw, result.detectorWar);
+        }
+        if (opts.getBool("report-json", false) &&
+            !result.failureReport.empty()) {
+            std::printf("%s\n", result.failureReport.c_str());
         }
         if (spec.backend == BackendKind::Trace) {
             std::printf("  trace: %s\n", result.trace.summary().c_str());
