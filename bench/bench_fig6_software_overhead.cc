@@ -28,10 +28,13 @@ main(int argc, char **argv)
     const BenchConfig config = parseBench(argc, argv, "small");
 
     std::printf("=== Figure 6: software-only CLEAN slowdown "
-                "(threads=%u, scale=%s, repeats=%u) ===\n\n",
+                "(threads=%u, scale=%s, repeats=%u, fast-path=%s) "
+                "===\n\n",
                 config.threads,
                 config.options.getString("scale", "small").c_str(),
-                config.repeats);
+                config.repeats,
+                config.options.getBool("no-fast-path", false) ? "off"
+                                                              : "on");
     std::printf("%-14s %10s %10s %10s %10s\n", "benchmark", "native[s]",
                 "det-sync", "detect", "clean");
 

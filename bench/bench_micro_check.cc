@@ -65,6 +65,19 @@ BM_ReadCheckSameEpoch8B_NoVec(benchmark::State &state)
 BENCHMARK(BM_ReadCheckSameEpoch8B_NoVec);
 
 void
+BM_ReadCheckSameEpoch8B_NoFastPath(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.fastPath = false;
+    Fixture f(config);
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.afterRead(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckSameEpoch8B_NoFastPath);
+
+void
 BM_WriteCheckSameEpoch8B(benchmark::State &state)
 {
     Fixture f;
@@ -74,6 +87,44 @@ BM_WriteCheckSameEpoch8B(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WriteCheckSameEpoch8B);
+
+void
+BM_WriteCheckSameEpoch8B_NoFastPath(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.fastPath = false;
+    Fixture f(config);
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.beforeWrite(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCheckSameEpoch8B_NoFastPath);
+
+/** The wide same-epoch case the SIMD scan targets (a full cache line). */
+void
+BM_WriteCheckSameEpoch64B(benchmark::State &state)
+{
+    Fixture f;
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.beforeWrite(f.self, kBase, 64);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCheckSameEpoch64B);
+
+void
+BM_WriteCheckSameEpoch64B_NoFastPath(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.fastPath = false;
+    Fixture f(config);
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.beforeWrite(f.self, kBase, 64);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCheckSameEpoch64B_NoFastPath);
 
 void
 BM_WritePublish8B(benchmark::State &state)

@@ -15,7 +15,10 @@
  * rollover-free reference.
  */
 
+#include <algorithm>
+
 #include "bench/common.h"
+#include "support/logging.h"
 
 using namespace clean;
 using namespace clean::bench;
@@ -27,6 +30,21 @@ main(int argc, char **argv)
     const BenchConfig config = parseBench(argc, argv, "small");
     const unsigned clockBits =
         static_cast<unsigned>(config.options.getInt("clock-bits", 12));
+    if (clockBits < 4 || clockBits > 30)
+        fatal("--clock-bits=%u out of range (4..30)", clockBits);
+    // Narrow clocks shrink the tid space: with clockBits=28 only 3 tid
+    // bits remain (8 live threads incl. main). Reject combinations that
+    // would silently mispack tids instead of letting the runtime assert.
+    const EpochConfig narrowEpoch{clockBits,
+                                  static_cast<unsigned>(31 - clockBits)};
+    if (config.threads + 1 > narrowEpoch.maxThreads()) {
+        fatal("--clock-bits=%u leaves %u tid bits (at most %u live "
+              "threads including main) but --threads=%u needs %u; "
+              "lower --threads or --clock-bits",
+              clockBits, 31 - clockBits,
+              static_cast<unsigned>(narrowEpoch.maxThreads()),
+              config.threads, config.threads + 1);
+    }
 
     std::printf("=== Table 1: clock rollover impact "
                 "(threads=%u, scale=%s, narrow=%u bits) ===\n\n",
@@ -38,8 +56,10 @@ main(int argc, char **argv)
 
     for (const auto &name : config.workloads) {
         auto narrowSpec = baseSpec(config, name, BackendKind::Clean);
-        narrowSpec.runtime.epoch =
-            EpochConfig{clockBits, static_cast<unsigned>(31 - clockBits)};
+        narrowSpec.runtime.epoch = narrowEpoch;
+        narrowSpec.runtime.maxThreads =
+            std::min<ThreadId>(narrowSpec.runtime.maxThreads,
+                               narrowEpoch.maxThreads());
         auto wideSpec = baseSpec(config, name, BackendKind::Clean);
 
         double narrowTime = 1e300, wideTime = 1e300;

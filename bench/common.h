@@ -8,6 +8,8 @@
  *   --threads=N                worker threads (default 8, as the paper)
  *   --repeats=N                timing repetitions (default 1)
  *   --workloads=a,b,c          comma-separated subset (default: all)
+ *   --no-vectorize             disable the §4.4 multi-byte check
+ *   --no-fast-path             disable the software same-epoch fast path
  */
 
 #ifndef CLEAN_BENCH_COMMON_H
@@ -77,6 +79,10 @@ baseSpec(const BenchConfig &config, const std::string &workload,
     spec.params.threads = config.threads;
     spec.params.scale = config.scale;
     spec.params.racy = racy;
+    spec.runtime.vectorized =
+        !config.options.getBool("no-vectorize", false);
+    spec.runtime.fastPath =
+        !config.options.getBool("no-fast-path", false);
     spec.runtime.heap.sharedBytes = std::size_t{1} << 31;
     spec.runtime.heap.privateBytes = std::size_t{1} << 30;
     return spec;

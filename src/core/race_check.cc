@@ -50,9 +50,9 @@ cas32(EpochValue *slot, EpochValue seen, EpochValue newEpoch)
 
 template <class ShadowT>
 void
-RaceChecker<ShadowT>::readRun(ThreadState &ts, Addr addr, std::size_t n)
+RaceChecker<ShadowT>::readRun(ThreadState &ts, Addr addr,
+                              EpochValue *slots, std::size_t n)
 {
-    EpochValue *slots = shadow_.slots(addr);
     if (config_.vectorized && n >= 4) {
         // Common case (§4.4): every byte of the access carries one epoch,
         // so a single comparison covers the whole access.
@@ -68,9 +68,9 @@ RaceChecker<ShadowT>::readRun(ThreadState &ts, Addr addr, std::size_t n)
 
 template <class ShadowT>
 void
-RaceChecker<ShadowT>::writeRun(ThreadState &ts, Addr addr, std::size_t n)
+RaceChecker<ShadowT>::writeRun(ThreadState &ts, Addr addr,
+                               EpochValue *slots, std::size_t n)
 {
-    EpochValue *slots = shadow_.slots(addr);
     if (config_.atomicity == AtomicityMode::Locked)
         writeRunLocked(ts, addr, slots, n);
     else

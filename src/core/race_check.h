@@ -43,6 +43,18 @@
 #include "support/common.h"
 #include "support/logging.h"
 
+// SIMD backend for the all-epochs-equal scan (§4.4), selected at
+// configure time: the arch macros come from the compiler's target flags
+// and -DCLEAN_SIMD_CHECK=OFF (-> CLEAN_DISABLE_SIMD_CHECK) forces the
+// portable scalar loop on any architecture.
+#if !defined(CLEAN_DISABLE_SIMD_CHECK) && defined(__SSE2__)
+#define CLEAN_SIMD_CHECK_SSE2 1
+#include <emmintrin.h>
+#elif !defined(CLEAN_DISABLE_SIMD_CHECK) && defined(__ARM_NEON)
+#define CLEAN_SIMD_CHECK_NEON 1
+#include <arm_neon.h>
+#endif
+
 namespace clean
 {
 
@@ -64,6 +76,18 @@ struct CheckerConfig
     EpochConfig epoch;
     /** Enable the §4.4 multi-byte fast path (Figure 8 toggles this). */
     bool vectorized = true;
+    /**
+     * Enable the software fast path for the Fig. 2 check — the runtime
+     * analogue of the §5.2 per-core hardware fast path: an access whose
+     * covered epochs all equal the thread's own current epoch is retired
+     * with a pure (SIMD-assisted) load+compare scan — no epoch masking,
+     * no vector-clock lookup, and for writes no CAS republish (see
+     * beforeWrite for the soundness argument). Only meaningful together
+     * with `vectorized` (it *is* the vectorized same-epoch check,
+     * hoisted); off reproduces the plain Figure 2 sequence for A/B
+     * comparison.
+     */
+    bool fastPath = true;
     AtomicityMode atomicity = AtomicityMode::Cas;
     /**
      * log2 of the checking granule in bytes. 0 = per byte, the paper's
@@ -79,6 +103,55 @@ struct CheckerConfig
 
 namespace detail
 {
+
+/**
+ * True iff all @p n epoch slots hold exactly @p value.
+ *
+ * SSE2/NEON compare 4 epochs per instruction (8 per unrolled iteration
+ * on SSE2); the scalar tail/fallback matches the pre-SIMD loop. Epoch
+ * slots are written with relaxed 32-bit atomics; the vector loads read
+ * each 4-byte-aligned lane in one piece, which on x86/ARM is exactly as
+ * atomic per epoch as the scalar relaxed loads they replace — and like
+ * them carries no ordering between lanes, which the §4.3 argument never
+ * needs (any torn *set* of epochs simply fails the all-equal test and
+ * falls back to per-byte checks).
+ */
+CLEAN_ALWAYS_INLINE bool
+allSlotsEqual(const EpochValue *slots, std::size_t n, EpochValue value)
+{
+    std::size_t i = 0;
+#if CLEAN_SIMD_CHECK_SSE2
+    const __m128i needle = _mm_set1_epi32(static_cast<int>(value));
+    for (; i + 8 <= n; i += 8) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(slots + i));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(slots + i + 4));
+        const __m128i eq = _mm_and_si128(_mm_cmpeq_epi32(a, needle),
+                                         _mm_cmpeq_epi32(b, needle));
+        if (_mm_movemask_epi8(eq) != 0xffff)
+            return false;
+    }
+    for (; i + 4 <= n; i += 4) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(slots + i));
+        if (_mm_movemask_epi8(_mm_cmpeq_epi32(a, needle)) != 0xffff)
+            return false;
+    }
+#elif CLEAN_SIMD_CHECK_NEON
+    const uint32x4_t needle = vdupq_n_u32(value);
+    for (; i + 4 <= n; i += 4) {
+        const uint32x4_t eq = vceqq_u32(vld1q_u32(slots + i), needle);
+        if (vminvq_u32(eq) != ~0u)
+            return false;
+    }
+#endif
+    for (; i < n; ++i) {
+        if (__atomic_load_n(slots + i, __ATOMIC_RELAXED) != value)
+            return false;
+    }
+    return true;
+}
 
 /** Shard lock table for AtomicityMode::Locked (one per 64B line hash). */
 class ShardLocks
@@ -110,7 +183,14 @@ class RaceChecker
   public:
     RaceChecker(const CheckerConfig &config, ShadowT &shadow)
         : config_(config), shadow_(shadow),
-          epochMask_(~EpochConfig::expandedBit())
+          epochMask_(~EpochConfig::expandedBit()),
+          // The fast path is the vectorized same-epoch check hoisted to
+          // the entry, so it follows the §4.4 toggle; per-byte granules
+          // and the Locked ablation (which must serialize every write)
+          // take the plain path.
+          fastPath_(config.fastPath && config.vectorized &&
+                    config.granuleLog2 == 0 &&
+                    config.atomicity == AtomicityMode::Cas)
     {
         CLEAN_ASSERT(config.epoch.valid());
     }
@@ -125,6 +205,7 @@ class RaceChecker
     void
     beforeWrite(ThreadState &ts, Addr addr, std::size_t size)
     {
+        ts.assertStatsOwner();
         ts.stats.sharedWrites++;
         ts.stats.accessedBytes += size;
         if (size >= 4)
@@ -136,7 +217,38 @@ class RaceChecker
         while (size > 0) {
             const std::size_t run =
                 std::min(size, shadow_.contiguousSlots(addr));
-            writeRun(ts, addr, run);
+            EpochValue *slots = shadow_.slots(addr);
+            // Skip-republish fast path: when every epoch covered by the
+            // run already equals this thread's own current epoch, the
+            // access retires on a pure load+compare — no CAS, no RMW,
+            // no exclusive cache-line transition. Soundness:
+            //   (a) no missed race on our side — ownEpoch caches
+            //       vc.element(tid), so for each slot the Figure 2
+            //       check `epoch > vc.element(TID(epoch))` reads
+            //       `ownEpoch > ownEpoch`, which is false; and
+            //   (b) the publish is a no-op — the CAS would store the
+            //       value already present, leaving the shadow
+            //       byte-identical.
+            // Concurrent writers lose nothing: the plain path also
+            // refrains from CASing when seen == newEpoch
+            // (publishBytes/writeRunCas), so a racing writer W is
+            // detected exactly as before — either W's own check
+            // observes our unordered epoch and throws, or W publishes
+            // after our scan and the next check of this location
+            // observes W's epoch.
+            // The scalar first-slot guard keeps misses cheap: on a
+            // location last written in another epoch the first slot
+            // differs almost always, so a miss costs one relaxed load
+            // (of a line writeRun needs anyway), not a vector scan
+            // whose result is thrown away.
+            if (CLEAN_LIKELY(fastPath_) &&
+                __atomic_load_n(slots, __ATOMIC_RELAXED) == ts.ownEpoch &&
+                detail::allSlotsEqual(slots, run, ts.ownEpoch)) {
+                if (run >= 4)
+                    ts.stats.wideSameEpoch++;
+            } else {
+                writeRun(ts, addr, slots, run);
+            }
             addr += run;
             size -= run;
         }
@@ -150,6 +262,7 @@ class RaceChecker
     void
     afterRead(ThreadState &ts, Addr addr, std::size_t size)
     {
+        ts.assertStatsOwner();
         ts.stats.sharedReads++;
         ts.stats.accessedBytes += size;
         if (size >= 4)
@@ -161,7 +274,22 @@ class RaceChecker
         while (size > 0) {
             const std::size_t run =
                 std::min(size, shadow_.contiguousSlots(addr));
-            readRun(ts, addr, run);
+            EpochValue *slots = shadow_.slots(addr);
+            // Same-epoch read fast path: every covered epoch equals our
+            // own current epoch, i.e. we are reading back our latest
+            // writes. The Figure 2 check `epoch > vc.element(TID(epoch))`
+            // reduces to `ownEpoch > ownEpoch` for each slot — false —
+            // and reads never update metadata, so nothing else is
+            // skipped. Same scalar first-slot guard as beforeWrite:
+            // misses must stay cheap.
+            if (CLEAN_LIKELY(fastPath_) &&
+                __atomic_load_n(slots, __ATOMIC_RELAXED) == ts.ownEpoch &&
+                detail::allSlotsEqual(slots, run, ts.ownEpoch)) {
+                if (run >= 4)
+                    ts.stats.wideSameEpoch++;
+            } else {
+                readRun(ts, addr, slots, run);
+            }
             addr += run;
             size -= run;
         }
@@ -204,16 +332,13 @@ class RaceChecker
     CLEAN_ALWAYS_INLINE static bool
     allEqual(const EpochValue *slots, std::size_t n)
     {
-        const EpochValue first = loadEpoch(slots);
-        for (std::size_t i = 1; i < n; ++i) {
-            if (loadEpoch(slots + i) != first)
-                return false;
-        }
-        return true;
+        return detail::allSlotsEqual(slots, n, loadEpoch(slots));
     }
 
-    void readRun(ThreadState &ts, Addr addr, std::size_t n);
-    void writeRun(ThreadState &ts, Addr addr, std::size_t n);
+    void readRun(ThreadState &ts, Addr addr, EpochValue *slots,
+                 std::size_t n);
+    void writeRun(ThreadState &ts, Addr addr, EpochValue *slots,
+                  std::size_t n);
 
     /** Coarse-granule paths: one epoch per granule, stored at the slot
      *  of the granule's base byte (stride granule-size in the shadow);
@@ -237,6 +362,8 @@ class RaceChecker
     CheckerConfig config_;
     ShadowT &shadow_;
     EpochValue epochMask_;
+    /** Precomputed "fast path applies" flag (see constructor). */
+    bool fastPath_;
     detail::ShardLocks shardLocks_;
 };
 

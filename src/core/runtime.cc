@@ -69,10 +69,9 @@ ThreadContext::detCount() const
 }
 
 void
-ThreadContext::onRead(Addr addr, std::size_t size)
+ThreadContext::onReadSlow(Addr addr, std::size_t size)
 {
-    rt_.throwIfAborted();
-    if (CLEAN_UNLIKELY(plan_ != nullptr) && injectAtAccess()) {
+    if (injectAtAccess()) {
         // Check skipped; the access still counts as a deterministic
         // event so the Kendo schedule is unchanged by the fault.
         if (++pendingDetEvents_ >= detChunk_)
@@ -90,10 +89,9 @@ ThreadContext::onRead(Addr addr, std::size_t size)
 }
 
 void
-ThreadContext::onWrite(Addr addr, std::size_t size)
+ThreadContext::onWriteSlow(Addr addr, std::size_t size)
 {
-    rt_.throwIfAborted();
-    if (CLEAN_UNLIKELY(plan_ != nullptr) && injectAtAccess()) {
+    if (injectAtAccess()) {
         if (++pendingDetEvents_ >= detChunk_)
             flushDetEvents();
         return;
@@ -203,7 +201,7 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
     checkEnd_ = checkBase_ + heap_->sharedSpan();
 
     const CheckerConfig checkerConfig{config_.epoch, config_.vectorized,
-                                      config_.atomicity,
+                                      config_.fastPath, config_.atomicity,
                                       config_.granuleLog2};
     if (config_.shadow == ShadowKind::Linear) {
         linearShadow_ = std::make_unique<LinearShadow>(heap_->sharedBase(),

@@ -88,6 +88,9 @@ struct RuntimeConfig
     bool deterministic = true;
     /** Enable the §4.4 multi-byte vectorized check. */
     bool vectorized = true;
+    /** Enable the software fast path for the Fig. 2 check (same-epoch
+     *  SIMD scan + skip-republish; see CheckerConfig::fastPath). */
+    bool fastPath = true;
     AtomicityMode atomicity = AtomicityMode::Cas;
     ShadowKind shadow = ShadowKind::Linear;
     /** Checking granule (log2 bytes): 0 = per byte (sound for C/C++),
@@ -208,10 +211,15 @@ class ThreadContext
         write(p, f(read(p)));
     }
 
-    /** Range check for bulk reads (memcpy-in); call after copying. */
+    /** Range check for bulk reads (memcpy-in); call after copying.
+     *  Defined inline below CleanRuntime so the whole per-access chain
+     *  (Worker::read -> ThreadContext::read -> onRead -> checkRead ->
+     *  RaceChecker fast path) collapses into one direct inlined call
+     *  with no out-of-line hop. */
     void onRead(Addr addr, std::size_t size);
 
-    /** Range check for bulk writes (memcpy-out); call before writing. */
+    /** Range check for bulk writes (memcpy-out); call before writing.
+     *  Inline; see onRead. */
     void onWrite(Addr addr, std::size_t size);
 
     /** Counts @p n deterministic events (compute not visible as access). */
@@ -236,6 +244,10 @@ class ThreadContext
 
   private:
     friend class CleanRuntime;
+
+    /** Out-of-line access paths under fault injection (rare). */
+    void onReadSlow(Addr addr, std::size_t size);
+    void onWriteSlow(Addr addr, std::size_t size);
 
     /** Publishes batched deterministic events to the Kendo counter. */
     void flushDetEvents();
@@ -497,6 +509,50 @@ class CleanRuntime : private RolloverHost
 
     static constexpr std::size_t kMaxReportedRaces = 64;
 };
+
+// ---------------------------------------------------------------------
+// ThreadContext hot-path access hooks.
+//
+// Defined here (after CleanRuntime) so the common no-injection case is a
+// direct inlined call into the checker's fast path; only the injection
+// branch leaves the header (onReadSlow/onWriteSlow in runtime.cc).
+// ---------------------------------------------------------------------
+
+inline void
+ThreadContext::onRead(Addr addr, std::size_t size)
+{
+    rt_.throwIfAborted();
+    if (CLEAN_UNLIKELY(plan_ != nullptr)) {
+        onReadSlow(addr, size);
+        return;
+    }
+    try {
+        rt_.checkRead(*state_, addr, size);
+    } catch (const RaceException &race) {
+        if (rt_.recordRace(race))
+            throw;
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
+
+inline void
+ThreadContext::onWrite(Addr addr, std::size_t size)
+{
+    rt_.throwIfAborted();
+    if (CLEAN_UNLIKELY(plan_ != nullptr)) {
+        onWriteSlow(addr, size);
+        return;
+    }
+    try {
+        rt_.checkWrite(*state_, addr, size);
+    } catch (const RaceException &race) {
+        if (rt_.recordRace(race))
+            throw;
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
 
 } // namespace clean
 

@@ -5,7 +5,8 @@
 namespace clean
 {
 
-thread_local const SparseShadow *SparseShadow::cachedOwner_ = nullptr;
+std::atomic<std::uint64_t> SparseShadow::nextGeneration_{1};
+thread_local std::uint64_t SparseShadow::cachedGen_ = 0;
 thread_local Addr SparseShadow::cachedKey_ = ~Addr{0};
 thread_local EpochValue *SparseShadow::cachedChunk_ = nullptr;
 
@@ -22,7 +23,7 @@ SparseShadow::slotsSlow(Addr addr, Addr key)
         }
         chunk = slot.get();
     }
-    cachedOwner_ = this;
+    cachedGen_ = generation_;
     cachedKey_ = key;
     cachedChunk_ = chunk;
     return chunk + (addr & kChunkMask);

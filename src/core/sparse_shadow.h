@@ -16,6 +16,8 @@
 #ifndef CLEAN_CORE_SPARSE_SHADOW_H
 #define CLEAN_CORE_SPARSE_SHADOW_H
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -33,7 +35,7 @@ class SparseShadow
     /** Data bytes covered by one chunk (must be a power of two). */
     static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
 
-    SparseShadow() = default;
+    SparseShadow() : generation_(nextGeneration_.fetch_add(1)) {}
 
     SparseShadow(const SparseShadow &) = delete;
     SparseShadow &operator=(const SparseShadow &) = delete;
@@ -43,7 +45,7 @@ class SparseShadow
     slots(Addr addr)
     {
         const Addr key = addr >> kChunkShift;
-        if (CLEAN_LIKELY(key == cachedKey_ && cachedOwner_ == this))
+        if (CLEAN_LIKELY(key == cachedKey_ && cachedGen_ == generation_))
             return cachedChunk_ + (addr & kChunkMask);
         return slotsSlow(addr, key);
     }
@@ -70,11 +72,16 @@ class SparseShadow
     mutable std::mutex mutex_;
     std::unordered_map<Addr, std::unique_ptr<EpochValue[]>> chunks_;
 
-    // Per-thread single-entry chunk cache keyed by (owner, chunk index).
-    // Chunks are immortal once created, so a hit can never yield a stale
-    // pointer; the owner check keeps multiple SparseShadow instances from
-    // aliasing each other's cache.
-    static thread_local const SparseShadow *cachedOwner_;
+    // Per-thread single-entry chunk cache keyed by (instance generation,
+    // chunk index). Chunks are immortal while their SparseShadow lives,
+    // so a hit can never yield a stale pointer. The key must be a
+    // generation id, not the instance address: a new instance allocated
+    // where a destroyed one lived would otherwise satisfy an
+    // `owner == this` check and hand out a freed chunk (use-after-free).
+    // Generations start at 1 so the empty cache (gen 0) never hits.
+    std::uint64_t generation_;
+    static std::atomic<std::uint64_t> nextGeneration_;
+    static thread_local std::uint64_t cachedGen_;
     static thread_local Addr cachedKey_;
     static thread_local EpochValue *cachedChunk_;
 };

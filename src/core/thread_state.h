@@ -7,10 +7,15 @@
 #define CLEAN_CORE_THREAD_STATE_H
 
 #include <cstdint>
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+#endif
 
 #include "core/epoch.h"
 #include "core/vector_clock.h"
 #include "support/common.h"
+#include "support/logging.h"
 #include "support/stats.h"
 
 namespace clean
@@ -81,10 +86,42 @@ struct ThreadState
     /** Re-derives the cached main element after a clock change. */
     void refreshOwnEpoch() { ownEpoch = vc.element(tid); }
 
+    /**
+     * Debug-build check that the unsynchronized `stats` counters are
+     * only ever bumped from one OS thread: StatSet/CheckerStats are
+     * documented as per-thread-merged-after-the-run, and this pins the
+     * contract at every checker entry. The owner is latched on the
+     * first bump (states are constructed by the spawning thread but
+     * first used by the child). Compiles to nothing with NDEBUG.
+     */
+#ifndef NDEBUG
+    void
+    assertStatsOwner()
+    {
+        const std::thread::id self = std::this_thread::get_id();
+        std::thread::id owner =
+            statsOwner_.load(std::memory_order_relaxed);
+        if (owner == std::thread::id{} &&
+            statsOwner_.compare_exchange_strong(owner, self,
+                                                std::memory_order_relaxed))
+            return;
+        CLEAN_ASSERT(owner == self,
+                     "CheckerStats bumped from two threads (tid %u)",
+                     tid);
+    }
+#else
+    void assertStatsOwner() {}
+#endif
+
     ThreadId tid;
     VectorClock vc;
     EpochValue ownEpoch;
     CheckerStats stats;
+
+#ifndef NDEBUG
+  private:
+    std::atomic<std::thread::id> statsOwner_{};
+#endif
 };
 
 } // namespace clean

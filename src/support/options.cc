@@ -1,6 +1,7 @@
 #include "support/options.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "support/logging.h"
@@ -62,7 +63,17 @@ Options::getInt(const std::string &name, std::int64_t def) const
     const std::string v = getString(name);
     if (v.empty())
         return def;
-    return std::strtoll(v.c_str(), nullptr, 0);
+    // Parse with an endptr so `--watchdog-ms=abc` (strtoll -> 0) and
+    // `--inject-seed=12junk` (silent truncation) are rejected instead of
+    // silently misconfiguring the run.
+    errno = 0;
+    char *end = nullptr;
+    const std::int64_t parsed = std::strtoll(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        throw OptionError(name, v, "an integer");
+    if (errno == ERANGE)
+        throw OptionError(name, v, "an integer in range");
+    return parsed;
 }
 
 double
@@ -71,7 +82,14 @@ Options::getDouble(const std::string &name, double def) const
     const std::string v = getString(name);
     if (v.empty())
         return def;
-    return std::strtod(v.c_str(), nullptr);
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        throw OptionError(name, v, "a number");
+    if (errno == ERANGE)
+        throw OptionError(name, v, "a number in range");
+    return parsed;
 }
 
 bool

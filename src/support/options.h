@@ -12,11 +12,36 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace clean
 {
+
+/**
+ * Malformed option value (e.g. `--watchdog-ms=abc` or `--seed=12junk`).
+ * Carries the offending option and value so callers can print a precise
+ * diagnostic; tools catch it at top level and exit non-zero.
+ */
+class OptionError : public std::runtime_error
+{
+  public:
+    OptionError(const std::string &option, const std::string &value,
+                const char *expected)
+        : std::runtime_error("invalid value '" + value + "' for option --" +
+                             option + " (expected " + expected + ")"),
+          option_(option), value_(value)
+    {
+    }
+
+    const std::string &option() const { return option_; }
+    const std::string &value() const { return value_; }
+
+  private:
+    std::string option_;
+    std::string value_;
+};
 
 /** Parsed option bag with typed getters and defaults. */
 class Options
@@ -32,7 +57,9 @@ class Options
 
     std::string getString(const std::string &name,
                           const std::string &def = "") const;
+    /** @throws OptionError on a non-numeric / trailing-garbage value. */
     std::int64_t getInt(const std::string &name, std::int64_t def) const;
+    /** @throws OptionError on a non-numeric / trailing-garbage value. */
     double getDouble(const std::string &name, double def) const;
     bool getBool(const std::string &name, bool def = false) const;
 

@@ -34,8 +34,8 @@ constexpr unsigned kLocks = 3;
 
 struct CrossHarness
 {
-    CrossHarness()
-        : shadow(kBase, 4096), checker(CheckerConfig{}, shadow),
+    explicit CrossHarness(const CheckerConfig &config = {})
+        : shadow(kBase, 4096), checker(config, shadow),
           fasttrack(kDefaultEpochConfig, kThreads)
     {
         for (ThreadId t = 0; t < kThreads; ++t) {
@@ -76,6 +76,7 @@ struct CrossHarness
                 fasttrack.onRelease(t, l);
             }
         } catch (const RaceException &e) {
+            lastRace = e;
             return e.kind();
         }
         return std::nullopt;
@@ -95,16 +96,24 @@ struct CrossHarness
     detectors::FastTrackDetector fasttrack;
     std::vector<ThreadState> threads;
     std::vector<VectorClock> locks;
+    /** CLEAN's last thrown race, if any (site identity for parity). */
+    std::optional<RaceException> lastRace;
 };
 
-class CrossDetector : public ::testing::TestWithParam<unsigned>
+CheckerConfig
+noFastPathConfig()
 {
-};
+    CheckerConfig config;
+    config.fastPath = false;
+    return config;
+}
 
-TEST_P(CrossDetector, CleanThrowsExactlyAtFirstWawOrRaw)
+/** Body of the Clean-vs-FastTrack invariant, per checker config. */
+void
+runCleanVsFastTrack(unsigned seed, const CheckerConfig &config)
 {
-    Prng rng(GetParam() * 7919 + 13);
-    CrossHarness harness;
+    Prng rng(seed * 7919 + 13);
+    CrossHarness harness(config);
     for (int step = 0; step < 600; ++step) {
         const std::size_t before = harness.fasttrackWawRaw();
         const auto cleanRace = harness.step(rng);
@@ -127,6 +136,57 @@ TEST_P(CrossDetector, CleanThrowsExactlyAtFirstWawOrRaw)
     // Schedule ended exception-free: FastTrack may have WAR reports but
     // no WAW/RAW ones.
     EXPECT_EQ(harness.fasttrackWawRaw(), 0u);
+}
+
+class CrossDetector : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CrossDetector, CleanThrowsExactlyAtFirstWawOrRaw)
+{
+    runCleanVsFastTrack(GetParam(), CheckerConfig{});
+}
+
+/** The same invariant with the software fast path disabled: the fast
+ *  path must not change what CLEAN detects relative to FastTrack. */
+TEST_P(CrossDetector, CleanThrowsExactlyAtFirstWawOrRawNoFastPath)
+{
+    runCleanVsFastTrack(GetParam(), noFastPathConfig());
+}
+
+/**
+ * Property pinning the skip-republish fast path: the same random racy
+ * program, replayed step-for-step under CLEAN-with-fast-path and
+ * CLEAN-without, must produce identical outcomes — throw vs. complete,
+ * the same throwing step, the same race site (kind, address, accessor,
+ * previous writer and clock).
+ */
+TEST_P(CrossDetector, FastPathParityWithPlainPath)
+{
+    Prng rngFast(GetParam() * 7919 + 13);
+    Prng rngPlain(GetParam() * 7919 + 13);
+    CrossHarness fast;
+    CrossHarness plain(noFastPathConfig());
+    for (int step = 0; step < 600; ++step) {
+        const auto fastRace = fast.step(rngFast);
+        const auto plainRace = plain.step(rngPlain);
+        ASSERT_EQ(fastRace.has_value(), plainRace.has_value())
+            << "fast path diverged from plain path at step " << step;
+        if (fastRace) {
+            EXPECT_EQ(*fastRace, *plainRace);
+            ASSERT_TRUE(fast.lastRace && plain.lastRace);
+            EXPECT_EQ(fast.lastRace->addr(), plain.lastRace->addr());
+            EXPECT_EQ(fast.lastRace->accessor(),
+                      plain.lastRace->accessor());
+            EXPECT_EQ(fast.lastRace->previousWriter(),
+                      plain.lastRace->previousWriter());
+            EXPECT_EQ(fast.lastRace->previousClock(),
+                      plain.lastRace->previousClock());
+            return;
+        }
+    }
+    // Both completed exception-free.
+    EXPECT_FALSE(fast.lastRace || plain.lastRace);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossDetector, ::testing::Range(0u, 60u));

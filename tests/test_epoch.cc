@@ -32,6 +32,20 @@ TEST(EpochConfig, RejectsOversizedLayouts)
     EXPECT_FALSE((EpochConfig{23, 0}.valid()));
 }
 
+TEST(EpochConfig, WideClockBoundaryLeavesEightThreads)
+{
+    // The 28-bit rollover-free clock of Table 1 fits only with
+    // tidBits <= 3: 8 live threads (workers + main), and tids above
+    // the width must not silently mispack.
+    EXPECT_TRUE((EpochConfig{28, 3}.valid()));
+    EXPECT_EQ((EpochConfig{28, 3}.maxThreads()), 8u);
+    EXPECT_FALSE((EpochConfig{28, 4}.valid())); // 32 bits: bit 31 taken
+    const EpochConfig cfg{28, 3};
+    const EpochValue e = cfg.pack(7, (1u << 28) - 1);
+    EXPECT_EQ(cfg.tidOf(e), 7u);
+    EXPECT_EQ(cfg.clockOf(e), (1u << 28) - 1);
+}
+
 TEST(EpochConfig, PackUnpackRoundTrip)
 {
     const EpochConfig cfg = kDefaultEpochConfig;

@@ -175,5 +175,67 @@ TEST(Options, SetInjectsValue)
     EXPECT_EQ(opts.getString("mode"), "fast");
 }
 
+// --- strict numeric parsing: every malformed shape is rejected with a
+// --- structured error naming the option (never silently 0/truncated).
+
+TEST(Options, RejectsNonNumericInt)
+{
+    // Pre-fix behaviour: strtoll(v, nullptr, 0) made this silently 0.
+    Options opts;
+    opts.set("watchdog-ms", "abc");
+    EXPECT_THROW(opts.getInt("watchdog-ms", 0), OptionError);
+    try {
+        opts.getInt("watchdog-ms", 0);
+        FAIL() << "expected OptionError";
+    } catch (const OptionError &e) {
+        EXPECT_EQ(e.option(), "watchdog-ms");
+        EXPECT_EQ(e.value(), "abc");
+        EXPECT_NE(std::string(e.what()).find("watchdog-ms"),
+                  std::string::npos);
+    }
+}
+
+TEST(Options, RejectsTrailingGarbageInt)
+{
+    // Pre-fix behaviour: "12junk" silently truncated to 12.
+    Options opts;
+    opts.set("inject-seed", "12junk");
+    EXPECT_THROW(opts.getInt("inject-seed", 1), OptionError);
+}
+
+TEST(Options, RejectsOutOfRangeInt)
+{
+    Options opts;
+    opts.set("seed", "99999999999999999999999999");
+    EXPECT_THROW(opts.getInt("seed", 0), OptionError);
+}
+
+TEST(Options, RejectsNonNumericDouble)
+{
+    Options opts;
+    opts.set("inject-delay", "often");
+    EXPECT_THROW(opts.getDouble("inject-delay", 0), OptionError);
+}
+
+TEST(Options, RejectsTrailingGarbageDouble)
+{
+    Options opts;
+    opts.set("inject-delay", "0.5x");
+    EXPECT_THROW(opts.getDouble("inject-delay", 0), OptionError);
+}
+
+TEST(Options, AcceptsWellFormedNumericShapes)
+{
+    Options opts;
+    opts.set("a", "-12");
+    opts.set("b", "0x10");
+    opts.set("c", "2.5");
+    opts.set("d", "1e3");
+    EXPECT_EQ(opts.getInt("a", 0), -12);
+    EXPECT_EQ(opts.getInt("b", 0), 16); // base 0: hex still parses
+    EXPECT_DOUBLE_EQ(opts.getDouble("c", 0), 2.5);
+    EXPECT_DOUBLE_EQ(opts.getDouble("d", 0), 1000.0);
+}
+
 } // namespace
 } // namespace clean

@@ -119,12 +119,27 @@ simulateFromFile(const Options &opts)
     return 0;
 }
 
+int runMain(const Options &opts);
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Options opts = Options::parse(argc, argv);
+    try {
+        return runMain(Options::parse(argc, argv));
+    } catch (const OptionError &e) {
+        std::fprintf(stderr, "cleanrun: %s\n", e.what());
+        return 2;
+    }
+}
+
+namespace
+{
+
+int
+runMain(const Options &opts)
+{
 
     if (opts.has("list")) {
         std::printf("%-14s %-8s %-6s %s\n", "workload", "suite", "racy",
@@ -151,6 +166,7 @@ main(int argc, char **argv)
     spec.params.seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 0xc0ffee));
     spec.runtime.vectorized = !opts.getBool("no-vectorize", false);
+    spec.runtime.fastPath = !opts.getBool("no-fast-path", false);
     spec.runtime.granuleLog2 =
         static_cast<unsigned>(opts.getInt("granule-log2", 0));
     spec.runtime.detChunk =
@@ -161,8 +177,30 @@ main(int argc, char **argv)
         spec.runtime.shadow = ShadowKind::Sparse;
     const unsigned clockBits =
         static_cast<unsigned>(opts.getInt("clock-bits", 23));
-    spec.runtime.epoch =
-        EpochConfig{clockBits, std::min(8u, 31 - clockBits)};
+    if (clockBits < 4 || clockBits > 30)
+        fatal("--clock-bits=%u out of range (4..30)", clockBits);
+    const unsigned tidBits = std::min(8u, 31 - clockBits);
+    spec.runtime.epoch = EpochConfig{clockBits, tidBits};
+    // Every live thread (workers + the main thread) needs a distinct
+    // tid in `tidBits` bits, or epochs would silently mispack.
+    const unsigned live = spec.params.threads + 1;
+    if (live > spec.runtime.epoch.maxThreads()) {
+        fatal("--clock-bits=%u leaves %u tid bits (at most %u live "
+              "threads including main) but --threads=%u needs %u; "
+              "lower --threads or --clock-bits",
+              clockBits, tidBits,
+              static_cast<unsigned>(spec.runtime.epoch.maxThreads()),
+              spec.params.threads, live);
+    }
+    if (spec.runtime.maxThreads > spec.runtime.epoch.maxThreads()) {
+        // Loudly adapt the slot-table capacity to the narrower tid
+        // space instead of tripping the runtime's assert.
+        warn("--clock-bits=%u narrows the tid space: capping maxThreads "
+             "%u -> %u",
+             clockBits, static_cast<unsigned>(spec.runtime.maxThreads),
+             static_cast<unsigned>(spec.runtime.epoch.maxThreads()));
+        spec.runtime.maxThreads = spec.runtime.epoch.maxThreads();
+    }
     spec.runtime.onRace = parseOnRace(opts.getString("on-race", "throw"));
     spec.runtime.watchdogMs = static_cast<std::uint64_t>(
         opts.getInt("watchdog-ms", 10000));
@@ -228,3 +266,5 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+} // namespace
