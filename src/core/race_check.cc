@@ -149,27 +149,18 @@ RaceChecker<ShadowT>::publishWide(ThreadState &ts, Addr addr,
         (reinterpret_cast<std::uintptr_t>(slots) & 15) == 0;
     while (i + 4 <= n && aligned16) {
         if (!cas128(slots + i, seen, newEpoch))
-            throw RaceException(RaceKind::Waw,
-                                (addr + i) << config_.granuleLog2, ts.tid,
-                                config_.epoch.tidOf(seen),
-                                config_.epoch.clockOf(seen));
+            throwRace(ts, addr + i, seen, RaceKind::Waw);
         ts.stats.wideCasUpdates++;
         i += 4;
     }
     while (i + 2 <= n) {
         if (!cas64(slots + i, seen, newEpoch))
-            throw RaceException(RaceKind::Waw,
-                                (addr + i) << config_.granuleLog2, ts.tid,
-                                config_.epoch.tidOf(seen),
-                                config_.epoch.clockOf(seen));
+            throwRace(ts, addr + i, seen, RaceKind::Waw);
         i += 2;
     }
     for (; i < n; ++i) {
         if (!cas32(slots + i, seen, newEpoch))
-            throw RaceException(RaceKind::Waw,
-                                (addr + i) << config_.granuleLog2, ts.tid,
-                                config_.epoch.tidOf(seen),
-                                config_.epoch.clockOf(seen));
+            throwRace(ts, addr + i, seen, RaceKind::Waw);
     }
 }
 
@@ -188,10 +179,7 @@ RaceChecker<ShadowT>::publishBytes(ThreadState &ts, Addr addr,
         if (!cas32(slots + i, seen, newEpoch)) {
             // Another thread published a conflicting epoch between our
             // load and the CAS: a concurrent unordered write — WAW.
-            throw RaceException(RaceKind::Waw,
-                                (addr + i) << config_.granuleLog2, ts.tid,
-                                config_.epoch.tidOf(seen),
-                                config_.epoch.clockOf(seen));
+            throwRace(ts, addr + i, seen, RaceKind::Waw);
         }
     }
 }
@@ -226,9 +214,7 @@ RaceChecker<ShadowT>::writeGranular(ThreadState &ts, Addr addr,
             continue;
         ts.stats.epochUpdates++;
         if (!cas32(slot, seen, newEpoch)) {
-            throw RaceException(RaceKind::Waw, u << g, ts.tid,
-                                config_.epoch.tidOf(seen),
-                                config_.epoch.clockOf(seen));
+            throwRace(ts, u, seen, RaceKind::Waw);
         }
     }
 }

@@ -313,6 +313,20 @@ class RaceChecker
         return __atomic_load_n(slot, __ATOMIC_RELAXED);
     }
 
+    /** Outlined cold half of checkEpoch: building the exception (site
+     *  index, SFR ordinal, address arithmetic) must not be inlined into
+     *  the hot check loops — it only runs when the program is already
+     *  doomed, and keeping it out preserves the fast-path code size. */
+    [[noreturn]] CLEAN_NOINLINE void
+    throwRace(ThreadState &ts, Addr unit, EpochValue epoch,
+              RaceKind kind) const
+    {
+        throw RaceException(kind, unit << config_.granuleLog2, ts.tid,
+                            config_.epoch.tidOf(epoch),
+                            config_.epoch.clockOf(epoch),
+                            ts.stats.accesses(), ts.sfrOrdinal);
+    }
+
     /** The Figure 2 line-3 check. @p unit is a granule index; the
      *  exception reports the granule's base byte address. */
     CLEAN_ALWAYS_INLINE void
@@ -321,11 +335,8 @@ class RaceChecker
     {
         const EpochValue epoch = rawEpoch & epochMask_;
         const ThreadId writer = config_.epoch.tidOf(epoch);
-        if (CLEAN_UNLIKELY(epoch > ts.vc.element(writer))) {
-            throw RaceException(kind, unit << config_.granuleLog2,
-                                ts.tid, writer,
-                                config_.epoch.clockOf(epoch));
-        }
+        if (CLEAN_UNLIKELY(epoch > ts.vc.element(writer)))
+            throwRace(ts, unit, epoch, kind);
     }
 
     /** True iff all @p n slots hold the same value as slots[0]. */

@@ -39,17 +39,26 @@ raceKindName(RaceKind kind)
 class RaceException : public std::exception
 {
   public:
+    /** `siteIndex` is the accessor's dynamic access ordinal at the time
+     *  of the race and `sfrOrdinal` the index of its current
+     *  synchronization-free region (both 1-based, 0 = unknown); they let
+     *  reports and the recovery quarantine name the racy *site*, not
+     *  just a raw address. */
     RaceException(RaceKind kind, Addr addr, ThreadId accessor,
-                  ThreadId previousWriter, ClockValue previousClock)
+                  ThreadId previousWriter, ClockValue previousClock,
+                  std::uint64_t siteIndex = 0, std::uint64_t sfrOrdinal = 0)
         : kind_(kind), addr_(addr), accessor_(accessor),
-          previousWriter_(previousWriter), previousClock_(previousClock)
+          previousWriter_(previousWriter), previousClock_(previousClock),
+          siteIndex_(siteIndex), sfrOrdinal_(sfrOrdinal)
     {
         message_ = std::string(raceKindName(kind_)) + " race at address " +
                    std::to_string(addr_) + ": thread " +
                    std::to_string(accessor_) +
                    " conflicts with write by thread " +
                    std::to_string(previousWriter_) + " @ clock " +
-                   std::to_string(previousClock_);
+                   std::to_string(previousClock_) + " at site " +
+                   std::to_string(siteIndex_) + " in SFR " +
+                   std::to_string(sfrOrdinal_);
     }
 
     const char *what() const noexcept override { return message_.c_str(); }
@@ -59,6 +68,8 @@ class RaceException : public std::exception
     ThreadId accessor() const { return accessor_; }
     ThreadId previousWriter() const { return previousWriter_; }
     ClockValue previousClock() const { return previousClock_; }
+    std::uint64_t siteIndex() const { return siteIndex_; }
+    std::uint64_t sfrOrdinal() const { return sfrOrdinal_; }
 
   private:
     RaceKind kind_;
@@ -66,6 +77,8 @@ class RaceException : public std::exception
     ThreadId accessor_;
     ThreadId previousWriter_;
     ClockValue previousClock_;
+    std::uint64_t siteIndex_;
+    std::uint64_t sfrOrdinal_;
     std::string message_;
 };
 

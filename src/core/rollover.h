@@ -17,6 +17,13 @@
  *
  * The controller is host-agnostic: the runtime supplies quiescence
  * queries and the actual reset through RolloverHost.
+ *
+ * Recovery interaction (ISSUE 3): SFR undo logs hold the shadow epochs
+ * a rollback would restore. A reset rewrites every live epoch to 0, so
+ * the runtime's reset callback also rewrites each parked thread's
+ * pending log epochs to 0 (SfrLog::rewriteEpochsOnReset) — a rollback
+ * that straddles a rollover then restores exactly what the reset would
+ * have left behind.
  */
 
 #ifndef CLEAN_CORE_ROLLOVER_H

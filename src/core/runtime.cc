@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "core/sync_objects.h"
+#include "recover/recovery.h"
 #include "support/backoff.h"
 #include "support/json.h"
 
@@ -17,6 +19,7 @@ onRacePolicyName(OnRacePolicy policy)
       case OnRacePolicy::Throw: return "throw";
       case OnRacePolicy::Report: return "report";
       case OnRacePolicy::Count: return "count";
+      case OnRacePolicy::Recover: return "recover";
     }
     return "?";
 }
@@ -51,6 +54,8 @@ ThreadContext::ThreadContext(CleanRuntime &rt, ThreadId tid,
     CLEAN_ASSERT(state_ && state_->tid == tid);
     detChunk_ = std::max<std::uint32_t>(1, rt.config().detChunk);
     plan_ = rt.injectionPlan();
+    log_ = rt.recordAt(record).sfrLog.get();
+    slowAccess_ = plan_ != nullptr || log_ != nullptr;
 }
 
 void
@@ -71,7 +76,7 @@ ThreadContext::detCount() const
 void
 ThreadContext::onReadSlow(Addr addr, std::size_t size)
 {
-    if (injectAtAccess()) {
+    if (plan_ != nullptr && injectAtAccess()) {
         // Check skipped; the access still counts as a deterministic
         // event so the Kendo schedule is unchanged by the fault.
         if (++pendingDetEvents_ >= detChunk_)
@@ -91,7 +96,12 @@ ThreadContext::onReadSlow(Addr addr, std::size_t size)
 void
 ThreadContext::onWriteSlow(Addr addr, std::size_t size)
 {
-    if (injectAtAccess()) {
+    // Bulk writes announce the range but not the data, so the undo log
+    // cannot snapshot what the caller is about to store: the SFR becomes
+    // ineligible for rollback.
+    if (log_ != nullptr && rt_.checkable(addr))
+        log_->poison();
+    if (plan_ != nullptr && injectAtAccess()) {
         if (++pendingDetEvents_ >= detChunk_)
             flushDetEvents();
         return;
@@ -101,6 +111,112 @@ ThreadContext::onWriteSlow(Addr addr, std::size_t size)
     } catch (const RaceException &race) {
         if (rt_.recordRace(race))
             throw;
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
+
+void
+ThreadContext::logRead(Addr addr, const void *bytes, std::size_t size)
+{
+    // Unrepresentable reads are simply not logged: a missing read entry
+    // only weakens replay validation, it never makes rollback unsound.
+    if (log_ == nullptr || !rt_.checkable(addr) ||
+        size > recover::SfrLog::kMaxAccessBytes)
+        return;
+    recover::SfrLog::Entry *entry = log_->append();
+    if (entry == nullptr)
+        return;
+    entry->addr = addr;
+    entry->size = static_cast<std::uint8_t>(size);
+    entry->isWrite = false;
+    std::memcpy(entry->newBytes, bytes, size);
+}
+
+void
+ThreadContext::readSlow(Addr addr, void *bytes, std::size_t size)
+{
+    rt_.throwIfAborted();
+    if (plan_ != nullptr && injectAtAccess()) {
+        std::memcpy(bytes, reinterpret_cast<const void *>(addr), size);
+        if (++pendingDetEvents_ >= detChunk_)
+            flushDetEvents();
+        return;
+    }
+    std::memcpy(bytes, reinterpret_cast<const void *>(addr), size);
+    asm volatile("" ::: "memory");
+    try {
+        rt_.checkRead(*state_, addr, size);
+        logRead(addr, bytes, size);
+    } catch (const RaceException &race) {
+        if (recoverAccess(race, addr, bytes, size, /*isWrite=*/false)) {
+            // recoverAccess re-loaded the now-ordered value into bytes
+            // and appended the read entry itself.
+        } else {
+            if (rt_.recordRace(race))
+                throw;
+            // Degraded: the racy value stands (Report semantics); log it
+            // so a later recovery in this SFR replays what we saw.
+            logRead(addr, bytes, size);
+        }
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
+
+void
+ThreadContext::writeSlow(Addr addr, const void *bytes, std::size_t size)
+{
+    rt_.throwIfAborted();
+    if (plan_ != nullptr && injectAtAccess()) {
+        // The check (and its epoch publish) is dropped but the store
+        // happens: the log can no longer retract this SFR faithfully.
+        if (log_ != nullptr && rt_.checkable(addr))
+            log_->poison();
+        std::memcpy(reinterpret_cast<void *>(addr), bytes, size);
+        if (++pendingDetEvents_ >= detChunk_)
+            flushDetEvents();
+        return;
+    }
+    // Log the write *before* its check: publishBytes CASes per byte and
+    // can throw mid-access, so the rollback must already cover the
+    // triggering access's partial epoch publish.
+    recover::SfrLog::Entry *entry = nullptr;
+    if (log_ != nullptr && rt_.checkable(addr)) {
+        if (size <= recover::SfrLog::kMaxAccessBytes)
+            entry = log_->append();
+        else
+            log_->poison();
+        if (entry != nullptr) {
+            entry->addr = addr;
+            entry->size = static_cast<std::uint8_t>(size);
+            entry->isWrite = true;
+            std::memcpy(entry->oldBytes,
+                        reinterpret_cast<const void *>(addr), size);
+            std::memcpy(entry->newBytes, bytes, size);
+            for (std::size_t i = 0; i < size; ++i) {
+                const EpochValue *slot = rt_.shadowSlotFor(addr + i);
+                entry->oldEpochs[i] =
+                    slot ? __atomic_load_n(slot, __ATOMIC_RELAXED) : 0;
+            }
+        }
+    }
+    bool stored = false;
+    try {
+        rt_.checkWrite(*state_, addr, size);
+    } catch (const RaceException &race) {
+        if (entry != nullptr &&
+            recoverAccess(race, addr, nullptr, size, /*isWrite=*/true)) {
+            // The replay applied the pending write as the log's last
+            // entry; storing again would be redundant.
+            stored = true;
+        } else if (rt_.recordRace(race)) {
+            throw;
+        }
+    }
+    if (!stored) {
+        asm volatile("" ::: "memory");
+        std::memcpy(reinterpret_cast<void *>(addr), bytes, size);
     }
     if (++pendingDetEvents_ >= detChunk_)
         flushDetEvents();
@@ -172,16 +288,238 @@ ThreadContext::acquireTurn()
     if (CLEAN_UNLIKELY(plan_ != nullptr))
         injectAtSync();
     auto &kendo = rt_.kendo();
-    if (!kendo.enabled())
+    if (kendo.enabled()) {
+        SpinWait spin(rt_.config().watchdogMs);
+        while (!kendo.tryTurn(state_->tid)) {
+            rt_.throwIfAborted();
+            pollRollover();
+            if (CLEAN_UNLIKELY(spin.expired()))
+                rt_.raiseDeadlock("acquireTurn", state_->tid,
+                                  spin.elapsedMs());
+            spin.pause();
+        }
+    }
+    // Every sync op ends the current SFR: its effects are (about to be)
+    // released, so the undo records covering them are dead and a new
+    // recovery unit begins.
+    state_->sfrOrdinal++;
+    if (CLEAN_UNLIKELY(log_ != nullptr))
+        log_->beginSfr();
+}
+
+// ---------------------------------------------------------------------
+// SFR rollback & deterministic re-execution (OnRacePolicy::Recover)
+// ---------------------------------------------------------------------
+
+void
+ThreadContext::absorbRaceEpoch(const RaceException &race)
+{
+    // Recovery *orders* the race: the victim SFR re-executes after the
+    // conflicting write, so that write's epoch must enter our vector
+    // clock or the re-executed check would fire on the same epoch again.
+    const ThreadId writer = race.previousWriter();
+    if (writer == state_->tid)
         return;
-    SpinWait spin(rt_.config().watchdogMs);
-    while (!kendo.tryTurn(state_->tid)) {
-        rt_.throwIfAborted();
+    if (race.previousClock() > state_->vc.clockOf(writer))
+        state_->vc.setClock(writer, race.previousClock());
+}
+
+void
+ThreadContext::rollbackWrites(std::size_t count)
+{
+    if (log_ == nullptr)
+        return;
+    std::uint64_t restored = 0, skipped = 0;
+    // Reverse order so multiple writes to one byte unwind to the
+    // pre-SFR value and epoch.
+    for (std::size_t i = count; i-- > 0;) {
+        const recover::SfrLog::Entry &e = log_->at(i);
+        if (!e.isWrite)
+            continue;
+        for (std::size_t j = 0; j < e.size; ++j) {
+            EpochValue *slot = rt_.shadowSlotFor(e.addr + j);
+            if (slot == nullptr)
+                continue;
+            EpochValue cur = __atomic_load_n(slot, __ATOMIC_RELAXED);
+            // Retract only bytes we still own (our epoch, or 0 after a
+            // rollover reset). A byte a later writer republished is that
+            // writer's to keep — retracting it would corrupt *their*
+            // SFR. Note the displaced epoch can equal ownEpoch across
+            // consecutive SFRs (lock acquires tick the lock's clock, not
+            // ours), which this guard handles: the CAS is a no-op swap.
+            if (cur != state_->ownEpoch && cur != 0) {
+                skipped++;
+                continue;
+            }
+            // Data before epoch: a concurrent reader that observes the
+            // retracted value still observes our unordered epoch and
+            // therefore races (and recovers) itself.
+            std::memcpy(reinterpret_cast<void *>(e.addr + j),
+                        &e.oldBytes[j], 1);
+            asm volatile("" ::: "memory");
+            __atomic_compare_exchange_n(slot, &cur, e.oldEpochs[j], false,
+                                        __ATOMIC_RELAXED, __ATOMIC_RELAXED);
+        }
+        restored++;
+    }
+    if (auto *mgr = rt_.recoveryManager())
+        mgr->noteRollback(restored, skipped);
+}
+
+bool
+ThreadContext::replaySfr(bool forced)
+{
+    for (std::size_t i = 0; i < log_->size(); ++i) {
+        const recover::SfrLog::Entry &e = log_->at(i);
+        if (e.isWrite) {
+            try {
+                if (forced) {
+                    // Unchecked re-publication: last-resort forward
+                    // progress, counted as a forced (degraded) replay.
+                    for (std::size_t j = 0; j < e.size; ++j) {
+                        if (EpochValue *slot = rt_.shadowSlotFor(e.addr + j))
+                            __atomic_store_n(slot, state_->ownEpoch,
+                                             __ATOMIC_RELAXED);
+                    }
+                } else {
+                    rt_.checkWrite(*state_, e.addr, e.size);
+                }
+            } catch (...) {
+                // The failed check may have partially published; entry i
+                // is covered by its own oldEpochs, so unwind through it.
+                rollbackWrites(i + 1);
+                throw;
+            }
+            std::memcpy(reinterpret_cast<void *>(e.addr), e.newBytes,
+                        e.size);
+        } else {
+            std::uint8_t cur[recover::SfrLog::kMaxAccessBytes];
+            std::memcpy(cur, reinterpret_cast<const void *>(e.addr),
+                        e.size);
+            asm volatile("" ::: "memory");
+            if (forced)
+                continue;
+            try {
+                rt_.checkRead(*state_, e.addr, e.size);
+            } catch (...) {
+                rollbackWrites(i);
+                throw;
+            }
+            if (std::memcmp(cur, e.newBytes, e.size) != 0) {
+                // A concurrent (ordered) writer changed an input of the
+                // SFR since the original execution: re-applying the
+                // logged writes would not be a faithful re-execution.
+                rollbackWrites(i);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+ThreadContext::recoverAccess(const RaceException &race, Addr addr,
+                             void *bytes, std::size_t size, bool isWrite)
+{
+    recover::RecoveryManager *mgr = rt_.recoveryManager();
+    RecoveryToken *token = rt_.recoveryToken();
+    if (mgr == nullptr || token == nullptr || log_ == nullptr ||
+        log_->poisoned())
+        return false;
+    if (!mgr->admitEpisode(rt_.heapOffset(race.addr())))
+        return false; // quarantined: caller degrades to recordRace
+    rt_.noteRace(race);
+    absorbRaceEpoch(race);
+
+    const std::uint32_t attempts =
+        std::max<std::uint32_t>(1, mgr->config().attemptsPerEpisode);
+    for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+        const bool forced = attempt + 1 == attempts;
+        mgr->noteAttempt();
+        rollbackWrites(log_->size());
+        // Serialize the re-execution: token grant order is fixed by the
+        // Kendo clock, so competing recoveries replay in the same order
+        // on every run. Publish batched events first — the count *is*
+        // the priority.
+        flushDetEvents();
+        token->acquire(state_->tid, rt_.kendo().count(state_->tid));
+        bool ok = false;
+        try {
+            ok = replaySfr(forced);
+            if (ok && !isWrite) {
+                // Complete the pending read under the token: re-load the
+                // now-ordered value and re-check it.
+                std::memcpy(bytes, reinterpret_cast<const void *>(addr),
+                            size);
+                asm volatile("" ::: "memory");
+                if (!forced)
+                    rt_.checkRead(*state_, addr, size);
+            }
+        } catch (const RaceException &nested) {
+            // replaySfr already rolled back its applied prefix (a failed
+            // pending-read check left only fully-replayed writes, undone
+            // at the top of the next attempt... see below).
+            token->release();
+            mgr->noteReplayRace();
+            absorbRaceEpoch(nested);
+            // Deterministic backoff: one deterministic event, plus a
+            // short physical pause to let the conflicting SFR drain.
+            detTick(1);
+            std::this_thread::yield();
+            continue;
+        } catch (...) {
+            token->release();
+            throw;
+        }
+        token->release();
+        if (ok) {
+            if (!isWrite)
+                logRead(addr, bytes, size);
+            mgr->noteRecovered(forced);
+            return true;
+        }
+        mgr->noteReplayMismatch();
+        detTick(1);
+        std::this_thread::yield();
+    }
+    return false; // unreachable: the forced attempt cannot fail
+}
+
+void
+ThreadContext::retireAfterKill()
+{
+    // Supervised crash (OnRacePolicy::Recover): the dying thread's open
+    // SFR is retracted — its writes were never released by a sync op, so
+    // after rollback the crash is invisible to the data. Then retire the
+    // Kendo slot cleanly instead of wedging the turn order.
+    if (log_ != nullptr) {
+        rollbackWrites(log_->size());
+        log_->beginSfr();
+    }
+    if (auto *mgr = rt_.recoveryManager())
+        mgr->noteRecoveredKill();
+    rt_.retireFromBarriers(*this);
+    // Final turn without injection (the plan already killed this thread)
+    // so the finish handshake below runs at a deterministic count. An
+    // abort or watchdog during the wait just ends the retirement early.
+    try {
+        flushDetEvents();
         pollRollover();
-        if (CLEAN_UNLIKELY(spin.expired()))
-            rt_.raiseDeadlock("acquireTurn", state_->tid,
-                              spin.elapsedMs());
-        spin.pause();
+        auto &kendo = rt_.kendo();
+        if (kendo.enabled()) {
+            SpinWait spin(rt_.config().watchdogMs);
+            while (!kendo.tryTurn(state_->tid)) {
+                rt_.throwIfAborted();
+                pollRollover();
+                if (CLEAN_UNLIKELY(spin.expired()))
+                    rt_.raiseDeadlock("retireAfterKill", state_->tid,
+                                      spin.elapsedMs());
+                spin.pause();
+            }
+        }
+        state_->sfrOrdinal++;
+    } catch (const ExecutionAborted &) {
+    } catch (const DeadlockError &) {
     }
 }
 
@@ -222,6 +560,18 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
     if (config_.inject.any())
         injectPlan_ = std::make_unique<inject::InjectionPlan>(config_.inject);
 
+    if (config_.onRace == OnRacePolicy::Recover) {
+        recover::RecoveryConfig rc;
+        rc.maxRecoveries = config_.maxRecoveries;
+        recovery_ = std::make_unique<recover::RecoveryManager>(rc);
+        recoveryToken_ = std::make_unique<RecoveryToken>(*this);
+        if (config_.granuleLog2 != 0)
+            warn("recover policy: granuleLog2 != 0 — undo logging needs "
+                 "per-byte epochs, races will degrade to report");
+        if (!detection_)
+            warn("recover policy with detection off: nothing to recover");
+    }
+
     // Register the main thread as tid 0, clock 1 (clock 0 is reserved so
     // a zero epoch always reads as "no previous write").
     const std::uint32_t rec = allocateRecord(0);
@@ -230,6 +580,8 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
                                             config_.maxThreads);
     r.state->vc.setClock(0, 1);
     r.state->refreshOwnEpoch();
+    if (recovery_ && detection_ && config_.granuleLog2 == 0)
+        r.sfrLog = std::make_unique<recover::SfrLog>(config_.undoLogEntries);
     r.phase.store(ThreadRecord::Phase::Running);
     kendo_->activate(0, 0);
     mainCtx_ = std::make_unique<ThreadContext>(*this, 0, rec);
@@ -314,6 +666,8 @@ CleanRuntime::spawn(ThreadContext &parent,
     r.state->vc.setClock(childTid, resume);
     r.state->vc.tick(childTid);
     r.state->refreshOwnEpoch();
+    if (recovery_ && detection_ && config_.granuleLog2 == 0)
+        r.sfrLog = std::make_unique<recover::SfrLog>(config_.undoLogEntries);
 
     // ...and the parent ticks so later parent writes do not appear
     // ordered before the child's view.
@@ -344,15 +698,22 @@ CleanRuntime::threadMain(std::uint32_t record,
         // deterministic turn so the final clock/counter are reproducible.
         ctx.acquireTurn();
     } catch (const inject::ThreadKilled &) {
-        // Simulated crash: the thread vanishes with no finish handshake
-        // and no Kendo finish, so its slot stays Active at a frozen
-        // count. Siblings that wait on it are rescued by the watchdog
-        // (DeadlockError naming this slot) — which is the point of the
-        // fault.
         r.error = std::current_exception();
-        r.phase.store(ThreadRecord::Phase::Finished,
-                      std::memory_order_release);
-        return;
+        if (config_.onRace == OnRacePolicy::Recover) {
+            // Supervised crash: roll the open SFR back and retire the
+            // Kendo slot cleanly, then fall through to the normal finish
+            // handshake so joiners and barriers keep making progress.
+            ctx.retireAfterKill();
+        } else {
+            // Simulated crash: the thread vanishes with no finish
+            // handshake and no Kendo finish, so its slot stays Active at
+            // a frozen count. Siblings that wait on it are rescued by
+            // the watchdog (DeadlockError naming this slot) — which is
+            // the point of the fault.
+            r.phase.store(ThreadRecord::Phase::Finished,
+                          std::memory_order_release);
+            return;
+        }
     } catch (const RaceException &) {
         // recordRace already ran at the throw site.
         r.error = std::current_exception();
@@ -471,8 +832,43 @@ CleanRuntime::recordRace(const RaceException &race)
         return false;
       case OnRacePolicy::Count:
         return false;
+      case OnRacePolicy::Recover:
+        // Reached only when a recovery episode was inadmissible (no or
+        // poisoned undo log, quarantined site): Report-style degrade.
+        warn("race degraded (recovery unavailable, continuing): %s",
+             race.what());
+        return false;
     }
     return true;
+}
+
+void
+CleanRuntime::noteRace(const RaceException &race)
+{
+    {
+        std::lock_guard<std::mutex> guard(raceMutex_);
+        if (races_.size() < kMaxReportedRaces)
+            races_.push_back(race);
+    }
+    raceCount_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void
+CleanRuntime::registerBarrier(CleanBarrier *barrier)
+{
+    if (!recovery_)
+        return;
+    std::lock_guard<std::mutex> guard(barrierMutex_);
+    barriers_.push_back(barrier);
+}
+
+void
+CleanRuntime::unregisterBarrier(CleanBarrier *barrier)
+{
+    if (!recovery_)
+        return;
+    std::lock_guard<std::mutex> guard(barrierMutex_);
+    std::erase(barriers_, barrier);
 }
 
 const RaceException *
@@ -614,6 +1010,12 @@ CleanRuntime::performReset()
         record->state->vc.clearClocks();
         record->state->vc.setClock(record->state->tid, 1);
         record->state->refreshOwnEpoch();
+        // Undo logs must survive the reset (ISSUE 3): every live shadow
+        // epoch was just rewritten to the reset value 0, so the epochs a
+        // later rollback would restore must follow. Owners are parked,
+        // so this cross-thread rewrite is quiescent.
+        if (record->sfrLog)
+            record->sfrLog->rewriteEpochsOnReset();
     }
     for (VectorClock *vc : syncClocks_)
         vc->clearClocks();
@@ -649,9 +1051,23 @@ CleanRuntime::failureReportJson() const
     w.field("version", std::uint64_t{1});
     w.field("policy", onRacePolicyName(config_.onRace));
     const bool deadlocked = deadlockOccurred();
-    w.field("outcome", deadlocked      ? "deadlock"
-                       : raceOccurred() ? "race"
-                                        : "clean");
+    const recover::RecoveryStats recoveryStats =
+        recovery_ ? recovery_->stats() : recover::RecoveryStats{};
+    const char *outcome;
+    if (deadlocked) {
+        outcome = "deadlock";
+    } else if (config_.onRace == OnRacePolicy::Recover && raceOccurred()) {
+        // "recovered": every race was rolled back and cleanly
+        // re-executed. Quarantines, forced replays and episodes that
+        // never got a log are honest degradations.
+        const bool degraded = recoveryStats.quarantinedSites > 0 ||
+                              recoveryStats.forcedReplays > 0 ||
+                              raceCount() > recoveryStats.recovered;
+        outcome = degraded ? "degraded" : "recovered";
+    } else {
+        outcome = raceOccurred() ? "race" : "clean";
+    }
+    w.field("outcome", outcome);
 
     w.key("races").beginObject();
     w.field("count", raceCount());
@@ -670,11 +1086,31 @@ CleanRuntime::failureReportJson() const
                     static_cast<std::uint64_t>(race.previousWriter()));
             w.field("previousClock",
                     static_cast<std::uint64_t>(race.previousClock()));
+            w.field("site", race.siteIndex());
+            w.field("sfr", race.sfrOrdinal());
             w.endObject();
         }
     }
     w.endArray();
     w.endObject();
+
+    if (recovery_) {
+        w.key("recovery").beginObject();
+        w.field("episodes", recoveryStats.episodes);
+        w.field("attempts", recoveryStats.attempts);
+        w.field("recovered", recoveryStats.recovered);
+        w.field("forcedReplays", recoveryStats.forcedReplays);
+        w.field("replayRaces", recoveryStats.replayRaces);
+        w.field("replayMismatches", recoveryStats.replayMismatches);
+        w.field("rolledBackWrites", recoveryStats.rolledBackWrites);
+        w.field("skippedRollbacks", recoveryStats.skippedRollbacks);
+        w.field("recoveredKills", recoveryStats.recoveredKills);
+        w.key("quarantinedSites").beginArray();
+        for (const Addr site : recovery_->quarantinedSites())
+            w.value(static_cast<std::uint64_t>(site));
+        w.endArray();
+        w.endObject();
+    }
 
     {
         std::lock_guard<std::mutex> guard(raceMutex_);

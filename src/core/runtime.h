@@ -41,6 +41,7 @@
 #include "core/thread_state.h"
 #include "det/kendo.h"
 #include "inject/injection.h"
+#include "recover/undo_log.h"
 #include "support/common.h"
 #include "support/deadlock_error.h"
 #include "support/logging.h"
@@ -51,6 +52,13 @@ namespace clean
 
 class CleanRuntime;
 class ThreadContext;
+class CleanBarrier;
+class RecoveryToken;
+
+namespace recover
+{
+class RecoveryManager;
+}
 
 /** Shadow backend selection. */
 enum class ShadowKind { Linear, Sparse };
@@ -71,8 +79,15 @@ enum class ShadowKind { Linear, Sparse };
  * skipped, exactly as if the check had not fired), so the "no out-of-
  * thin-air values" guarantee is deliberately given up — that is the
  * degradation.
+ *
+ *   Recover — SFR rollback + deterministic re-execution (ISSUE 3): the
+ *            victim SFR's data writes and republished epochs are rolled
+ *            back from a per-thread undo log, then re-executed serialized
+ *            under a Kendo-ordered recovery token. Sites racing more than
+ *            RuntimeConfig::maxRecoveries times are quarantined and
+ *            degrade to Report semantics (named in failureReportJson).
  */
-enum class OnRacePolicy { Throw, Report, Count };
+enum class OnRacePolicy { Throw, Report, Count, Recover };
 
 const char *onRacePolicyName(OnRacePolicy policy);
 
@@ -122,6 +137,13 @@ struct RuntimeConfig
     std::uint64_t watchdogMs = 10000;
     /** Race response policy; see OnRacePolicy. */
     OnRacePolicy onRace = OnRacePolicy::Throw;
+    /** Recover policy: admitted recovery episodes per racy site before
+     *  the site is quarantined (further races there degrade to Report).
+     *  0 quarantines on first contact. */
+    std::uint32_t maxRecoveries = 8;
+    /** Recover policy: per-thread SFR undo log capacity in entries; an
+     *  SFR that outgrows it becomes ineligible for rollback. */
+    std::size_t undoLogEntries = std::size_t{1} << 16;
     /** Deterministic fault injection (chaos harness); disabled unless
      *  inject.any(). */
     inject::InjectionConfig inject;
@@ -177,18 +199,25 @@ class ThreadContext
     /** Deterministic counter of this thread (Kendo). */
     det::DetCount detCount() const;
 
-    /** Instrumented load of a shared scalar. */
+    /** Instrumented load of a shared scalar. The slow branch covers
+     *  both fault injection and the Recover undo log; with neither
+     *  armed the path is branch-for-branch identical to the PR-2 fast
+     *  path (one abort poll + one unlikely slow-access branch). */
     template <typename T>
     T
     read(const T *p)
     {
         static_assert(std::is_trivially_copyable_v<T>);
         T value;
+        if (CLEAN_UNLIKELY(slowAccess_)) {
+            readSlow(reinterpret_cast<Addr>(p), &value, sizeof(T));
+            return value;
+        }
         std::memcpy(&value, p, sizeof(T));
         // Compiler barrier: the check must observe metadata no older
         // than the data load (x86-TSO gives the hardware ordering).
         asm volatile("" ::: "memory");
-        onRead(reinterpret_cast<Addr>(p), sizeof(T));
+        onReadChecked(reinterpret_cast<Addr>(p), sizeof(T));
         return value;
     }
 
@@ -198,7 +227,11 @@ class ThreadContext
     write(T *p, T value)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        onWrite(reinterpret_cast<Addr>(p), sizeof(T));
+        if (CLEAN_UNLIKELY(slowAccess_)) {
+            writeSlow(reinterpret_cast<Addr>(p), &value, sizeof(T));
+            return;
+        }
+        onWriteChecked(reinterpret_cast<Addr>(p), sizeof(T));
         asm volatile("" ::: "memory");
         std::memcpy(p, &value, sizeof(T));
     }
@@ -245,9 +278,54 @@ class ThreadContext
   private:
     friend class CleanRuntime;
 
-    /** Out-of-line access paths under fault injection (rare). */
+    /** Out-of-line bulk access paths (injection and/or recovery). */
     void onReadSlow(Addr addr, std::size_t size);
     void onWriteSlow(Addr addr, std::size_t size);
+
+    /** Checked scalar access bodies shared by the fast path; inline
+     *  below CleanRuntime. */
+    void onReadChecked(Addr addr, std::size_t size);
+    void onWriteChecked(Addr addr, std::size_t size);
+
+    /** Out-of-line scalar access paths, taken when injection or the
+     *  Recover undo log is armed (slowAccess_). They perform the data
+     *  movement themselves: the write path must be able to complete the
+     *  pending store via replay instead of the caller's memcpy, and the
+     *  read path must be able to re-load after a recovery. */
+    void readSlow(Addr addr, void *bytes, std::size_t size);
+    void writeSlow(Addr addr, const void *bytes, std::size_t size);
+
+    /** Appends a read entry to the undo log (replay validation). */
+    void logRead(Addr addr, const void *bytes, std::size_t size);
+
+    /**
+     * One recovery episode (ISSUE 3): roll the current SFR back,
+     * acquire the Kendo-ordered recovery token, re-execute the SFR from
+     * the log, bounded retries, forced final attempt. Returns false when
+     * the episode is inadmissible (no log, poisoned log, quarantined
+     * site) — the caller then degrades to recordRace.
+     */
+    bool recoverAccess(const RaceException &race, Addr addr, void *bytes,
+                       std::size_t size, bool isWrite);
+
+    /** Joins the conflicting epoch into our vector clock so the replay
+     *  orders the victim SFR after the racing write. */
+    void absorbRaceEpoch(const RaceException &race);
+
+    /** Retracts the first @p count log entries' writes (reverse order):
+     *  restore data bytes, then CAS our republished epochs back. */
+    void rollbackWrites(std::size_t count);
+
+    /** Re-applies the logged SFR under the recovery token. Returns false
+     *  on read-validation mismatch (a concurrent writer changed an SFR
+     *  input); throws RaceException on a nested race. Both roll back the
+     *  applied prefix first. @p forced skips checks and validation. */
+    bool replaySfr(bool forced);
+
+    /** Kill-thread supervision (Recover): rolls back the open SFR,
+     *  retires this thread from barriers and takes a final no-injection
+     *  turn so the Kendo order is not wedged by the dead slot. */
+    void retireAfterKill();
 
     /** Publishes batched deterministic events to the Kendo counter. */
     void flushDetEvents();
@@ -270,6 +348,12 @@ class ThreadContext
      *  injection-site counter — the coordinate stream. */
     inject::InjectionPlan *plan_ = nullptr;
     std::uint64_t injectCoord_ = 0;
+    /** This thread's SFR undo log (null unless OnRacePolicy::Recover
+     *  with byte granularity); owned by the ThreadRecord. */
+    recover::SfrLog *log_ = nullptr;
+    /** Cached `plan_ != nullptr || log_ != nullptr`: the single
+     *  fast-path branch covering both out-of-line access reasons. */
+    bool slowAccess_ = false;
 };
 
 /** Final record of a spawned thread, consumed at join. */
@@ -291,6 +375,8 @@ struct ThreadRecord
     std::int32_t joinerTid = -1;
     /** Raised (release) when the joiner may resume. */
     std::atomic<bool> joinFlag{false};
+    /** SFR undo log (OnRacePolicy::Recover only; see recover/). */
+    std::unique_ptr<recover::SfrLog> sfrLog;
 };
 
 /** The software-only CLEAN system. */
@@ -418,9 +504,43 @@ class CleanRuntime : private RolloverHost
      * Records a detected race. Returns true when the caller must
      * propagate the exception (OnRacePolicy::Throw — the abort flag is
      * raised); in the degraded Report/Count modes the race is
-     * logged/counted and false tells the caller to continue.
+     * logged/counted and false tells the caller to continue. Under
+     * Recover this is reached only for inadmissible episodes (poisoned
+     * log, quarantined site) and behaves like Report.
      */
     bool recordRace(const RaceException &race);
+
+    /** Records a race that is being *recovered* (log + counter only, no
+     *  policy action — recordRace would double-report it). */
+    void noteRace(const RaceException &race);
+
+    /** Recovery ledger; null unless OnRacePolicy::Recover. */
+    recover::RecoveryManager *recoveryManager() { return recovery_.get(); }
+
+    /** Global recovery token; null unless OnRacePolicy::Recover. */
+    RecoveryToken *recoveryToken() { return recoveryToken_.get(); }
+
+    /** Heap-relative byte offset of @p addr (stable race-site key). */
+    Addr heapOffset(Addr addr) const { return addr - checkBase_; }
+
+    /** Shadow slot of one checked byte (byte granularity only); null
+     *  when @p addr is not checkable. Used by rollback/replay. */
+    EpochValue *
+    shadowSlotFor(Addr addr)
+    {
+        if (!checkable(addr))
+            return nullptr;
+        if (linearShadow_)
+            return linearShadow_->slots(addr);
+        return sparseShadow_->slots(addr);
+    }
+
+    /** Barrier registry for kill supervision: a supervised dead thread
+     *  must retire from every barrier so live parties stop waiting on
+     *  its slot. Registration is a no-op outside Recover. */
+    void registerBarrier(CleanBarrier *barrier);
+    void unregisterBarrier(CleanBarrier *barrier);
+    void retireFromBarriers(ThreadContext &ctx);
 
     /** Records a watchdog deadlock and raises the abort flag so every
      *  sibling wait loop unwinds. */
@@ -460,7 +580,16 @@ class CleanRuntime : private RolloverHost
      */
     void resumeFromBlocked(std::uint32_t record);
 
-    ThreadRecord &recordAt(std::uint32_t idx) { return *records_[idx]; }
+    /** Records are append-only and stable behind unique_ptr, but a
+     *  concurrent spawn's push_back may reallocate the pointer array
+     *  itself — take the registry lock for the lookup. Callers hold
+     *  plain references across the call; those stay valid. */
+    ThreadRecord &
+    recordAt(std::uint32_t idx)
+    {
+        std::lock_guard<std::mutex> guard(registryMutex_);
+        return *records_[idx];
+    }
 
   private:
     // RolloverHost
@@ -499,6 +628,10 @@ class CleanRuntime : private RolloverHost
 
     std::unique_ptr<ThreadContext> mainCtx_;
     std::unique_ptr<inject::InjectionPlan> injectPlan_;
+    std::unique_ptr<recover::RecoveryManager> recovery_;
+    std::unique_ptr<RecoveryToken> recoveryToken_;
+    mutable std::mutex barrierMutex_;
+    std::vector<CleanBarrier *> barriers_;
 
     std::atomic<bool> abortFlag_{false};
     std::atomic<std::uint64_t> raceCount_{0};
@@ -519,13 +652,9 @@ class CleanRuntime : private RolloverHost
 // ---------------------------------------------------------------------
 
 inline void
-ThreadContext::onRead(Addr addr, std::size_t size)
+ThreadContext::onReadChecked(Addr addr, std::size_t size)
 {
     rt_.throwIfAborted();
-    if (CLEAN_UNLIKELY(plan_ != nullptr)) {
-        onReadSlow(addr, size);
-        return;
-    }
     try {
         rt_.checkRead(*state_, addr, size);
     } catch (const RaceException &race) {
@@ -537,13 +666,9 @@ ThreadContext::onRead(Addr addr, std::size_t size)
 }
 
 inline void
-ThreadContext::onWrite(Addr addr, std::size_t size)
+ThreadContext::onWriteChecked(Addr addr, std::size_t size)
 {
     rt_.throwIfAborted();
-    if (CLEAN_UNLIKELY(plan_ != nullptr)) {
-        onWriteSlow(addr, size);
-        return;
-    }
     try {
         rt_.checkWrite(*state_, addr, size);
     } catch (const RaceException &race) {
@@ -552,6 +677,28 @@ ThreadContext::onWrite(Addr addr, std::size_t size)
     }
     if (++pendingDetEvents_ >= detChunk_)
         flushDetEvents();
+}
+
+inline void
+ThreadContext::onRead(Addr addr, std::size_t size)
+{
+    if (CLEAN_UNLIKELY(slowAccess_)) {
+        rt_.throwIfAborted();
+        onReadSlow(addr, size);
+        return;
+    }
+    onReadChecked(addr, size);
+}
+
+inline void
+ThreadContext::onWrite(Addr addr, std::size_t size)
+{
+    if (CLEAN_UNLIKELY(slowAccess_)) {
+        rt_.throwIfAborted();
+        onWriteSlow(addr, size);
+        return;
+    }
+    onWriteChecked(addr, size);
 }
 
 } // namespace clean

@@ -9,6 +9,66 @@ namespace clean
 {
 
 // ---------------------------------------------------------------------
+// RecoveryToken
+// ---------------------------------------------------------------------
+
+void
+RecoveryToken::acquire(ThreadId tid, det::DetCount count)
+{
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        waiters_.push_back({count, tid});
+    }
+    SpinWait spin(rt_.config().watchdogMs);
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> guard(m_);
+            if (!held_) {
+                // Grant to the strict minimum (count, tid) — the Kendo
+                // tie-break — so competing recoveries serialize in the
+                // same order on every run.
+                auto it = std::min_element(
+                    waiters_.begin(), waiters_.end(),
+                    [](const Waiter &a, const Waiter &b) {
+                        return a.count != b.count ? a.count < b.count
+                                                  : a.tid < b.tid;
+                    });
+                if (it != waiters_.end() && it->tid == tid) {
+                    waiters_.erase(it);
+                    held_ = true;
+                    return;
+                }
+            }
+        }
+        if (CLEAN_UNLIKELY(rt_.aborted())) {
+            deregister(tid);
+            throw ExecutionAborted();
+        }
+        if (CLEAN_UNLIKELY(spin.expired())) {
+            deregister(tid);
+            rt_.raiseDeadlock("RecoveryToken::acquire", tid,
+                              spin.elapsedMs());
+        }
+        spin.pause();
+    }
+}
+
+void
+RecoveryToken::release()
+{
+    std::lock_guard<std::mutex> guard(m_);
+    held_ = false;
+}
+
+void
+RecoveryToken::deregister(ThreadId tid)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    std::erase_if(waiters_,
+                  [&](const Waiter &w) { return w.tid == tid; });
+}
+
+// ---------------------------------------------------------------------
 // CleanMutex
 // ---------------------------------------------------------------------
 
@@ -224,10 +284,12 @@ CleanBarrier::CleanBarrier(CleanRuntime &rt, std::uint32_t parties)
     CLEAN_ASSERT(parties_ > 0);
     rt_.registerSyncClock(&vc_);
     rt_.registerSyncClock(&releaseVc_);
+    rt_.registerBarrier(this);
 }
 
 CleanBarrier::~CleanBarrier()
 {
+    rt_.unregisterBarrier(this);
     rt_.unregisterSyncClock(&vc_);
     rt_.unregisterSyncClock(&releaseVc_);
 }
@@ -246,16 +308,11 @@ CleanBarrier::arrive(ThreadContext &ctx)
         vc_.joinFrom(ctx.state().vc);
         rt_.tickClock(ctx.state());
         ++arrived_;
-        if (arrived_ == parties_) {
+        // Retired parties (kill supervision) count as permanently
+        // arrived: the survivors must not wait for a dead thread.
+        if (arrived_ + retired_ >= parties_) {
             last = true;
-            arrived_ = 0;
-            releaseVc_.assign(vc_);
-            const det::DetCount resume = kendo.count(tid) + 1;
-            for (const Waiter &w : waiters_) {
-                kendo.unblock(w.tid, resume);
-                w.flag->store(true, std::memory_order_release);
-            }
-            waiters_.clear();
+            releaseWaitersLocked(ctx);
             // The releaser itself synchronizes with all parties.
             ctx.state().vc.joinFrom(releaseVc_);
         } else {
@@ -300,6 +357,45 @@ CleanBarrier::arrive(ThreadContext &ctx)
 
     std::lock_guard<std::mutex> guard(im_);
     ctx.state().vc.joinFrom(releaseVc_);
+}
+
+void
+CleanBarrier::releaseWaitersLocked(ThreadContext &ctx)
+{
+    auto &kendo = rt_.kendo();
+    arrived_ = 0;
+    releaseVc_.assign(vc_);
+    const det::DetCount resume = kendo.count(ctx.tid()) + 1;
+    for (const Waiter &w : waiters_) {
+        kendo.unblock(w.tid, resume);
+        w.flag->store(true, std::memory_order_release);
+    }
+    waiters_.clear();
+}
+
+void
+CleanBarrier::retireParty(ThreadContext &ctx)
+{
+    std::lock_guard<std::mutex> guard(im_);
+    // The dying thread's happens-before knowledge still flows through
+    // the barrier (its pre-kill SFRs were released normally).
+    vc_.joinFrom(ctx.state().vc);
+    ++retired_;
+    if (arrived_ > 0 && arrived_ + retired_ >= parties_)
+        releaseWaitersLocked(ctx);
+}
+
+// Defined here rather than runtime.cc so CleanBarrier is complete.
+void
+CleanRuntime::retireFromBarriers(ThreadContext &ctx)
+{
+    std::vector<CleanBarrier *> barriers;
+    {
+        std::lock_guard<std::mutex> guard(barrierMutex_);
+        barriers = barriers_;
+    }
+    for (CleanBarrier *barrier : barriers)
+        barrier->retireParty(ctx);
 }
 
 } // namespace clean

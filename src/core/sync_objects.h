@@ -33,6 +33,43 @@
 namespace clean
 {
 
+/**
+ * Global recovery token (ISSUE 3): SFR re-execution after a race runs
+ * serialized under this token, and the grant order is fixed by the Kendo
+ * deterministic clock — among the registered waiters, the strict minimum
+ * (detCount, tid) wins, the same tie-break Kendo's turn predicate uses.
+ * Waiters stay Running (recovery episodes are bounded, so a pending
+ * rollover reset just waits them out) and poll the abort flag and the
+ * watchdog like every other blocking loop in the runtime.
+ */
+class RecoveryToken
+{
+  public:
+    explicit RecoveryToken(CleanRuntime &rt) : rt_(rt) {}
+
+    RecoveryToken(const RecoveryToken &) = delete;
+    RecoveryToken &operator=(const RecoveryToken &) = delete;
+
+    /** Blocks until this thread holds the token. @p count is the
+     *  caller's published Kendo counter — its grant priority. */
+    void acquire(ThreadId tid, det::DetCount count);
+    void release();
+
+  private:
+    struct Waiter
+    {
+        det::DetCount count;
+        ThreadId tid;
+    };
+
+    void deregister(ThreadId tid);
+
+    CleanRuntime &rt_;
+    std::mutex m_;
+    bool held_ = false;
+    std::vector<Waiter> waiters_;
+};
+
 /** Deterministic mutex with release/acquire vector-clock semantics. */
 class CleanMutex
 {
@@ -108,6 +145,14 @@ class CleanBarrier
     /** Arrive and wait for the remaining parties. */
     void arrive(ThreadContext &ctx);
 
+    /**
+     * Permanently removes one party (kill supervision, ISSUE 3): the
+     * dying thread's clock is joined in and, if the remaining parties
+     * have all arrived, the barrier releases them on its behalf. Called
+     * via CleanRuntime::retireFromBarriers.
+     */
+    void retireParty(ThreadContext &ctx);
+
     std::uint32_t parties() const { return parties_; }
 
   private:
@@ -117,10 +162,14 @@ class CleanBarrier
         std::atomic<bool> *flag;
     };
 
+    void releaseWaitersLocked(ThreadContext &ctx);
+
     CleanRuntime &rt_;
     std::uint32_t parties_;
     std::mutex im_;
     std::uint32_t arrived_ = 0;
+    /** Parties permanently retired by kill supervision. */
+    std::uint32_t retired_ = 0;
     std::vector<Waiter> waiters_;
     VectorClock vc_;
     VectorClock releaseVc_;

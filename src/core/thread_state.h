@@ -117,6 +117,10 @@ struct ThreadState
     VectorClock vc;
     EpochValue ownEpoch;
     CheckerStats stats;
+    /** Index of the thread's current synchronization-free region,
+     *  bumped at every sync op (acquireTurn); threaded into
+     *  RaceException so reports can name the SFR a race fired in. */
+    std::uint64_t sfrOrdinal = 0;
 
 #ifndef NDEBUG
   private:

@@ -36,6 +36,12 @@
  *                   frozen count, so siblings can only be rescued by the
  *                   turn-wait watchdog (DeadlockError). Never fires for
  *                   tid 0 (the orchestrating thread owns spawn/join).
+ *                   Under OnRacePolicy::Recover the runtime supervises
+ *                   the kill instead: the victim's open SFR is rolled
+ *                   back from its undo log, its barrier parties are
+ *                   retired, and its Kendo slot takes one final turn and
+ *                   finishes cleanly — the run completes rather than
+ *                   deadlocking (recoveredKills in the failure report).
  */
 
 #ifndef CLEAN_INJECT_INJECTION_H

@@ -1,0 +1,13 @@
+#include "recover/recovery.h"
+
+namespace clean::recover
+{
+
+std::vector<Addr>
+RecoveryManager::quarantinedSites() const
+{
+    std::lock_guard<std::mutex> guard(m_);
+    return std::vector<Addr>(quarantined_.begin(), quarantined_.end());
+}
+
+} // namespace clean::recover

@@ -1,0 +1,147 @@
+#pragma once
+
+// Recovery bookkeeping for OnRacePolicy::Recover (ISSUE 3).
+//
+// The RecoveryManager is the process-global ledger of recovery
+// *episodes* (one per admitted RaceException, however many replay
+// attempts it takes) and the per-site quarantine: a site whose races
+// keep coming back is eventually not worth re-executing — after
+// maxRecoveries admitted episodes the site is quarantined and further
+// races there degrade to the Report policy, with the site named in
+// failureReportJson. Sites are identified by their heap-relative byte
+// offset (stable across runs; raw pointers are not).
+//
+// The mechanics of an episode — rollback, the Kendo-ordered recovery
+// token, serialized replay — live in ThreadContext (runtime.cc) and
+// RecoveryToken (sync_objects.h); this class only counts and gates.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "support/common.h"
+
+namespace clean::recover
+{
+
+struct RecoveryConfig {
+    /** Admitted episodes per site before it is quarantined. 0 means
+     *  quarantine on first contact (recovery effectively disabled, but
+     *  with the degradation visible in reports and exit codes). */
+    std::uint32_t maxRecoveries = 8;
+    /** Replay attempts per episode; the last is forced (unchecked). */
+    std::uint32_t attemptsPerEpisode = 3;
+};
+
+struct RecoveryStats {
+    std::uint64_t episodes = 0;        ///< admitted RaceExceptions
+    std::uint64_t attempts = 0;        ///< rollback+replay attempts
+    std::uint64_t recovered = 0;       ///< episodes that completed
+    std::uint64_t forcedReplays = 0;   ///< episodes ending in a forced replay
+    std::uint64_t replayRaces = 0;     ///< nested races during replay
+    std::uint64_t replayMismatches = 0;///< read-validation failures
+    std::uint64_t rolledBackWrites = 0;///< write entries retracted
+    std::uint64_t skippedRollbacks = 0;///< bytes a later writer now owns
+    std::uint64_t recoveredKills = 0;  ///< kill-thread faults supervised
+    std::uint64_t quarantinedSites = 0;///< sites degraded to Report
+};
+
+class RecoveryManager
+{
+  public:
+    explicit RecoveryManager(const RecoveryConfig &config)
+        : config_(config)
+    {
+    }
+
+    const RecoveryConfig &
+    config() const
+    {
+        return config_;
+    }
+
+    /** Gate for a new episode at the given heap-relative site. Returns
+     *  false when the site is (or just became) quarantined; the caller
+     *  then degrades to Report semantics. */
+    bool
+    admitEpisode(Addr siteOffset)
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        if (quarantined_.count(siteOffset) != 0)
+            return false;
+        const std::uint32_t count = ++episodesBySite_[siteOffset];
+        if (count > config_.maxRecoveries) {
+            quarantined_.insert(siteOffset);
+            stats_.quarantinedSites++;
+            return false;
+        }
+        stats_.episodes++;
+        return true;
+    }
+
+    void
+    noteAttempt()
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        stats_.attempts++;
+    }
+
+    void
+    noteRecovered(bool forced)
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        stats_.recovered++;
+        if (forced)
+            stats_.forcedReplays++;
+    }
+
+    void
+    noteReplayRace()
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        stats_.replayRaces++;
+    }
+
+    void
+    noteReplayMismatch()
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        stats_.replayMismatches++;
+    }
+
+    void
+    noteRollback(std::uint64_t restoredWrites, std::uint64_t skippedBytes)
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        stats_.rolledBackWrites += restoredWrites;
+        stats_.skippedRollbacks += skippedBytes;
+    }
+
+    void
+    noteRecoveredKill()
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        stats_.recoveredKills++;
+    }
+
+    RecoveryStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        return stats_;
+    }
+
+    /** Quarantined site offsets, sorted (deterministic report order). */
+    std::vector<Addr> quarantinedSites() const;
+
+  private:
+    mutable std::mutex m_;
+    RecoveryConfig config_;
+    RecoveryStats stats_;
+    std::map<Addr, std::uint32_t> episodesBySite_;
+    std::set<Addr> quarantined_;
+};
+
+} // namespace clean::recover

@@ -1,0 +1,141 @@
+#pragma once
+
+// Per-thread SFR undo log (ISSUE 3).
+//
+// CLEAN checks a write *before* it takes effect (Fig. 2: check + epoch
+// publish, then the store), so at the moment a RaceException fires the
+// current synchronization-free region is still isolated: none of its
+// writes have been released by a sync op, and the racy store itself has
+// not landed. That makes the SFR a natural recovery unit — if we logged
+// every tracked write's old bytes and old shadow epochs since the last
+// sync op, we can retract the SFR completely and re-execute it.
+//
+// The log is armed only under OnRacePolicy::Recover (ThreadContext's
+// fast path keeps a single combined "slow access" branch, so a run with
+// recovery off pays nothing). Each entry snapshots, per access:
+//   - the data bytes about to be overwritten (write entries), and the
+//     bytes actually stored, so a replay can re-apply the SFR without
+//     re-running user code;
+//   - the value observed (read entries), so a replay can detect that a
+//     concurrent writer changed an input of the SFR (the re-execution
+//     would diverge) and retry instead;
+//   - the per-byte shadow epochs displaced by the write's publish, so
+//     rollback can retract the epochs CLEAN republished before the race
+//     was detected (including a partial publish of the racy access
+//     itself — the triggering write is logged *before* its check runs).
+//
+// Accesses the log cannot represent (wider than kMaxAccessBytes, past
+// the entry cap, or whose check was dropped by fault injection) poison
+// it: the SFR is then ineligible for rollback and a race in it degrades
+// to the Report policy. Reads never poison — an unlogged read only
+// weakens replay validation.
+//
+// Rollover interaction: a shadow reset rewrites every live epoch to the
+// reset value 0. performReset() calls rewriteEpochsOnReset() on every
+// thread's log while its owner is parked, so a post-rollover rollback
+// restores the epoch the slot would have had anyway.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/common.h"
+
+namespace clean::recover
+{
+
+class SfrLog
+{
+  public:
+    /** Widest single access the log can represent (covers long double). */
+    static constexpr std::size_t kMaxAccessBytes = 16;
+
+    struct Entry {
+        Addr addr = 0;
+        std::uint8_t size = 0;
+        bool isWrite = false;
+        /** Data bytes displaced by a write (undefined for reads). */
+        std::uint8_t oldBytes[kMaxAccessBytes] = {};
+        /** Bytes stored by a write / value observed by a read. */
+        std::uint8_t newBytes[kMaxAccessBytes] = {};
+        /** Per-byte shadow epochs before the write's publish. */
+        EpochValue oldEpochs[kMaxAccessBytes] = {};
+    };
+
+    explicit SfrLog(std::size_t maxEntries) : maxEntries_(maxEntries)
+    {
+        entries_.reserve(64);
+    }
+
+    /** Called at every sync op: the previous SFR's effects are now
+     *  released (or were rolled back), so its records are dead. */
+    void
+    beginSfr()
+    {
+        entries_.clear();
+        poisoned_ = false;
+    }
+
+    /** Appends a fresh entry, or nullptr (and poisons) on overflow. */
+    Entry *
+    append()
+    {
+        if (CLEAN_UNLIKELY(poisoned_ || entries_.size() >= maxEntries_)) {
+            poisoned_ = true;
+            return nullptr;
+        }
+        entries_.emplace_back();
+        return &entries_.back();
+    }
+
+    /** Marks the current SFR unrecoverable (untracked write). */
+    void
+    poison()
+    {
+        poisoned_ = true;
+    }
+
+    bool
+    poisoned() const
+    {
+        return poisoned_;
+    }
+
+    std::size_t
+    size() const
+    {
+        return entries_.size();
+    }
+
+    Entry &
+    at(std::size_t i)
+    {
+        return entries_[i];
+    }
+
+    const Entry &
+    at(std::size_t i) const
+    {
+        return entries_[i];
+    }
+
+    /** Shadow reset support: every live epoch in the heap was rewritten
+     *  to the reset value 0, so the epochs this log would restore must
+     *  follow. Called by the rollover resetter while the owning thread
+     *  is parked (quiescent — no concurrent append). */
+    void
+    rewriteEpochsOnReset()
+    {
+        for (Entry &e : entries_)
+            for (std::size_t i = 0; i < kMaxAccessBytes; ++i)
+                e.oldEpochs[i] = 0;
+    }
+
+  private:
+    std::vector<Entry> entries_;
+    std::size_t maxEntries_;
+    bool poisoned_ = false;
+};
+
+} // namespace clean::recover

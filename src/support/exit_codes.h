@@ -1,0 +1,43 @@
+#pragma once
+
+// Process exit codes for the cleanrun driver (ISSUE 3 satellite).
+//
+// | code | meaning                                                    |
+// |------|------------------------------------------------------------|
+// |  0   | run completed; no race survived recovery                   |
+// |  1   | unexpected internal error                                  |
+// |  2   | option / usage error (bad flag value, unknown workload)    |
+// |  3   | data race detected (Throw/Report/Count policies)           |
+// |  4   | watchdog-declared deadlock                                 |
+// |  5   | recovery exhausted: at least one site was quarantined      |
+//
+// Precedence when a run hits several: deadlock > quarantine > race.
+// Under --on-race=recover a run whose races were all rolled back and
+// re-executed (no quarantine) exits 0 — recovery's whole point is to
+// turn exit-3 runs into exit-0 runs.
+
+namespace clean
+{
+
+enum class ExitCode : int {
+    Ok = 0,
+    Error = 1,
+    OptionError = 2,
+    Race = 3,
+    Deadlock = 4,
+    Quarantine = 5,
+};
+
+inline int
+exitCodeForRun(bool deadlock, bool quarantineExhausted, bool raceFailed)
+{
+    if (deadlock)
+        return static_cast<int>(ExitCode::Deadlock);
+    if (quarantineExhausted)
+        return static_cast<int>(ExitCode::Quarantine);
+    if (raceFailed)
+        return static_cast<int>(ExitCode::Race);
+    return static_cast<int>(ExitCode::Ok);
+}
+
+} // namespace clean

@@ -2,6 +2,7 @@
 
 #include "detectors/fasttrack.h"
 #include "detectors/tsan_lite.h"
+#include "recover/recovery.h"
 #include "support/logging.h"
 #include "support/timer.h"
 #include "workloads/backend.h"
@@ -66,6 +67,18 @@ runClean(Workload &workload, const RunSpec &spec)
     if (result.raceException && result.raceMessage.empty()) {
         if (const RaceException *race = rt.firstRace())
             result.raceMessage = race->what();
+    }
+    // Recovery supervision (ISSUE 3): under Recover, races were rolled
+    // back and re-executed and injected kill-thread faults were retired
+    // cleanly; surface the episode ledger so callers can tell a fully
+    // recovered run (exit 0) from a quarantined one (exit 5).
+    if (const recover::RecoveryManager *mgr = rt.recoveryManager()) {
+        const recover::RecoveryStats stats = mgr->stats();
+        result.recoveredRaces = stats.recovered;
+        result.recoveryAttempts = stats.attempts;
+        result.forcedReplays = stats.forcedReplays;
+        result.recoveredKills = stats.recoveredKills;
+        result.quarantinedSites = stats.quarantinedSites;
     }
     result.failureReport = rt.failureReportJson();
 

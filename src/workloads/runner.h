@@ -68,6 +68,14 @@ struct RunResult
     std::vector<det::DetCount> detCounts;
     std::uint64_t rollovers = 0;
 
+    // Recovery (OnRacePolicy::Recover); see recover::RecoveryStats.
+    std::uint64_t recoveredRaces = 0;
+    std::uint64_t recoveryAttempts = 0;
+    std::uint64_t forcedReplays = 0;
+    std::uint64_t recoveredKills = 0;
+    /** Sites that exhausted maxRecoveries and degraded to Report. */
+    std::uint64_t quarantinedSites = 0;
+
     // Detector backends
     std::size_t detectorReports = 0;
     std::size_t detectorWaw = 0;

@@ -11,6 +11,13 @@
  *   Native   — raw load/store plus a per-worker access counter: the
  *              uninstrumented baseline every slowdown is normalized to.
  *   Clean    — CleanRuntime race check in §4.3 order (throws on races).
+ *              Under OnRacePolicy::Recover the same path also feeds the
+ *              per-thread SFR undo log (recover/undo_log.h): each write
+ *              snapshots its old bytes and displaced shadow epochs
+ *              before the check runs, so a RaceException rolls the SFR
+ *              back instead of killing the run. The log is armed inside
+ *              ThreadContext — no shim change, no cost when recovery is
+ *              off.
  *   Hooked   — an arbitrary observer (baseline detectors, the tracer
  *              feeding the hardware simulator) sees the access around a
  *              raw load/store.

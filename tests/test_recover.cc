@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Recovery subsystem tests (ISSUE 3): SfrLog mechanics, the determinism
+ * property — under OnRacePolicy::Recover an injected metadata race rolls
+ * back and replays to the exact race-free result, with identical episode
+ * counts on every re-run of a seed — plus kill-fault supervision and
+ * per-site quarantine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clean.h"
+#include "recover/recovery.h"
+#include "recover/undo_log.h"
+#include "support/exit_codes.h"
+#include "workloads/runner.h"
+
+namespace clean
+{
+namespace
+{
+
+TEST(SfrLog, AppendRecordsUntilBeginSfrClears)
+{
+    recover::SfrLog log(8);
+    EXPECT_EQ(log.size(), 0u);
+    recover::SfrLog::Entry *e = log.append();
+    ASSERT_NE(e, nullptr);
+    e->addr = 0x1000;
+    e->size = 4;
+    e->isWrite = true;
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.at(0).addr, 0x1000u);
+    log.beginSfr();
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_FALSE(log.poisoned());
+}
+
+TEST(SfrLog, OverflowPoisonsAndBeginSfrHeals)
+{
+    recover::SfrLog log(2);
+    EXPECT_NE(log.append(), nullptr);
+    EXPECT_NE(log.append(), nullptr);
+    EXPECT_EQ(log.append(), nullptr); // past the cap
+    EXPECT_TRUE(log.poisoned());
+    EXPECT_EQ(log.append(), nullptr); // stays poisoned
+    log.beginSfr();
+    EXPECT_FALSE(log.poisoned());
+    EXPECT_NE(log.append(), nullptr);
+}
+
+TEST(SfrLog, ExplicitPoisonMarksSfrUnrecoverable)
+{
+    recover::SfrLog log(8);
+    log.poison();
+    EXPECT_TRUE(log.poisoned());
+    EXPECT_EQ(log.append(), nullptr);
+}
+
+TEST(SfrLog, RewriteEpochsOnResetZeroesPendingRestores)
+{
+    recover::SfrLog log(8);
+    recover::SfrLog::Entry *e = log.append();
+    ASSERT_NE(e, nullptr);
+    for (std::size_t i = 0; i < recover::SfrLog::kMaxAccessBytes; ++i)
+        e->oldEpochs[i] = 0xdeadbeef;
+    log.rewriteEpochsOnReset();
+    for (std::size_t i = 0; i < recover::SfrLog::kMaxAccessBytes; ++i)
+        EXPECT_EQ(log.at(0).oldEpochs[i], 0u);
+}
+
+TEST(RecoveryManager, QuarantinesASiteAfterMaxRecoveries)
+{
+    recover::RecoveryConfig rc;
+    rc.maxRecoveries = 2;
+    recover::RecoveryManager mgr(rc);
+    EXPECT_TRUE(mgr.admitEpisode(0x40));
+    EXPECT_TRUE(mgr.admitEpisode(0x40));
+    EXPECT_FALSE(mgr.admitEpisode(0x40)); // third strike: quarantined
+    EXPECT_FALSE(mgr.admitEpisode(0x40)); // and it stays out
+    EXPECT_TRUE(mgr.admitEpisode(0x80));  // other sites unaffected
+    const recover::RecoveryStats stats = mgr.stats();
+    EXPECT_EQ(stats.episodes, 3u);
+    EXPECT_EQ(stats.quarantinedSites, 1u);
+    const std::vector<Addr> sites = mgr.quarantinedSites();
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0], 0x40u);
+}
+
+TEST(ExitCodes, PrecedenceIsDeadlockQuarantineRace)
+{
+    EXPECT_EQ(exitCodeForRun(false, false, false),
+              static_cast<int>(ExitCode::Ok));
+    EXPECT_EQ(exitCodeForRun(false, false, true),
+              static_cast<int>(ExitCode::Race));
+    EXPECT_EQ(exitCodeForRun(false, true, true),
+              static_cast<int>(ExitCode::Quarantine));
+    EXPECT_EQ(exitCodeForRun(true, true, true),
+              static_cast<int>(ExitCode::Deadlock));
+}
+
+RuntimeConfig
+recoverConfig(std::uint64_t seed, double rolloverRate = 0)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.deterministic = true;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.onRace = OnRacePolicy::Recover;
+    config.maxRecoveries = 1u << 30; // never quarantine here
+    config.inject.enabled = true;
+    config.inject.seed = seed;
+    // Dropped happens-before edges on a properly locked counter: the
+    // physical mutex still serializes the data, so every detected race
+    // is metadata-only and recovery must converge on the locked answer.
+    config.inject.skipAcquireRate = 0.2;
+    config.inject.rolloverRate = rolloverRate;
+    return config;
+}
+
+struct MicroResult
+{
+    int counter = 0;
+    recover::RecoveryStats stats;
+};
+
+MicroResult
+runLockedCounter(std::uint64_t seed, double rolloverRate = 0)
+{
+    CleanRuntime rt(recoverConfig(seed, rolloverRate));
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    CleanMutex m(rt);
+    std::vector<ThreadHandle> handles;
+    for (int t = 0; t < 4; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+                for (int i = 0; i < 50; ++i) {
+                    m.lock(ctx);
+                    ctx.write(&x[0], ctx.read(&x[0]) + 1);
+                    m.unlock(ctx);
+                }
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    MicroResult r;
+    r.counter = rt.mainContext().read(&x[0]);
+    r.stats = rt.recoveryManager()->stats();
+    return r;
+}
+
+TEST(RecoverDeterminism, FortySeedsReplayToTheLockedAnswer)
+{
+    // The ISSUE 3 acceptance property: for every seed, recovery lands on
+    // the race-free final value, and a second run of the same seed
+    // reproduces both the value and the recovery episode counts.
+    // (Rollover faults stay out of this lane: a shadow reset is taken at
+    // physically-timed park points and masks a timing-dependent subset
+    // of metadata races, so episode *counts* are only deterministic
+    // without resets. Value convergence across resets is the next test.)
+    std::uint64_t totalRecovered = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        const MicroResult a = runLockedCounter(seed);
+        const MicroResult b = runLockedCounter(seed);
+        EXPECT_EQ(a.counter, 200) << "seed " << seed;
+        EXPECT_EQ(b.counter, 200) << "seed " << seed;
+        EXPECT_EQ(a.stats.recovered, b.stats.recovered)
+            << "seed " << seed;
+        EXPECT_EQ(a.stats.episodes, b.stats.episodes) << "seed " << seed;
+        EXPECT_EQ(a.stats.quarantinedSites, 0u) << "seed " << seed;
+        totalRecovered += a.stats.recovered;
+    }
+    // The sweep must actually exercise recovery, not just pass vacuously.
+    EXPECT_GT(totalRecovered, 0u);
+}
+
+TEST(RecoverRollover, UndoLogsSurviveForcedShadowResets)
+{
+    // Forced rollovers interleave shadow resets with recovery episodes:
+    // performReset rewrites each parked thread's pending undo-log epochs
+    // to the reset value, so a rollback that straddles a reset restores
+    // a consistent shadow. Reset points are physically timed, so only
+    // the locked final value (not the episode count) is asserted.
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const MicroResult r = runLockedCounter(seed, 0.01);
+        EXPECT_EQ(r.counter, 200) << "seed " << seed;
+        EXPECT_EQ(r.stats.quarantinedSites, 0u) << "seed " << seed;
+    }
+}
+
+wl::RunSpec
+recoverSpec(const std::string &workload)
+{
+    wl::RunSpec spec;
+    spec.workload = workload;
+    spec.backend = wl::BackendKind::Clean;
+    spec.params.threads = 4;
+    spec.params.scale = wl::Scale::Test;
+    spec.runtime.maxThreads = 32;
+    spec.runtime.heap.sharedBytes = std::size_t{256} << 20;
+    spec.runtime.heap.privateBytes = std::size_t{64} << 20;
+    spec.runtime.onRace = OnRacePolicy::Recover;
+    spec.runtime.inject.enabled = true;
+    return spec;
+}
+
+TEST(RecoverKill, KilledThreadsRetireInsteadOfWedgingTheRun)
+{
+    // The exact seed that test_injection pins as a DeadlockError under
+    // Throw: under Recover the supervisor rolls back the killed thread's
+    // open SFR and retires its Kendo slot, and the run completes.
+    auto spec = recoverSpec("fft");
+    spec.runtime.watchdogMs = 500;
+    spec.runtime.inject.seed = 1;
+    spec.runtime.inject.killRate = 0.0005;
+
+    const auto result = wl::runWorkload(spec);
+    EXPECT_FALSE(result.deadlock) << result.deadlockMessage;
+    EXPECT_FALSE(result.raceException) << result.raceMessage;
+    EXPECT_GE(result.recoveredKills, 1u);
+    EXPECT_EQ(result.quarantinedSites, 0u);
+
+    const auto replay = wl::runWorkload(spec);
+    EXPECT_FALSE(replay.deadlock);
+    EXPECT_EQ(replay.recoveredKills, result.recoveredKills);
+}
+
+TEST(RecoverQuarantine, ExhaustedSiteDegradesAndNamesItself)
+{
+    // maxRecoveries=0 denies every episode: the site is quarantined on
+    // first contact, the race degrades to Report, and the run completes
+    // with the quarantine named in the failure report.
+    auto spec = recoverSpec("streamcluster");
+    spec.runtime.maxRecoveries = 0;
+    spec.runtime.inject.seed = 2;
+    spec.runtime.inject.skipAcquireRate = 0.05;
+
+    const auto result = wl::runWorkload(spec);
+    EXPECT_FALSE(result.deadlock);
+    EXPECT_FALSE(result.raceException);
+    EXPECT_GT(result.raceCount, 0u);
+    EXPECT_GE(result.quarantinedSites, 1u);
+    EXPECT_NE(result.failureReport.find("\"outcome\":\"degraded\""),
+              std::string::npos)
+        << result.failureReport;
+    EXPECT_NE(result.failureReport.find("\"quarantinedSites\":["),
+              std::string::npos);
+    EXPECT_EQ(exitCodeForRun(result.deadlock,
+                             result.quarantinedSites > 0, false),
+              static_cast<int>(ExitCode::Quarantine));
+}
+
+TEST(RecoverOutput, RecoveredRunMatchesTheFaultFreeOutput)
+{
+    // End-to-end acceptance: a recovered run's output hash equals the
+    // fault-free run's on a real suite workload.
+    auto clean = recoverSpec("streamcluster");
+    clean.runtime.inject.enabled = false;
+    const auto reference = wl::runWorkload(clean);
+
+    auto faulty = recoverSpec("streamcluster");
+    faulty.runtime.inject.seed = 2;
+    faulty.runtime.inject.skipAcquireRate = 0.05;
+    const auto recovered = wl::runWorkload(faulty);
+
+    EXPECT_FALSE(recovered.raceException);
+    EXPECT_FALSE(recovered.deadlock);
+    EXPECT_GT(recovered.recoveredRaces, 0u);
+    EXPECT_EQ(recovered.outputHash, reference.outputHash);
+    EXPECT_NE(recovered.failureReport.find("\"outcome\":\"recovered\""),
+              std::string::npos)
+        << recovered.failureReport;
+}
+
+} // namespace
+} // namespace clean

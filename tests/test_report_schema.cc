@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Golden-schema test for CleanRuntime::failureReportJson(): every
+ * OnRacePolicy mode (and the DeadlockError path) must keep emitting the
+ * keys downstream tooling parses. A removed or renamed field fails here,
+ * not in a consumer's dashboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+
+#include "core/clean.h"
+#include "workloads/runner.h"
+
+namespace clean
+{
+namespace
+{
+
+void
+expectKeys(const std::string &report,
+           std::initializer_list<const char *> keys)
+{
+    for (const char *key : keys) {
+        EXPECT_NE(report.find(key), std::string::npos)
+            << "missing " << key << " in:\n"
+            << report;
+    }
+}
+
+/** Keys every report carries regardless of policy or outcome. */
+void
+expectCommonSchema(const std::string &report, const char *policy)
+{
+    expectKeys(report,
+               {"\"version\":1", "\"policy\":\"", "\"outcome\":\"",
+                "\"races\":{", "\"count\":", "\"reported\":[",
+                "\"detCounts\":[", "\"checker\":{", "\"sharedReads\":",
+                "\"sharedWrites\":", "\"accessedBytes\":",
+                "\"epochUpdates\":", "\"rollovers\":"});
+    EXPECT_NE(report.find(std::string("\"policy\":\"") + policy + "\""),
+              std::string::npos)
+        << report;
+}
+
+wl::RunSpec
+racySpec(OnRacePolicy policy)
+{
+    wl::RunSpec spec;
+    spec.workload = "streamcluster";
+    spec.backend = wl::BackendKind::Clean;
+    spec.params.threads = 4;
+    spec.params.scale = wl::Scale::Test;
+    spec.runtime.maxThreads = 32;
+    spec.runtime.heap.sharedBytes = std::size_t{256} << 20;
+    spec.runtime.heap.privateBytes = std::size_t{64} << 20;
+    spec.runtime.onRace = policy;
+    spec.runtime.inject.enabled = true;
+    spec.runtime.inject.seed = 2;
+    spec.runtime.inject.skipAcquireRate = 0.05;
+    return spec;
+}
+
+/** Keys of one reported race record, including the ISSUE 3 site/SFR
+ *  provenance fields. */
+constexpr std::initializer_list<const char *> kRaceRecordKeys = {
+    "\"kind\":\"",     "\"addrOffset\":",     "\"accessor\":",
+    "\"previousWriter\":", "\"previousClock\":", "\"site\":",
+    "\"sfr\":"};
+
+TEST(ReportSchema, ThrowPolicy)
+{
+    const auto result = wl::runWorkload(racySpec(OnRacePolicy::Throw));
+    ASSERT_TRUE(result.raceException);
+    expectCommonSchema(result.failureReport, "throw");
+    expectKeys(result.failureReport, {"\"outcome\":\"race\""});
+    expectKeys(result.failureReport, kRaceRecordKeys);
+    // No recovery manager under Throw: the block must be absent.
+    EXPECT_EQ(result.failureReport.find("\"recovery\":"),
+              std::string::npos);
+}
+
+TEST(ReportSchema, ReportPolicy)
+{
+    const auto result = wl::runWorkload(racySpec(OnRacePolicy::Report));
+    ASSERT_GT(result.raceCount, 0u);
+    expectCommonSchema(result.failureReport, "report");
+    expectKeys(result.failureReport, {"\"outcome\":\"race\""});
+    expectKeys(result.failureReport, kRaceRecordKeys);
+    expectKeys(result.failureReport, {"\"injection\":{", "\"seed\":",
+                                      "\"skippedAcquires\":"});
+}
+
+TEST(ReportSchema, CountPolicy)
+{
+    const auto result = wl::runWorkload(racySpec(OnRacePolicy::Count));
+    ASSERT_GT(result.raceCount, 0u);
+    expectCommonSchema(result.failureReport, "count");
+    expectKeys(result.failureReport, {"\"outcome\":\"race\""});
+}
+
+TEST(ReportSchema, RecoverPolicy)
+{
+    const auto result = wl::runWorkload(racySpec(OnRacePolicy::Recover));
+    EXPECT_FALSE(result.raceException);
+    ASSERT_GT(result.recoveredRaces, 0u);
+    expectCommonSchema(result.failureReport, "recover");
+    expectKeys(result.failureReport,
+               {"\"outcome\":\"recovered\"", "\"recovery\":{",
+                "\"episodes\":", "\"attempts\":", "\"recovered\":",
+                "\"forcedReplays\":", "\"replayRaces\":",
+                "\"replayMismatches\":", "\"rolledBackWrites\":",
+                "\"skippedRollbacks\":", "\"recoveredKills\":",
+                "\"quarantinedSites\":["});
+    expectKeys(result.failureReport, kRaceRecordKeys);
+}
+
+TEST(ReportSchema, DeadlockError)
+{
+    auto spec = racySpec(OnRacePolicy::Throw);
+    spec.workload = "fft";
+    spec.runtime.watchdogMs = 500;
+    spec.runtime.inject.skipAcquireRate = 0;
+    spec.runtime.inject.seed = 1;
+    spec.runtime.inject.killRate = 0.0005;
+    const auto result = wl::runWorkload(spec);
+    ASSERT_TRUE(result.deadlock);
+    expectCommonSchema(result.failureReport, "throw");
+    expectKeys(result.failureReport,
+               {"\"outcome\":\"deadlock\"", "\"deadlock\":{",
+                "\"waiter\":", "\"stuckSlot\":", "\"waitedMs\":",
+                "\"message\":"});
+}
+
+} // namespace
+} // namespace clean

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/exit_codes.h"
 #include "support/options.h"
 #include "support/prng.h"
 #include "support/stats.h"
@@ -235,6 +236,28 @@ TEST(Options, AcceptsWellFormedNumericShapes)
     EXPECT_EQ(opts.getInt("b", 0), 16); // base 0: hex still parses
     EXPECT_DOUBLE_EQ(opts.getDouble("c", 0), 2.5);
     EXPECT_DOUBLE_EQ(opts.getDouble("d", 0), 1000.0);
+}
+
+TEST(ExitCodes, ValuesMatchTheDocumentedContract)
+{
+    // The README exit-code table is load-bearing for CI scripts: these
+    // numbers must never shift.
+    EXPECT_EQ(static_cast<int>(ExitCode::Ok), 0);
+    EXPECT_EQ(static_cast<int>(ExitCode::Error), 1);
+    EXPECT_EQ(static_cast<int>(ExitCode::OptionError), 2);
+    EXPECT_EQ(static_cast<int>(ExitCode::Race), 3);
+    EXPECT_EQ(static_cast<int>(ExitCode::Deadlock), 4);
+    EXPECT_EQ(static_cast<int>(ExitCode::Quarantine), 5);
+}
+
+TEST(ExitCodes, ClassifierPrecedence)
+{
+    EXPECT_EQ(exitCodeForRun(false, false, false), 0);
+    EXPECT_EQ(exitCodeForRun(false, false, true), 3);
+    EXPECT_EQ(exitCodeForRun(false, true, false), 5);
+    EXPECT_EQ(exitCodeForRun(false, true, true), 5);  // quarantine > race
+    EXPECT_EQ(exitCodeForRun(true, false, true), 4);  // deadlock first
+    EXPECT_EQ(exitCodeForRun(true, true, true), 4);
 }
 
 } // namespace

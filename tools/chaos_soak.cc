@@ -15,13 +15,22 @@
  * identical outcome; the sweep replays a sample of seeds and fails on
  * any divergence.
  *
+ * A second lane sweeps OnRacePolicy::Recover (ISSUE 3): race-free
+ * workloads run with SkipAcquire faults only — the physical lock still
+ * serializes the data, so every injected race is metadata-only and
+ * recovery must converge on the reference output. Each recover seed runs
+ * twice and the replay must reproduce the output hash AND the recovery
+ * episode counts.
+ *
  * Usage:
  *   chaos_soak                          # 200 runs, the default sweep
  *   chaos_soak --runs=500 --threads=8
  *   chaos_soak --seed-base=1000 --replay-every=5 --verbose
  *   chaos_soak --seed=137 --verbose     # replay one seed and exit
+ *   chaos_soak --runs=0 --recover-runs=100   # recover lane only
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -30,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "support/exit_codes.h"
 #include "support/options.h"
 #include "support/prng.h"
 #include "workloads/runner.h"
@@ -68,6 +78,7 @@ struct RunPlan
     bool racy = false;
     inject::FaultKind kind = inject::FaultKind::SkipCheck;
     OnRacePolicy policy = OnRacePolicy::Throw;
+    std::uint32_t maxRecoveries = 8;
 };
 
 /** Expands one sweep seed into a run: workload, fault kind, policy.
@@ -101,7 +112,29 @@ struct SoakResult
     std::string detail;
     std::uint64_t raceCount = 0;
     std::uint64_t outputHash = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t quarantined = 0;
+    int exitCode = 0;
 };
+
+/** The exit code the run's outcome commits cleanrun to (the soak
+ *  cross-checks the classifier against support/exit_codes.h). */
+int
+expectedExit(const RunPlan &plan, const SoakResult &r)
+{
+    if (r.outcome == Outcome::Deadlock)
+        return static_cast<int>(ExitCode::Deadlock);
+    if (r.outcome == Outcome::Race)
+        return static_cast<int>(ExitCode::Race);
+    if (r.quarantined > 0)
+        return static_cast<int>(ExitCode::Quarantine);
+    // A degraded-policy run completes with races only recorded; that
+    // still fails the process unless the policy actively recovered.
+    if (r.raceCount > 0 && plan.policy != OnRacePolicy::Recover)
+        return static_cast<int>(ExitCode::Race);
+    return static_cast<int>(ExitCode::Ok);
+}
 
 SoakResult
 runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
@@ -118,6 +151,7 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
     spec.runtime.heap.privateBytes = std::size_t{64} << 20;
     spec.runtime.watchdogMs = watchdogMs;
     spec.runtime.onRace = plan.policy;
+    spec.runtime.maxRecoveries = plan.maxRecoveries;
 
     auto &inject = spec.runtime.inject;
     inject.enabled = true;
@@ -141,6 +175,16 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
         const RunResult result = runWorkload(spec);
         soak.raceCount = result.raceCount;
         soak.outputHash = result.outputHash;
+        soak.recovered = result.recoveredRaces;
+        soak.attempts = result.recoveryAttempts;
+        soak.quarantined = result.quarantinedSites;
+        const bool raceFailed =
+            result.raceException ||
+            (result.raceCount > 0 &&
+             plan.policy != OnRacePolicy::Recover);
+        soak.exitCode = exitCodeForRun(result.deadlock,
+                                       result.quarantinedSites > 0,
+                                       raceFailed);
         if (result.deadlock) {
             soak.outcome = Outcome::Deadlock;
             soak.detail = result.deadlockMessage;
@@ -182,6 +226,9 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.getInt("watchdog-ms", 400));
     const auto replayEvery =
         static_cast<std::uint64_t>(opts.getInt("replay-every", 10));
+    const auto recoverRuns = static_cast<std::uint64_t>(opts.getInt(
+        "recover-runs",
+        static_cast<long long>(std::max<std::uint64_t>(10, runs / 5))));
     const bool verbose = opts.getBool("verbose", false);
 
     if (opts.has("seed")) {
@@ -225,6 +272,18 @@ main(int argc, char **argv)
               outcomeName(r.outcome)]++;
 
         bool bad = r.outcome == Outcome::Violation;
+        // Exit-code discipline: the outcome classification and the
+        // process exit code must never disagree (README table).
+        if (r.outcome != Outcome::Violation &&
+            r.exitCode != expectedExit(plan, r)) {
+            bad = true;
+            std::printf("seed %llu: EXIT-CODE MISMATCH on %s/%s: "
+                        "%d != expected %d\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        inject::faultKindName(plan.kind), r.exitCode,
+                        expectedExit(plan, r));
+        }
         // Wrong-output check: a race-free workload that completed
         // cleanly must have produced the reference answer.
         if (r.outcome == Outcome::Clean && !plan.racy &&
@@ -272,9 +331,78 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("\nchaos soak: %llu runs, %llu replays\n",
+    // Recover-policy lane (ISSUE 3). SkipAcquire on a race-free workload
+    // drops happens-before edges while the physical mutex still
+    // serializes the data, so every detected race is metadata-only and
+    // rollback + replay must land on the reference output. Kill faults
+    // stay out of this lane: a killed worker's partial sink hash is not
+    // folded into the final output, so output equality is undefined.
+    std::uint64_t recoverTotal = 0, recoverEpisodes = 0;
+    for (std::uint64_t i = 0; i < recoverRuns; ++i) {
+        const std::uint64_t seed = seedBase + 100000 + i;
+        Prng prng(seed * 0x9e3779b97f4a7c15ULL + 7);
+        RunPlan plan;
+        plan.workload = kRaceFree[prng.nextBelow(std::size(kRaceFree))];
+        plan.kind = inject::FaultKind::SkipAcquire;
+        plan.policy = OnRacePolicy::Recover;
+        plan.maxRecoveries = 1000000; // never quarantine in this lane
+
+        const SoakResult a = runOne(seed, plan, threads, watchdogMs);
+        const SoakResult b = runOne(seed, plan, threads, watchdogMs);
+        ++recoverTotal;
+        recoverEpisodes += a.attempts;
+
+        bool bad = false;
+        if (a.outcome != Outcome::Clean || a.exitCode != 0) {
+            bad = true;
+            std::printf("recover seed %llu: NOT RECOVERED on %s: %s "
+                        "(exit %d) %s\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(), outcomeName(a.outcome),
+                        a.exitCode, a.detail.c_str());
+        } else if (a.outputHash != reference[plan.workload]) {
+            bad = true;
+            std::printf("recover seed %llu: WRONG OUTPUT on %s "
+                        "(%016llx != %016llx)\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        static_cast<unsigned long long>(a.outputHash),
+                        static_cast<unsigned long long>(
+                            reference[plan.workload]));
+        } else if (b.outcome != a.outcome ||
+                   b.outputHash != a.outputHash ||
+                   b.recovered != a.recovered ||
+                   b.attempts != a.attempts) {
+            bad = true;
+            std::printf("recover seed %llu: REPLAY MISMATCH on %s "
+                        "(out %016llx/%016llx recovered %llu/%llu "
+                        "attempts %llu/%llu)\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        static_cast<unsigned long long>(a.outputHash),
+                        static_cast<unsigned long long>(b.outputHash),
+                        static_cast<unsigned long long>(a.recovered),
+                        static_cast<unsigned long long>(b.recovered),
+                        static_cast<unsigned long long>(a.attempts),
+                        static_cast<unsigned long long>(b.attempts));
+        } else if (verbose) {
+            std::printf("recover seed %llu: %s clean (recovered %llu "
+                        "of %llu attempts)\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        static_cast<unsigned long long>(a.recovered),
+                        static_cast<unsigned long long>(a.attempts));
+        }
+        if (bad)
+            ++violations;
+    }
+
+    std::printf("\nchaos soak: %llu runs, %llu replays, %llu recover "
+                "runs (%llu recovery attempts)\n",
                 static_cast<unsigned long long>(runs),
-                static_cast<unsigned long long>(replayed));
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(recoverTotal),
+                static_cast<unsigned long long>(recoverEpisodes));
     for (const auto &[key, count] : tally)
         std::printf("  %-28s %llu\n", key.c_str(),
                     static_cast<unsigned long long>(count));

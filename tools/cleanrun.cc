@@ -18,13 +18,20 @@
  * tsan-lite, trace. Scales: test, small, large.
  *
  * Robustness knobs (clean backends):
- *   --on-race=throw|report|count   race response policy
+ *   --on-race=throw|report|count|recover   race response policy
+ *   --max-recoveries=N             recover: episodes per site before
+ *                                  the site is quarantined (default 8)
  *   --watchdog-ms=N                deadlock watchdog (0 = off)
  *   --report-json                  print the structured failure report
  *   --inject-seed=S                enable deterministic fault injection
  *   --inject-skip-check=R --inject-skip-acquire=R --inject-delay=R
  *   --inject-rollover=R --inject-kill=R      per-site fault rates
  *   --inject-delay-us=N            stall length of one Delay fault
+ *
+ * Exit codes (see support/exit_codes.h): 0 ok / fully recovered,
+ * 1 internal error, 2 option error, 3 race, 4 watchdog deadlock,
+ * 5 recovery quarantine exhausted. With --runs=N the first non-zero
+ * code wins (deadlock > quarantine > race within one run).
  */
 
 #include <algorithm>
@@ -32,6 +39,7 @@
 #include <cstring>
 
 #include "sim/machine.h"
+#include "support/exit_codes.h"
 #include "support/logging.h"
 #include "support/options.h"
 #include "workloads/registry.h"
@@ -84,7 +92,9 @@ parseOnRace(const std::string &name)
         return OnRacePolicy::Report;
     if (name == "count")
         return OnRacePolicy::Count;
-    fatal("unknown on-race policy '%s' (throw|report|count)",
+    if (name == "recover")
+        return OnRacePolicy::Recover;
+    fatal("unknown on-race policy '%s' (throw|report|count|recover)",
           name.c_str());
 }
 
@@ -202,6 +212,8 @@ runMain(const Options &opts)
         spec.runtime.maxThreads = spec.runtime.epoch.maxThreads();
     }
     spec.runtime.onRace = parseOnRace(opts.getString("on-race", "throw"));
+    spec.runtime.maxRecoveries =
+        static_cast<std::uint32_t>(opts.getInt("max-recoveries", 8));
     spec.runtime.watchdogMs = static_cast<std::uint64_t>(
         opts.getInt("watchdog-ms", 10000));
     if (opts.has("inject-seed")) {
@@ -220,6 +232,7 @@ runMain(const Options &opts)
 
     const unsigned runs =
         static_cast<unsigned>(opts.getInt("runs", 1));
+    int exitCode = 0;
     for (unsigned r = 0; r < runs; ++r) {
         const auto result = runWorkload(spec);
         const char *verdict = result.deadlock        ? "DEADLOCK"
@@ -231,11 +244,38 @@ runMain(const Options &opts)
             std::printf("  %s\n", result.raceMessage.c_str());
         if (result.deadlock)
             std::printf("  %s\n", result.deadlockMessage.c_str());
-        if (result.raceCount > 0 && !result.raceException) {
+        if (result.raceCount > 0 && !result.raceException &&
+            spec.runtime.onRace != OnRacePolicy::Recover) {
             std::printf("  races recorded (degraded mode): %llu\n",
                         static_cast<unsigned long long>(
                             result.raceCount));
         }
+        if (result.recoveryAttempts > 0 || result.quarantinedSites > 0) {
+            std::printf("  recovery: %llu recovered (%llu attempts, "
+                        "%llu forced, %llu kills) quarantined sites "
+                        "%llu\n",
+                        static_cast<unsigned long long>(
+                            result.recoveredRaces),
+                        static_cast<unsigned long long>(
+                            result.recoveryAttempts),
+                        static_cast<unsigned long long>(
+                            result.forcedReplays),
+                        static_cast<unsigned long long>(
+                            result.recoveredKills),
+                        static_cast<unsigned long long>(
+                            result.quarantinedSites));
+        }
+        // Under Recover, counted races were rolled back and replayed;
+        // they only fail the run when a site exhausted its budget.
+        const bool raceFailed =
+            result.raceException ||
+            (result.raceCount > 0 &&
+             spec.runtime.onRace != OnRacePolicy::Recover);
+        const int code = exitCodeForRun(result.deadlock,
+                                        result.quarantinedSites > 0,
+                                        raceFailed);
+        if (exitCode == 0)
+            exitCode = code;
         std::printf("  time %.4fs  reads %llu  writes %llu  "
                     "output %016llx  rollovers %llu\n",
                     result.seconds,
@@ -264,7 +304,7 @@ runMain(const Options &opts)
             }
         }
     }
-    return 0;
+    return exitCode;
 }
 
 } // namespace
