@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the same-epoch micro-check benchmarks.
+
+Compares a google-benchmark JSON result (produced with
+``--benchmark_repetitions=N --benchmark_report_aggregates_only=true``)
+against the committed baseline ``bench/baseline_microcheck.json`` and
+fails (exit 1) if any gated benchmark's median regresses by more than
+the threshold (default 25%).
+
+The gated benchmarks are the inlined same-epoch read/write checks —
+the hot path the observability layer must not perturb:
+
+  * BM_ReadCheckSameEpoch8B
+  * BM_WriteCheckSameEpoch8B
+
+Medians are compared rather than means because CI runners are noisy
+and a single descheduled repetition should not trip the gate.
+
+Usage:
+  python3 bench/check_perf.py --baseline bench/baseline_microcheck.json \
+      --result build/bench_result.json [--threshold 0.25]
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+GATED = (
+    "BM_ReadCheckSameEpoch8B",
+    "BM_WriteCheckSameEpoch8B",
+)
+
+
+def load_medians(path):
+    """Map benchmark base name -> median real_time in ns."""
+    with open(path) as f:
+        doc = json.load(f)
+    medians = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows are named "<name>_median" with run_type
+        # "aggregate"; plain repetition rows are skipped.
+        if bench.get("aggregate_name") != "median":
+            continue
+        base = bench.get("run_name", bench["name"].rsplit("_", 1)[0])
+        # run_name may carry "/repeats:N" suffixes; strip them.
+        base = base.split("/")[0]
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        medians[base] = bench["real_time"] * scale
+    return medians
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--result", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional regression")
+    args = parser.parse_args()
+
+    baseline = load_medians(args.baseline)
+    result = load_medians(args.result)
+
+    failed = False
+    for name in GATED:
+        if name not in baseline:
+            print(f"FAIL {name}: missing from baseline {args.baseline}")
+            failed = True
+            continue
+        if name not in result:
+            print(f"FAIL {name}: missing from result {args.result} "
+                  "(did the benchmark run with --benchmark_repetitions "
+                  "and report_aggregates_only?)")
+            failed = True
+            continue
+        base = baseline[name]
+        now = result[name]
+        delta = (now - base) / base
+        status = "FAIL" if delta > args.threshold else "ok"
+        print(f"{status:4s} {name}: baseline {base:.3f} ns, "
+              f"now {now:.3f} ns ({delta:+.1%}, "
+              f"limit +{args.threshold:.0%})")
+        if delta > args.threshold:
+            failed = True
+
+    if failed:
+        print()
+        print("Same-epoch check medians regressed past the limit.")
+        print("If this slowdown is intentional (e.g. the check itself "
+              "changed), apply the 'perf-override' label to the PR and "
+              "update bench/baseline_microcheck.json in the same change.")
+        return 1
+    print("perf gate: all gated benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

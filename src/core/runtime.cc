@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/sync_objects.h"
+#include "obs/trace_export.h"
 #include "recover/recovery.h"
 #include "support/backoff.h"
 #include "support/json.h"
@@ -56,6 +57,126 @@ ThreadContext::ThreadContext(CleanRuntime &rt, ThreadId tid,
     plan_ = rt.injectionPlan();
     log_ = rt.recordAt(record).sfrLog.get();
     slowAccess_ = plan_ != nullptr || log_ != nullptr;
+    if (obs::FlightRecorder *recorder = rt.recorder()) {
+        obsLane_ = recorder->lane(tid);
+        obsSampleCountdown_ = recorder->config().latencySampleEvery;
+        if (obsLane_ != nullptr) {
+            obsSfrStartDet_ = obsDetNow();
+            obsEvent(obs::EventKind::ThreadStart, record_);
+            obsEvent(obs::EventKind::SfrBegin, state_->sfrOrdinal);
+        }
+    }
+}
+
+std::uint64_t
+ThreadContext::obsDetNow() const
+{
+    return rt_.kendo().count(state_->tid);
+}
+
+void
+ThreadContext::obsEvent(obs::EventKind kind, std::uint64_t arg0,
+                        std::uint64_t arg1)
+{
+    obsLane_->record(kind, obsDetNow(), arg0, arg1);
+}
+
+void
+ThreadContext::obsSfrBoundary()
+{
+    const std::uint64_t now = obsDetNow();
+    const std::uint64_t length = now - obsSfrStartDet_;
+    obsLane_->sfrLength.add(length);
+    obsLane_->record(obs::EventKind::SfrEnd, now, state_->sfrOrdinal - 1,
+                     length);
+    obsLane_->record(obs::EventKind::SfrBegin, now, state_->sfrOrdinal);
+    obsSfrStartDet_ = now;
+}
+
+void
+ThreadContext::obsSyncAcquire()
+{
+    if (CLEAN_LIKELY(obsLane_ == nullptr))
+        return;
+    const std::uint64_t now = obsDetNow();
+    obsLane_->record(obs::EventKind::SyncAcquire, now, now,
+                     state_->sfrOrdinal);
+}
+
+void
+ThreadContext::obsSyncRelease()
+{
+    if (CLEAN_LIKELY(obsLane_ == nullptr))
+        return;
+    const std::uint64_t now = obsDetNow();
+    obsLane_->record(obs::EventKind::SyncRelease, now, now,
+                     state_->sfrOrdinal);
+}
+
+void
+ThreadContext::onReadObs(Addr addr, std::size_t size)
+{
+    // Same check semantics as the inline body in runtime.h, plus the
+    // sampled check-latency histogram. Which accesses get timed is a
+    // function of the deterministic access stream; the measured
+    // nanoseconds are physical (metrics only, never in the trace).
+    const bool sample =
+        obsSampleCountdown_ > 0 && --obsSampleCountdown_ == 0;
+    if (sample) {
+        obsSampleCountdown_ =
+            rt_.recorder()->config().latencySampleEvery;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            rt_.checkRead(*state_, addr, size);
+        } catch (const RaceException &race) {
+            if (rt_.recordRace(race))
+                throw;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        obsLane_->checkLatencyNs.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+    } else {
+        try {
+            rt_.checkRead(*state_, addr, size);
+        } catch (const RaceException &race) {
+            if (rt_.recordRace(race))
+                throw;
+        }
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
+}
+
+void
+ThreadContext::onWriteObs(Addr addr, std::size_t size)
+{
+    const bool sample =
+        obsSampleCountdown_ > 0 && --obsSampleCountdown_ == 0;
+    if (sample) {
+        obsSampleCountdown_ =
+            rt_.recorder()->config().latencySampleEvery;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            rt_.checkWrite(*state_, addr, size);
+        } catch (const RaceException &race) {
+            if (rt_.recordRace(race))
+                throw;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        obsLane_->checkLatencyNs.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+    } else {
+        try {
+            rt_.checkWrite(*state_, addr, size);
+        } catch (const RaceException &race) {
+            if (rt_.recordRace(race))
+                throw;
+        }
+    }
+    if (++pendingDetEvents_ >= detChunk_)
+        flushDetEvents();
 }
 
 void
@@ -226,20 +347,47 @@ bool
 ThreadContext::injectAtAccess()
 {
     const std::uint64_t coord = injectCoord_++;
-    if (plan_->killThread(state_->tid, coord))
+    if (plan_->killThread(state_->tid, coord)) {
+        if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+            obsEvent(obs::EventKind::InjectionFired,
+                     static_cast<std::uint64_t>(
+                         inject::FaultKind::KillThread),
+                     coord);
         throw inject::ThreadKilled(state_->tid, coord);
-    return plan_->skipCheck(state_->tid, coord);
+    }
+    const bool skip = plan_->skipCheck(state_->tid, coord);
+    if (CLEAN_UNLIKELY(skip && obsLane_ != nullptr))
+        obsEvent(obs::EventKind::InjectionFired,
+                 static_cast<std::uint64_t>(inject::FaultKind::SkipCheck),
+                 coord);
+    return skip;
 }
 
 void
 ThreadContext::injectAtSync()
 {
     const std::uint64_t coord = injectCoord_++;
-    if (plan_->killThread(state_->tid, coord))
+    if (plan_->killThread(state_->tid, coord)) {
+        if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+            obsEvent(obs::EventKind::InjectionFired,
+                     static_cast<std::uint64_t>(
+                         inject::FaultKind::KillThread),
+                     coord);
         throw inject::ThreadKilled(state_->tid, coord);
-    if (const std::uint32_t us = plan_->delayMicros(state_->tid, coord))
+    }
+    if (const std::uint32_t us = plan_->delayMicros(state_->tid, coord)) {
+        if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+            obsEvent(obs::EventKind::InjectionFired,
+                     static_cast<std::uint64_t>(inject::FaultKind::Delay),
+                     coord);
         std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
     if (plan_->forceRollover(state_->tid, coord)) {
+        if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+            obsEvent(obs::EventKind::InjectionFired,
+                     static_cast<std::uint64_t>(
+                         inject::FaultKind::ForceRollover),
+                     coord);
         rt_.rollover().request();
         pollRollover();
     }
@@ -250,7 +398,14 @@ ThreadContext::injectSkipAcquire()
 {
     if (CLEAN_LIKELY(plan_ == nullptr))
         return false;
-    return plan_->skipAcquire(state_->tid, injectCoord_++);
+    const std::uint64_t coord = injectCoord_++;
+    const bool skip = plan_->skipAcquire(state_->tid, coord);
+    if (CLEAN_UNLIKELY(skip && obsLane_ != nullptr))
+        obsEvent(obs::EventKind::InjectionFired,
+                 static_cast<std::uint64_t>(
+                     inject::FaultKind::SkipAcquire),
+                 coord);
+    return skip;
 }
 
 void
@@ -305,6 +460,8 @@ ThreadContext::acquireTurn()
     state_->sfrOrdinal++;
     if (CLEAN_UNLIKELY(log_ != nullptr))
         log_->beginSfr();
+    if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+        obsSfrBoundary();
 }
 
 // ---------------------------------------------------------------------
@@ -364,6 +521,8 @@ ThreadContext::rollbackWrites(std::size_t count)
     }
     if (auto *mgr = rt_.recoveryManager())
         mgr->noteRollback(restored, skipped);
+    if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+        obsEvent(obs::EventKind::RecoveryRollback, restored, skipped);
 }
 
 bool
@@ -417,6 +576,49 @@ ThreadContext::replaySfr(bool forced)
     return true;
 }
 
+namespace
+{
+
+/**
+ * Satellite bugfix (ISSUE 4): replay re-executes SFR accesses through
+ * the regular checker, which bumps CheckerStats a second time for
+ * accesses the program only performed once. This scope snapshots the
+ * base counters and, on exit, moves everything the episode added into
+ * the .replayed* counters — Fig. 7/10 numbers keep counting each
+ * program access exactly once, and the replay cost stays visible.
+ * Wide-access shape counters (wideAccesses/wideSameEpoch/
+ * wideCasUpdates) are restored without a replayed twin: replays repeat
+ * the original shapes, so keeping their deltas would say nothing new.
+ */
+struct ReplayedStatsScope
+{
+    explicit ReplayedStatsScope(CheckerStats &stats)
+        : stats(stats), base(stats)
+    {
+    }
+
+    ~ReplayedStatsScope()
+    {
+        stats.replayedReads += stats.sharedReads - base.sharedReads;
+        stats.replayedWrites += stats.sharedWrites - base.sharedWrites;
+        stats.replayedBytes += stats.accessedBytes - base.accessedBytes;
+        stats.replayedEpochUpdates +=
+            stats.epochUpdates - base.epochUpdates;
+        stats.sharedReads = base.sharedReads;
+        stats.sharedWrites = base.sharedWrites;
+        stats.accessedBytes = base.accessedBytes;
+        stats.epochUpdates = base.epochUpdates;
+        stats.wideAccesses = base.wideAccesses;
+        stats.wideSameEpoch = base.wideSameEpoch;
+        stats.wideCasUpdates = base.wideCasUpdates;
+    }
+
+    CheckerStats &stats;
+    CheckerStats base;
+};
+
+} // namespace
+
 bool
 ThreadContext::recoverAccess(const RaceException &race, Addr addr,
                              void *bytes, std::size_t size, bool isWrite)
@@ -426,16 +628,30 @@ ThreadContext::recoverAccess(const RaceException &race, Addr addr,
     if (mgr == nullptr || token == nullptr || log_ == nullptr ||
         log_->poisoned())
         return false;
-    if (!mgr->admitEpisode(rt_.heapOffset(race.addr())))
+    if (!mgr->admitEpisode(rt_.heapOffset(race.addr()))) {
+        if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+            obsEvent(obs::EventKind::Quarantine,
+                     rt_.heapOffset(race.addr()));
         return false; // quarantined: caller degrades to recordRace
+    }
     rt_.noteRace(race);
     absorbRaceEpoch(race);
+    if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+        obsEvent(obs::EventKind::RecoveryBegin,
+                 rt_.heapOffset(race.addr()), state_->sfrOrdinal);
+
+    // Everything from here on re-executes already-counted accesses;
+    // route the checker-stat deltas into the .replayed* counters.
+    ReplayedStatsScope replayedStats(state_->stats);
 
     const std::uint32_t attempts =
         std::max<std::uint32_t>(1, mgr->config().attemptsPerEpisode);
     for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
         const bool forced = attempt + 1 == attempts;
         mgr->noteAttempt();
+        if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+            obsEvent(obs::EventKind::RecoveryReplay, attempt,
+                     forced ? 1 : 0);
         rollbackWrites(log_->size());
         // Serialize the re-execution: token grant order is fixed by the
         // Kendo clock, so competing recoveries replay in the same order
@@ -476,6 +692,8 @@ ThreadContext::recoverAccess(const RaceException &race, Addr addr,
             if (!isWrite)
                 logRead(addr, bytes, size);
             mgr->noteRecovered(forced);
+            if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+                obsEvent(obs::EventKind::RecoveryEnd, 1, forced ? 1 : 0);
             return true;
         }
         mgr->noteReplayMismatch();
@@ -559,6 +777,12 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
 
     if (config_.inject.any())
         injectPlan_ = std::make_unique<inject::InjectionPlan>(config_.inject);
+
+    // Before the main ThreadContext below: its constructor binds the
+    // thread's lane.
+    if (obs::kCompiledIn && config_.obs.enabled)
+        recorder_ = std::make_unique<obs::FlightRecorder>(
+            config_.obs, config_.maxThreads);
 
     if (config_.onRace == OnRacePolicy::Recover) {
         recover::RecoveryConfig rc;
@@ -692,6 +916,13 @@ CleanRuntime::threadMain(std::uint32_t record,
 {
     ThreadRecord &r = recordAt(record);
     ThreadContext ctx(*this, r.tid, record);
+    const auto obsFinish = [this, &r, record] {
+        if (CLEAN_LIKELY(recorder_ == nullptr))
+            return;
+        if (obs::ThreadLane *lane = recorder_->lane(r.tid))
+            lane->record(obs::EventKind::ThreadFinish,
+                         kendo_->count(r.tid), record);
+    };
     try {
         body(ctx);
         // Normal thread end is a synchronization point (§2.2): take the
@@ -710,6 +941,7 @@ CleanRuntime::threadMain(std::uint32_t record,
             // a frozen count. Siblings that wait on it are rescued by
             // the watchdog (DeadlockError naming this slot) — which is
             // the point of the fault.
+            obsFinish();
             r.phase.store(ThreadRecord::Phase::Finished,
                           std::memory_order_release);
             return;
@@ -727,6 +959,7 @@ CleanRuntime::threadMain(std::uint32_t record,
         abortFlag_.store(true, std::memory_order_release);
     }
 
+    obsFinish();
     {
         std::lock_guard<std::mutex> guard(r.joinMutex);
         r.finalDetCount = kendo_->count(r.tid);
@@ -814,6 +1047,20 @@ CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
         std::rethrow_exception(pending);
 }
 
+void
+CleanRuntime::obsRaceDetected(const RaceException &race)
+{
+    // Both recordRace and noteRace run on the accessing thread, so the
+    // accessor's lane keeps its single-producer contract here.
+    if (CLEAN_LIKELY(recorder_ == nullptr))
+        return;
+    if (obs::ThreadLane *lane = recorder_->lane(race.accessor()))
+        lane->record(obs::EventKind::RaceDetected,
+                     kendo_->count(race.accessor()),
+                     heapOffset(race.addr()),
+                     static_cast<std::uint64_t>(race.kind()));
+}
+
 bool
 CleanRuntime::recordRace(const RaceException &race)
 {
@@ -823,6 +1070,7 @@ CleanRuntime::recordRace(const RaceException &race)
             races_.push_back(race);
     }
     raceCount_.fetch_add(1, std::memory_order_acq_rel);
+    obsRaceDetected(race);
     switch (config_.onRace) {
       case OnRacePolicy::Throw:
         abortFlag_.store(true, std::memory_order_release);
@@ -851,6 +1099,7 @@ CleanRuntime::noteRace(const RaceException &race)
             races_.push_back(race);
     }
     raceCount_.fetch_add(1, std::memory_order_acq_rel);
+    obsRaceDetected(race);
 }
 
 void
@@ -914,6 +1163,13 @@ CleanRuntime::raiseDeadlock(const char *where, ThreadId waiter,
                                         : std::string("<none>")) +
             " [" + kendo_->snapshot() + "] [phases: " + phases + "]",
         waiter, stuck < kendo_->maxSlots() ? stuck : waiter, waitedMs);
+    if (CLEAN_UNLIKELY(recorder_ != nullptr)) {
+        // raiseDeadlock throws on the waiting thread itself.
+        if (obs::ThreadLane *lane = recorder_->lane(waiter))
+            lane->record(obs::EventKind::WatchdogTrip,
+                         kendo_->count(waiter), waitedMs,
+                         stuck < kendo_->maxSlots() ? stuck : waiter);
+    }
     recordDeadlock(deadlock);
     throw deadlock;
 }
@@ -1020,6 +1276,19 @@ CleanRuntime::performReset()
     for (VectorClock *vc : syncClocks_)
         vc->clearClocks();
     std::fill(lastClock_.begin(), lastClock_.end(), 0);
+
+    if (recorder_ != nullptr) {
+        // Any thread can be the resetter, so this goes to the global
+        // lane. The stamp sums the per-slot counters: each resumes
+        // monotonically after the reset, so the sum orders successive
+        // rollovers deterministically. performReset runs before the
+        // controller bumps resets(), hence the +1 for the ordinal.
+        std::uint64_t det = 0;
+        for (ThreadId tid = 0; tid < config_.maxThreads; ++tid)
+            det += kendo_->count(tid);
+        recorder_->recordGlobal(obs::EventKind::Rollover, det,
+                                rollover_.resets() + 1);
+    }
 }
 
 CheckerStats
@@ -1140,6 +1409,10 @@ CleanRuntime::failureReportJson() const
     w.field("sharedWrites", stats.sharedWrites);
     w.field("accessedBytes", stats.accessedBytes);
     w.field("epochUpdates", stats.epochUpdates);
+    w.field("replayedReads", stats.replayedReads);
+    w.field("replayedWrites", stats.replayedWrites);
+    w.field("replayedBytes", stats.replayedBytes);
+    w.field("replayedEpochUpdates", stats.replayedEpochUpdates);
     w.endObject();
 
     w.field("rollovers", rollover_.resets());
@@ -1153,6 +1426,111 @@ CleanRuntime::failureReportJson() const
         w.field("delays", fired.delays);
         w.field("rollovers", fired.rollovers);
         w.field("kills", fired.kills);
+        w.endObject();
+    }
+
+    if (recorder_ != nullptr) {
+        // "Last words": the tail of each thread's flight-recorder lane,
+        // in the deterministic merge order, so a failing run's report
+        // shows what every thread was doing when it died.
+        w.key("events").beginObject();
+        w.field("perThreadTail",
+                static_cast<std::uint64_t>(recorder_->config().failureTail));
+        w.key("tail").beginArray();
+        for (const obs::Event &e :
+             recorder_->merged(recorder_->config().failureTail)) {
+            w.beginObject();
+            w.field("kind", eventKindName(e.kind));
+            w.field("tid", static_cast<std::uint64_t>(e.tid));
+            w.field("det", e.det);
+            w.field("seq", e.seq);
+            w.field("arg0", e.arg0);
+            w.field("arg1", e.arg1);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+CleanRuntime::obsTraceJson() const
+{
+    if (recorder_ == nullptr)
+        return std::string();
+    return obs::chromeTraceJson(recorder_->merged(),
+                                recorder_->globalTid());
+}
+
+std::string
+CleanRuntime::metricsJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("version", std::uint64_t{1});
+    w.field("policy", onRacePolicyName(config_.onRace));
+
+    w.key("counters").beginObject();
+    w.field("races", raceCount());
+    w.field("rollovers", rollover_.resets());
+    const CheckerStats stats = aggregatedCheckerStats();
+    w.field("sharedReads", stats.sharedReads);
+    w.field("sharedWrites", stats.sharedWrites);
+    w.field("accessedBytes", stats.accessedBytes);
+    w.field("epochUpdates", stats.epochUpdates);
+    w.field("wideAccesses", stats.wideAccesses);
+    w.field("wideSameEpoch", stats.wideSameEpoch);
+    w.field("wideCasUpdates", stats.wideCasUpdates);
+    w.field("replayedReads", stats.replayedReads);
+    w.field("replayedWrites", stats.replayedWrites);
+    w.field("replayedBytes", stats.replayedBytes);
+    w.field("replayedEpochUpdates", stats.replayedEpochUpdates);
+    if (recovery_) {
+        const recover::RecoveryStats rs = recovery_->stats();
+        w.field("recoveryEpisodes", rs.episodes);
+        w.field("recoveryAttempts", rs.attempts);
+        w.field("recovered", rs.recovered);
+        w.field("forcedReplays", rs.forcedReplays);
+        w.field("replayRaces", rs.replayRaces);
+        w.field("replayMismatches", rs.replayMismatches);
+        w.field("quarantinedSites", rs.quarantinedSites);
+        w.field("recoveredKills", rs.recoveredKills);
+    }
+    if (injectPlan_) {
+        const inject::InjectionStats fired = injectPlan_->stats();
+        w.field("injectedSkippedChecks", fired.skippedChecks);
+        w.field("injectedSkippedAcquires", fired.skippedAcquires);
+        w.field("injectedDelays", fired.delays);
+        w.field("injectedRollovers", fired.rollovers);
+        w.field("injectedKills", fired.kills);
+    }
+    w.endObject();
+
+    if (recorder_ != nullptr) {
+        w.key("events").beginObject();
+        w.field("recorded", recorder_->totalRecorded());
+        w.key("retainedByKind").beginObject();
+        const std::vector<std::uint64_t> byKind =
+            recorder_->retainedByKind();
+        for (std::size_t k = 0; k < byKind.size(); ++k) {
+            if (byKind[k] > 0)
+                w.field(
+                    obs::eventKindName(static_cast<obs::EventKind>(k)),
+                    byKind[k]);
+        }
+        w.endObject();
+        w.endObject();
+
+        // Note the latency histogram holds physical nanoseconds: the
+        // metrics snapshot is *not* byte-stable run-to-run, only the
+        // event trace is.
+        w.key("histograms").beginObject();
+        w.key("sfrLengthDetEvents");
+        recorder_->mergedSfrLength().writeTo(w);
+        w.key("checkLatencyNs");
+        recorder_->mergedCheckLatency().writeTo(w);
         w.endObject();
     }
     w.endObject();

@@ -41,6 +41,7 @@
 #include "core/thread_state.h"
 #include "det/kendo.h"
 #include "inject/injection.h"
+#include "obs/flight_recorder.h"
 #include "recover/undo_log.h"
 #include "support/common.h"
 #include "support/deadlock_error.h"
@@ -147,6 +148,10 @@ struct RuntimeConfig
     /** Deterministic fault injection (chaos harness); disabled unless
      *  inject.any(). */
     inject::InjectionConfig inject;
+    /** Flight-recorder observability layer (ISSUE 4); off by default —
+     *  no recorder is built and the hot path keeps one never-taken
+     *  branch. Ignored when compiled out (CMake -DCLEAN_OBS=OFF). */
+    obs::ObsConfig obs;
 };
 
 /** Thrown in sibling threads after some thread raised a RaceException. */
@@ -275,6 +280,11 @@ class ThreadContext
      */
     bool injectSkipAcquire();
 
+    /** Flight-recorder hooks for sync objects (no-ops unless the
+     *  observability layer is enabled): lock acquired / released. */
+    void obsSyncAcquire();
+    void obsSyncRelease();
+
   private:
     friend class CleanRuntime;
 
@@ -338,6 +348,24 @@ class ThreadContext
      *  kill). */
     void injectAtSync();
 
+    /** Out-of-line bodies of onReadChecked/onWriteChecked when the
+     *  flight recorder is enabled: identical check semantics plus
+     *  sampled check-latency timing (ObsConfig::latencySampleEvery). */
+    void onReadObs(Addr addr, std::size_t size);
+    void onWriteObs(Addr addr, std::size_t size);
+
+    /** This thread's Kendo counter — the deterministic event stamp. */
+    std::uint64_t obsDetNow() const;
+
+    /** Appends one event to this thread's lane (caller checks
+     *  obsLane_). */
+    void obsEvent(obs::EventKind kind, std::uint64_t arg0 = 0,
+                  std::uint64_t arg1 = 0);
+
+    /** SFR boundary bookkeeping at a sync point: SfrEnd + SfrBegin
+     *  events and the SFR-length histogram. */
+    void obsSfrBoundary();
+
     CleanRuntime &rt_;
     std::uint32_t record_;
     ThreadState *state_;
@@ -354,6 +382,15 @@ class ThreadContext
     /** Cached `plan_ != nullptr || log_ != nullptr`: the single
      *  fast-path branch covering both out-of-line access reasons. */
     bool slowAccess_ = false;
+    /** This thread's flight-recorder lane; null unless the runtime
+     *  built a recorder (RuntimeConfig::obs.enabled with CLEAN_OBS
+     *  compiled in). The tracing-off hot path costs exactly this one
+     *  never-taken null check. */
+    obs::ThreadLane *obsLane_ = nullptr;
+    /** Kendo stamp of the current SFR's begin (SFR-length histogram). */
+    std::uint64_t obsSfrStartDet_ = 0;
+    /** Countdown to the next sampled check latency. */
+    std::uint32_t obsSampleCountdown_ = 0;
 };
 
 /** Final record of a spawned thread, consumed at join. */
@@ -447,6 +484,28 @@ class CleanRuntime : private RolloverHost
 
     /** Fault plan of this run, null when injection is off. */
     inject::InjectionPlan *injectionPlan() { return injectPlan_.get(); }
+
+    /** Flight recorder; null unless RuntimeConfig::obs.enabled (and
+     *  CLEAN_OBS compiled in). */
+    obs::FlightRecorder *recorder() const { return recorder_.get(); }
+
+    /**
+     * Full merged event stream as Chrome trace-event JSON (Perfetto /
+     * chrome://tracing). Timestamps are Kendo counters, so the trace of
+     * a deterministic run is byte-identical run-to-run. Empty without a
+     * recorder.
+     */
+    std::string obsTraceJson() const;
+
+    /**
+     * Structured metrics snapshot: counters (checker incl. replayed,
+     * races, recovery, injection, rollovers) plus histograms (SFR
+     * length in det events, sampled check latency in ns, retained
+     * events by kind). The latency histogram is physical time — unlike
+     * the event trace this snapshot is NOT byte-stable. Empty without a
+     * recorder.
+     */
+    std::string metricsJson() const;
 
     /**
      * Machine-readable failure report: races (heap-relative offsets so
@@ -603,6 +662,9 @@ class CleanRuntime : private RolloverHost
     void threadMain(std::uint32_t record,
                     std::function<void(ThreadContext &)> body);
 
+    /** Records a RaceDetected event on the accessor's lane. */
+    void obsRaceDetected(const RaceException &race);
+
     RuntimeConfig config_;
     bool detection_;
     Addr checkBase_ = 0;
@@ -628,6 +690,7 @@ class CleanRuntime : private RolloverHost
 
     std::unique_ptr<ThreadContext> mainCtx_;
     std::unique_ptr<inject::InjectionPlan> injectPlan_;
+    std::unique_ptr<obs::FlightRecorder> recorder_;
     std::unique_ptr<recover::RecoveryManager> recovery_;
     std::unique_ptr<RecoveryToken> recoveryToken_;
     mutable std::mutex barrierMutex_;
@@ -655,6 +718,13 @@ inline void
 ThreadContext::onReadChecked(Addr addr, std::size_t size)
 {
     rt_.throwIfAborted();
+    // The whole observability layer hangs off this one never-taken
+    // branch on a cached member: with tracing off, the path below is
+    // byte-for-byte the PR-2 fast path.
+    if (CLEAN_UNLIKELY(obsLane_ != nullptr)) {
+        onReadObs(addr, size);
+        return;
+    }
     try {
         rt_.checkRead(*state_, addr, size);
     } catch (const RaceException &race) {
@@ -669,6 +739,10 @@ inline void
 ThreadContext::onWriteChecked(Addr addr, std::size_t size)
 {
     rt_.throwIfAborted();
+    if (CLEAN_UNLIKELY(obsLane_ != nullptr)) {
+        onWriteObs(addr, size);
+        return;
+    }
     try {
         rt_.checkWrite(*state_, addr, size);
     } catch (const RaceException &race) {

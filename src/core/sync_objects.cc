@@ -116,6 +116,7 @@ CleanMutex::lock(ThreadContext &ctx)
     if (CLEAN_LIKELY(!ctx.injectSkipAcquire()))
         ctx.state().vc.joinFrom(vc_);
     kendo.increment(tid);
+    ctx.obsSyncAcquire();
 }
 
 bool
@@ -127,6 +128,8 @@ CleanMutex::tryLock(ThreadContext &ctx)
     if (got)
         ctx.state().vc.joinFrom(vc_);
     kendo.increment(ctx.tid());
+    if (got)
+        ctx.obsSyncAcquire();
     return got;
 }
 
@@ -140,6 +143,7 @@ CleanMutex::unlock(ThreadContext &ctx)
     rt_.tickClock(ctx.state());
     m_.unlock();
     rt_.kendo().increment(ctx.tid());
+    ctx.obsSyncRelease();
 }
 
 void
@@ -151,6 +155,7 @@ CleanMutex::releaseForWait(ThreadContext &ctx)
     vc_.joinFrom(ctx.state().vc);
     rt_.tickClock(ctx.state());
     m_.unlock();
+    ctx.obsSyncRelease();
 }
 
 // ---------------------------------------------------------------------
@@ -258,6 +263,7 @@ CleanCondVar::signal(ThreadContext &ctx)
     }
     rt_.tickClock(ctx.state());
     rt_.kendo().increment(ctx.tid());
+    ctx.obsSyncRelease();
 }
 
 void
@@ -270,6 +276,7 @@ CleanCondVar::broadcast(ThreadContext &ctx)
     }
     rt_.tickClock(ctx.state());
     rt_.kendo().increment(ctx.tid());
+    ctx.obsSyncRelease();
 }
 
 // ---------------------------------------------------------------------
@@ -321,8 +328,13 @@ CleanBarrier::arrive(ThreadContext &ctx)
         }
     }
     kendo.increment(tid);
-    if (last)
+    // The arrival published this thread's clock on the barrier; the
+    // matching acquire is recorded when the release clock is absorbed.
+    ctx.obsSyncRelease();
+    if (last) {
+        ctx.obsSyncAcquire();
         return;
+    }
 
     rt_.setPhase(ctx.record(), ThreadRecord::Phase::Blocked);
     SpinWait spin(rt_.config().watchdogMs);
@@ -355,8 +367,11 @@ CleanBarrier::arrive(ThreadContext &ctx)
     }
     rt_.resumeFromBlocked(ctx.record());
 
-    std::lock_guard<std::mutex> guard(im_);
-    ctx.state().vc.joinFrom(releaseVc_);
+    {
+        std::lock_guard<std::mutex> guard(im_);
+        ctx.state().vc.joinFrom(releaseVc_);
+    }
+    ctx.obsSyncAcquire();
 }
 
 void

@@ -39,6 +39,18 @@ struct CheckerStats
     std::uint64_t epochUpdates = 0;
     /** CAS updates that performed 4 epochs at once (128-bit CAS, §4.4). */
     std::uint64_t wideCasUpdates = 0;
+    /**
+     * Accesses re-executed by SFR recovery (rollback + replay). The
+     * checker bumps the base counters during a replay exactly as during
+     * the original execution; recoverAccess then moves those deltas
+     * here, so sharedReads/sharedWrites keep counting each program
+     * access once (Fig. 7 stays faithful) and the recovery re-execution
+     * cost is visible separately.
+     */
+    std::uint64_t replayedReads = 0;
+    std::uint64_t replayedWrites = 0;
+    std::uint64_t replayedBytes = 0;
+    std::uint64_t replayedEpochUpdates = 0;
 
     void
     merge(const CheckerStats &other)
@@ -50,6 +62,10 @@ struct CheckerStats
         wideSameEpoch += other.wideSameEpoch;
         epochUpdates += other.epochUpdates;
         wideCasUpdates += other.wideCasUpdates;
+        replayedReads += other.replayedReads;
+        replayedWrites += other.replayedWrites;
+        replayedBytes += other.replayedBytes;
+        replayedEpochUpdates += other.replayedEpochUpdates;
     }
 
     std::uint64_t accesses() const { return sharedReads + sharedWrites; }
@@ -65,6 +81,11 @@ struct CheckerStats
         stats.counter(prefix + ".wideSameEpoch") += wideSameEpoch;
         stats.counter(prefix + ".epochUpdates") += epochUpdates;
         stats.counter(prefix + ".wideCasUpdates") += wideCasUpdates;
+        stats.counter(prefix + ".replayedReads") += replayedReads;
+        stats.counter(prefix + ".replayedWrites") += replayedWrites;
+        stats.counter(prefix + ".replayedBytes") += replayedBytes;
+        stats.counter(prefix + ".replayedEpochUpdates") +=
+            replayedEpochUpdates;
     }
 };
 

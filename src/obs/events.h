@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Flight-recorder event schema (observability layer, ISSUE 4).
+ *
+ * One Event is a fixed-size typed record a thread appends to its own
+ * ring buffer at the runtime's *cold* control points — SFR boundaries,
+ * sync operations, races, recovery episodes, rollovers, injected
+ * faults, watchdog trips. Events are stamped with the thread's Kendo
+ * deterministic counter, never wall time, so the merged stream of a
+ * deterministic run is byte-identical run-to-run (see DESIGN.md §11
+ * for the determinism argument and the per-kind payload meanings).
+ */
+
+#ifndef CLEAN_OBS_EVENTS_H
+#define CLEAN_OBS_EVENTS_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/common.h"
+
+namespace clean::obs
+{
+
+/** Compile-time master switch (CMake option CLEAN_OBS). The library
+ *  always builds; with CLEAN_OBS=OFF the runtime never constructs a
+ *  recorder, so every record site folds into a never-taken null check. */
+#ifdef CLEAN_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/**
+ * Typed event kinds. Payload conventions (arg0, arg1):
+ *
+ *   SfrBegin          (sfrOrdinal, 0)
+ *   SfrEnd            (sfrOrdinal, length in det events)
+ *   SyncAcquire       (kendo count, sfrOrdinal)      — lock acquired
+ *   SyncRelease       (kendo count, sfrOrdinal)      — lock released
+ *   RaceDetected      (heap offset, RaceKind)
+ *   RecoveryBegin     (heap offset of racy site, sfrOrdinal)
+ *   RecoveryRollback  (entries restored, entries skipped)
+ *   RecoveryReplay    (attempt index, forced ? 1 : 0)
+ *   RecoveryEnd       (recovered ? 1 : 0, forced ? 1 : 0)
+ *   Quarantine        (heap offset of quarantined site, 0)
+ *   Rollover          (reset ordinal, 0)             — global lane
+ *   InjectionFired    (inject::FaultKind, site coordinate)
+ *   WatchdogTrip      (waited ms, suspected stuck slot)
+ *   ThreadStart       (thread record index, 0)
+ *   ThreadFinish      (thread record index, 0)
+ */
+enum class EventKind : std::uint8_t
+{
+    SfrBegin = 0,
+    SfrEnd,
+    SyncAcquire,
+    SyncRelease,
+    RaceDetected,
+    RecoveryBegin,
+    RecoveryRollback,
+    RecoveryReplay,
+    RecoveryEnd,
+    Quarantine,
+    Rollover,
+    InjectionFired,
+    WatchdogTrip,
+    ThreadStart,
+    ThreadFinish,
+};
+
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::ThreadFinish) + 1;
+
+/** Stable snake_case name (trace export, failure reports). */
+const char *eventKindName(EventKind kind);
+
+/** Inverse of eventKindName; -1 when @p name is not a kind. */
+int eventKindFromName(std::string_view name);
+
+/** One flight-recorder record. */
+struct Event
+{
+    /** Deterministic timestamp: the owning thread's Kendo counter at
+     *  record time (0 throughout when Kendo is disabled). */
+    std::uint64_t det = 0;
+    /** Per-lane append ordinal (also the total-records counter). */
+    std::uint64_t seq = 0;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    ThreadId tid = 0;
+    EventKind kind = EventKind::SfrBegin;
+};
+
+} // namespace clean::obs
+
+#endif // CLEAN_OBS_EVENTS_H

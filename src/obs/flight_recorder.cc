@@ -1,0 +1,150 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace clean::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::SfrBegin: return "sfr_begin";
+      case EventKind::SfrEnd: return "sfr_end";
+      case EventKind::SyncAcquire: return "sync_acquire";
+      case EventKind::SyncRelease: return "sync_release";
+      case EventKind::RaceDetected: return "race_detected";
+      case EventKind::RecoveryBegin: return "recovery_begin";
+      case EventKind::RecoveryRollback: return "recovery_rollback";
+      case EventKind::RecoveryReplay: return "recovery_replay";
+      case EventKind::RecoveryEnd: return "recovery_end";
+      case EventKind::Quarantine: return "quarantine";
+      case EventKind::Rollover: return "rollover";
+      case EventKind::InjectionFired: return "injection_fired";
+      case EventKind::WatchdogTrip: return "watchdog_trip";
+      case EventKind::ThreadStart: return "thread_start";
+      case EventKind::ThreadFinish: return "thread_finish";
+    }
+    return "?";
+}
+
+int
+eventKindFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kEventKindCount; ++i) {
+        if (name == eventKindName(static_cast<EventKind>(i)))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+ThreadLane::ThreadLane(ThreadId tid, std::size_t capacity)
+    : tid_(tid), mask_(roundUpPow2(std::max<std::size_t>(capacity, 2)) - 1),
+      ring_(mask_ + 1)
+{
+}
+
+std::vector<Event>
+ThreadLane::events(std::size_t lastN) const
+{
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(head, ring_.size());
+    std::uint64_t take = retained;
+    if (lastN > 0)
+        take = std::min<std::uint64_t>(take, lastN);
+    std::vector<Event> out;
+    out.reserve(take);
+    for (std::uint64_t seq = head - take; seq < head; ++seq)
+        out.push_back(ring_[seq & mask_]);
+    return out;
+}
+
+FlightRecorder::FlightRecorder(const ObsConfig &config, ThreadId maxThreads)
+    : config_(config), maxThreads_(maxThreads)
+{
+    lanes_.reserve(static_cast<std::size_t>(maxThreads_) + 1);
+    for (ThreadId tid = 0; tid <= maxThreads_; ++tid)
+        lanes_.push_back(
+            std::make_unique<ThreadLane>(tid, config_.ringEvents));
+}
+
+void
+FlightRecorder::recordGlobal(EventKind kind, std::uint64_t det,
+                             std::uint64_t arg0, std::uint64_t arg1)
+{
+    std::lock_guard<std::mutex> guard(globalMutex_);
+    lanes_[maxThreads_]->record(kind, det, arg0, arg1);
+}
+
+std::vector<Event>
+FlightRecorder::merged(std::size_t perThreadTail) const
+{
+    std::vector<Event> all;
+    for (const auto &lane : lanes_) {
+        const std::vector<Event> events = lane->events(perThreadTail);
+        all.insert(all.end(), events.begin(), events.end());
+    }
+    std::sort(all.begin(), all.end(), [](const Event &a, const Event &b) {
+        if (a.det != b.det)
+            return a.det < b.det;
+        if (a.tid != b.tid)
+            return a.tid < b.tid;
+        return a.seq < b.seq;
+    });
+    return all;
+}
+
+std::uint64_t
+FlightRecorder::totalRecorded() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lane : lanes_)
+        total += lane->recorded();
+    return total;
+}
+
+std::vector<std::uint64_t>
+FlightRecorder::retainedByKind() const
+{
+    std::vector<std::uint64_t> counts(kEventKindCount, 0);
+    for (const auto &lane : lanes_) {
+        for (const Event &e : lane->events())
+            counts[static_cast<std::size_t>(e.kind)]++;
+    }
+    return counts;
+}
+
+Histogram
+FlightRecorder::mergedSfrLength() const
+{
+    Histogram h;
+    for (const auto &lane : lanes_)
+        h.merge(lane->sfrLength);
+    return h;
+}
+
+Histogram
+FlightRecorder::mergedCheckLatency() const
+{
+    Histogram h;
+    for (const auto &lane : lanes_)
+        h.merge(lane->checkLatencyNs);
+    return h;
+}
+
+} // namespace clean::obs

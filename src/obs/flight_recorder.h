@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Per-thread flight recorder: lock-free SPSC ring buffers of typed
+ * events, merged deterministically (ISSUE 4 tentpole).
+ *
+ * Layering: obs depends only on support — the core runtime owns a
+ * FlightRecorder and pushes events into it, never the other way round.
+ *
+ * Concurrency contract: each ThreadLane is written exclusively by its
+ * owning thread (single producer). Readers (failure reports, the trace
+ * exporter) run either on the owning thread itself or after the owning
+ * thread quiesced (joined / finished / parked), so the release-store of
+ * the head and the overwrite-oldest policy are the only coordination
+ * needed. The one site where no single owner exists — the rollover
+ * resetter, which can be any thread — goes through a mutex-guarded
+ * global lane instead.
+ */
+
+#ifndef CLEAN_OBS_FLIGHT_RECORDER_H
+#define CLEAN_OBS_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "support/common.h"
+
+namespace clean::obs
+{
+
+/** Runtime knobs of the observability layer (RuntimeConfig::obs). */
+struct ObsConfig
+{
+    /** Master runtime switch; no recorder is built when false, so the
+     *  disabled hot path costs one never-taken null check. */
+    bool enabled = false;
+    /** Per-thread ring capacity in events (rounded up to a power of
+     *  two); the ring keeps the newest events, overwriting the oldest. */
+    std::size_t ringEvents = 4096;
+    /** Events per thread embedded in failureReportJson ("last N"). */
+    std::size_t failureTail = 32;
+    /** Sample every Nth checked access for the check-latency histogram
+     *  (wall-clock nanoseconds; 0 disables sampling). Sampling uses the
+     *  deterministic access stream, so *which* accesses are timed is
+     *  reproducible even though the measured latencies are physical. */
+    std::uint32_t latencySampleEvery = 64;
+};
+
+/** One thread's ring plus its owner-thread histograms. */
+class ThreadLane
+{
+  public:
+    ThreadLane(ThreadId tid, std::size_t capacity);
+
+    ThreadLane(const ThreadLane &) = delete;
+    ThreadLane &operator=(const ThreadLane &) = delete;
+
+    /** Appends one event (owner thread only). Overwrites the oldest
+     *  record once the ring is full. */
+    void
+    record(EventKind kind, std::uint64_t det, std::uint64_t arg0 = 0,
+           std::uint64_t arg1 = 0)
+    {
+        const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+        Event &e = ring_[seq & mask_];
+        e.det = det;
+        e.seq = seq;
+        e.arg0 = arg0;
+        e.arg1 = arg1;
+        e.tid = tid_;
+        e.kind = kind;
+        head_.store(seq + 1, std::memory_order_release);
+    }
+
+    /** Total events ever recorded (monotonic; exceeds capacity once the
+     *  ring wrapped). */
+    std::uint64_t
+    recorded() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /** Retained events, oldest first; at most @p lastN newest when
+     *  lastN > 0. Call only while the owner is quiesced (see file
+     *  comment). */
+    std::vector<Event> events(std::size_t lastN = 0) const;
+
+    ThreadId tid() const { return tid_; }
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** SFR length in deterministic events, fed at each SfrEnd. */
+    Histogram sfrLength;
+    /** Sampled race-check latency in nanoseconds (physical time; see
+     *  ObsConfig::latencySampleEvery). */
+    Histogram checkLatencyNs;
+
+  private:
+    ThreadId tid_;
+    std::size_t mask_;
+    std::vector<Event> ring_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+/**
+ * The runtime-wide recorder: one lane per thread slot plus a global
+ * lane (rollovers). Lanes are preallocated so the hot path never
+ * allocates; a reused tid continues its predecessor's lane, which is
+ * deterministic because tid reuse itself is (§3.3).
+ */
+class FlightRecorder
+{
+  public:
+    FlightRecorder(const ObsConfig &config, ThreadId maxThreads);
+
+    const ObsConfig &config() const { return config_; }
+
+    /** Lane of thread @p tid; null when tid is out of range. */
+    ThreadLane *
+    lane(ThreadId tid)
+    {
+        return tid < maxThreads_ ? lanes_[tid].get() : nullptr;
+    }
+
+    /** The synthetic tid the global lane's events carry. */
+    ThreadId globalTid() const { return maxThreads_; }
+
+    /** Appends to the global lane (any thread; mutex-guarded). */
+    void recordGlobal(EventKind kind, std::uint64_t det,
+                      std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+    /**
+     * Merged stream of all lanes, sorted by (det, tid, seq) — a total
+     * order that is a function of the deterministic execution only, so
+     * two deterministic runs merge to identical streams. With
+     * @p perThreadTail > 0 only the newest N events per lane merge
+     * (failure-report mode).
+     */
+    std::vector<Event> merged(std::size_t perThreadTail = 0) const;
+
+    /** Sum of ThreadLane::recorded() over all lanes. */
+    std::uint64_t totalRecorded() const;
+
+    /** Per-kind totals over the *retained* events (ring overwrite drops
+     *  the oldest; see DESIGN.md §11). Index by EventKind. */
+    std::vector<std::uint64_t> retainedByKind() const;
+
+    Histogram mergedSfrLength() const;
+    Histogram mergedCheckLatency() const;
+
+  private:
+    ObsConfig config_;
+    ThreadId maxThreads_;
+    /** maxThreads_ per-thread lanes + 1 global lane (index maxThreads_). */
+    std::vector<std::unique_ptr<ThreadLane>> lanes_;
+    std::mutex globalMutex_;
+};
+
+} // namespace clean::obs
+
+#endif // CLEAN_OBS_FLIGHT_RECORDER_H

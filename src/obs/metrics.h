@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Power-of-two histograms for the --metrics-json snapshot.
+ *
+ * Buckets are log2-sized: bucket 0 holds value 0, bucket k (k >= 1)
+ * holds values in [2^(k-1), 2^k). That is coarse on purpose — the
+ * snapshot answers "what order of magnitude" questions (SFR lengths,
+ * check latencies) without per-sample storage or floating point.
+ */
+
+#ifndef CLEAN_OBS_METRICS_H
+#define CLEAN_OBS_METRICS_H
+
+#include <cstdint>
+#include <limits>
+
+#include "support/json.h"
+
+namespace clean::obs
+{
+
+/** Fixed-footprint log2 histogram of 64-bit samples. */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 65;
+
+    void
+    add(std::uint64_t value)
+    {
+        buckets_[bucketOf(value)]++;
+        count_++;
+        sum_ += value;
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    void
+    merge(const Histogram &other)
+    {
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.count_ > 0) {
+            if (other.min_ < min_)
+                min_ = other.min_;
+            if (other.max_ > max_)
+                max_ = other.max_;
+        }
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+
+    /** Bucket index of @p value: 0 for 0, else floor(log2(v)) + 1. */
+    static std::size_t
+    bucketOf(std::uint64_t value)
+    {
+        if (value == 0)
+            return 0;
+        return static_cast<std::size_t>(64 - __builtin_clzll(value));
+    }
+
+    /** Emits {"count":..,"sum":..,"min":..,"max":..,"buckets":[...]}
+     *  with one {"lo","hi","n"} entry per non-empty bucket ("hi" is
+     *  exclusive; omitted for the open top bucket). */
+    void
+    writeTo(JsonWriter &w) const
+    {
+        w.beginObject();
+        w.field("count", count_);
+        w.field("sum", sum_);
+        if (count_ > 0) {
+            w.field("min", min_);
+            w.field("max", max_);
+        }
+        w.key("buckets").beginArray();
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            if (buckets_[i] == 0)
+                continue;
+            w.beginObject();
+            w.field("lo", i == 0 ? std::uint64_t{0}
+                                 : std::uint64_t{1} << (i - 1));
+            if (i < kBuckets - 1)
+                w.field("hi", i == 0 ? std::uint64_t{1}
+                                     : std::uint64_t{1} << i);
+            w.field("n", buckets_[i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+} // namespace clean::obs
+
+#endif // CLEAN_OBS_METRICS_H

@@ -1,0 +1,139 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/json.h"
+
+namespace clean::obs
+{
+
+namespace
+{
+
+const char *const kSliceNames[] = {"SFR", "recovery"};
+
+/** Slice id of a paired kind, -1 for instant kinds. */
+int
+sliceId(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::SfrBegin:
+      case EventKind::SfrEnd: return 0;
+      case EventKind::RecoveryBegin:
+      case EventKind::RecoveryEnd: return 1;
+      default: return -1;
+    }
+}
+
+bool
+isBegin(EventKind kind)
+{
+    return kind == EventKind::SfrBegin ||
+           kind == EventKind::RecoveryBegin;
+}
+
+void
+writeCommon(JsonWriter &w, const char *name, const char *ph,
+            ThreadId tid, std::uint64_t ts)
+{
+    w.beginObject();
+    w.field("name", name);
+    w.field("ph", ph);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", static_cast<std::uint64_t>(tid));
+    w.field("ts", ts);
+}
+
+void
+writeArgs(JsonWriter &w, const Event &e)
+{
+    w.key("args").beginObject();
+    w.field("kind", eventKindName(e.kind));
+    w.field("seq", e.seq);
+    w.field("arg0", e.arg0);
+    w.field("arg1", e.arg1);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<Event> &events, ThreadId globalTid)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    // Thread-name metadata, smallest tid first (std::map order) so the
+    // output is a pure function of the event stream.
+    std::map<ThreadId, bool> tids;
+    std::uint64_t maxTs = 0;
+    for (const Event &e : events) {
+        tids[e.tid] = true;
+        maxTs = std::max(maxTs, e.det);
+    }
+    for (const auto &[tid, unused] : tids) {
+        (void)unused;
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", std::uint64_t{1});
+        w.field("tid", static_cast<std::uint64_t>(tid));
+        w.key("args").beginObject();
+        w.field("name", tid == globalTid
+                            ? std::string("runtime")
+                            : "T" + std::to_string(tid));
+        w.endObject();
+        w.endObject();
+    }
+
+    // Open-slice depth per (tid, slice id): repairs unbalanced pairs so
+    // the trace always loads (see header comment).
+    std::map<std::pair<ThreadId, int>, std::uint64_t> depth;
+
+    for (const Event &e : events) {
+        const int slice = sliceId(e.kind);
+        if (slice < 0) {
+            writeCommon(w, eventKindName(e.kind), "i", e.tid, e.det);
+            w.field("s", "t");
+            writeArgs(w, e);
+            w.endObject();
+            continue;
+        }
+        const auto key = std::make_pair(e.tid, slice);
+        if (isBegin(e.kind)) {
+            depth[key]++;
+            writeCommon(w, kSliceNames[slice], "B", e.tid, e.det);
+            writeArgs(w, e);
+            w.endObject();
+        } else if (depth[key] > 0) {
+            depth[key]--;
+            writeCommon(w, kSliceNames[slice], "E", e.tid, e.det);
+            writeArgs(w, e);
+            w.endObject();
+        } else {
+            // Orphan end (its begin was overwritten in the ring).
+            writeCommon(w, eventKindName(e.kind), "i", e.tid, e.det);
+            w.field("s", "t");
+            writeArgs(w, e);
+            w.endObject();
+        }
+    }
+
+    // Close still-open slices at the final timestamp.
+    for (const auto &[key, open] : depth) {
+        for (std::uint64_t i = 0; i < open; ++i) {
+            writeCommon(w, kSliceNames[key.second], "E", key.first,
+                        maxTs);
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace clean::obs

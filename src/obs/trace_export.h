@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of a merged flight-recorder stream
+ * (loadable in Perfetto / chrome://tracing).
+ */
+
+#ifndef CLEAN_OBS_TRACE_EXPORT_H
+#define CLEAN_OBS_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace clean::obs
+{
+
+/**
+ * Renders @p events (a FlightRecorder::merged() stream) as Chrome
+ * trace-event JSON: SFR and recovery episodes become duration ("B"/"E")
+ * slices, everything else instant ("i") events; `ts` carries the
+ * deterministic Kendo timestamp (microsecond *units* in the viewer, but
+ * logical time — no wall clock enters the output, so deterministic runs
+ * export byte-identical traces). @p globalTid labels the synthetic
+ * rollover lane. Unbalanced slices (ring overwrite can drop a begin, a
+ * failure can drop an end) are repaired so the JSON always loads: an
+ * orphan end downgrades to an instant, open begins are closed at the
+ * final timestamp.
+ */
+std::string chromeTraceJson(const std::vector<Event> &events,
+                            ThreadId globalTid);
+
+} // namespace clean::obs
+
+#endif // CLEAN_OBS_TRACE_EXPORT_H

@@ -81,6 +81,10 @@ runClean(Workload &workload, const RunSpec &spec)
         result.quarantinedSites = stats.quarantinedSites;
     }
     result.failureReport = rt.failureReportJson();
+    if (rt.recorder() != nullptr) {
+        result.obsTraceJson = rt.obsTraceJson();
+        result.metricsJson = rt.metricsJson();
+    }
 
     const EnvTotals totals = env.totals();
     result.outputHash = totals.outputHash;

@@ -57,6 +57,11 @@ struct RunResult
     std::string deadlockMessage;
     /** CleanRuntime::failureReportJson() (empty for plain backends). */
     std::string failureReport;
+    /** CleanRuntime::obsTraceJson() — Chrome trace-event JSON of the
+     *  flight-recorder stream (empty unless runtime.obs.enabled). */
+    std::string obsTraceJson;
+    /** CleanRuntime::metricsJson() (empty unless runtime.obs.enabled). */
+    std::string metricsJson;
 
     std::uint64_t outputHash = 0;
     std::uint64_t reads = 0;

@@ -174,8 +174,9 @@ TEST(TraceEnv, SyncEventsCarryPerObjectSequence)
             ASSERT_LT(e.seq, 20u);
             EXPECT_FALSE(seen[e.seq]);
             seen[e.seq] = true;
-            if (haveLast)
+            if (haveLast) {
                 EXPECT_GT(e.seq, lastSeq); // per-thread monotone
+            }
             lastSeq = e.seq;
             haveLast = true;
         }

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Observability-layer tests (ISSUE 4 tentpole): event-kind schema
+ * round-trips, ring-buffer retention, deterministic merged traces,
+ * failure-report event tails and the metrics snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/clean.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_export.h"
+
+namespace clean
+{
+namespace
+{
+
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos; pos = haystack.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+TEST(ObsEvents, KindNamesRoundTrip)
+{
+    for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+        const auto kind = static_cast<obs::EventKind>(k);
+        const char *name = obs::eventKindName(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "?") << "kind " << k << " has no name";
+        EXPECT_EQ(obs::eventKindFromName(name), static_cast<int>(k))
+            << name;
+    }
+    EXPECT_EQ(obs::eventKindFromName("no_such_kind"), -1);
+    EXPECT_EQ(obs::eventKindFromName(""), -1);
+}
+
+TEST(ObsLane, RingOverwritesOldestKeepsNewest)
+{
+    obs::ThreadLane lane(3, /*capacity=*/8);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        lane.record(obs::EventKind::SyncAcquire, /*det=*/100 + i, i);
+    EXPECT_EQ(lane.recorded(), 20u);
+    const std::vector<obs::Event> events = lane.events();
+    ASSERT_EQ(events.size(), lane.capacity());
+    // Oldest first, and only the newest `capacity` survive.
+    EXPECT_EQ(events.front().arg0, 20u - lane.capacity());
+    EXPECT_EQ(events.back().arg0, 19u);
+    for (const obs::Event &e : events)
+        EXPECT_EQ(e.tid, 3u);
+    // The lastN view trims further.
+    const std::vector<obs::Event> tail = lane.events(3);
+    ASSERT_EQ(tail.size(), 3u);
+    EXPECT_EQ(tail.back().arg0, 19u);
+    EXPECT_EQ(tail.front().arg0, 17u);
+}
+
+TEST(ObsRecorder, MergedSortsByDetThenTidThenSeq)
+{
+    obs::ObsConfig config;
+    config.enabled = true;
+    obs::FlightRecorder recorder(config, /*maxThreads=*/4);
+    obs::ThreadLane *lanes[3];
+    for (ThreadId tid = 0; tid < 3; ++tid) {
+        lanes[tid] = recorder.lane(tid);
+        ASSERT_NE(lanes[tid], nullptr);
+    }
+    // Interleave stamps across lanes out of order.
+    lanes[1]->record(obs::EventKind::SyncAcquire, 20);
+    lanes[0]->record(obs::EventKind::SyncAcquire, 10);
+    lanes[0]->record(obs::EventKind::SyncRelease, 30);
+    lanes[2]->record(obs::EventKind::SyncAcquire, 10);
+    recorder.recordGlobal(obs::EventKind::Rollover, 25, 1);
+
+    const std::vector<obs::Event> merged = recorder.merged();
+    ASSERT_EQ(merged.size(), 5u);
+    EXPECT_EQ(merged[0].det, 10u);
+    EXPECT_EQ(merged[0].tid, 0u); // det tie broken by tid
+    EXPECT_EQ(merged[1].det, 10u);
+    EXPECT_EQ(merged[1].tid, 2u);
+    EXPECT_EQ(merged[2].det, 20u);
+    EXPECT_EQ(merged[3].det, 25u);
+    EXPECT_EQ(merged[3].tid, recorder.globalTid());
+    EXPECT_EQ(merged[4].det, 30u);
+}
+
+TEST(ObsMetrics, HistogramBucketsArePowersOfTwo)
+{
+    EXPECT_EQ(obs::Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucketOf(~std::uint64_t{0}), 64u);
+
+    obs::Histogram h;
+    h.add(0);
+    h.add(5);
+    h.add(5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 10u);
+    JsonWriter w;
+    h.writeTo(w);
+    EXPECT_NE(w.str().find("\"count\":3"), std::string::npos) << w.str();
+    EXPECT_NE(w.str().find("\"lo\":4,\"hi\":8,\"n\":2"),
+              std::string::npos)
+        << w.str();
+}
+
+TEST(ObsTraceExport, EveryEventKindRoundTripsThroughChromeJson)
+{
+    // A synthetic stream holding one event of every kind must surface
+    // every kind name in the exported args, stay a structurally valid
+    // Chrome trace ({"traceEvents":[...]}), and balance every B with
+    // an E.
+    std::vector<obs::Event> events;
+    for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+        obs::Event e;
+        e.det = k + 1;
+        e.seq = k;
+        e.arg0 = k;
+        e.arg1 = k + 1;
+        e.tid = 0;
+        e.kind = static_cast<obs::EventKind>(k);
+        events.push_back(e);
+    }
+    const std::string json = obs::chromeTraceJson(events, /*globalTid=*/8);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+        const std::string needle =
+            std::string("\"kind\":\"") +
+            obs::eventKindName(static_cast<obs::EventKind>(k)) + "\"";
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"B\""),
+              countOccurrences(json, "\"ph\":\"E\""));
+}
+
+TEST(ObsTraceExport, OrphanEndsAndUnclosedBeginsAreRepaired)
+{
+    // An SfrEnd with no matching begin (overwritten in the ring) must
+    // degrade to an instant; an unclosed begin must be closed at the
+    // final timestamp — either way the B/E counts balance.
+    std::vector<obs::Event> events;
+    obs::Event end;
+    end.det = 5;
+    end.kind = obs::EventKind::SfrEnd;
+    events.push_back(end);
+    obs::Event begin;
+    begin.det = 7;
+    begin.seq = 1;
+    begin.kind = obs::EventKind::RecoveryBegin;
+    events.push_back(begin);
+    const std::string json = obs::chromeTraceJson(events, 8);
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"B\""), 1u);
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"E\""), 1u);
+    // The orphan end surfaces as an instant, not a bare E.
+    EXPECT_NE(json.find("\"kind\":\"sfr_end\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Runtime integration (needs the compiled-in hooks).
+// ---------------------------------------------------------------------
+
+RuntimeConfig
+obsConfig()
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.deterministic = true;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.obs.enabled = true;
+    config.obs.ringEvents = 1 << 14;
+    return config;
+}
+
+/** 4 threads × 25 locked increments; returns the merged event trace. */
+std::string
+tracedLockedCounter(std::string *metrics = nullptr,
+                    std::string *report = nullptr)
+{
+    CleanRuntime rt(obsConfig());
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    CleanMutex m(rt);
+    std::vector<ThreadHandle> handles;
+    for (int t = 0; t < 4; ++t) {
+        handles.push_back(
+            rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+                for (int i = 0; i < 25; ++i) {
+                    m.lock(ctx);
+                    ctx.write(&x[0], ctx.read(&x[0]) + 1);
+                    m.unlock(ctx);
+                }
+            }));
+    }
+    for (auto &h : handles)
+        rt.join(rt.mainContext(), h);
+    EXPECT_EQ(rt.mainContext().read(&x[0]), 100);
+    if (metrics != nullptr)
+        *metrics = rt.metricsJson();
+    if (report != nullptr)
+        *report = rt.failureReportJson();
+    return rt.obsTraceJson();
+}
+
+TEST(ObsRuntime, MergedTraceIsByteIdenticalAcrossRuns)
+{
+    if (!obs::kCompiledIn)
+        GTEST_SKIP() << "built with CLEAN_OBS=OFF";
+    // The tentpole determinism property: same program, same seed, same
+    // thread count — the merged, Kendo-stamped event stream is
+    // byte-identical on every run.
+    const std::string first = tracedLockedCounter();
+    ASSERT_NE(first.find("\"traceEvents\":["), std::string::npos);
+    ASSERT_NE(first.find("\"kind\":\"sync_acquire\""),
+              std::string::npos);
+    ASSERT_NE(first.find("\"kind\":\"thread_start\""),
+              std::string::npos);
+    for (int run = 1; run < 5; ++run)
+        EXPECT_EQ(tracedLockedCounter(), first) << "run " << run;
+}
+
+TEST(ObsRuntime, MetricsSnapshotHasCountersAndHistograms)
+{
+    if (!obs::kCompiledIn)
+        GTEST_SKIP() << "built with CLEAN_OBS=OFF";
+    std::string metrics;
+    tracedLockedCounter(&metrics);
+    for (const char *needle :
+         {"\"counters\"", "\"sharedReads\"", "\"sharedWrites\"",
+          "\"events\"", "\"recorded\"", "\"retainedByKind\"",
+          "\"sync_acquire\"", "\"histograms\"", "\"sfrLengthDetEvents\"",
+          "\"checkLatencyNs\"", "\"buckets\""}) {
+        EXPECT_NE(metrics.find(needle), std::string::npos)
+            << needle << " missing from " << metrics;
+    }
+}
+
+TEST(ObsRuntime, FailureReportEmbedsEventTail)
+{
+    if (!obs::kCompiledIn)
+        GTEST_SKIP() << "built with CLEAN_OBS=OFF";
+    // Two unordered writers on one word: the second publisher detects
+    // the WAW race; under Count the run completes and the failure
+    // report must carry each thread's last events, race included.
+    RuntimeConfig config = obsConfig();
+    config.onRace = OnRacePolicy::Count;
+    CleanRuntime rt(config);
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    ThreadHandle a = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        ctx.write(&x[0], 1);
+    });
+    ThreadHandle b = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        ctx.write(&x[0], 2);
+    });
+    rt.join(rt.mainContext(), a);
+    rt.join(rt.mainContext(), b);
+    EXPECT_GE(rt.raceCount(), 1u);
+
+    const std::string report = rt.failureReportJson();
+    for (const char *needle :
+         {"\"events\"", "\"perThreadTail\"", "\"tail\"",
+          "\"kind\":\"race_detected\"", "\"kind\":\"thread_start\"",
+          "\"kind\":\"thread_finish\""}) {
+        EXPECT_NE(report.find(needle), std::string::npos)
+            << needle << " missing from " << report;
+    }
+}
+
+TEST(ObsRuntime, DisabledRecorderCostsNothingAndEmitsNothing)
+{
+    // obs off (the default): no recorder, empty exports — this is the
+    // configuration the 2%-overhead budget is measured in.
+    RuntimeConfig config = obsConfig();
+    config.obs.enabled = false;
+    CleanRuntime rt(config);
+    EXPECT_EQ(rt.recorder(), nullptr);
+    EXPECT_TRUE(rt.obsTraceJson().empty());
+    auto *x = rt.heap().allocSharedArray<int>(1);
+    rt.mainContext().write(&x[0], 7);
+    EXPECT_EQ(rt.mainContext().read(&x[0]), 7);
+}
+
+} // namespace
+} // namespace clean

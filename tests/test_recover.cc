@@ -126,6 +126,7 @@ struct MicroResult
 {
     int counter = 0;
     recover::RecoveryStats stats;
+    CheckerStats checker;
 };
 
 MicroResult
@@ -150,7 +151,32 @@ runLockedCounter(std::uint64_t seed, double rolloverRate = 0)
     MicroResult r;
     r.counter = rt.mainContext().read(&x[0]);
     r.stats = rt.recoveryManager()->stats();
+    r.checker = rt.aggregatedCheckerStats();
     return r;
+}
+
+TEST(RecoverStats, ReplayedAccessesDoNotDoubleCount)
+{
+    // Regression (ISSUE 4 satellite): a rolled-back-and-replayed SFR
+    // used to bump sharedReads/sharedWrites a second time for accesses
+    // the program performed once. The program does exactly 200 locked
+    // writes and 201 reads (the increments plus the final readback),
+    // independent of how many SFRs recovery re-executed; the replay
+    // cost must land in the separate .replayed* counters instead.
+    std::uint64_t totalRecovered = 0, totalReplayed = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const MicroResult r = runLockedCounter(seed);
+        EXPECT_EQ(r.counter, 200) << "seed " << seed;
+        EXPECT_EQ(r.checker.sharedWrites, 200u) << "seed " << seed;
+        EXPECT_EQ(r.checker.sharedReads, 201u) << "seed " << seed;
+        totalRecovered += r.stats.recovered;
+        totalReplayed +=
+            r.checker.replayedReads + r.checker.replayedWrites;
+    }
+    // The sweep must exercise recovery, and recovery must re-execute
+    // accesses — otherwise the exact counts above prove nothing.
+    EXPECT_GT(totalRecovered, 0u);
+    EXPECT_GT(totalReplayed, 0u);
 }
 
 TEST(RecoverDeterminism, FortySeedsReplayToTheLockedAnswer)

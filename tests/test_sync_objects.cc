@@ -202,8 +202,8 @@ TEST(CleanCondVarTest, BroadcastWakesAllWaiters)
     auto waker = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
         // Give waiters a chance to register; correctness does not
         // depend on it (they re-check the flag).
-        for (volatile int i = 0; i < 10000; ++i) {
-        }
+        for (int i = 0; i < 10000; ++i)
+            std::atomic_signal_fence(std::memory_order_seq_cst);
         m.lock(ctx);
         ctx.write(&flag[0], 1);
         cv.broadcast(ctx);

@@ -28,12 +28,18 @@
  *   chaos_soak --seed-base=1000 --replay-every=5 --verbose
  *   chaos_soak --seed=137 --verbose     # replay one seed and exit
  *   chaos_soak --runs=0 --recover-runs=100   # recover lane only
+ *
+ * With --artifact-dir=DIR (or CLEAN_ARTIFACT_DIR in the environment —
+ * CI red jobs use this) every violating seed is deterministically
+ * re-run with the flight recorder enabled and its event trace plus
+ * failure report land in DIR as seed<N>_{trace,report}.json.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <iterator>
 #include <map>
 #include <string>
@@ -116,6 +122,10 @@ struct SoakResult
     std::uint64_t attempts = 0;
     std::uint64_t quarantined = 0;
     int exitCode = 0;
+    /** Filled only when the run was made with the flight recorder on
+     *  (the artifact re-run of a violating seed). */
+    std::string obsTrace;
+    std::string failureReport;
 };
 
 /** The exit code the run's outcome commits cleanrun to (the soak
@@ -138,7 +148,7 @@ expectedExit(const RunPlan &plan, const SoakResult &r)
 
 SoakResult
 runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
-       std::uint64_t watchdogMs)
+       std::uint64_t watchdogMs, bool withObs = false)
 {
     RunSpec spec;
     spec.workload = plan.workload;
@@ -152,6 +162,7 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
     spec.runtime.watchdogMs = watchdogMs;
     spec.runtime.onRace = plan.policy;
     spec.runtime.maxRecoveries = plan.maxRecoveries;
+    spec.runtime.obs.enabled = withObs;
 
     auto &inject = spec.runtime.inject;
     inject.enabled = true;
@@ -178,6 +189,8 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
         soak.recovered = result.recoveredRaces;
         soak.attempts = result.recoveryAttempts;
         soak.quarantined = result.quarantinedSites;
+        soak.obsTrace = result.obsTraceJson;
+        soak.failureReport = result.failureReport;
         const bool raceFailed =
             result.raceException ||
             (result.raceCount > 0 &&
@@ -206,6 +219,41 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
     return soak;
 }
 
+bool
+writeArtifact(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                    content.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+/** Re-runs a violating seed with the flight recorder and writes its
+ *  event trace + failure report into @p dir (injection is a pure
+ *  function of the seed, so the re-run reproduces the violation). */
+void
+dumpArtifacts(const std::string &dir, std::uint64_t seed,
+              const RunPlan &plan, unsigned threads,
+              std::uint64_t watchdogMs)
+{
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const SoakResult r = runOne(seed, plan, threads, watchdogMs,
+                                /*withObs=*/true);
+    const std::string base = dir + "/seed" + std::to_string(seed);
+    if (!writeArtifact(base + "_trace.json", r.obsTrace) ||
+        !writeArtifact(base + "_report.json", r.failureReport)) {
+        std::printf("  (failed to write artifacts under %s)\n",
+                    dir.c_str());
+        return;
+    }
+    std::printf("  artifacts: %s_{trace,report}.json\n", base.c_str());
+}
+
 } // namespace
 } // namespace clean::wl
 
@@ -230,6 +278,7 @@ main(int argc, char **argv)
         "recover-runs",
         static_cast<long long>(std::max<std::uint64_t>(10, runs / 5))));
     const bool verbose = opts.getBool("verbose", false);
+    const std::string artifactDir = opts.getString("artifact-dir", "");
 
     if (opts.has("seed")) {
         const auto seed =
@@ -305,6 +354,7 @@ main(int argc, char **argv)
                         plan.workload.c_str(),
                         inject::faultKindName(plan.kind),
                         r.detail.c_str());
+            dumpArtifacts(artifactDir, seed, plan, threads, watchdogMs);
         } else if (verbose) {
             std::printf("seed %llu: %s/%s%s -> %s (races %llu)\n",
                         static_cast<unsigned long long>(seed),
@@ -393,8 +443,10 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(a.recovered),
                         static_cast<unsigned long long>(a.attempts));
         }
-        if (bad)
+        if (bad) {
             ++violations;
+            dumpArtifacts(artifactDir, seed, plan, threads, watchdogMs);
+        }
     }
 
     std::printf("\nchaos soak: %llu runs, %llu replays, %llu recover "

@@ -28,6 +28,19 @@
  *   --inject-rollover=R --inject-kill=R      per-site fault rates
  *   --inject-delay-us=N            stall length of one Delay fault
  *
+ * Observability (clean backends; see DESIGN.md §11):
+ *   --obs                          enable the flight recorder
+ *   --obs-ring=N --obs-tail=N      ring capacity / failure-report tail
+ *   --trace-out=PATH               write the merged event stream as
+ *                                  Chrome trace-event JSON (Perfetto);
+ *                                  implies --obs. (For --backend=trace
+ *                                  the flag keeps its original meaning:
+ *                                  the simulator memory trace.)
+ *   --metrics-json=PATH            write the metrics snapshot (counters
+ *                                  + histograms); "-" = stdout; implies
+ *                                  --obs. With --runs=N the file holds
+ *                                  the last run.
+ *
  * Exit codes (see support/exit_codes.h): 0 ok / fully recovered,
  * 1 internal error, 2 option error, 3 race, 4 watchdog deadlock,
  * 5 recovery quarantine exhausted. With --runs=N the first non-zero
@@ -96,6 +109,22 @@ parseOnRace(const std::string &name)
         return OnRacePolicy::Recover;
     fatal("unknown on-race policy '%s' (throw|report|count|recover)",
           name.c_str());
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::fwrite(content.data(), 1, content.size(), stdout);
+        std::fputc('\n', stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                    content.size();
+    return std::fclose(f) == 0 && ok;
 }
 
 int
@@ -230,6 +259,27 @@ runMain(const Options &opts)
             opts.getInt("inject-delay-us", 100));
     }
 
+    // Observability: --trace-out keeps its historical meaning for the
+    // trace backend (the simulator memory trace); for clean backends it
+    // selects the flight-recorder event trace and implies --obs.
+    const bool cleanBackend = spec.backend == BackendKind::Clean ||
+                              spec.backend == BackendKind::DetectOnly ||
+                              spec.backend == BackendKind::KendoOnly;
+    const std::string obsTraceOut =
+        cleanBackend ? opts.getString("trace-out", "") : std::string();
+    const std::string metricsOut = opts.getString("metrics-json", "");
+    if (opts.getBool("obs", false) || !obsTraceOut.empty() ||
+        !metricsOut.empty()) {
+        spec.runtime.obs.enabled = true;
+        spec.runtime.obs.ringEvents =
+            static_cast<std::size_t>(opts.getInt("obs-ring", 4096));
+        spec.runtime.obs.failureTail =
+            static_cast<std::size_t>(opts.getInt("obs-tail", 32));
+        if (!obs::kCompiledIn)
+            warn("observability requested but compiled out "
+                 "(CLEAN_OBS=OFF): no events will be recorded");
+    }
+
     const unsigned runs =
         static_cast<unsigned>(opts.getInt("runs", 1));
     int exitCode = 0;
@@ -302,6 +352,18 @@ runMain(const Options &opts)
                 else
                     warn("failed to write trace to %s", out.c_str());
             }
+        }
+        if (!obsTraceOut.empty() && !result.obsTraceJson.empty()) {
+            if (writeTextFile(obsTraceOut, result.obsTraceJson))
+                std::printf("  obs trace written to %s\n",
+                            obsTraceOut.c_str());
+            else
+                warn("failed to write obs trace to %s",
+                     obsTraceOut.c_str());
+        }
+        if (!metricsOut.empty() && !result.metricsJson.empty()) {
+            if (!writeTextFile(metricsOut, result.metricsJson))
+                warn("failed to write metrics to %s", metricsOut.c_str());
         }
     }
     return exitCode;
