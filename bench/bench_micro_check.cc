@@ -51,6 +51,21 @@ BM_ReadCheckSameEpoch8B(benchmark::State &state)
 }
 BENCHMARK(BM_ReadCheckSameEpoch8B);
 
+/** PR 2 same-epoch fast path with the ownership cache ablated — the
+ *  reference the owned-line hit path is measured against. */
+void
+BM_ReadCheckSameEpoch8B_NoOwnCache(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.ownCache = false;
+    Fixture f(config);
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.afterRead(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckSameEpoch8B_NoOwnCache);
+
 void
 BM_ReadCheckSameEpoch8B_NoVec(benchmark::State &state)
 {
@@ -87,6 +102,61 @@ BM_WriteCheckSameEpoch8B(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WriteCheckSameEpoch8B);
+
+void
+BM_WriteCheckSameEpoch8B_NoOwnCache(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.ownCache = false;
+    Fixture f(config);
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.beforeWrite(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCheckSameEpoch8B_NoOwnCache);
+
+/**
+ * Ownership-cache miss path: alternate between two lines 32 KiB apart,
+ * which collide in the 512-entry direct-mapped cache, so every access
+ * misses (and re-claims, evicting the other line). Measures the cache's
+ * added cost on top of the PR 2 fast path when it never hits.
+ */
+void
+BM_ReadCheckOwnedMiss8B(benchmark::State &state)
+{
+    Fixture f;
+    constexpr Addr kConflict = OwnershipCache::kEntries *
+                               OwnershipCache::kLineBytes;
+    f.checker.beforeWrite(f.self, kBase, 64);
+    f.checker.beforeWrite(f.self, kBase + kConflict, 64);
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a ^= kConflict;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckOwnedMiss8B);
+
+/**
+ * Flush storm: every iteration flushes the whole cache (the O(1)
+ * generation bump refreshOwnEpoch performs at an SFR boundary) and then
+ * re-claims the line via the fast-path write. Bounds the per-boundary
+ * cost of the cache for sync-heavy programs.
+ */
+void
+BM_WriteCheckFlushStorm8B(benchmark::State &state)
+{
+    Fixture f;
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state) {
+        f.self.ownCache.flush(f.self.stats);
+        f.checker.beforeWrite(f.self, kBase, 8);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCheckFlushStorm8B);
 
 void
 BM_WriteCheckSameEpoch8B_NoFastPath(benchmark::State &state)

@@ -7,11 +7,18 @@ against the committed baseline ``bench/baseline_microcheck.json`` and
 fails (exit 1) if any gated benchmark's median regresses by more than
 the threshold (default 25%).
 
-The gated benchmarks are the inlined same-epoch read/write checks —
-the hot path the observability layer must not perturb:
+The gated benchmarks cover the checker's per-access fast paths:
 
-  * BM_ReadCheckSameEpoch8B
-  * BM_WriteCheckSameEpoch8B
+  * BM_ReadCheckSameEpoch8B / BM_WriteCheckSameEpoch8B — the
+    ownership-cache hit path (owned-line re-access, the common case);
+  * BM_ReadCheckSameEpoch8B_NoOwnCache /
+    BM_WriteCheckSameEpoch8B_NoOwnCache — the same-epoch shadow fast
+    path with the cache ablated (`--no-own-cache`, and the path every
+    first touch of a line takes);
+  * BM_ReadCheckOwnedMiss8B — the cache's conflict-miss path
+    (direct-mapped eviction + re-claim on every access);
+  * BM_WriteCheckFlushStorm8B — a generation flush before every
+    access (the pathological sync-per-access workload).
 
 Medians are compared rather than means because CI runners are noisy
 and a single descheduled repetition should not trip the gate.
@@ -30,6 +37,10 @@ import sys
 GATED = (
     "BM_ReadCheckSameEpoch8B",
     "BM_WriteCheckSameEpoch8B",
+    "BM_ReadCheckSameEpoch8B_NoOwnCache",
+    "BM_WriteCheckSameEpoch8B_NoOwnCache",
+    "BM_ReadCheckOwnedMiss8B",
+    "BM_WriteCheckFlushStorm8B",
 )
 
 

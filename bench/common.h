@@ -10,6 +10,7 @@
  *   --workloads=a,b,c          comma-separated subset (default: all)
  *   --no-vectorize             disable the §4.4 multi-byte check
  *   --no-fast-path             disable the software same-epoch fast path
+ *   --no-own-cache             disable the per-thread ownership cache
  */
 
 #ifndef CLEAN_BENCH_COMMON_H
@@ -83,6 +84,8 @@ baseSpec(const BenchConfig &config, const std::string &workload,
         !config.options.getBool("no-vectorize", false);
     spec.runtime.fastPath =
         !config.options.getBool("no-fast-path", false);
+    spec.runtime.ownCache =
+        !config.options.getBool("no-own-cache", false);
     spec.runtime.heap.sharedBytes = std::size_t{1} << 31;
     spec.runtime.heap.privateBytes = std::size_t{1} << 30;
     return spec;

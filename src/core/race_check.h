@@ -88,6 +88,17 @@ struct CheckerConfig
      * comparison.
      */
     bool fastPath = true;
+    /**
+     * Enable the per-thread ownership cache (§5.2 software analogue,
+     * see OwnershipCache in thread_state.h): after a write run
+     * publishes — or a fast-path scan verifies — the thread's own epoch
+     * over some bytes, those bytes are recorded, and subsequent
+     * accesses that hit retire with zero shadow traffic. Strictly a
+     * second stage above `fastPath` (it caches that path's positive
+     * outcome), so it inherits all of its gates and is inert when
+     * `fastPath` is off; off reproduces PR 2 behaviour bit-for-bit.
+     */
+    bool ownCache = true;
     AtomicityMode atomicity = AtomicityMode::Cas;
     /**
      * log2 of the checking granule in bytes. 0 = per byte, the paper's
@@ -190,7 +201,11 @@ class RaceChecker
           // take the plain path.
           fastPath_(config.fastPath && config.vectorized &&
                     config.granuleLog2 == 0 &&
-                    config.atomicity == AtomicityMode::Cas)
+                    config.atomicity == AtomicityMode::Cas),
+          // The ownership cache memoizes the fast path's same-epoch
+          // verdict, so it requires the fast path (and thereby Cas
+          // atomicity + byte granules + vectorized scans).
+          ownCache_(config.ownCache && fastPath_)
     {
         CLEAN_ASSERT(config.epoch.valid());
     }
@@ -208,6 +223,29 @@ class RaceChecker
         ts.assertStatsOwner();
         ts.stats.sharedWrites++;
         ts.stats.accessedBytes += size;
+        // Ownership-cache hit: every byte of the access is cached as
+        // still holding ownEpoch, so the same-epoch fast path below
+        // would succeed — skip it wholesale: no shadow lookup, no scan,
+        // no publish (the plain path also skips the republish when all
+        // epochs already equal ownEpoch, so eliding it changes
+        // nothing). Soundness of trusting the cache is argued at
+        // OwnershipCache in thread_state.h: a concurrent unordered
+        // writer is detected by its *own* pre-CAS check, and every
+        // event that could invalidate an entry flushes the cache.
+        // (The wideAccesses bump is folded into each branch so the hit
+        // path pays a single size>=4 test.)
+        if (CLEAN_LIKELY(ownCache_)) {
+            if (CLEAN_LIKELY(ts.ownCache.covered(addr, size))) {
+                ts.stats.ownCacheHitRun++;
+                if (size >= 4) {
+                    ts.stats.wideAccesses++;
+                    ts.stats.wideSameEpoch++;
+                }
+                return;
+            }
+            ts.stats.closeOwnCacheRun();
+            ts.stats.ownCacheMisses++;
+        }
         if (size >= 4)
             ts.stats.wideAccesses++;
         if (CLEAN_UNLIKELY(config_.granuleLog2 != 0)) {
@@ -249,6 +287,12 @@ class RaceChecker
             } else {
                 writeRun(ts, addr, slots, run);
             }
+            // Either branch leaves every slot of the run holding
+            // ownEpoch (the scan verified it; a writeRun that returned
+            // published it — on a race it throws before reaching here),
+            // which is exactly the ownership-cache claim condition.
+            if (ownCache_)
+                ts.ownCache.claim(addr, run);
             addr += run;
             size -= run;
         }
@@ -265,6 +309,22 @@ class RaceChecker
         ts.assertStatsOwner();
         ts.stats.sharedReads++;
         ts.stats.accessedBytes += size;
+        // Ownership-cache hit — the read-back-own-writes case: the
+        // bytes are known to hold ownEpoch, the Figure 2 check would
+        // reduce to `ownEpoch > ownEpoch` (false), and reads never
+        // update metadata, so nothing at all remains to do.
+        if (CLEAN_LIKELY(ownCache_)) {
+            if (CLEAN_LIKELY(ts.ownCache.covered(addr, size))) {
+                ts.stats.ownCacheHitRun++;
+                if (size >= 4) {
+                    ts.stats.wideAccesses++;
+                    ts.stats.wideSameEpoch++;
+                }
+                return;
+            }
+            ts.stats.closeOwnCacheRun();
+            ts.stats.ownCacheMisses++;
+        }
         if (size >= 4)
             ts.stats.wideAccesses++;
         if (CLEAN_UNLIKELY(config_.granuleLog2 != 0)) {
@@ -287,6 +347,11 @@ class RaceChecker
                 detail::allSlotsEqual(slots, run, ts.ownEpoch)) {
                 if (run >= 4)
                     ts.stats.wideSameEpoch++;
+                // The scan just proved these slots hold ownEpoch —
+                // claimable. (readRun proves only ordering, not
+                // equality with ownEpoch, so no claim on that branch.)
+                if (ownCache_)
+                    ts.ownCache.claim(addr, run);
             } else {
                 readRun(ts, addr, slots, run);
             }
@@ -375,6 +440,8 @@ class RaceChecker
     EpochValue epochMask_;
     /** Precomputed "fast path applies" flag (see constructor). */
     bool fastPath_;
+    /** Precomputed "ownership cache applies" flag (see constructor). */
+    bool ownCache_;
     detail::ShardLocks shardLocks_;
 };
 

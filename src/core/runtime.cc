@@ -519,6 +519,12 @@ ThreadContext::rollbackWrites(std::size_t count)
         }
         restored++;
     }
+    // The retractions above undo epochs the ownership cache may have
+    // recorded as "still ours" — ownEpoch itself is unchanged, so
+    // refreshOwnEpoch never runs here and the flush must be explicit.
+    // Without it, a stale hit during the replay (or in the resumed SFR)
+    // would skip the very check whose race triggered this rollback.
+    state_->ownCache.flush(state_->stats);
     if (auto *mgr = rt_.recoveryManager())
         mgr->noteRollback(restored, skipped);
     if (CLEAN_UNLIKELY(obsLane_ != nullptr))
@@ -757,7 +763,8 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
     checkEnd_ = checkBase_ + heap_->sharedSpan();
 
     const CheckerConfig checkerConfig{config_.epoch, config_.vectorized,
-                                      config_.fastPath, config_.atomicity,
+                                      config_.fastPath, config_.ownCache,
+                                      config_.atomicity,
                                       config_.granuleLog2};
     if (config_.shadow == ShadowKind::Linear) {
         linearShadow_ = std::make_unique<LinearShadow>(heap_->sharedBase(),
@@ -1266,6 +1273,12 @@ CleanRuntime::performReset()
         record->state->vc.clearClocks();
         record->state->vc.setClock(record->state->tid, 1);
         record->state->refreshOwnEpoch();
+        // The reset just rewrote every shadow slot to 0, so ownership
+        // claims are stale even when the re-derived element happens to
+        // equal the pre-reset one (a thread that never ticked restarts
+        // at the same clock) — refreshOwnEpoch's change-detection flush
+        // is not sufficient here; retract the cache unconditionally.
+        record->state->ownCache.flush(record->state->stats);
         // Undo logs must survive the reset (ISSUE 3): every live shadow
         // epoch was just rewritten to the reset value 0, so the epochs a
         // later rollback would restore must follow. Owners are parked,
@@ -1413,6 +1426,9 @@ CleanRuntime::failureReportJson() const
     w.field("replayedWrites", stats.replayedWrites);
     w.field("replayedBytes", stats.replayedBytes);
     w.field("replayedEpochUpdates", stats.replayedEpochUpdates);
+    w.field("ownCacheHits", stats.ownCacheHits());
+    w.field("ownCacheMisses", stats.ownCacheMisses);
+    w.field("ownCacheFlushes", stats.ownCacheFlushes);
     w.endObject();
 
     w.field("rollovers", rollover_.resets());
@@ -1487,6 +1503,9 @@ CleanRuntime::metricsJson() const
     w.field("replayedWrites", stats.replayedWrites);
     w.field("replayedBytes", stats.replayedBytes);
     w.field("replayedEpochUpdates", stats.replayedEpochUpdates);
+    w.field("ownCacheHits", stats.ownCacheHits());
+    w.field("ownCacheMisses", stats.ownCacheMisses);
+    w.field("ownCacheFlushes", stats.ownCacheFlushes);
     if (recovery_) {
         const recover::RecoveryStats rs = recovery_->stats();
         w.field("recoveryEpisodes", rs.episodes);
@@ -1522,17 +1541,23 @@ CleanRuntime::metricsJson() const
         }
         w.endObject();
         w.endObject();
+    }
 
-        // Note the latency histogram holds physical nanoseconds: the
-        // metrics snapshot is *not* byte-stable run-to-run, only the
-        // event trace is.
-        w.key("histograms").beginObject();
+    // Always present: the ownership-cache hit-run histogram comes from
+    // the checker itself, not the flight recorder. The recorder's
+    // histograms join it when observability is on; note the latency
+    // histogram holds physical nanoseconds, so the metrics snapshot is
+    // *not* byte-stable run-to-run — only the event trace is.
+    w.key("histograms").beginObject();
+    w.key("ownCacheHitRuns");
+    stats.ownCacheHitRuns.writeTo(w);
+    if (recorder_ != nullptr) {
         w.key("sfrLengthDetEvents");
         recorder_->mergedSfrLength().writeTo(w);
         w.key("checkLatencyNs");
         recorder_->mergedCheckLatency().writeTo(w);
-        w.endObject();
     }
+    w.endObject();
     w.endObject();
     return w.str();
 }

@@ -107,6 +107,10 @@ struct RuntimeConfig
     /** Enable the software fast path for the Fig. 2 check (same-epoch
      *  SIMD scan + skip-republish; see CheckerConfig::fastPath). */
     bool fastPath = true;
+    /** Enable the per-thread ownership cache above the fast path
+     *  (zero-shadow-traffic owned-line hits; see
+     *  CheckerConfig::ownCache and OwnershipCache). */
+    bool ownCache = true;
     AtomicityMode atomicity = AtomicityMode::Cas;
     ShadowKind shadow = ShadowKind::Linear;
     /** Checking granule (log2 bytes): 0 = per byte (sound for C/C++),

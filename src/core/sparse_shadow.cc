@@ -13,10 +13,11 @@ thread_local EpochValue *SparseShadow::cachedChunk_ = nullptr;
 EpochValue *
 SparseShadow::slotsSlow(Addr addr, Addr key)
 {
+    Shard &shard = shards_[shardOf(key)];
     EpochValue *chunk = nullptr;
     {
-        std::lock_guard<std::mutex> guard(mutex_);
-        auto &slot = chunks_[key];
+        std::lock_guard<std::mutex> guard(shard.mutex);
+        auto &slot = shard.chunks[key];
         if (!slot) {
             slot = std::make_unique<EpochValue[]>(kChunkBytes);
             std::memset(slot.get(), 0, kChunkBytes * sizeof(EpochValue));
@@ -32,16 +33,27 @@ SparseShadow::slotsSlow(Addr addr, Addr key)
 void
 SparseShadow::reset()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
-    for (auto &[key, chunk] : chunks_)
-        std::memset(chunk.get(), 0, kChunkBytes * sizeof(EpochValue));
+    // Drop, don't zero: deallocating the chunk tables is O(chunks)
+    // pointer frees instead of O(shadow bytes) memset, and the lazily
+    // reallocated replacements come back zeroed anyway. Retiring the
+    // generation first invalidates every thread-local cached chunk
+    // pointer before its memory is freed.
+    generation_ = nextGeneration_.fetch_add(1);
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard.mutex);
+        shard.chunks.clear();
+    }
 }
 
 std::size_t
 SparseShadow::chunkCount() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
-    return chunks_.size();
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard.mutex);
+        total += shard.chunks.size();
+    }
+    return total;
 }
 
 } // namespace clean

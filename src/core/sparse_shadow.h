@@ -57,28 +57,62 @@ class SparseShadow
         return kChunkBytes - static_cast<std::size_t>(addr & kChunkMask);
     }
 
-    /** Zeroes every allocated chunk (rollover reset; O(allocated)). */
+    /**
+     * Rollover reset: drops every chunk instead of zeroing it in place
+     * (the sparse analogue of LinearShadow's O(1) madvise reset) — the
+     * next access lazily reallocates a zeroed chunk, so no thread
+     * spends O(shadow) memset time inside the stop-the-world reset
+     * window. Bumps the instance generation so every thread-local
+     * chunk-cache entry goes stale before the freed memory can be
+     * handed out again. Callers must guarantee no concurrent access
+     * (the rollover protocol parks all other threads; tests are
+     * single-threaded here).
+     */
     void reset();
 
     /** Number of chunks materialized so far. */
     std::size_t chunkCount() const;
 
+    /** First-touch allocation shards: chunk creation for different
+     *  address regions takes different locks, so a parallel first
+     *  sweep over a large heap no longer serializes every thread on
+     *  one global mutex. */
+    static constexpr std::size_t kShards = 16;
+
   private:
     static constexpr unsigned kChunkShift = 16;
     static constexpr Addr kChunkMask = kChunkBytes - 1;
 
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<Addr, std::unique_ptr<EpochValue[]>> chunks;
+    };
+
+    /** Fibonacci-hash the chunk index so adjacent chunks (the common
+     *  sequential first-touch pattern) land in different shards. */
+    CLEAN_ALWAYS_INLINE static std::size_t
+    shardOf(Addr key)
+    {
+        return static_cast<std::size_t>(
+            (key * 0x9e3779b97f4a7c15ull) >> 60);
+    }
+    static_assert(kShards == 16, "shardOf extracts log2(kShards) bits");
+
     EpochValue *slotsSlow(Addr addr, Addr key);
 
-    mutable std::mutex mutex_;
-    std::unordered_map<Addr, std::unique_ptr<EpochValue[]>> chunks_;
+    Shard shards_[kShards];
 
     // Per-thread single-entry chunk cache keyed by (instance generation,
-    // chunk index). Chunks are immortal while their SparseShadow lives,
-    // so a hit can never yield a stale pointer. The key must be a
+    // chunk index). Chunks are immortal until the owning instance is
+    // reset or destroyed, and both events retire the generation, so a
+    // hit can never yield a stale pointer. The key must be a
     // generation id, not the instance address: a new instance allocated
     // where a destroyed one lived would otherwise satisfy an
     // `owner == this` check and hand out a freed chunk (use-after-free).
     // Generations start at 1 so the empty cache (gen 0) never hits.
+    // Plain (non-atomic) because the only writer, reset(), runs with
+    // every other thread parked.
     std::uint64_t generation_;
     static std::atomic<std::uint64_t> nextGeneration_;
     static thread_local std::uint64_t cachedGen_;

@@ -14,6 +14,7 @@
 
 #include "core/epoch.h"
 #include "core/vector_clock.h"
+#include "obs/metrics.h"
 #include "support/common.h"
 #include "support/logging.h"
 #include "support/stats.h"
@@ -28,29 +29,71 @@ namespace clean
  */
 struct CheckerStats
 {
-    std::uint64_t sharedReads = 0;
-    std::uint64_t sharedWrites = 0;
+    // Field order is hot-path-tuned, not thematic: the checker entry
+    // paths bump several counters per access, and the compiler fuses
+    // *adjacent* bumped pairs into one 16-byte vector RMW. Measured on
+    // the owned-line hit path, that fused load-add-store is slower than
+    // two independent scalar `add $1, mem` chains (~0.7-1ns/access)
+    // whether the 16-byte access is aligned or not, because it
+    // serializes two otherwise-parallel store-forwarding chains. So the
+    // layout interleaves counters that a single checker path bumps
+    // back-to-back (accessedBytes / sharedReads / sharedWrites /
+    // wideAccesses / wideSameEpoch / ownCacheHitRun) with counters that
+    // path does not touch, leaving no fusable pair.
     std::uint64_t accessedBytes = 0;
-    /** Accesses at least 4 bytes wide (paper: >= 91.9% on average). */
-    std::uint64_t wideAccesses = 0;
-    /** Wide accesses whose bytes all carried one epoch (paper: >= 99.7%). */
-    std::uint64_t wideSameEpoch = 0;
     /** Write checks that had to publish a new epoch. */
     std::uint64_t epochUpdates = 0;
+    std::uint64_t sharedReads = 0;
     /** CAS updates that performed 4 epochs at once (128-bit CAS, §4.4). */
     std::uint64_t wideCasUpdates = 0;
+    std::uint64_t sharedWrites = 0;
+    std::uint64_t replayedReads = 0;
+    /** Accesses at least 4 bytes wide (paper: >= 91.9% on average). */
+    std::uint64_t wideAccesses = 0;
+    std::uint64_t replayedWrites = 0;
+    /** Wide accesses whose bytes all carried one epoch (paper: >= 99.7%). */
+    std::uint64_t wideSameEpoch = 0;
+    std::uint64_t replayedBytes = 0;
+    /** Open ownership-cache hit run (see the ownCache block below). */
+    std::uint64_t ownCacheHitRun = 0;
     /**
      * Accesses re-executed by SFR recovery (rollback + replay). The
      * checker bumps the base counters during a replay exactly as during
      * the original execution; recoverAccess then moves those deltas
-     * here, so sharedReads/sharedWrites keep counting each program
-     * access once (Fig. 7 stays faithful) and the recovery re-execution
-     * cost is visible separately.
+     * into the replayed* counters, so sharedReads/sharedWrites keep
+     * counting each program access once (Fig. 7 stays faithful) and the
+     * recovery re-execution cost is visible separately. (The replayed*
+     * fields sit interleaved above/below purely for the layout rule.)
      */
-    std::uint64_t replayedReads = 0;
-    std::uint64_t replayedWrites = 0;
-    std::uint64_t replayedBytes = 0;
     std::uint64_t replayedEpochUpdates = 0;
+    /**
+     * Ownership-cache telemetry (§5.2 software analogue; see
+     * OwnershipCache below). Hits are not counted directly on the hot
+     * path: each hit extends the open run `ownCacheHitRun`, which the
+     * next miss or flush closes into the log2 histogram
+     * `ownCacheHitRuns` — total hits = histogram sum + the open run.
+     * `ownCacheFlushes` counts only flushes that actually discarded
+     * entries (a flush of an empty cache is free and uninteresting).
+     */
+    std::uint64_t ownCacheMisses = 0;
+    std::uint64_t ownCacheFlushes = 0;
+    obs::Histogram ownCacheHitRuns;
+
+    std::uint64_t
+    ownCacheHits() const
+    {
+        return ownCacheHitRuns.sum() + ownCacheHitRun;
+    }
+
+    /** Closes the open hit run into the histogram (miss/flush/export). */
+    void
+    closeOwnCacheRun()
+    {
+        if (ownCacheHitRun != 0) {
+            ownCacheHitRuns.add(ownCacheHitRun);
+            ownCacheHitRun = 0;
+        }
+    }
 
     void
     merge(const CheckerStats &other)
@@ -66,6 +109,13 @@ struct CheckerStats
         replayedWrites += other.replayedWrites;
         replayedBytes += other.replayedBytes;
         replayedEpochUpdates += other.replayedEpochUpdates;
+        ownCacheMisses += other.ownCacheMisses;
+        ownCacheFlushes += other.ownCacheFlushes;
+        ownCacheHitRuns.merge(other.ownCacheHitRuns);
+        // A still-open hit run in the source merges as a closed run so
+        // the histogram accounts for every hit exactly once.
+        if (other.ownCacheHitRun != 0)
+            ownCacheHitRuns.add(other.ownCacheHitRun);
     }
 
     std::uint64_t accesses() const { return sharedReads + sharedWrites; }
@@ -86,7 +136,155 @@ struct CheckerStats
         stats.counter(prefix + ".replayedBytes") += replayedBytes;
         stats.counter(prefix + ".replayedEpochUpdates") +=
             replayedEpochUpdates;
+        stats.counter(prefix + ".ownCacheHits") += ownCacheHits();
+        stats.counter(prefix + ".ownCacheMisses") += ownCacheMisses;
+        stats.counter(prefix + ".ownCacheFlushes") += ownCacheFlushes;
     }
+};
+
+/**
+ * Per-thread direct-mapped cache of shadow bytes known to hold the
+ * thread's own current epoch — the software analogue of the §5.2
+ * per-core ownership cache. An access whose bytes are all covered by a
+ * valid entry retires with zero shadow traffic: no slots() lookup, no
+ * SIMD scan, no vector-clock access, and for writes no republish.
+ *
+ * Soundness (the §5.2 isolation argument, restated for software):
+ * a valid entry for byte b was created when this thread *verified or
+ * published* ownEpoch over b's shadow slot, and `ownEpoch` has not
+ * changed since (any change goes through refreshOwnEpoch, which
+ * flushes). For the slot to stop holding ownEpoch, another thread W
+ * must publish its epoch over it — but every publish path
+ * (publishBytes / writeRunCas) runs W's own Figure 2 check against the
+ * value it replaces *before* the CAS. Since we have performed no
+ * release since claiming (a release ticks our clock →
+ * refreshOwnEpoch → flush), W cannot be ordered after our epoch, so
+ * W's check fires: the WAW/RAW race is detected *at the writer* before
+ * our entry can go stale. Skipping our own check on a hit therefore
+ * never hides a race — it only elides re-verification of bytes whose
+ * epoch provably still equals ownEpoch.
+ *
+ * Entries track sub-line ownership with a 64-bit byte mask, so a hot
+ * 8-byte word claims (and hits on) exactly its own bytes — no
+ * whole-line scans, and bytes never written by this thread are never
+ * treated as owned. Invalidation is O(1): bumping `gen_` makes every
+ * entry's recorded generation stale at once.
+ */
+class OwnershipCache
+{
+  public:
+    static constexpr std::size_t kEntries = 512;
+    static constexpr unsigned kLineShift = 6;
+    static constexpr std::size_t kLineBytes = std::size_t{1} << kLineShift;
+
+    /**
+     * True iff every byte of [addr, addr + size) is cached as owned.
+     * Spans crossing a 64B line boundary (and size 0) always miss;
+     * callers fall back to the shadow path, whose claims still cover
+     * both lines for future (line-contained) accesses.
+     */
+    CLEAN_ALWAYS_INLINE bool
+    covered(Addr addr, std::size_t size) const
+    {
+        const std::size_t off =
+            static_cast<std::size_t>(addr) & (kLineBytes - 1);
+        // One guard for both "crosses a line" and "size == 0" (the
+        // subtraction wraps size 0 far past kLineBytes).
+        if (CLEAN_UNLIKELY(off + size - 1 >= kLineBytes))
+            return false;
+        const Entry &e = entries_[indexOf(addr)];
+        // need: bit per byte of the access; size is in [1, 64] here, so
+        // the right-shift count stays in [0, 63] (no UB for full lines).
+        const std::uint64_t need =
+            (~std::uint64_t{0} >> (kLineBytes - size)) << off;
+        // Line match, generation match, and mask coverage folded into
+        // one zero test — a single branch on the hot path.
+        return ((e.line ^ (addr >> kLineShift)) | (e.gen ^ gen_) |
+                (need & ~e.mask)) == 0;
+    }
+
+    /**
+     * Records [addr, addr + size) as owned. The caller must have just
+     * verified (same-epoch scan) or published (successful CAS run) the
+     * owning thread's current epoch over exactly these shadow bytes.
+     */
+    void
+    claim(Addr addr, std::size_t size)
+    {
+        while (size > 0) {
+            const std::size_t off =
+                static_cast<std::size_t>(addr) & (kLineBytes - 1);
+            const std::size_t chunk = std::min(size, kLineBytes - off);
+            Entry &e = entries_[indexOf(addr)];
+            const Addr line = addr >> kLineShift;
+            if (e.line != line || e.gen != gen_) {
+                e.line = line;
+                e.gen = gen_;
+                e.mask = 0;
+            }
+            e.mask |= maskOf(off, chunk);
+            addr += chunk;
+            size -= chunk;
+        }
+        dirty_ = true;
+    }
+
+    /**
+     * O(1) whole-cache invalidation: every entry's recorded generation
+     * becomes stale at once. Closes the open hit run and counts the
+     * flush (only if entries existed to discard). Must run at every
+     * SFR boundary that changes or invalidates ownEpoch —
+     * refreshOwnEpoch calls it — and whenever published epochs are
+     * retracted behind the cache's back (recovery rollback, rollover
+     * reset; the latter goes through refreshOwnEpoch too).
+     */
+    void
+    flush(CheckerStats &stats)
+    {
+        gen_++;
+        stats.closeOwnCacheRun();
+        if (dirty_) {
+            stats.ownCacheFlushes++;
+            dirty_ = false;
+        }
+    }
+
+    /** True iff any entry has been claimed since the last flush. */
+    bool dirty() const { return dirty_; }
+
+  private:
+    struct Entry
+    {
+        /** addr >> kLineShift of the cached line. */
+        Addr line = 0;
+        /** Generation the entry was (last) claimed in. */
+        std::uint64_t gen = 0;
+        /** Bit b set => byte b of the line holds ownEpoch. */
+        std::uint64_t mask = 0;
+    };
+
+    CLEAN_ALWAYS_INLINE static std::size_t
+    indexOf(Addr addr)
+    {
+        return (static_cast<std::size_t>(addr) >> kLineShift) &
+               (kEntries - 1);
+    }
+
+    CLEAN_ALWAYS_INLINE static std::uint64_t
+    maskOf(std::size_t off, std::size_t size)
+    {
+        // size in [1, 64]; the select avoids the UB of a 64-bit shift
+        // by 64 for full-line masks.
+        const std::uint64_t bits =
+            size >= kLineBytes ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << size) - 1;
+        return bits << off;
+    }
+
+    Entry entries_[kEntries];
+    /** Starts at 1 so zero-initialized entries can never match. */
+    std::uint64_t gen_ = 1;
+    bool dirty_ = false;
 };
 
 /**
@@ -104,8 +302,33 @@ struct ThreadState
     {
     }
 
-    /** Re-derives the cached main element after a clock change. */
-    void refreshOwnEpoch() { ownEpoch = vc.element(tid); }
+    /**
+     * Re-derives the cached main element, and flushes the ownership
+     * cache iff the element actually changed: its entries assert "this
+     * shadow byte holds ownEpoch", which a new value invalidates
+     * wholesale. Every clock-changing site (spawn, tickClock on
+     * release) funnels through here, so that flush cannot be forgotten
+     * at a new sync op. Acquire-side joins also land here but leave the
+     * element untouched, and the cache *must* survive them (§5.2: the
+     * hardware cache lives until the core's epoch changes) — acquiring
+     * only adds order to our clock; another thread can become ordered
+     * after our epoch, and thus overwrite a claimed slot unchecked,
+     * only via a release of ours, which ticks. Within a rollover era
+     * the element is monotone, so value equality implies it never
+     * changed. Two events retract published epochs while leaving the
+     * element equal and therefore flush explicitly: recovery rollback
+     * (ThreadContext::rollbackWrites) and the rollover shadow reset
+     * (CleanRuntime::performReset).
+     */
+    void
+    refreshOwnEpoch()
+    {
+        const EpochValue element = vc.element(tid);
+        if (element != ownEpoch) {
+            ownEpoch = element;
+            ownCache.flush(stats);
+        }
+    }
 
     /**
      * Debug-build check that the unsynchronized `stats` counters are
@@ -138,6 +361,9 @@ struct ThreadState
     VectorClock vc;
     EpochValue ownEpoch;
     CheckerStats stats;
+    /** §5.2 software ownership cache; only the checker's hot path and
+     *  the flush sites above touch it. */
+    OwnershipCache ownCache;
     /** Index of the thread's current synchronization-free region,
      *  bumped at every sync op (acquireTurn); threaded into
      *  RaceException so reports can name the SFR a race fired in. */

@@ -14,6 +14,13 @@
 // The mechanics of an episode — rollback, the Kendo-ordered recovery
 // token, serialized replay — live in ThreadContext (runtime.cc) and
 // RecoveryToken (sync_objects.h); this class only counts and gates.
+//
+// Episode contract note: rollback retracts shadow epochs the thread
+// published during the open SFR *without* changing its ownEpoch, so it
+// must explicitly flush the thread's OwnershipCache (rollbackWrites
+// does) — the cache's validity argument assumes claimed bytes keep
+// holding ownEpoch until the next refreshOwnEpoch, and a rollback is
+// the one event that breaks it from the owner's own side.
 
 #include <cstdint>
 #include <map>

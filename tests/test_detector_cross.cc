@@ -15,9 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <optional>
+#include <thread>
 
+#include "core/clean.h"
 #include "core/linear_shadow.h"
 #include "core/race_check.h"
 #include "detectors/fasttrack.h"
@@ -108,6 +111,14 @@ noFastPathConfig()
     return config;
 }
 
+CheckerConfig
+noOwnCacheConfig()
+{
+    CheckerConfig config;
+    config.ownCache = false;
+    return config;
+}
+
 /** Body of the Clean-vs-FastTrack invariant, per checker config. */
 void
 runCleanVsFastTrack(unsigned seed, const CheckerConfig &config)
@@ -189,6 +200,40 @@ TEST_P(CrossDetector, FastPathParityWithPlainPath)
     EXPECT_FALSE(fast.lastRace || plain.lastRace);
 }
 
+/**
+ * The same lockstep-parity property for the ownership cache (this PR):
+ * eliding the shadow lookup on owned lines must not change what is
+ * detected, when, or how it is attributed. The cache-on harness is the
+ * default config; the cache-off one is the pre-cache checker bit for
+ * bit (`--no-own-cache`).
+ */
+TEST_P(CrossDetector, OwnCacheParityWithPlainPath)
+{
+    Prng rngCached(GetParam() * 7919 + 13);
+    Prng rngPlain(GetParam() * 7919 + 13);
+    CrossHarness cached;
+    CrossHarness plain(noOwnCacheConfig());
+    for (int step = 0; step < 600; ++step) {
+        const auto cachedRace = cached.step(rngCached);
+        const auto plainRace = plain.step(rngPlain);
+        ASSERT_EQ(cachedRace.has_value(), plainRace.has_value())
+            << "own cache diverged from plain path at step " << step;
+        if (cachedRace) {
+            EXPECT_EQ(*cachedRace, *plainRace);
+            ASSERT_TRUE(cached.lastRace && plain.lastRace);
+            EXPECT_EQ(cached.lastRace->addr(), plain.lastRace->addr());
+            EXPECT_EQ(cached.lastRace->accessor(),
+                      plain.lastRace->accessor());
+            EXPECT_EQ(cached.lastRace->previousWriter(),
+                      plain.lastRace->previousWriter());
+            EXPECT_EQ(cached.lastRace->previousClock(),
+                      plain.lastRace->previousClock());
+            return;
+        }
+    }
+    EXPECT_FALSE(cached.lastRace || plain.lastRace);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossDetector, ::testing::Range(0u, 60u));
 
 /** WAR-only schedules complete under CLEAN while FastTrack reports. */
@@ -208,6 +253,137 @@ TEST(CrossDetectorDirected, WarOnlyScheduleCompletes)
     for (const auto &r : harness.fasttrack.reports())
         wars += r.kind == RaceKind::War;
     EXPECT_GE(wars, 2u);
+}
+
+/**
+ * Directed regression for the ownership cache's soundness argument: the
+ * owner skipping its check on a hit is only sound because a concurrent
+ * writer's own Figure 2 check fires *at the writer*. Construct exactly
+ * that situation — the main thread owns a line (its re-access is a
+ * cache hit), a second thread then writes into it unordered — and
+ * assert the WAW is recorded with the second thread as the accessor and
+ * the owner as the previous writer, under every --on-race policy.
+ */
+void
+runRaceAtWriterOnOwnedLine(OnRacePolicy policy)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.onRace = policy;
+
+    CleanRuntime rt(config);
+    auto *x = rt.heap().allocSharedArray<int>(16);
+    std::atomic<bool> owned{false};
+    ThreadId writerTid = 0;
+
+    // Spawn first: the parent's clock ticks at spawn, so everything the
+    // parent writes below is unordered with the child.
+    auto h = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        writerTid = ctx.tid();
+        while (!owned.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        try {
+            ctx.write(&x[0], 7); // races with the owner's publish
+        } catch (const RaceException &) {
+            // Throw policy: recorded before the throw; nothing to do.
+        }
+    });
+
+    // Owner path: publish over the line, then hit it again from the
+    // ownership cache — the second write retires with no shadow access.
+    rt.mainContext().write(&x[0], 1);
+    rt.mainContext().write(&x[1], 2);
+    rt.mainContext().write(&x[0], 3);
+    ASSERT_GT(rt.mainContext().state().stats.ownCacheHits(), 0u);
+    owned.store(true, std::memory_order_release);
+    rt.join(rt.mainContext(), h);
+
+    EXPECT_TRUE(rt.raceOccurred()) << onRacePolicyName(policy);
+    ASSERT_NE(rt.firstRace(), nullptr) << onRacePolicyName(policy);
+    EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Waw)
+        << onRacePolicyName(policy);
+    // Detected at the writer, not the owner.
+    EXPECT_EQ(rt.firstRace()->accessor(), writerTid)
+        << onRacePolicyName(policy);
+    EXPECT_EQ(rt.firstRace()->previousWriter(), rt.mainContext().tid())
+        << onRacePolicyName(policy);
+}
+
+TEST(OwnCacheDirected, RaceAtWriterOnOwnedLineThrow)
+{
+    runRaceAtWriterOnOwnedLine(OnRacePolicy::Throw);
+}
+
+TEST(OwnCacheDirected, RaceAtWriterOnOwnedLineReport)
+{
+    runRaceAtWriterOnOwnedLine(OnRacePolicy::Report);
+}
+
+TEST(OwnCacheDirected, RaceAtWriterOnOwnedLineCount)
+{
+    runRaceAtWriterOnOwnedLine(OnRacePolicy::Count);
+}
+
+TEST(OwnCacheDirected, RaceAtWriterOnOwnedLineRecover)
+{
+    runRaceAtWriterOnOwnedLine(OnRacePolicy::Recover);
+}
+
+/**
+ * Directed regression for the release-tick flush in refreshOwnEpoch.
+ * Once the owner releases, a thread ordered after the release may
+ * overwrite the owned line *without any race at the writer* — so the
+ * owner's next check is the only one that can catch the overwrite, and
+ * a stale hit would skip it. Claim before spawn (spawn ticks the
+ * parent's clock, which is a release towards the child), let the
+ * ordered child overwrite the line, and assert the owner's re-read
+ * reports the RAW against the child's unacquired epoch.
+ */
+TEST(OwnCacheDirected, ReleaseTickFlushesTheOwnershipCache)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.onRace = OnRacePolicy::Report;
+
+    CleanRuntime rt(config);
+    auto *x = rt.heap().allocSharedArray<int>(16);
+    ThreadContext &main = rt.mainContext();
+
+    // Own the line before the spawn: publish, then re-hit it.
+    main.write(&x[0], 1);
+    main.write(&x[1], 2);
+    main.write(&x[0], 3);
+    ASSERT_GT(main.state().stats.ownCacheHits(), 0u);
+
+    // Spawning is a release: the child's fork view covers the claim
+    // epochs, so its write below is *ordered* — no race fires at the
+    // writer, and only the owner's own re-check can see the overwrite.
+    std::atomic<bool> childDone{false};
+    ThreadId childTid = 0;
+    auto h = rt.spawn(main, [&](ThreadContext &ctx) {
+        childTid = ctx.tid();
+        ctx.write(&x[0], 7); // ordered overwrite of the owned line
+        childDone.store(true, std::memory_order_release);
+    });
+    while (!childDone.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    // The raw flag above transfers no vector-clock knowledge, so the
+    // child's epoch is unordered with us: a genuine RAW this read must
+    // report. A claim surviving the spawn tick would hit and skip it.
+    (void)main.read(&x[0]);
+    rt.join(main, h);
+
+    EXPECT_EQ(rt.raceCount(), 1u)
+        << "the post-release RAW was not detected (stale ownership hit?)";
+    ASSERT_NE(rt.firstRace(), nullptr);
+    EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Raw);
+    EXPECT_EQ(rt.firstRace()->accessor(), main.tid());
+    EXPECT_EQ(rt.firstRace()->previousWriter(), childTid);
 }
 
 } // namespace

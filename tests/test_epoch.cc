@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/epoch.h"
+#include "core/sparse_shadow.h"
 
 namespace clean
 {
@@ -90,6 +91,36 @@ TEST(EpochConfig, ClockOverflowWrapsIntoMask)
     // pack() masks; a clock above maxClock would alias — which is why
     // the runtime must reset before reaching maxClock.
     EXPECT_EQ(cfg.clockOf(cfg.pack(0, cfg.maxClock() + 1)), 0u);
+}
+
+// Rollover contract (§4.5): after a shadow reset every slot must read
+// the zero epoch — thread 0 at clock 0, which every post-reset vector
+// clock dominates, so stale pre-reset history can never fire a race.
+// The sparse backend implements the reset by *dropping* chunk tables
+// (the O(1)-drop analogue of LinearShadow's madvise) rather than
+// zeroing in place, so the invariant is two-fold: the tables are gone,
+// and lazily rematerialized chunks come back zeroed.
+TEST(EpochConfig, ShadowResetRestoresZeroEpochEverywhere)
+{
+    const EpochConfig cfg = kDefaultEpochConfig;
+    SparseShadow shadow;
+    const Addr addrs[] = {0x1000, 0x1234567, 0xdeadbeef000,
+                          0x1000 + SparseShadow::kChunkBytes};
+    for (Addr a : addrs)
+        *shadow.slots(a) = cfg.pack(3, 41);
+    ASSERT_GT(shadow.chunkCount(), 0u);
+
+    shadow.reset();
+    // Drop-based reset: no chunk survives (O(chunks) frees, not
+    // O(shadow bytes) of memset while the world is stopped).
+    EXPECT_EQ(shadow.chunkCount(), 0u);
+    for (Addr a : addrs) {
+        const EpochValue e = *shadow.slots(a);
+        EXPECT_EQ(e, 0u);
+        EXPECT_EQ(cfg.tidOf(e), 0u);
+        EXPECT_EQ(cfg.clockOf(e), 0u);
+        EXPECT_EQ(e & EpochConfig::expandedBit(), 0u);
+    }
 }
 
 TEST(EpochConfig, SameTidRawComparisonOrdersClocks)

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "core/clean.h"
@@ -300,6 +302,124 @@ TEST(RecoverOutput, RecoveredRunMatchesTheFaultFreeOutput)
     EXPECT_NE(recovered.failureReport.find("\"outcome\":\"recovered\""),
               std::string::npos)
         << recovered.failureReport;
+}
+
+// ---------------------------------------------------------------------
+// Ownership-cache flush sites (this PR). The cache asserts "these
+// shadow bytes hold my current epoch"; two events falsify that claim
+// without any race at the owner's next access, and each must flush:
+// a recovery rollback (epochs retracted, ownEpoch unchanged) and a
+// rollover reset (every epoch rewritten to 0). Both tests are built so
+// a stale hit would *skip a real check* and hide the second race —
+// they fail if the corresponding flush site is removed.
+// ---------------------------------------------------------------------
+
+TEST(RecoverOwnCache, RollbackFlushesTheOwnershipCache)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.onRace = OnRacePolicy::Recover;
+
+    CleanRuntime rt(config);
+    auto *arr = rt.heap().allocSharedArray<int>(64);
+    int *x = &arr[0];  // line the child owns and re-hits
+    int *y = &arr[32]; // 128 bytes away: a different 64B line
+    std::atomic<bool> mainWroteY{false}, childDone{false};
+    ThreadId childTid = 0;
+
+    auto h = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        childTid = ctx.tid();
+        while (!mainWroteY.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        // One SFR: claim x's line (the third write is a cache hit),
+        // then hit main's unordered epoch at y — a WAW detected here.
+        // Recovery rolls this SFR back (retracting the x epochs) and
+        // replays it; the replayed x writes MUST miss the cache and
+        // republish, or x's shadow keeps the rolled-back zero epoch.
+        ctx.write(x, 5);
+        ctx.write(x + 1, 6);
+        ctx.write(x, 7);
+        EXPECT_GT(ctx.state().stats.ownCacheHits(), 0u);
+        ctx.write(y, 8); // races with main's write; recovered in place
+        childDone.store(true, std::memory_order_release);
+    });
+
+    rt.mainContext().write(y, 1); // unordered with the child (post-spawn)
+    mainWroteY.store(true, std::memory_order_release);
+    while (!childDone.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    // The child's replay republished its epoch over x, so this read is
+    // a genuine RAW (the child is unordered with us) and must be
+    // detected. A stale hit inside the replay leaves x's shadow at the
+    // rolled-back zero epoch and this race silently disappears.
+    (void)rt.mainContext().read(x);
+    rt.join(rt.mainContext(), h);
+
+    EXPECT_EQ(rt.raceCount(), 2u)
+        << "the RAW after recovery was not detected";
+    ASSERT_NE(rt.firstRace(), nullptr);
+    EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Waw);
+    EXPECT_EQ(rt.firstRace()->accessor(), childTid);
+}
+
+TEST(RecoverOwnCache, ForcedRolloverFlushesTheOwnershipCache)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.onRace = OnRacePolicy::Report;
+
+    CleanRuntime rt(config);
+    auto *y = rt.heap().allocSharedArray<int>(16);
+    ThreadContext &main = rt.mainContext();
+
+    // The stale claim must belong to a thread whose clock does not
+    // change across the reset, or refreshOwnEpoch's change-detection
+    // flush covers for the reset flush and the test guards nothing.
+    // performReset restarts every clock at 1, and a spawned child that
+    // never releases stays at its spawn clock of 1 — so the child owns
+    // the line and the child re-reads it after the reset.
+    std::atomic<bool> claimed{false}, resetDone{false};
+    ThreadId childTid = 0;
+    auto h = rt.spawn(main, [&](ThreadContext &ctx) {
+        childTid = ctx.tid();
+        // Own y's line: publish, then re-hit it from the cache.
+        ctx.write(&y[0], 1);
+        ctx.write(&y[1], 2);
+        ctx.write(&y[0], 3);
+        EXPECT_GT(ctx.state().stats.ownCacheHits(), 0u);
+        claimed.store(true, std::memory_order_release);
+        while (!resetDone.load(std::memory_order_acquire))
+            ctx.pollRollover(); // park here while main forces the reset
+        // Post-reset clocks restart mutually unordered, so main's
+        // rewrite of y[0] below is an epoch this thread does not cover.
+        // With the reset flush in place this read consults the shadow
+        // and reports a RAW; a stale pre-reset hit would skip the
+        // check and hide it.
+        (void)ctx.read(&y[0]);
+    });
+
+    while (!claimed.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    rt.rollover().request();
+    main.pollRollover();
+    ASSERT_GT(rt.rolloverResets(), 0u);
+    // The reset rewrote y's shadow to the zero epoch; this publishes
+    // main's post-reset epoch over the line the child still claims.
+    main.write(&y[0], 7);
+    resetDone.store(true, std::memory_order_release);
+    rt.join(main, h);
+
+    EXPECT_EQ(rt.raceCount(), 1u)
+        << "the post-reset RAW was not detected (stale ownership hit?)";
+    ASSERT_NE(rt.firstRace(), nullptr);
+    EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Raw);
+    EXPECT_EQ(rt.firstRace()->accessor(), childTid);
+    EXPECT_EQ(rt.firstRace()->previousWriter(), main.tid());
 }
 
 } // namespace

@@ -206,6 +206,7 @@ runMain(const Options &opts)
         static_cast<std::uint64_t>(opts.getInt("seed", 0xc0ffee));
     spec.runtime.vectorized = !opts.getBool("no-vectorize", false);
     spec.runtime.fastPath = !opts.getBool("no-fast-path", false);
+    spec.runtime.ownCache = !opts.getBool("no-own-cache", false);
     spec.runtime.granuleLog2 =
         static_cast<unsigned>(opts.getInt("granule-log2", 0));
     spec.runtime.detChunk =
