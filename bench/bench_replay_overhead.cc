@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Record-on overhead gate (ISSUE 6 satellite).
+ *
+ * Recording a replay trace must be cheap enough to leave on for every
+ * chaos/CI run: the sink only hooks cold control points (sync
+ * operations, turn grants, recovery episodes), never the per-access
+ * check path. This harness times each kernel under the clean backend
+ * with recording off, recording on, and replaying the just-recorded
+ * trace, then gates the record-on overhead.
+ *
+
+ * The baseline runs with the flight recorder enabled but no sink:
+ * recording forces the recorder on, so comparing against an obs-off run
+ * would charge the recorder's own (separately gated) cost to the sink.
+ * The overhead gated here is exactly what --record adds on top of an
+ * observed run: serializing each cold-control-point event and the
+ * incremental fwrite/fflush cadence.
+ *
+ * Beyond the common bench flags (bench/common.h):
+ *   --max-overhead=F   fail (exit 1) when the mean record-on overhead
+ *                      exceeds F (default 0.05 — the ≤5% budget; pass
+ *                      a negative value to report without gating)
+ *   --json=PATH        write the measurements as JSON
+ *                      (bench/BENCH_replay.json holds a committed
+ *                      reference run; regenerate with the command in
+ *                      its header when the recorder changes)
+ *
+ * Replay wall time is reported for context only — replay serializes
+ * turns against the recorded schedule, so it is expected to be slower
+ * than the free-running original; no budget is stated for it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace clean;
+using namespace clean::bench;
+using namespace clean::wl;
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig config = parseBench(argc, argv, "test");
+    if (config.options.getString("workloads", "").empty())
+        config.workloads = {"fft", "lu_cb", "streamcluster",
+                            "blackscholes"};
+    const double maxOverhead =
+        config.options.getDouble("max-overhead", 0.05);
+    const std::string jsonOut = config.options.getString("json", "");
+    const std::string tracePath =
+        (std::filesystem::temp_directory_path() /
+         "bench_replay_overhead.cleantrace")
+            .string();
+
+    std::printf("=== record/replay overhead (threads=%u, scale=%s, "
+                "repeats=%u, budget=%.0f%%) ===\n\n",
+                config.threads,
+                config.options.getString("scale", "test").c_str(),
+                config.repeats, maxOverhead * 100);
+    std::printf("%-14s %12s %12s %10s %12s\n", "benchmark", "off[s]",
+                "record[s]", "overhead", "replay[s]");
+
+    struct Row
+    {
+        std::string workload;
+        double off, record, replay, overhead;
+    };
+    std::vector<Row> rows;
+    std::vector<double> overheads;
+    for (const auto &name : config.workloads) {
+        RunSpec base = baseSpec(config, name, BackendKind::Clean);
+        // Match the forced-on recorder configuration of a recording run
+        // (core/runtime.cc): flight recorder enabled, latency sampling
+        // off. The delta to `record` is then purely the sink.
+        base.runtime.obs.enabled = true;
+        base.runtime.obs.latencySampleEvery = 0;
+        const double off = timedSeconds(base, config.repeats);
+
+        RunSpec rec = base;
+        rec.recordPath = tracePath;
+        const double record = timedSeconds(rec, config.repeats);
+
+        RunSpec rep = base;
+        rep.replayPath = tracePath;
+        const double replay = timedSeconds(rep, config.repeats);
+
+        if (off <= 0 || record <= 0) {
+            std::fprintf(stderr, "%s: timing failed\n", name.c_str());
+            return 1;
+        }
+        const double overhead = record / off - 1.0;
+        overheads.push_back(overhead);
+        rows.push_back({name, off, record, replay, overhead});
+        std::printf("%-14s %12.4f %12.4f %9.1f%% %12.4f\n", name.c_str(),
+                    off, record, overhead * 100, replay);
+    }
+    std::filesystem::remove(tracePath);
+
+    const double meanOverhead = mean(overheads);
+    std::printf("\nmean record-on overhead: %.1f%%\n",
+                meanOverhead * 100);
+
+    if (!jsonOut.empty()) {
+        std::FILE *f = std::fopen(jsonOut.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", jsonOut.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"benchmarks\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"off_s\": %.6f, "
+                         "\"record_s\": %.6f, \"replay_s\": %.6f, "
+                         "\"record_overhead\": %.4f}%s\n",
+                         r.workload.c_str(), r.off, r.record, r.replay,
+                         r.overhead, i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"mean_record_overhead\": %.4f,\n"
+                     "  \"budget\": %.4f\n}\n",
+                     meanOverhead, maxOverhead);
+        std::fclose(f);
+    }
+
+    if (maxOverhead >= 0 && meanOverhead > maxOverhead) {
+        std::fprintf(stderr,
+                     "FAIL: mean record-on overhead %.1f%% exceeds the "
+                     "%.0f%% budget\n",
+                     meanOverhead * 100, maxOverhead * 100);
+        return 1;
+    }
+    std::printf("record-on overhead within budget\n");
+    return 0;
+}

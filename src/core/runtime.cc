@@ -5,10 +5,13 @@
 #include <thread>
 
 #include "core/sync_objects.h"
+#include "det/replay.h"
 #include "obs/trace_export.h"
+#include "obs/trace_schema.h"
 #include "recover/recovery.h"
 #include "support/backoff.h"
 #include "support/json.h"
+#include "support/trace_error.h"
 
 namespace clean
 {
@@ -433,6 +436,41 @@ ThreadContext::pollRollover()
 }
 
 void
+ThreadContext::turnWait(const char *where)
+{
+    auto &kendo = rt_.kendo();
+    if (!kendo.enabled())
+        return;
+    det::ReplayDriver *driver = rt_.replayDriver();
+    SpinWait spin(rt_.config().watchdogMs);
+    for (;;) {
+        const bool kendoReady = kendo.tryTurn(state_->tid);
+        if (CLEAN_LIKELY(driver == nullptr)) {
+            if (kendoReady)
+                break;
+        } else if (driver->tryGrant(state_->tid, kendo.count(state_->tid),
+                                    kendoReady) ==
+                   det::GrantStatus::Granted) {
+            break;
+        }
+        rt_.throwIfAborted();
+        pollRollover();
+        if (CLEAN_UNLIKELY(spin.expired())) {
+            // A complete trace deadlocks exactly like the recorded run;
+            // an incomplete one starved because the rest of the
+            // schedule was never written — report the truncation.
+            if (driver != nullptr && !driver->traceComplete())
+                driver->raiseTruncatedWait(state_->tid,
+                                           kendo.count(state_->tid));
+            rt_.raiseDeadlock(where, state_->tid, spin.elapsedMs());
+        }
+        spin.pause();
+    }
+    if (CLEAN_UNLIKELY(obsLane_ != nullptr))
+        obsEvent(obs::EventKind::TurnGrant, state_->sfrOrdinal);
+}
+
+void
 ThreadContext::acquireTurn()
 {
     rt_.throwIfAborted();
@@ -442,18 +480,7 @@ ThreadContext::acquireTurn()
     pollRollover();
     if (CLEAN_UNLIKELY(plan_ != nullptr))
         injectAtSync();
-    auto &kendo = rt_.kendo();
-    if (kendo.enabled()) {
-        SpinWait spin(rt_.config().watchdogMs);
-        while (!kendo.tryTurn(state_->tid)) {
-            rt_.throwIfAborted();
-            pollRollover();
-            if (CLEAN_UNLIKELY(spin.expired()))
-                rt_.raiseDeadlock("acquireTurn", state_->tid,
-                                  spin.elapsedMs());
-            spin.pause();
-        }
-    }
+    turnWait("acquireTurn");
     // Every sync op ends the current SFR: its effects are (about to be)
     // released, so the undo records covering them are dead and a new
     // recovery unit begins.
@@ -729,21 +756,13 @@ ThreadContext::retireAfterKill()
     try {
         flushDetEvents();
         pollRollover();
-        auto &kendo = rt_.kendo();
-        if (kendo.enabled()) {
-            SpinWait spin(rt_.config().watchdogMs);
-            while (!kendo.tryTurn(state_->tid)) {
-                rt_.throwIfAborted();
-                pollRollover();
-                if (CLEAN_UNLIKELY(spin.expired()))
-                    rt_.raiseDeadlock("retireAfterKill", state_->tid,
-                                      spin.elapsedMs());
-                spin.pause();
-            }
-        }
+        turnWait("retireAfterKill");
         state_->sfrOrdinal++;
     } catch (const ExecutionAborted &) {
     } catch (const DeadlockError &) {
+    } catch (const TraceError &) {
+        // The replay fault is latched in the driver; letting it escape
+        // here would terminate (we are inside threadMain's handler).
     }
 }
 
@@ -785,11 +804,42 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
     if (config_.inject.any())
         injectPlan_ = std::make_unique<inject::InjectionPlan>(config_.inject);
 
+    // Record/replay (ISSUE 6) rides on the flight recorder: the hook on
+    // the record funnel is the sink (recording) or the validator
+    // (replaying). Force the recorder on and latency sampling off —
+    // the sampled histogram holds physical nanoseconds, which would
+    // break byte-identical metrics across record and replay.
+    if (config_.recordSink != nullptr || config_.replayDriver != nullptr) {
+        if (!obs::kCompiledIn)
+            throw TraceError(TraceFault::Unsupported,
+                             "record/replay requires the observability "
+                             "layer (rebuild with -DCLEAN_OBS=ON)");
+        if (config_.recordSink != nullptr &&
+            config_.replayDriver != nullptr)
+            throw TraceError(TraceFault::Unsupported,
+                             "cannot record and replay in the same run");
+        if (!config_.deterministic)
+            throw TraceError(TraceFault::Unsupported,
+                             "record/replay requires deterministic "
+                             "synchronization (the Kendo turn order is "
+                             "the trace)");
+        config_.obs.enabled = true;
+        config_.obs.latencySampleEvery = 0;
+    }
+
     // Before the main ThreadContext below: its constructor binds the
     // thread's lane.
-    if (obs::kCompiledIn && config_.obs.enabled)
+    if (obs::kCompiledIn && config_.obs.enabled) {
         recorder_ = std::make_unique<obs::FlightRecorder>(
             config_.obs, config_.maxThreads);
+        if (config_.recordSink != nullptr)
+            recorder_->setHook(config_.recordSink);
+        else if (config_.replayDriver != nullptr) {
+            recorder_->setHook(config_.replayDriver);
+            config_.replayDriver->setFaultHandler(
+                [this] { raiseAbortFlag(); });
+        }
+    }
 
     if (config_.onRace == OnRacePolicy::Recover) {
         recover::RecoveryConfig rc;
@@ -826,7 +876,7 @@ CleanRuntime::~CleanRuntime()
     for (auto &record : records_) {
         if (record->osThread && record->osThread->joinable()) {
             leaked = true;
-            abortFlag_.store(true, std::memory_order_release);
+            raiseAbortFlag();
             record->osThread->join();
         }
     }
@@ -962,8 +1012,10 @@ CleanRuntime::threadMain(std::uint32_t record,
         // recordDeadlock already ran where the watchdog fired.
         r.error = std::current_exception();
     } catch (...) {
+        // Incl. TraceError: a replay fault aborts the whole execution
+        // (the driver latched it; the runner surfaces it after the run).
         r.error = std::current_exception();
-        abortFlag_.store(true, std::memory_order_release);
+        raiseAbortFlag();
     }
 
     obsFinish();
@@ -1012,6 +1064,11 @@ CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
         // Aborted runs still physically reap the thread below.
     } catch (const DeadlockError &) {
         pending = std::current_exception();
+    } catch (const TraceError &) {
+        // A replay fault: the driver latched it and raised the abort
+        // flag, so the child unwinds promptly and the join below is
+        // bounded.
+        pending = std::current_exception();
     }
 
     if (mustWait) {
@@ -1037,6 +1094,9 @@ CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
         try {
             resumeFromBlocked(parent.record());
         } catch (const ExecutionAborted &) {
+            if (!pending)
+                pending = std::current_exception();
+        } catch (const TraceError &) {
             if (!pending)
                 pending = std::current_exception();
         }
@@ -1080,7 +1140,7 @@ CleanRuntime::recordRace(const RaceException &race)
     obsRaceDetected(race);
     switch (config_.onRace) {
       case OnRacePolicy::Throw:
-        abortFlag_.store(true, std::memory_order_release);
+        raiseAbortFlag();
         return true;
       case OnRacePolicy::Report:
         warn("race reported (degraded mode, continuing): %s", race.what());
@@ -1142,8 +1202,16 @@ CleanRuntime::recordDeadlock(const DeadlockError &deadlock)
         if (!firstDeadlock_)
             firstDeadlock_ = std::make_unique<DeadlockError>(deadlock);
     }
-    abortFlag_.store(true, std::memory_order_release);
+    raiseAbortFlag();
     warn("%s", deadlock.what());
+}
+
+void
+CleanRuntime::raiseAbortFlag()
+{
+    abortFlag_.store(true, std::memory_order_release);
+    if (CLEAN_UNLIKELY(config_.replayDriver != nullptr))
+        config_.replayDriver->disarm();
 }
 
 void

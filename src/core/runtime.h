@@ -61,6 +61,16 @@ namespace recover
 class RecoveryManager;
 }
 
+namespace obs
+{
+class RecordSink;
+}
+
+namespace det
+{
+class ReplayDriver;
+}
+
 /** Shadow backend selection. */
 enum class ShadowKind { Linear, Sparse };
 
@@ -156,6 +166,22 @@ struct RuntimeConfig
      *  no recorder is built and the hot path keeps one never-taken
      *  branch. Ignored when compiled out (CMake -DCLEAN_OBS=OFF). */
     obs::ObsConfig obs;
+    /**
+     * Record sink (ISSUE 6): when set, the runtime forces the flight
+     * recorder on (with latency sampling off — physical time would
+     * break byte-identical metrics) and streams every event into the
+     * sink. Not owned; must outlive the runtime. Requires
+     * `deterministic` — the recorded turn order IS the trace.
+     */
+    obs::RecordSink *recordSink = nullptr;
+    /**
+     * Replay driver (ISSUE 6): when set, Kendo turn grants are
+     * re-driven from the loaded trace and the event stream is validated
+     * against it; any disagreement raises a structured TraceError
+     * (support/trace_error.h) instead of hanging or silently diverging.
+     * Not owned. Mutually exclusive with `recordSink`.
+     */
+    det::ReplayDriver *replayDriver = nullptr;
 };
 
 /** Thrown in sibling threads after some thread raised a RaceException. */
@@ -344,6 +370,12 @@ class ThreadContext
     /** Publishes batched deterministic events to the Kendo counter. */
     void flushDetEvents();
 
+    /** The Kendo turn wait shared by acquireTurn and retireAfterKill:
+     *  spins on the turn predicate (schedule-checked under replay) with
+     *  abort polling, rollover parking and the watchdog, and records
+     *  the TurnGrant event once granted. */
+    void turnWait(const char *where);
+
     /** Injection checks at a shared-access site; throws ThreadKilled on
      *  a kill coordinate, returns true when the race check is skipped. */
     bool injectAtAccess();
@@ -492,6 +524,9 @@ class CleanRuntime : private RolloverHost
     /** Flight recorder; null unless RuntimeConfig::obs.enabled (and
      *  CLEAN_OBS compiled in). */
     obs::FlightRecorder *recorder() const { return recorder_.get(); }
+
+    /** Replay driver of this run; null outside a replay. */
+    det::ReplayDriver *replayDriver() const { return config_.replayDriver; }
 
     /**
      * Full merged event stream as Chrome trace-event JSON (Perfetto /
@@ -662,6 +697,10 @@ class CleanRuntime : private RolloverHost
     std::uint32_t allocateRecord(ThreadId tid);
     ThreadId allocateTid(ThreadState &parentView);
     void releaseTid(ThreadId tid, ClockValue finalClock);
+
+    /** Raises the abort flag; under replay also disarms the driver
+     *  (post-abort unwind tails are physically timed, not validated). */
+    void raiseAbortFlag();
 
     void threadMain(std::uint32_t record,
                     std::function<void(ThreadContext &)> body);

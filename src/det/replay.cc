@@ -1,0 +1,299 @@
+#include "det/replay.h"
+
+#include <algorithm>
+
+#include "obs/flight_recorder.h"
+
+namespace clean::det
+{
+
+namespace
+{
+
+std::string
+eventStamp(obs::EventKind kind, std::uint64_t det, ThreadId tid,
+           std::uint64_t arg0, std::uint64_t arg1)
+{
+    return std::string(obs::eventKindName(kind)) + "(tid=" +
+           std::to_string(tid) + " det=" + std::to_string(det) + " args=" +
+           std::to_string(arg0) + "," + std::to_string(arg1) + ")";
+}
+
+} // namespace
+
+ReplayDriver::ReplayDriver(obs::TraceFile trace, bool policyAborts)
+    : meta_(std::move(trace.meta)), complete_(trace.complete)
+{
+    const std::size_t laneCount =
+        static_cast<std::size_t>(meta_.maxThreads) + 1;
+    lanes_.resize(laneCount);
+    laneCursor_.assign(laneCount, 0);
+
+    bool sawRace = false, sawTrip = false;
+    for (const obs::Event &e : trace.events) {
+        if (e.tid >= laneCount)
+            throw TraceError(TraceFault::BadMeta,
+                             "event names tid " + std::to_string(e.tid) +
+                                 " but the header declares max_threads=" +
+                                 std::to_string(meta_.maxThreads));
+        if (e.kind == obs::EventKind::RaceDetected)
+            sawRace = true;
+        else if (e.kind == obs::EventKind::WatchdogTrip)
+            sawTrip = true;
+        if (e.kind == obs::EventKind::TurnGrant)
+            schedule_.push_back(e);
+        if (validatedKind(e.kind))
+            lanes_[e.tid].push_back(e);
+    }
+    tolerant_ = (policyAborts && sawRace) || sawTrip;
+
+    const auto bySeq = [](const obs::Event &a, const obs::Event &b) {
+        return a.seq < b.seq;
+    };
+    for (auto &lane : lanes_)
+        std::sort(lane.begin(), lane.end(), bySeq);
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const obs::Event &a, const obs::Event &b) {
+                  if (a.det != b.det)
+                      return a.det < b.det;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.seq < b.seq;
+              });
+}
+
+bool
+ReplayDriver::validatedKind(obs::EventKind kind)
+{
+    switch (kind) {
+      case obs::EventKind::SyncAcquire:
+      case obs::EventKind::SyncRelease:
+      case obs::EventKind::RecoveryBegin:
+      case obs::EventKind::RecoveryRollback:
+      case obs::EventKind::RecoveryReplay:
+      case obs::EventKind::RecoveryEnd:
+      case obs::EventKind::Quarantine:
+      case obs::EventKind::Rollover:
+      case obs::EventKind::InjectionFired:
+      case obs::EventKind::TurnGrant:
+        return true;
+      // RaceDetected: for genuinely racy data the precise detection
+      // point is *physical* — it depends on how the racing threads'
+      // unsynchronized accesses interleave between sync points — so the
+      // recorded event documents the failure but cannot be demanded of
+      // the replay. (Injected metadata races under Recover stay
+      // deterministic; their Recovery* events above are validated.)
+      case obs::EventKind::RaceDetected:
+      case obs::EventKind::SfrBegin:
+      case obs::EventKind::SfrEnd:
+      case obs::EventKind::ThreadStart:
+      case obs::EventKind::ThreadFinish:
+      case obs::EventKind::WatchdogTrip:
+        return false;
+    }
+    return false;
+}
+
+std::string
+ReplayDriver::describe(const obs::Event &e)
+{
+    return eventStamp(e.kind, e.det, e.tid, e.arg0, e.arg1);
+}
+
+std::uint64_t
+ReplayDriver::scheduleSize() const
+{
+    return schedule_.size();
+}
+
+std::uint64_t
+ReplayDriver::scheduleCursor() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return cursor_;
+}
+
+GrantStatus
+ReplayDriver::tryGrant(ThreadId tid, DetCount count, bool kendoReady)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (faulted_)
+        throwLatchedLocked();
+    if (!armed_.load(std::memory_order_relaxed))
+        return kendoReady ? GrantStatus::Granted : GrantStatus::NotYet;
+
+    if (cursor_ >= schedule_.size()) {
+        if (!kendoReady)
+            return GrantStatus::NotYet;
+        if (!complete_)
+            raiseFaultLocked(
+                TraceFault::Truncated,
+                "thread " + std::to_string(tid) + " needs a turn at det=" +
+                    std::to_string(count) + " but the trace ends after " +
+                    std::to_string(schedule_.size()) +
+                    " grants with no footer (recorder crashed mid-run?)",
+                cursor_);
+        if (tolerant_) {
+            // The recorded run aborted: how far each sibling ran before
+            // observing the abort is physical, so grants past the
+            // recorded failure fall back to plain Kendo order.
+            return GrantStatus::Granted;
+        }
+        raiseFaultLocked(TraceFault::Divergence,
+                         "thread " + std::to_string(tid) +
+                             " performs a synchronization operation at det=" +
+                             std::to_string(count) +
+                             " beyond the end of the complete trace (" +
+                             std::to_string(schedule_.size()) + " grants)",
+                         cursor_);
+    }
+
+    const obs::Event &head = schedule_[cursor_];
+    if (head.tid != tid) {
+        if (kendoReady)
+            raiseFaultLocked(TraceFault::Divergence,
+                             "kendo grants thread " + std::to_string(tid) +
+                                 " a turn at det=" + std::to_string(count) +
+                                 "; trace predicts " + describe(head),
+                             cursor_);
+        return GrantStatus::NotYet;
+    }
+    if (head.det != count)
+        raiseFaultLocked(TraceFault::Divergence,
+                         "thread " + std::to_string(tid) +
+                             " requests a turn at det=" +
+                             std::to_string(count) + "; trace predicts " +
+                             describe(head),
+                         cursor_);
+    if (!kendoReady)
+        return GrantStatus::NotYet;
+    ++cursor_;
+    return GrantStatus::Granted;
+}
+
+void
+ReplayDriver::raiseTruncatedWait(ThreadId tid, DetCount count)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (faulted_)
+        throwLatchedLocked();
+    raiseFaultLocked(
+        TraceFault::Truncated,
+        "thread " + std::to_string(tid) + " waited out the watchdog at det=" +
+            std::to_string(count) + " against an incomplete trace (" +
+            std::to_string(schedule_.size() - cursor_) +
+            " grants left of " + std::to_string(schedule_.size()) + ")",
+        cursor_);
+}
+
+void
+ReplayDriver::onEvent(const obs::Event &e)
+{
+    if (!armed_.load(std::memory_order_acquire))
+        return;
+    if (!validatedKind(e.kind))
+        return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (faulted_ || !armed_.load(std::memory_order_relaxed))
+        return;
+
+    auto &lane = lanes_[e.tid];
+    std::size_t &cursor = laneCursor_[e.tid];
+    if (cursor >= lane.size()) {
+        if (!complete_)
+            raiseFaultLocked(TraceFault::Truncated,
+                             "replay records " + describe(e) +
+                                 " beyond lane " + std::to_string(e.tid) +
+                                 "'s " + std::to_string(lane.size()) +
+                                 " recorded events (trace has no footer)",
+                             validatedSteps_);
+        if (tolerant_)
+            return; // physically-timed pre-abort tail; see file comment
+        raiseFaultLocked(TraceFault::Divergence,
+                         "replay records " + describe(e) + " beyond lane " +
+                             std::to_string(e.tid) + "'s " +
+                             std::to_string(lane.size()) +
+                             " recorded events",
+                         validatedSteps_);
+    }
+    const obs::Event &expected = lane[cursor];
+    if (expected.kind != e.kind || expected.det != e.det ||
+        expected.arg0 != e.arg0 || expected.arg1 != e.arg1)
+        raiseFaultLocked(TraceFault::Divergence,
+                         "replay records " + describe(e) +
+                             "; trace predicts " + describe(expected) +
+                             " at lane position " + std::to_string(cursor),
+                         validatedSteps_);
+    ++cursor;
+    ++validatedSteps_;
+}
+
+void
+ReplayDriver::setFaultHandler(std::function<void()> handler)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    faultHandler_ = std::move(handler);
+}
+
+void
+ReplayDriver::disarm()
+{
+    armed_.store(false, std::memory_order_release);
+}
+
+bool
+ReplayDriver::faulted() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return faulted_;
+}
+
+TraceFault
+ReplayDriver::faultKind() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return faultKind_;
+}
+
+std::uint64_t
+ReplayDriver::faultStep() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return faultStep_;
+}
+
+std::string
+ReplayDriver::faultMessage() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return faultMessage_;
+}
+
+void
+ReplayDriver::raiseFaultLocked(TraceFault kind, const std::string &message,
+                               std::uint64_t step)
+{
+    if (!faulted_) {
+        faulted_ = true;
+        faultKind_ = kind;
+        faultMessage_ = message;
+        faultStep_ = step;
+        // Stop sibling validation: everything after the first fault is
+        // noise while the abort propagates.
+        armed_.store(false, std::memory_order_release);
+        // Abort the whole execution, not just the threads that happen
+        // to poll the driver: siblings blocked in plain waits (barriers,
+        // joins) only observe the runtime's abort flag.
+        if (faultHandler_)
+            faultHandler_();
+    }
+    throw TraceError(kind, message, step);
+}
+
+void
+ReplayDriver::throwLatchedLocked()
+{
+    throw TraceError(faultKind_, faultMessage_, faultStep_);
+}
+
+} // namespace clean::det

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Deterministic replay driver (ISSUE 6 tentpole).
+ *
+ * A recorded trace's TurnGrant events, sorted by (det, tid, seq), ARE
+ * the global Kendo synchronization order of the recorded run: grants go
+ * to the strict minimum (count, tid) over runnable slots and counters
+ * are monotone per thread, so the grant sequence is lexicographically
+ * non-decreasing in (count, tid) and the sort reconstructs it exactly.
+ *
+ * The driver plays two roles during a replay:
+ *
+ *   1. Schedule enforcement — the runtime's turn-wait loop consults
+ *      tryGrant() instead of trusting Kendo alone. A thread may take
+ *      its turn only when BOTH the schedule head names it AND Kendo
+ *      agrees (kendoReady); requiring both preserves the turn's mutual
+ *      exclusion and turns any disagreement into an immediate, precisely
+ *      located Divergence fault instead of a hang.
+ *
+ *   2. Stream validation — as an EventHook on the flight recorder it
+ *      compares every deterministic-critical event the replay produces
+ *      against the recorded per-lane stream (kind, det stamp and both
+ *      payload args). Physically-timed kinds (SfrBegin/End,
+ *      ThreadStart/Finish, WatchdogTrip) are not validated, and neither
+ *      is RaceDetected: for genuinely racy data the precise detection
+ *      point depends on how the racing threads' unsynchronized accesses
+ *      interleave between sync points, which no schedule of sync
+ *      operations pins down. (Corollary: a genuinely racy run under
+ *      --on-race=recover is not bit-replayable either — its recovery
+ *      points move the Kendo counters themselves — and replaying one
+ *      reports the resulting schedule divergence honestly. Injected
+ *      metadata races on race-free programs, the supported recover
+ *      scenario, replay exactly.)
+ *
+ * Fault semantics (support/trace_error.h):
+ *   - The first fault is latched (step index + expected/actual events
+ *     named) and thrown as TraceError; the driver disarms itself so
+ *     sibling threads stop validating while the abort propagates.
+ *   - A truncated trace (no completeness footer) replays its prefix;
+ *     the first step beyond it raises Truncated, never a hang.
+ *   - Once the runtime raises its abort flag the driver is disarmed
+ *     (disarm()): post-abort unwind tails are physically timed in both
+ *     the recorded and the replayed run, so they are not compared.
+ *   - Traces of runs that aborted mid-flight (a Throw race, a watchdog
+ *     deadlock) are replayed in *tolerant* mode past the end of the
+ *     schedule: how far sibling threads ran before observing the abort
+ *     is physical, so the replay falls back to plain Kendo order for
+ *     that tail instead of reporting a spurious divergence. The
+ *     deterministic prefix — everything up to the recorded failure —
+ *     is still validated strictly.
+ */
+
+#ifndef CLEAN_DET_REPLAY_H
+#define CLEAN_DET_REPLAY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "det/kendo.h"
+#include "obs/trace_schema.h"
+#include "support/common.h"
+#include "support/trace_error.h"
+
+namespace clean::det
+{
+
+/** Outcome of one tryGrant() poll (faults are thrown, not returned). */
+enum class GrantStatus { Granted, NotYet };
+
+class ReplayDriver : public obs::EventHook
+{
+  public:
+    /**
+     * @param trace        a loaded trace (obs::readTraceFile)
+     * @param policyAborts true when the recorded policy aborts the run
+     *                     on a race (OnRacePolicy::Throw) — with a
+     *                     RaceDetected event in the trace this enables
+     *                     tolerant mode (see file comment)
+     *
+     * Throws TraceError(BadMeta) when the trace's events are
+     * inconsistent with its own header (e.g. a tid beyond maxThreads).
+     */
+    ReplayDriver(obs::TraceFile trace, bool policyAborts);
+
+    const obs::TraceMeta &meta() const { return meta_; }
+
+    /** True iff the trace carries the completeness footer. Watchdog
+     *  expiry during a replay wait consults this: a complete trace
+     *  deadlocks exactly like the recorded run (DeadlockError), an
+     *  incomplete one raises Truncated instead. */
+    bool traceComplete() const { return complete_; }
+
+    /** Recorded turn grants / grants consumed so far. */
+    std::uint64_t scheduleSize() const;
+    std::uint64_t scheduleCursor() const;
+
+    /**
+     * One non-blocking poll of the replay turn predicate for thread
+     * @p tid at deterministic count @p count. @p kendoReady is the
+     * live Kendo predicate (Kendo::tryTurn). Returns Granted when the
+     * thread may take its turn; throws TraceError on divergence,
+     * truncation, or a fault another thread latched.
+     */
+    GrantStatus tryGrant(ThreadId tid, DetCount count, bool kendoReady);
+
+    /** Latches and throws the Truncated fault for a replay wait whose
+     *  watchdog expired against an incomplete trace. */
+    [[noreturn]] void raiseTruncatedWait(ThreadId tid, DetCount count);
+
+    /** EventHook: validates one replayed event against the recorded
+     *  lane stream. Throws TraceError(Divergence/Truncated) on the
+     *  recording thread at the offending record site. */
+    void onEvent(const obs::Event &e) override;
+
+    /** Invoked once, when the first fault latches — the runtime hooks
+     *  its abort flag here so every thread (not just those polling the
+     *  driver) quiesces while the fault propagates. The handler runs
+     *  under the driver mutex and must not call back into validation. */
+    void setFaultHandler(std::function<void()> handler);
+
+    /** Stops schedule enforcement and validation (abort unwinding is
+     *  physically timed; the runtime calls this when the abort flag
+     *  raises). Latched faults remain queryable. */
+    void disarm();
+    bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+    /** First latched fault, if any. */
+    bool faulted() const;
+    TraceFault faultKind() const;
+    std::uint64_t faultStep() const;
+    std::string faultMessage() const;
+
+  private:
+    [[noreturn]] void raiseFaultLocked(TraceFault kind,
+                                       const std::string &message,
+                                       std::uint64_t step);
+    [[noreturn]] void throwLatchedLocked();
+    static bool validatedKind(obs::EventKind kind);
+    static std::string describe(const obs::Event &e);
+
+    obs::TraceMeta meta_;
+    bool complete_;
+    bool tolerant_;
+    /** TurnGrant events sorted by (det, tid, seq) — the grant order. */
+    std::vector<obs::Event> schedule_;
+    /** Per-lane validated events sorted by seq; index maxThreads is the
+     *  global lane (rollovers). */
+    std::vector<std::vector<obs::Event>> lanes_;
+    std::vector<std::size_t> laneCursor_;
+    std::size_t cursor_ = 0;
+    std::uint64_t validatedSteps_ = 0;
+
+    std::atomic<bool> armed_{true};
+    std::function<void()> faultHandler_;
+    mutable std::mutex mutex_;
+    bool faulted_ = false;
+    TraceFault faultKind_ = TraceFault::Divergence;
+    std::string faultMessage_;
+    std::uint64_t faultStep_ = TraceError::kNoStep;
+};
+
+} // namespace clean::det
+
+#endif // CLEAN_DET_REPLAY_H

@@ -49,6 +49,10 @@ inline constexpr bool kCompiledIn = true;
  *   WatchdogTrip      (waited ms, suspected stuck slot)
  *   ThreadStart       (thread record index, 0)
  *   ThreadFinish      (thread record index, 0)
+ *   TurnGrant         (sfrOrdinal before the grant, 0) — this thread
+ *                     won a Kendo turn at det; the sorted TurnGrant
+ *                     stream *is* the global synchronization order a
+ *                     replay re-drives (ISSUE 6)
  */
 enum class EventKind : std::uint8_t
 {
@@ -67,10 +71,11 @@ enum class EventKind : std::uint8_t
     WatchdogTrip,
     ThreadStart,
     ThreadFinish,
+    TurnGrant,
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::ThreadFinish) + 1;
+    static_cast<std::size_t>(EventKind::TurnGrant) + 1;
 
 /** Stable snake_case name (trace export, failure reports). */
 const char *eventKindName(EventKind kind);
@@ -90,6 +95,22 @@ struct Event
     std::uint64_t arg1 = 0;
     ThreadId tid = 0;
     EventKind kind = EventKind::SfrBegin;
+};
+
+/**
+ * Observer of the record funnel (ISSUE 6): a hook attached to the
+ * recorder sees every event as its owning thread appends it. The record
+ * sink persists the stream to disk; the replay validator checks it
+ * against a loaded trace. Called on the recording thread at the cold
+ * control points only (never on the per-access hot path); the
+ * implementation must be thread-safe across lanes and may throw (a
+ * replay divergence aborts the offending thread at the record site).
+ */
+class EventHook
+{
+  public:
+    virtual ~EventHook() = default;
+    virtual void onEvent(const Event &e) = 0;
 };
 
 } // namespace clean::obs

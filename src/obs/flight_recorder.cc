@@ -24,6 +24,7 @@ eventKindName(EventKind kind)
       case EventKind::WatchdogTrip: return "watchdog_trip";
       case EventKind::ThreadStart: return "thread_start";
       case EventKind::ThreadFinish: return "thread_finish";
+      case EventKind::TurnGrant: return "turn_grant";
     }
     return "?";
 }
@@ -89,6 +90,13 @@ FlightRecorder::recordGlobal(EventKind kind, std::uint64_t det,
 {
     std::lock_guard<std::mutex> guard(globalMutex_);
     lanes_[maxThreads_]->record(kind, det, arg0, arg1);
+}
+
+void
+FlightRecorder::setHook(EventHook *hook)
+{
+    for (auto &lane : lanes_)
+        lane->setHook(hook);
 }
 
 std::vector<Event>

@@ -59,7 +59,9 @@ class ThreadLane
     ThreadLane &operator=(const ThreadLane &) = delete;
 
     /** Appends one event (owner thread only). Overwrites the oldest
-     *  record once the ring is full. */
+     *  record once the ring is full. An attached hook (record sink /
+     *  replay validator) observes the event after the ring append; the
+     *  hook may throw, in which case the ring still holds the event. */
     void
     record(EventKind kind, std::uint64_t det, std::uint64_t arg0 = 0,
            std::uint64_t arg1 = 0)
@@ -73,7 +75,14 @@ class ThreadLane
         e.tid = tid_;
         e.kind = kind;
         head_.store(seq + 1, std::memory_order_release);
+        if (CLEAN_UNLIKELY(hook_ != nullptr))
+            hook_->onEvent(e);
     }
+
+    /** Attaches the event hook. Install before the owning thread starts
+     *  recording (the runtime does this at construction, before any
+     *  worker spawns). */
+    void setHook(EventHook *hook) { hook_ = hook; }
 
     /** Total events ever recorded (monotonic; exceeds capacity once the
      *  ring wrapped). */
@@ -102,6 +111,8 @@ class ThreadLane
     std::size_t mask_;
     std::vector<Event> ring_;
     std::atomic<std::uint64_t> head_{0};
+    /** Not owned; null in the common (no record/replay) case. */
+    EventHook *hook_ = nullptr;
 };
 
 /**
@@ -130,6 +141,11 @@ class FlightRecorder
     /** Appends to the global lane (any thread; mutex-guarded). */
     void recordGlobal(EventKind kind, std::uint64_t det,
                       std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+    /** Attaches @p hook to every lane (including the global one).
+     *  Install before any thread records — the runtime does this in its
+     *  constructor when record or replay is configured. */
+    void setHook(EventHook *hook);
 
     /**
      * Merged stream of all lanes, sorted by (det, tid, seq) — a total

@@ -53,6 +53,23 @@ struct RecoveryStats {
     std::uint64_t skippedRollbacks = 0;///< bytes a later writer now owns
     std::uint64_t recoveredKills = 0;  ///< kill-thread faults supervised
     std::uint64_t quarantinedSites = 0;///< sites degraded to Report
+
+    /** Field-wise equality (record/replay and chaos determinism
+     *  cross-checks compare whole recovery ledgers). */
+    bool
+    operator==(const RecoveryStats &o) const
+    {
+        return episodes == o.episodes && attempts == o.attempts &&
+               recovered == o.recovered &&
+               forcedReplays == o.forcedReplays &&
+               replayRaces == o.replayRaces &&
+               replayMismatches == o.replayMismatches &&
+               rolledBackWrites == o.rolledBackWrites &&
+               skippedRollbacks == o.skippedRollbacks &&
+               recoveredKills == o.recoveredKills &&
+               quarantinedSites == o.quarantinedSites;
+    }
+    bool operator!=(const RecoveryStats &o) const { return !(*this == o); }
 };
 
 class RecoveryManager

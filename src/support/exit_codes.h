@@ -10,8 +10,14 @@
 // |  3   | data race detected (Throw/Report/Count policies)           |
 // |  4   | watchdog-declared deadlock                                 |
 // |  5   | recovery exhausted: at least one site was quarantined      |
+// |  6   | record/replay trace fault (support/trace_error.h): the     |
+// |      | trace is unreadable, truncated, from another schema        |
+// |      | version, recorded under a different configuration, or the  |
+// |      | replay diverged from it mid-run                            |
 //
-// Precedence when a run hits several: deadlock > quarantine > race.
+// Precedence when a run hits several: trace fault > deadlock >
+// quarantine > race — a replay that diverged tells you nothing reliable
+// about races or deadlocks, so the trace fault wins.
 // Under --on-race=recover a run whose races were all rolled back and
 // re-executed (no quarantine) exits 0 — recovery's whole point is to
 // turn exit-3 runs into exit-0 runs.
@@ -26,11 +32,15 @@ enum class ExitCode : int {
     Race = 3,
     Deadlock = 4,
     Quarantine = 5,
+    TraceError = 6,
 };
 
 inline int
-exitCodeForRun(bool deadlock, bool quarantineExhausted, bool raceFailed)
+exitCodeForRun(bool deadlock, bool quarantineExhausted, bool raceFailed,
+               bool traceFault = false)
 {
+    if (traceFault)
+        return static_cast<int>(ExitCode::TraceError);
     if (deadlock)
         return static_cast<int>(ExitCode::Deadlock);
     if (quarantineExhausted)

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Structured errors of the record/replay trace subsystem (ISSUE 6).
+ *
+ * Every way a recorded trace can fail to drive a replay maps to one
+ * TraceFault value, and every fault surfaces as a TraceError carrying
+ * the machine-readable kind, the replay step index where it was
+ * detected (when one exists) and a human-readable message naming the
+ * expected and actual events. The cleanrun driver maps any TraceError
+ * to the dedicated exit code (support/exit_codes.h: TraceError = 6) —
+ * a bad trace must never hang, crash, or silently diverge.
+ */
+
+#ifndef CLEAN_SUPPORT_TRACE_ERROR_H
+#define CLEAN_SUPPORT_TRACE_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace clean
+{
+
+/** Machine-readable classification of a trace failure. */
+enum class TraceFault
+{
+    /** File missing / unreadable / unwritable. */
+    BadFile,
+    /** Not a CLEAN trace (magic mismatch). */
+    BadMagic,
+    /** Schema version this binary does not speak. */
+    BadVersion,
+    /** Malformed metadata header (missing or unparsable keys). */
+    BadMeta,
+    /** Trace was recorded under a different configuration (thread
+     *  count, workload, runtime knobs, injection plan, ...). */
+    ConfigMismatch,
+    /** Trace ends before the execution does (crashed recorder): the
+     *  prefix replayed cleanly, the remainder is unavailable. */
+    Truncated,
+    /** Mid-replay divergence: the program performed an event the trace
+     *  does not predict at that step. */
+    Divergence,
+    /** Record/replay requested in a mode that cannot support it
+     *  (non-deterministic backend, observability compiled out). */
+    Unsupported,
+};
+
+inline const char *
+traceFaultName(TraceFault fault)
+{
+    switch (fault) {
+      case TraceFault::BadFile: return "bad_file";
+      case TraceFault::BadMagic: return "bad_magic";
+      case TraceFault::BadVersion: return "bad_version";
+      case TraceFault::BadMeta: return "bad_meta";
+      case TraceFault::ConfigMismatch: return "config_mismatch";
+      case TraceFault::Truncated: return "truncated";
+      case TraceFault::Divergence: return "divergence";
+      case TraceFault::Unsupported: return "unsupported";
+    }
+    return "?";
+}
+
+/** Thrown (and recorded by the runtime) on any trace fault. */
+class TraceError : public std::runtime_error
+{
+  public:
+    /** @p step is the replay step index the fault was detected at
+     *  (the position in the deterministic event order), or kNoStep for
+     *  faults outside a replay (load/config errors). */
+    TraceError(TraceFault fault, const std::string &message,
+               std::uint64_t step = kNoStep)
+        : std::runtime_error(std::string("trace ") + traceFaultName(fault) +
+                             (step == kNoStep
+                                  ? std::string()
+                                  : " at step " + std::to_string(step)) +
+                             ": " + message),
+          fault_(fault), step_(step)
+    {
+    }
+
+    static constexpr std::uint64_t kNoStep = ~std::uint64_t{0};
+
+    TraceFault fault() const { return fault_; }
+    const char *faultName() const { return traceFaultName(fault_); }
+    bool hasStep() const { return step_ != kNoStep; }
+    std::uint64_t step() const { return step_; }
+
+  private:
+    TraceFault fault_;
+    std::uint64_t step_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_SUPPORT_TRACE_ERROR_H

@@ -4,6 +4,7 @@
 
 #include "support/logging.h"
 #include "support/prng.h"
+#include "support/trace_error.h"
 
 namespace clean::wl
 {
@@ -528,6 +529,12 @@ CleanEnv::parallel(unsigned n, const std::function<void(Worker &)> &fn)
     } catch (const ExecutionAborted &) {
         // fall through to the joins below and rethrow afterwards
     } catch (const DeadlockError &) {
+        pending = std::current_exception();
+    } catch (const TraceError &) {
+        // A replay fault mid-spawn (the schedule ran out or diverged):
+        // the driver latched it and raised the abort flag, so the
+        // workers spawned so far unwind promptly and the joins below
+        // reap them before the fault leaves this frame.
         pending = std::current_exception();
     }
     // Join every spawned worker even when a join itself fails — the

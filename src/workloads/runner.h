@@ -12,6 +12,8 @@
 
 #include "core/runtime.h"
 #include "core/thread_state.h"
+#include "obs/trace_schema.h"
+#include "support/trace_error.h"
 #include "workloads/trace.h"
 #include "workloads/workload.h"
 
@@ -42,6 +44,13 @@ struct RunSpec
      *  atomicity, shadow kind). detection/deterministic are derived from
      *  `backend` and ignored here. */
     RuntimeConfig runtime;
+    /** Record this run's trace to the given path (ISSUE 6); empty
+     *  disables recording. Clean backends with deterministic sync only. */
+    std::string recordPath;
+    /** Replay the run from the given trace; empty disables replay.
+     *  Build the spec from the trace's own header (specFromTraceMeta) —
+     *  any configuration difference is a ConfigMismatch trace fault. */
+    std::string replayPath;
 };
 
 /** Everything measured in one run. */
@@ -62,6 +71,15 @@ struct RunResult
     std::string obsTraceJson;
     /** CleanRuntime::metricsJson() (empty unless runtime.obs.enabled). */
     std::string metricsJson;
+
+    /** A replay fault was latched mid-run (divergence / truncation):
+     *  the run aborted and maps to ExitCode::TraceError. Faults raised
+     *  before the run starts (bad file, config mismatch) throw
+     *  TraceError out of runWorkload instead. */
+    bool traceFault = false;
+    std::string traceFaultKind;
+    std::string traceFaultMessage;
+    std::uint64_t traceFaultStep = TraceError::kNoStep;
 
     std::uint64_t outputHash = 0;
     std::uint64_t reads = 0;
@@ -113,8 +131,24 @@ struct RunResult
     }
 };
 
-/** Executes @p spec and gathers measurements. */
+/** Executes @p spec and gathers measurements. Record/replay failures
+ *  detected before the run starts (unreadable trace, wrong schema
+ *  version, configuration mismatch, unsupported backend) throw
+ *  TraceError; mid-run replay faults land in RunResult::traceFault. */
 RunResult runWorkload(const RunSpec &spec);
+
+/** Serializes everything that shapes @p spec's deterministic execution
+ *  into a trace header (record mode). */
+obs::TraceMeta metaForSpec(const RunSpec &spec);
+
+/** Rebuilds a runnable spec from a trace header (replay mode). Throws
+ *  TraceError(BadMeta) on values this binary cannot interpret (unknown
+ *  workload, out-of-range enums). */
+RunSpec specFromTraceMeta(const obs::TraceMeta &meta);
+
+/** Throws TraceError(ConfigMismatch) naming the first difference when
+ *  @p spec does not reproduce @p meta exactly. */
+void validateReplaySpec(const RunSpec &spec, const obs::TraceMeta &meta);
 
 } // namespace clean::wl
 

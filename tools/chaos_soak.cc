@@ -28,11 +28,22 @@
  *   chaos_soak --seed-base=1000 --replay-every=5 --verbose
  *   chaos_soak --seed=137 --verbose     # replay one seed and exit
  *   chaos_soak --runs=0 --recover-runs=100   # recover lane only
+ *   chaos_soak --audit=replay           # trace-driven determinism audit
+ *
+ * The determinism audit has two modes (--audit=rerun|replay, default
+ * rerun). `rerun` re-executes a sample of seeds and compares outcomes.
+ * `replay` is the stronger ISSUE 6 check: each sampled seed is
+ * re-recorded to a .cleantrace, then *replayed* from it — the replay
+ * must reproduce the outcome and exit code, and for completing runs the
+ * failure report and metrics JSON byte-for-byte. The recover lane's
+ * second run likewise becomes a replay of the first run's recording.
  *
  * With --artifact-dir=DIR (or CLEAN_ARTIFACT_DIR in the environment —
  * CI red jobs use this) every violating seed is deterministically
- * re-run with the flight recorder enabled and its event trace plus
- * failure report land in DIR as seed<N>_{trace,report}.json.
+ * re-run with the flight recorder enabled and its event trace, failure
+ * report, and record/replay trace land in DIR as
+ * seed<N>_{trace,report}.json + seed<N>.cleantrace — the last one is a
+ * bit-exact local repro: `cleanrun --replay=seed<N>.cleantrace`.
  */
 
 #include <algorithm>
@@ -126,6 +137,12 @@ struct SoakResult
      *  (the artifact re-run of a violating seed). */
     std::string obsTrace;
     std::string failureReport;
+    /** Metrics snapshot; filled whenever the recorder ran (obs on, or
+     *  record/replay forcing it). */
+    std::string metricsJson;
+    /** A replay fault (divergence / truncation) was latched. */
+    bool traceFault = false;
+    std::string traceDetail;
 };
 
 /** The exit code the run's outcome commits cleanrun to (the soak
@@ -148,7 +165,9 @@ expectedExit(const RunPlan &plan, const SoakResult &r)
 
 SoakResult
 runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
-       std::uint64_t watchdogMs, bool withObs = false)
+       std::uint64_t watchdogMs, bool withObs = false,
+       const std::string &recordPath = std::string(),
+       const std::string &replayPath = std::string())
 {
     RunSpec spec;
     spec.workload = plan.workload;
@@ -163,6 +182,8 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
     spec.runtime.onRace = plan.policy;
     spec.runtime.maxRecoveries = plan.maxRecoveries;
     spec.runtime.obs.enabled = withObs;
+    spec.recordPath = recordPath;
+    spec.replayPath = replayPath;
 
     auto &inject = spec.runtime.inject;
     inject.enabled = true;
@@ -191,6 +212,12 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
         soak.quarantined = result.quarantinedSites;
         soak.obsTrace = result.obsTraceJson;
         soak.failureReport = result.failureReport;
+        soak.metricsJson = result.metricsJson;
+        if (result.traceFault) {
+            soak.traceFault = true;
+            soak.traceDetail = result.traceFaultKind + ": " +
+                               result.traceFaultMessage;
+        }
         const bool raceFailed =
             result.raceException ||
             (result.raceCount > 0 &&
@@ -230,9 +257,11 @@ writeArtifact(const std::string &path, const std::string &content)
     return std::fclose(f) == 0 && ok;
 }
 
-/** Re-runs a violating seed with the flight recorder and writes its
- *  event trace + failure report into @p dir (injection is a pure
- *  function of the seed, so the re-run reproduces the violation). */
+/** Re-runs a violating seed with the flight recorder and the record
+ *  sink, and writes its event trace + failure report + record/replay
+ *  trace into @p dir (injection is a pure function of the seed, so the
+ *  re-run reproduces the violation). The .cleantrace is the bit-exact
+ *  local repro: `cleanrun --replay=seed<N>.cleantrace`. */
 void
 dumpArtifacts(const std::string &dir, std::uint64_t seed,
               const RunPlan &plan, unsigned threads,
@@ -242,16 +271,76 @@ dumpArtifacts(const std::string &dir, std::uint64_t seed,
         return;
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    const SoakResult r = runOne(seed, plan, threads, watchdogMs,
-                                /*withObs=*/true);
     const std::string base = dir + "/seed" + std::to_string(seed);
+    const SoakResult r = runOne(seed, plan, threads, watchdogMs,
+                                /*withObs=*/true,
+                                /*recordPath=*/base + ".cleantrace");
     if (!writeArtifact(base + "_trace.json", r.obsTrace) ||
         !writeArtifact(base + "_report.json", r.failureReport)) {
         std::printf("  (failed to write artifacts under %s)\n",
                     dir.c_str());
         return;
     }
-    std::printf("  artifacts: %s_{trace,report}.json\n", base.c_str());
+    std::printf("  artifacts: %s_{trace,report}.json + %s.cleantrace\n",
+                base.c_str(), base.c_str());
+}
+
+/** The --audit=replay determinism check for one seed: record a run,
+ *  replay it from the trace, and demand the same outcome — byte-equal
+ *  failure report and metrics for completing runs, equal outcome/exit
+ *  for aborted ones (their physically-timed tails are not comparable).
+ *  Returns an empty string on success, the mismatch description
+ *  otherwise. */
+std::string
+replayAuditSeed(std::uint64_t seed, const RunPlan &plan, unsigned threads,
+                std::uint64_t watchdogMs, const std::string &tracePath)
+{
+    const SoakResult a =
+        runOne(seed, plan, threads, watchdogMs, /*withObs=*/false,
+               /*recordPath=*/tracePath);
+    if (a.outcome == Outcome::Violation)
+        return "record run violated: " + a.detail;
+    const SoakResult b =
+        runOne(seed, plan, threads, watchdogMs, /*withObs=*/false,
+               /*recordPath=*/std::string(), /*replayPath=*/tracePath);
+    if (b.outcome == Outcome::Violation)
+        return "replay run violated: " + b.detail;
+    if (b.traceFault) {
+        // Genuinely racy programs replay best-effort: a racy value that
+        // reached control flow (possible under degraded policies or
+        // injected skip faults) moves the access stream, and with it the
+        // Kendo schedule, physically. The contract is then a precisely
+        // located divergence report — which is what we just got — never
+        // a hang or a silently wrong re-execution.
+        if (plan.racy)
+            return std::string();
+        return "replay fault " + b.traceDetail;
+    }
+    // Same caveat for every other check: a racy run's replay reached a
+    // structured outcome without faulting, which is all its best-effort
+    // contract demands (the outcome itself may shift with the physical
+    // location of the races).
+    if (plan.racy)
+        return std::string();
+    if (b.outcome != a.outcome || b.exitCode != a.exitCode)
+        return std::string("outcome ") + outcomeName(a.outcome) + "/exit " +
+               std::to_string(a.exitCode) + " replayed as " +
+               outcomeName(b.outcome) + "/exit " +
+               std::to_string(b.exitCode);
+    if ((a.raceCount > 0) != (b.raceCount > 0))
+        return "race detection did not reproduce under replay";
+    if (a.outcome == Outcome::Clean && a.raceCount == 0) {
+        if (a.outputHash != b.outputHash)
+            return "output hash diverged under replay";
+        if (a.failureReport != b.failureReport)
+            return "failure report not byte-identical under replay";
+        if (a.metricsJson != b.metricsJson)
+            return "metrics JSON not byte-identical under replay";
+        if (a.recovered != b.recovered || a.attempts != b.attempts ||
+            a.quarantined != b.quarantined)
+            return "recovery ledger diverged under replay";
+    }
+    return std::string();
 }
 
 } // namespace
@@ -279,6 +368,25 @@ main(int argc, char **argv)
         static_cast<long long>(std::max<std::uint64_t>(10, runs / 5))));
     const bool verbose = opts.getBool("verbose", false);
     const std::string artifactDir = opts.getString("artifact-dir", "");
+    const std::string auditMode = opts.getString("audit", "rerun");
+    if (auditMode != "rerun" && auditMode != "replay") {
+        std::fprintf(stderr, "chaos_soak: unknown --audit mode '%s' "
+                             "(rerun|replay)\n",
+                     auditMode.c_str());
+        return 2;
+    }
+    // Scratch space for --audit=replay traces: the artifact dir when
+    // given (the traces are useful artifacts), a temp dir otherwise.
+    std::string auditDir = artifactDir;
+    if (auditMode == "replay" && auditDir.empty()) {
+        auditDir = (std::filesystem::temp_directory_path() /
+                    "clean_chaos_audit")
+                       .string();
+    }
+    if (auditMode == "replay") {
+        std::error_code ec;
+        std::filesystem::create_directories(auditDir, ec);
+    }
 
     if (opts.has("seed")) {
         const auto seed =
@@ -366,13 +474,33 @@ main(int argc, char **argv)
         }
     }
 
-    // Determinism audit: replaying a seed must reproduce its outcome.
+    // Determinism audit: replaying a seed must reproduce its outcome —
+    // by re-execution (rerun) or through a recorded trace (replay).
     std::uint64_t replayed = 0, mismatches = 0;
     for (std::uint64_t i = 0; i < runs; i += replayEvery) {
         const std::uint64_t seed = seedBase + i;
         const RunPlan plan = planFor(seed);
-        const SoakResult r = runOne(seed, plan, threads, watchdogMs);
         ++replayed;
+        if (auditMode == "replay") {
+            const std::string tracePath = auditDir + "/chaos_seed" +
+                                          std::to_string(seed) +
+                                          ".cleantrace";
+            const std::string why = replayAuditSeed(seed, plan, threads,
+                                                    watchdogMs, tracePath);
+            if (!why.empty()) {
+                ++mismatches;
+                std::printf("seed %llu: REPLAY-AUDIT MISMATCH on %s/%s: "
+                            "%s\n",
+                            static_cast<unsigned long long>(seed),
+                            plan.workload.c_str(),
+                            inject::faultKindName(plan.kind), why.c_str());
+            } else if (artifactDir.empty()) {
+                std::error_code ec;
+                std::filesystem::remove(tracePath, ec);
+            }
+            continue;
+        }
+        const SoakResult r = runOne(seed, plan, threads, watchdogMs);
         if (r.outcome != outcomes[i]) {
             ++mismatches;
             std::printf("seed %llu: REPLAY MISMATCH %s -> %s\n",
@@ -397,8 +525,24 @@ main(int argc, char **argv)
         plan.policy = OnRacePolicy::Recover;
         plan.maxRecoveries = 1000000; // never quarantine in this lane
 
-        const SoakResult a = runOne(seed, plan, threads, watchdogMs);
-        const SoakResult b = runOne(seed, plan, threads, watchdogMs);
+        // Under --audit=replay the second run is not a re-execution but
+        // a replay of the first run's recording — the stronger check
+        // that the trace alone pins the recovery schedule.
+        std::string recoverTrace;
+        if (auditMode == "replay")
+            recoverTrace = auditDir + "/recover_seed" +
+                           std::to_string(seed) + ".cleantrace";
+        const SoakResult a =
+            runOne(seed, plan, threads, watchdogMs, /*withObs=*/false,
+                   /*recordPath=*/recoverTrace);
+        const SoakResult b =
+            runOne(seed, plan, threads, watchdogMs, /*withObs=*/false,
+                   /*recordPath=*/std::string(),
+                   /*replayPath=*/recoverTrace);
+        if (!recoverTrace.empty() && artifactDir.empty()) {
+            std::error_code ec;
+            std::filesystem::remove(recoverTrace, ec);
+        }
         ++recoverTotal;
         recoverEpisodes += a.attempts;
 
@@ -419,6 +563,11 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(a.outputHash),
                         static_cast<unsigned long long>(
                             reference[plan.workload]));
+        } else if (b.traceFault) {
+            bad = true;
+            std::printf("recover seed %llu: REPLAY FAULT on %s: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(), b.traceDetail.c_str());
         } else if (b.outcome != a.outcome ||
                    b.outputHash != a.outputHash ||
                    b.recovered != a.recovered ||

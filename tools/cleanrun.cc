@@ -41,20 +41,36 @@
  *                                  --obs. With --runs=N the file holds
  *                                  the last run.
  *
+ * Record/replay (deterministic backends; see DESIGN.md §13):
+ *   --record=PATH                  record this run's deterministic
+ *                                  schedule + config to PATH
+ *   --replay=PATH                  re-drive a recorded run; the spec is
+ *                                  rebuilt from the trace header, and
+ *                                  any explicitly passed flag that
+ *                                  contradicts it is a config-mismatch
+ *                                  trace fault (exit 6)
+ *   --report-out=PATH              write the failure report JSON to a
+ *                                  file (byte-comparable across a
+ *                                  record/replay pair)
+ *
  * Exit codes (see support/exit_codes.h): 0 ok / fully recovered,
  * 1 internal error, 2 option error, 3 race, 4 watchdog deadlock,
- * 5 recovery quarantine exhausted. With --runs=N the first non-zero
- * code wins (deadlock > quarantine > race within one run).
+ * 5 recovery quarantine exhausted, 6 record/replay trace fault
+ * (unreadable / truncated / mismatched / diverged trace). With
+ * --runs=N the first non-zero code wins (trace fault > deadlock >
+ * quarantine > race within one run).
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace_schema.h"
 #include "sim/machine.h"
 #include "support/exit_codes.h"
 #include "support/logging.h"
 #include "support/options.h"
+#include "support/trace_error.h"
 #include "workloads/registry.h"
 #include "workloads/runner.h"
 
@@ -159,6 +175,7 @@ simulateFromFile(const Options &opts)
 }
 
 int runMain(const Options &opts);
+int runLoop(const Options &opts, RunSpec &spec, bool replaying);
 
 } // namespace
 
@@ -170,6 +187,11 @@ main(int argc, char **argv)
     } catch (const OptionError &e) {
         std::fprintf(stderr, "cleanrun: %s\n", e.what());
         return 2;
+    } catch (const TraceError &e) {
+        // Structured record/replay rejection: fault kind + message (and
+        // step index for mid-replay divergence/truncation).
+        std::fprintf(stderr, "cleanrun: %s\n", e.what());
+        return static_cast<int>(ExitCode::TraceError);
     }
 }
 
@@ -195,7 +217,45 @@ runMain(const Options &opts)
     if (opts.has("trace-in") && opts.getBool("sim", true))
         return simulateFromFile(opts);
 
+    const std::string recordPath = opts.getString("record", "");
+    const std::string replayPath = opts.getString("replay", "");
+    if (!recordPath.empty() && !replayPath.empty())
+        throw OptionError("record", recordPath,
+                          "--record and --replay are mutually exclusive");
+
     RunSpec spec;
+    if (!replayPath.empty()) {
+        // Replay: the trace header is the spec. Explicitly passed flags
+        // still override — a contradiction then surfaces as a
+        // ConfigMismatch trace fault (the directed way to probe a trace
+        // against a different configuration).
+        spec = specFromTraceMeta(obs::readTraceFile(replayPath).meta);
+        spec.replayPath = replayPath;
+        if (opts.has("workload"))
+            spec.workload = opts.getString("workload");
+        if (opts.has("backend"))
+            spec.backend = parseBackend(opts.getString("backend"));
+        if (opts.has("threads"))
+            spec.params.threads =
+                static_cast<unsigned>(opts.getInt("threads", 8));
+        if (opts.has("scale"))
+            spec.params.scale = parseScale(opts.getString("scale"));
+        if (opts.has("racy"))
+            spec.params.racy = opts.getBool("racy", false);
+        if (opts.has("seed"))
+            spec.params.seed =
+                static_cast<std::uint64_t>(opts.getInt("seed", 0));
+        if (opts.has("on-race"))
+            spec.runtime.onRace =
+                parseOnRace(opts.getString("on-race"));
+        if (opts.has("watchdog-ms"))
+            spec.runtime.watchdogMs = static_cast<std::uint64_t>(
+                opts.getInt("watchdog-ms", 10000));
+    }
+    spec.recordPath = recordPath;
+    if (!replayPath.empty())
+        return runLoop(opts, spec, /*replaying=*/true);
+
     spec.workload = opts.getString("workload", "fft");
     spec.backend = parseBackend(opts.getString("backend", "clean"));
     spec.params.threads =
@@ -260,6 +320,12 @@ runMain(const Options &opts)
             opts.getInt("inject-delay-us", 100));
     }
 
+    return runLoop(opts, spec, /*replaying=*/false);
+}
+
+int
+runLoop(const Options &opts, RunSpec &spec, bool replaying)
+{
     // Observability: --trace-out keeps its historical meaning for the
     // trace backend (the simulator memory trace); for clean backends it
     // selects the flight-recorder event trace and implies --obs.
@@ -269,28 +335,54 @@ runMain(const Options &opts)
     const std::string obsTraceOut =
         cleanBackend ? opts.getString("trace-out", "") : std::string();
     const std::string metricsOut = opts.getString("metrics-json", "");
-    if (opts.getBool("obs", false) || !obsTraceOut.empty() ||
-        !metricsOut.empty()) {
+    if (!replaying && (opts.getBool("obs", false) || !obsTraceOut.empty() ||
+                       !metricsOut.empty())) {
         spec.runtime.obs.enabled = true;
         spec.runtime.obs.ringEvents =
             static_cast<std::size_t>(opts.getInt("obs-ring", 4096));
         spec.runtime.obs.failureTail =
             static_cast<std::size_t>(opts.getInt("obs-tail", 32));
-        if (!obs::kCompiledIn)
-            warn("observability requested but compiled out "
-                 "(CLEAN_OBS=OFF): no events will be recorded");
     }
+    if (replaying) {
+        // Replay keeps the ring geometry from the trace header (the
+        // runtime forces the recorder on); explicit overrides are still
+        // honored and rejected as ConfigMismatch by the runner.
+        if (opts.has("obs-ring"))
+            spec.runtime.obs.ringEvents =
+                static_cast<std::size_t>(opts.getInt("obs-ring", 4096));
+        if (opts.has("obs-tail"))
+            spec.runtime.obs.failureTail =
+                static_cast<std::size_t>(opts.getInt("obs-tail", 32));
+    }
+    if ((spec.runtime.obs.enabled || replaying ||
+         !spec.recordPath.empty()) &&
+        !obs::kCompiledIn)
+        warn("observability requested but compiled out "
+             "(CLEAN_OBS=OFF): no events will be recorded");
 
     const unsigned runs =
         static_cast<unsigned>(opts.getInt("runs", 1));
     int exitCode = 0;
     for (unsigned r = 0; r < runs; ++r) {
         const auto result = runWorkload(spec);
-        const char *verdict = result.deadlock        ? "DEADLOCK"
+        const char *verdict = result.traceFault      ? "TRACE-FAULT"
+                              : result.deadlock      ? "DEADLOCK"
                               : result.raceException ? "RACE-EXCEPTION"
                                                      : "ok";
         std::printf("run %u: %s %s (%s)\n", r, spec.workload.c_str(),
                     verdict, backendKindName(spec.backend));
+        if (result.traceFault) {
+            if (result.traceFaultStep != TraceError::kNoStep)
+                std::printf("  replay fault %s at step %llu: %s\n",
+                            result.traceFaultKind.c_str(),
+                            static_cast<unsigned long long>(
+                                result.traceFaultStep),
+                            result.traceFaultMessage.c_str());
+            else
+                std::printf("  replay fault %s: %s\n",
+                            result.traceFaultKind.c_str(),
+                            result.traceFaultMessage.c_str());
+        }
         if (result.raceException)
             std::printf("  %s\n", result.raceMessage.c_str());
         if (result.deadlock)
@@ -324,7 +416,7 @@ runMain(const Options &opts)
              spec.runtime.onRace != OnRacePolicy::Recover);
         const int code = exitCodeForRun(result.deadlock,
                                         result.quarantinedSites > 0,
-                                        raceFailed);
+                                        raceFailed, result.traceFault);
         if (exitCode == 0)
             exitCode = code;
         std::printf("  time %.4fs  reads %llu  writes %llu  "
@@ -344,6 +436,11 @@ runMain(const Options &opts)
             !result.failureReport.empty()) {
             std::printf("%s\n", result.failureReport.c_str());
         }
+        const std::string reportOut = opts.getString("report-out", "");
+        if (!reportOut.empty() &&
+            !writeTextFile(reportOut, result.failureReport))
+            warn("failed to write failure report to %s",
+                 reportOut.c_str());
         if (spec.backend == BackendKind::Trace) {
             std::printf("  trace: %s\n", result.trace.summary().c_str());
             const std::string out = opts.getString("trace-out", "");
