@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Microbenchmarks of batched SFR-boundary read checking (this PR).
+ *
+ * The claim under test: for streaming kernels, appending a coalesced
+ * run entry and retiring the checks in one wide shadow walk at the
+ * drain beats even the ownership-cache *hit* path per access — the
+ * batched lanes here are measured against the same-line hit lane and
+ * against the inline streaming path with and without the cache.
+ *
+ * Lanes ending in `_Batch` run with deferred read checks (the runtime
+ * default); `_NoBatch` lanes are the `--no-batch` ablation, bit for bit
+ * the inline checker. Overflow drains fire naturally at batchBytes, so
+ * every batched lane's per-item time includes its amortized share of
+ * the drain — nothing is hidden outside the timed region.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/linear_shadow.h"
+#include "core/race_check.h"
+#include "core/thread_state.h"
+
+namespace clean
+{
+namespace
+{
+
+constexpr Addr kBase = 0x100000000;
+constexpr std::size_t kSpan = 1 << 22;
+/** Streamed region: larger than the 32 KiB ownership cache, smaller
+ *  than the shadow span. */
+constexpr std::size_t kStream = 1 << 20;
+
+struct Fixture
+{
+    explicit Fixture(CheckerConfig config = {})
+        : shadow(kBase, kSpan), checker(config, shadow),
+          self(config.epoch, 0, 8)
+    {
+        self.vc.setClock(0, 1);
+        self.refreshOwnEpoch();
+    }
+
+    /** Publishes self's epoch over the whole streamed region so every
+     *  deferred check resolves on the all-equal scan path. */
+    void
+    own(std::size_t bytes = kStream)
+    {
+        for (Addr a = kBase; a < kBase + bytes; a += 256)
+            checker.beforeWrite(self, a, 256);
+    }
+
+    LinearShadow shadow;
+    RaceChecker<LinearShadow> checker;
+    ThreadState self;
+};
+
+CheckerConfig
+batchConfig()
+{
+    CheckerConfig config;
+    config.batch = true;
+    return config;
+}
+
+/**
+ * Headline: streaming 8-byte reads over Arg bytes, batched. Appends
+ * coalesce into one run per drain window; the overflow drain at
+ * batchBytes retires 64 KiB of checks per wide walk. The 256 KiB
+ * region keeps the 4x-sized shadow L2-resident (the regime where
+ * batching undercuts even the ownership-cache hit lane); at 1 MiB the
+ * drain streams shadow from L3 and the walk's bandwidth dominates.
+ */
+void
+BM_StreamRead8B_Batch(benchmark::State &state)
+{
+    const std::size_t region = static_cast<std::size_t>(state.range(0));
+    Fixture f(batchConfig());
+    f.own(region);
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 8;
+        if (a >= kBase + region)
+            a = kBase;
+    }
+    f.checker.drainBatch(f.self);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamRead8B_Batch)->Arg(256 << 10)->Arg(1 << 20);
+
+/** The --no-batch ablation: same access stream, inline checks (the
+ *  ownership cache claims each 64B line on first touch, so 7 of 8
+ *  accesses are cache hits). */
+void
+BM_StreamRead8B_NoBatch(benchmark::State &state)
+{
+    const std::size_t region = static_cast<std::size_t>(state.range(0));
+    Fixture f;
+    f.own(region);
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 8;
+        if (a >= kBase + region)
+            a = kBase;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamRead8B_NoBatch)->Arg(256 << 10)->Arg(1 << 20);
+
+/** Inline with the ownership cache ablated too: the PR 2 same-epoch
+ *  scan per access. */
+void
+BM_StreamRead8B_NoBatchNoOwnCache(benchmark::State &state)
+{
+    const std::size_t region = static_cast<std::size_t>(state.range(0));
+    CheckerConfig config;
+    config.ownCache = false;
+    Fixture f(config);
+    f.own(region);
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 8;
+        if (a >= kBase + region)
+            a = kBase;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamRead8B_NoBatchNoOwnCache)->Arg(256 << 10)->Arg(1 << 20);
+
+/** The bar the ISSUE sets: the ownership-cache *hit* path, same line
+ *  re-read forever (BM_ReadCheckSameEpoch8B's shape, measured in this
+ *  binary so the comparison shares a process and a JSON file). */
+void
+BM_ReadOwnCacheHit8B(benchmark::State &state)
+{
+    Fixture f;
+    f.checker.beforeWrite(f.self, kBase, 64);
+    for (auto _ : state)
+        f.checker.afterRead(f.self, kBase, 8);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadOwnCacheHit8B);
+
+/**
+ * Drain throughput: one maximally-coalesced run of Arg bytes, then the
+ * boundary drain. Bytes/s is the wide-scan walk rate (appends included
+ * in the timed region; they are the cheap part).
+ */
+void
+BM_BatchDrainThroughput(benchmark::State &state)
+{
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    CheckerConfig config = batchConfig();
+    config.batchBytes = bytes + 64; // drain at the boundary, not mid-run
+    Fixture f(config);
+    f.own();
+    for (auto _ : state) {
+        for (Addr a = kBase; a < kBase + bytes; a += 8)
+            f.checker.afterRead(f.self, a, 8);
+        f.checker.drainBatch(f.self);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_BatchDrainThroughput)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10);
+
+/** Access-width sweep: batching must win at every width, and wider
+ *  accesses amortize the append even further. */
+void
+BM_StreamReadWidthSweep_Batch(benchmark::State &state)
+{
+    const std::size_t width = static_cast<std::size_t>(state.range(0));
+    Fixture f(batchConfig());
+    f.own();
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, width);
+        a += width;
+        if (a >= kBase + kStream)
+            a = kBase;
+    }
+    f.checker.drainBatch(f.self);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * width));
+}
+BENCHMARK(BM_StreamReadWidthSweep_Batch)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->
+    Arg(64);
+
+void
+BM_StreamReadWidthSweep_NoBatch(benchmark::State &state)
+{
+    const std::size_t width = static_cast<std::size_t>(state.range(0));
+    Fixture f;
+    f.own();
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, width);
+        a += width;
+        if (a >= kBase + kStream)
+            a = kBase;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * width));
+}
+BENCHMARK(BM_StreamReadWidthSweep_NoBatch)->Arg(1)->Arg(4)->Arg(8)->
+    Arg(16)->Arg(64);
+
+/**
+ * Non-coalescable worst case: every access opens a new run (stride
+ * breaks contiguity), so batching degenerates to one table entry per
+ * access plus a many-run drain. This lane bounds the regression the
+ * batched default can cost on pointer-chasing kernels.
+ */
+void
+BM_ScatterRead8B_Batch(benchmark::State &state)
+{
+    Fixture f(batchConfig());
+    f.own();
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 4096;
+        if (a >= kBase + kStream)
+            a = kBase + ((a + 8) & 0xfff);
+    }
+    f.checker.drainBatch(f.self);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScatterRead8B_Batch);
+
+void
+BM_ScatterRead8B_NoBatch(benchmark::State &state)
+{
+    Fixture f;
+    f.own();
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 4096;
+        if (a >= kBase + kStream)
+            a = kBase + ((a + 8) & 0xfff);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScatterRead8B_NoBatch);
+
+} // namespace
+} // namespace clean
+
+BENCHMARK_MAIN();

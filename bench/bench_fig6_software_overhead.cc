@@ -9,6 +9,9 @@
  *   det-sync      deterministic synchronization only  (paper: small,
  *                 sometimes a speedup, a few outliers)
  *   detect        WAW/RAW race detection only         (paper avg 5.8x)
+ *   detect-nb     detection with batched SFR-boundary read checking
+ *                 disabled (--no-batch internally) — the inline
+ *                 ablation this PR's batching is measured against
  *   clean         both mechanisms                     (paper avg 7.8x)
  *
  * Expect the *shape* to match, not the constants: this host's core
@@ -35,10 +38,10 @@ main(int argc, char **argv)
                 config.repeats,
                 config.options.getBool("no-fast-path", false) ? "off"
                                                               : "on");
-    std::printf("%-14s %10s %10s %10s %10s\n", "benchmark", "native[s]",
-                "det-sync", "detect", "clean");
+    std::printf("%-14s %10s %10s %10s %10s %10s\n", "benchmark",
+                "native[s]", "det-sync", "detect", "detect-nb", "clean");
 
-    std::vector<double> kendoX, detectX, cleanX;
+    std::vector<double> kendoX, detectX, detectNbX, cleanX;
     for (const auto &name : config.workloads) {
         const double native = timedSeconds(
             baseSpec(config, name, BackendKind::Native), config.repeats);
@@ -48,24 +51,32 @@ main(int argc, char **argv)
         const double detect = timedSeconds(
             baseSpec(config, name, BackendKind::DetectOnly),
             config.repeats);
+        wl::RunSpec nbSpec =
+            baseSpec(config, name, BackendKind::DetectOnly);
+        nbSpec.runtime.batch = false;
+        const double detectNb = timedSeconds(nbSpec, config.repeats);
         const double clean = timedSeconds(
             baseSpec(config, name, BackendKind::Clean), config.repeats);
-        if (native <= 0 || kendo < 0 || detect < 0 || clean < 0) {
+        if (native <= 0 || kendo < 0 || detect < 0 || detectNb < 0 ||
+            clean < 0) {
             std::printf("%-14s %10s\n", name.c_str(), "FAILED");
             continue;
         }
         kendoX.push_back(kendo / native);
         detectX.push_back(detect / native);
+        detectNbX.push_back(detectNb / native);
         cleanX.push_back(clean / native);
-        std::printf("%-14s %10.4f %9.2fx %9.2fx %9.2fx\n", name.c_str(),
-                    native, kendo / native, detect / native,
-                    clean / native);
+        std::printf("%-14s %10.4f %9.2fx %9.2fx %9.2fx %9.2fx\n",
+                    name.c_str(), native, kendo / native,
+                    detect / native, detectNb / native, clean / native);
     }
 
-    std::printf("\n%-14s %10s %9.2fx %9.2fx %9.2fx   (geomean)\n", "all",
-                "", geomean(kendoX), geomean(detectX), geomean(cleanX));
-    std::printf("%-14s %10s %9.2fx %9.2fx %9.2fx   (mean)\n", "", "",
-                mean(kendoX), mean(detectX), mean(cleanX));
+    std::printf("\n%-14s %10s %9.2fx %9.2fx %9.2fx %9.2fx   (geomean)\n",
+                "all", "", geomean(kendoX), geomean(detectX),
+                geomean(detectNbX), geomean(cleanX));
+    std::printf("%-14s %10s %9.2fx %9.2fx %9.2fx %9.2fx   (mean)\n", "",
+                "", mean(kendoX), mean(detectX), mean(detectNbX),
+                mean(cleanX));
     std::printf("\npaper (16-core Xeon, compiled instrumentation): "
                 "detect avg 5.8x, clean avg 7.8x;\n"
                 "det-sync small with fmm/radiosity/fluidanimate/dedup/"

@@ -278,6 +278,54 @@ BM_ReadCheckStriding(benchmark::State &state)
 }
 BENCHMARK(BM_ReadCheckStriding);
 
+/** The same cache-hostile stride with batched read checking (the
+ *  runtime default): every access opens a fresh run, so this is the
+ *  batching ablation's worst case in this file — bench_batch has the
+ *  streaming lanes where batching wins. */
+void
+BM_ReadCheckStriding_Batch(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.batch = true;
+    Fixture f(config);
+    for (Addr a = kBase; a < kBase + kSpan; a += 64)
+        f.checker.beforeWrite(f.self, a, 8);
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 4096;
+        if (a >= kBase + kSpan)
+            a = kBase;
+    }
+    f.checker.drainBatch(f.self);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckStriding_Batch);
+
+/** Streaming reads with batched checking, the shape bench_batch
+ *  measures in detail — kept here too so one binary shows the
+ *  stride/stream contrast under identical build flags. */
+void
+BM_ReadCheckStreaming_Batch(benchmark::State &state)
+{
+    CheckerConfig config;
+    config.batch = true;
+    Fixture f(config);
+    constexpr std::size_t kRegion = 256 << 10;
+    for (Addr a = kBase; a < kBase + kRegion; a += 64)
+        f.checker.beforeWrite(f.self, a, 64);
+    Addr a = kBase;
+    for (auto _ : state) {
+        f.checker.afterRead(f.self, a, 8);
+        a += 8;
+        if (a >= kBase + kRegion)
+            a = kBase;
+    }
+    f.checker.drainBatch(f.self);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadCheckStreaming_Batch);
+
 } // namespace
 } // namespace clean
 

@@ -22,7 +22,7 @@
  *                      exceeds F (default 0.05 — the ≤5% budget; pass
  *                      a negative value to report without gating)
  *   --json=PATH        write the measurements as JSON
- *                      (bench/BENCH_replay.json holds a committed
+ *                      (BENCH_replay.json holds a committed
  *                      reference run; regenerate with the command in
  *                      its header when the recorder changes)
  *

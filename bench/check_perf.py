@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the same-epoch micro-check benchmarks.
+"""Perf-regression gate for the checker micro-benchmarks.
 
 Compares a google-benchmark JSON result (produced with
 ``--benchmark_repetitions=N --benchmark_report_aggregates_only=true``)
-against the committed baseline ``bench/baseline_microcheck.json`` and
-fails (exit 1) if any gated benchmark's median regresses by more than
-the threshold (default 25%).
+against a committed baseline and fails (exit 1) if any gated
+benchmark's median regresses by more than the threshold (default 25%).
 
-The gated benchmarks cover the checker's per-access fast paths:
+Two gates, selected with ``--gate``:
+
+``microcheck`` (default, baseline ``bench/baseline_microcheck.json``,
+result from ``bench_micro_check``) covers the inline per-access fast
+paths:
 
   * BM_ReadCheckSameEpoch8B / BM_WriteCheckSameEpoch8B — the
     ownership-cache hit path (owned-line re-access, the common case);
@@ -20,12 +23,27 @@ The gated benchmarks cover the checker's per-access fast paths:
   * BM_WriteCheckFlushStorm8B — a generation flush before every
     access (the pathological sync-per-access workload).
 
+``batch`` (baseline ``bench/baseline_batch.json``, result from
+``bench_batch``) covers the batched SFR-boundary read path:
+
+  * BM_StreamRead8B_Batch/262144 — streaming append + drain with the
+    shadow working set cache-resident (must stay at or below the
+    ownership-cache hit lane);
+  * BM_StreamRead8B_Batch/1048576 — the same with the drain walking
+    shadow out of L3 (bandwidth-bound regime);
+  * BM_ReadOwnCacheHit8B — the inline hit lane measured in the same
+    binary, the comparison's denominator;
+  * BM_BatchDrainThroughput/65536 — wide-scan walk rate at the
+    default batch-bytes window;
+  * BM_ScatterRead8B_Batch — the non-coalescable worst case (one run
+    table entry per access).
+
 Medians are compared rather than means because CI runners are noisy
 and a single descheduled repetition should not trip the gate.
 
 Usage:
   python3 bench/check_perf.py --baseline bench/baseline_microcheck.json \
-      --result build/bench_result.json [--threshold 0.25]
+      --result build/bench_result.json [--threshold 0.25] [--gate batch]
 
 Stdlib only; no third-party imports.
 """
@@ -34,14 +52,27 @@ import argparse
 import json
 import sys
 
-GATED = (
-    "BM_ReadCheckSameEpoch8B",
-    "BM_WriteCheckSameEpoch8B",
-    "BM_ReadCheckSameEpoch8B_NoOwnCache",
-    "BM_WriteCheckSameEpoch8B_NoOwnCache",
-    "BM_ReadCheckOwnedMiss8B",
-    "BM_WriteCheckFlushStorm8B",
-)
+GATES = {
+    "microcheck": (
+        "BM_ReadCheckSameEpoch8B",
+        "BM_WriteCheckSameEpoch8B",
+        "BM_ReadCheckSameEpoch8B_NoOwnCache",
+        "BM_WriteCheckSameEpoch8B_NoOwnCache",
+        "BM_ReadCheckOwnedMiss8B",
+        "BM_WriteCheckFlushStorm8B",
+    ),
+    "batch": (
+        "BM_StreamRead8B_Batch/262144",
+        "BM_StreamRead8B_Batch/1048576",
+        "BM_ReadOwnCacheHit8B",
+        "BM_BatchDrainThroughput/65536",
+        "BM_ScatterRead8B_Batch",
+    ),
+}
+
+# Backwards-compatible alias (the unit tests and older callers import
+# the default gate's tuple under its original name).
+GATED = GATES["microcheck"]
 
 
 def load_medians(path):
@@ -55,10 +86,18 @@ def load_medians(path):
         if bench.get("aggregate_name") != "median":
             continue
         base = bench.get("run_name", bench["name"].rsplit("_", 1)[0])
-        # run_name may carry "/repeats:N" suffixes; strip them.
-        base = base.split("/")[0]
+        # run_name may carry "/repeats:N"-style decorations (any
+        # "key:value" path component); strip only those. Arg suffixes
+        # ("BM_X/64" vs "BM_X/4096") are distinct benchmarks and must
+        # stay distinct keys — collapsing them made the gate silently
+        # compare whichever arg variant came last.
+        base = "/".join(p for p in base.split("/") if ":" not in p)
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        if base in medians:
+            raise SystemExit(
+                f"check_perf: duplicate benchmark key '{base}' in {path} "
+                "(two result rows collapsed to one gate key)")
         medians[base] = bench["real_time"] * scale
     return medians
 
@@ -69,13 +108,15 @@ def main():
     parser.add_argument("--result", required=True)
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed fractional regression")
+    parser.add_argument("--gate", choices=sorted(GATES), default="microcheck",
+                        help="which gated benchmark set to compare")
     args = parser.parse_args()
 
     baseline = load_medians(args.baseline)
     result = load_medians(args.result)
 
     failed = False
-    for name in GATED:
+    for name in GATES[args.gate]:
         if name not in baseline:
             print(f"FAIL {name}: missing from baseline {args.baseline}")
             failed = True
@@ -98,12 +139,13 @@ def main():
 
     if failed:
         print()
-        print("Same-epoch check medians regressed past the limit.")
+        print(f"Gated '{args.gate}' benchmark medians regressed past "
+              "the limit.")
         print("If this slowdown is intentional (e.g. the check itself "
-              "changed), apply the 'perf-override' label to the PR and "
-              "update bench/baseline_microcheck.json in the same change.")
+              f"changed), apply the 'perf-override' label to the PR and "
+              f"update {args.baseline} in the same change.")
         return 1
-    print("perf gate: all gated benchmarks within threshold")
+    print(f"perf gate ({args.gate}): all gated benchmarks within threshold")
     return 0
 
 

@@ -11,6 +11,8 @@
  *   --no-vectorize             disable the §4.4 multi-byte check
  *   --no-fast-path             disable the software same-epoch fast path
  *   --no-own-cache             disable the per-thread ownership cache
+ *   --no-batch                 disable batched SFR-boundary read checks
+ *   --batch-bytes=N            batched-read drain window (default 64 KiB)
  */
 
 #ifndef CLEAN_BENCH_COMMON_H
@@ -86,6 +88,11 @@ baseSpec(const BenchConfig &config, const std::string &workload,
         !config.options.getBool("no-fast-path", false);
     spec.runtime.ownCache =
         !config.options.getBool("no-own-cache", false);
+    spec.runtime.batch = !config.options.getBool("no-batch", false);
+    spec.runtime.batchBytes = static_cast<std::size_t>(
+        config.options.getInt("batch-bytes",
+                              static_cast<std::int64_t>(
+                                  spec.runtime.batchBytes)));
     spec.runtime.heap.sharedBytes = std::size_t{1} << 31;
     spec.runtime.heap.privateBytes = std::size_t{1} << 30;
     return spec;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf.py's benchmark-keying logic.
+
+Regression cover for the load_medians bug where `base.split("/")[0]`
+collapsed arg-suffixed benchmarks ("BM_X/64" vs "BM_X/4096") into one
+key, so the gate silently compared the wrong median.
+
+Stdlib only; run directly (``python3 bench/test_check_perf.py``) or via
+ctest (registered as ``check_perf_unit``).
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from check_perf import GATED, GATES, load_medians
+
+
+def write_result(rows):
+    """Write a minimal google-benchmark aggregate JSON; return its path."""
+    fd, path = tempfile.mkstemp(suffix=".json")
+    with os.fdopen(fd, "w") as f:
+        json.dump({"benchmarks": rows}, f)
+    return path
+
+
+def median_row(run_name, real_time, unit="ns"):
+    return {
+        "name": run_name + "_median",
+        "run_name": run_name,
+        "run_type": "aggregate",
+        "aggregate_name": "median",
+        "real_time": real_time,
+        "time_unit": unit,
+    }
+
+
+class LoadMediansTest(unittest.TestCase):
+    def load(self, rows):
+        path = write_result(rows)
+        try:
+            return load_medians(path)
+        finally:
+            os.unlink(path)
+
+    def test_arg_suffixed_benchmarks_stay_distinct(self):
+        medians = self.load([
+            median_row("BM_X/64", 1.0),
+            median_row("BM_X/4096", 9.0),
+        ])
+        self.assertEqual(medians, {"BM_X/64": 1.0, "BM_X/4096": 9.0})
+
+    def test_repeats_decoration_is_stripped(self):
+        medians = self.load([
+            median_row("BM_X/64/repeats:10", 2.5),
+            median_row("BM_Plain/repeats:10", 1.5),
+        ])
+        self.assertEqual(medians, {"BM_X/64": 2.5, "BM_Plain": 1.5})
+
+    def test_colon_decorations_are_stripped_generally(self):
+        medians = self.load([
+            median_row("BM_X/8/threads:4/repeats:10", 3.0),
+        ])
+        self.assertEqual(medians, {"BM_X/8": 3.0})
+
+    def test_key_collision_is_an_error(self):
+        rows = [
+            median_row("BM_X/64/repeats:10", 1.0),
+            median_row("BM_X/64/repeats:20", 2.0),
+        ]
+        with self.assertRaises(SystemExit):
+            self.load(rows)
+
+    def test_non_median_aggregates_are_skipped(self):
+        medians = self.load([
+            median_row("BM_X", 1.0),
+            {
+                "name": "BM_X_mean",
+                "run_name": "BM_X",
+                "run_type": "aggregate",
+                "aggregate_name": "mean",
+                "real_time": 99.0,
+                "time_unit": "ns",
+            },
+        ])
+        self.assertEqual(medians, {"BM_X": 1.0})
+
+    def test_time_units_normalize_to_ns(self):
+        medians = self.load([median_row("BM_Us", 2.0, unit="us")])
+        self.assertEqual(medians, {"BM_Us": 2000.0})
+
+
+class GatesTest(unittest.TestCase):
+    def test_legacy_alias_is_the_default_gate(self):
+        self.assertEqual(GATED, GATES["microcheck"])
+
+    def test_gate_names_are_unique_within_each_gate(self):
+        for gate, names in GATES.items():
+            self.assertEqual(len(names), len(set(names)), gate)
+
+
+if __name__ == "__main__":
+    unittest.main()

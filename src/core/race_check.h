@@ -99,6 +99,26 @@ struct CheckerConfig
      * `fastPath` is off; off reproduces PR 2 behaviour bit-for-bit.
      */
     bool ownCache = true;
+    /**
+     * Defer *read* checks into the per-thread BatchBuffer and retire
+     * them in coalesced runs at SFR boundaries / on overflow
+     * (drainBatch; §14 batched checking). Sound by the §5.2 argument:
+     * the conflicting writer's epoch is still in the shadow when the
+     * drain runs, and the drain completes before the reader's SFR
+     * effects can escape. Write checks are never deferred — their
+     * check-then-CAS-publish must precede the data store (§4.3), which
+     * is also what keeps buffered read evidence alive: an unordered
+     * writer publishing over a buffered byte is detected at the writer.
+     * Requires the vectorized byte-granular CAS configuration (same
+     * gates as the fast path); ignored otherwise.
+     */
+    bool batch = false;
+    /**
+     * Buffered-data budget in bytes: once the pending runs cover this
+     * many data bytes (or the run table fills), the append path drains
+     * in place instead of waiting for the next SFR boundary.
+     */
+    std::size_t batchBytes = std::size_t{1} << 16;
     AtomicityMode atomicity = AtomicityMode::Cas;
     /**
      * log2 of the checking granule in bytes. 0 = per byte, the paper's
@@ -205,7 +225,15 @@ class RaceChecker
           // The ownership cache memoizes the fast path's same-epoch
           // verdict, so it requires the fast path (and thereby Cas
           // atomicity + byte granules + vectorized scans).
-          ownCache_(config.ownCache && fastPath_)
+          ownCache_(config.ownCache && fastPath_),
+          // Batched read checking shares the fast path's gates (wide
+          // scans only make sense vectorized, per-byte granules, and
+          // the §4.3 CAS write ordering is what keeps buffered
+          // evidence alive) but not the fastPath flag itself — the
+          // drain has its own segment scan.
+          batch_(config.batch && config.vectorized &&
+                 config.granuleLog2 == 0 &&
+                 config.atomicity == AtomicityMode::Cas)
     {
         CLEAN_ASSERT(config.epoch.valid());
     }
@@ -221,6 +249,13 @@ class RaceChecker
     beforeWrite(ThreadState &ts, Addr addr, std::size_t size)
     {
         ts.assertStatsOwner();
+        // Batched mode: a write advances the access ordinal without
+        // appending, so the open read run would no longer be
+        // consecutive-site — close it (appendRead's coalescing
+        // invariant). The checks themselves stay inline: deferring a
+        // write's check-and-publish past its store would break §4.3.
+        if (batch_)
+            ts.batch.closeOpenRun();
         ts.stats.sharedWrites++;
         ts.stats.accessedBytes += size;
         // Ownership-cache hit: every byte of the access is cached as
@@ -307,6 +342,16 @@ class RaceChecker
     afterRead(ThreadState &ts, Addr addr, std::size_t size)
     {
         ts.assertStatsOwner();
+        // Batched mode: append the access to the per-thread run buffer
+        // and return — no shadow traffic at all on the hot path. The
+        // deferred Figure 2 checks run at the next drain (SFR boundary
+        // or overflow), against the same vector clock (it cannot change
+        // before the boundary) and over epochs an unordered overwrite
+        // of which would itself have raised at the writer.
+        if (batch_) {
+            appendRead(ts, addr, size);
+            return;
+        }
         ts.stats.sharedReads++;
         ts.stats.accessedBytes += size;
         // Ownership-cache hit — the read-back-own-writes case: the
@@ -360,7 +405,112 @@ class RaceChecker
         }
     }
 
+    /** True iff read checks are being deferred (config gates applied). */
+    bool batchEnabled() const { return batch_; }
+
+    /**
+     * Retires every deferred read check in @p ts's batch buffer: one
+     * prefetched shadow walk per coalesced run, segmented into maximal
+     * uniform-epoch stretches by a wide (AVX2 where available, else the
+     * CLEAN_SIMD_CHECK 16B scan) compare — one Figure 2 check per
+     * stretch. MUST run before the thread's SFR boundary completes
+     * (before the release ticks / the acquire adds order / the shadow
+     * resets) — every drain site is inventoried in DESIGN.md §14.
+     *
+     * On a race, throws RaceException carrying the *buffered* access's
+     * site index and the run's SFR ordinal, with the buffer cursor
+     * advanced past the racy access: a caller that records the race
+     * and continues (Report/Count policies) simply calls drainBatch
+     * again to finish the remaining checks.
+     */
+    void drainBatch(ThreadState &ts);
+
   private:
+    /**
+     * Batched-mode read path: bump the per-access stats (so site
+     * indices stay exact) and append to the run buffer, extending the
+     * open run when the access is address-contiguous, same-width and
+     * uninterrupted in site order — the coalescing that lets the drain
+     * check a whole streamed span in one walk. Overflow (run table
+     * full or batchBytes of data pending) drains in place, *after*
+     * appending, so the triggering access's own check is part of the
+     * drain.
+     */
+    CLEAN_ALWAYS_INLINE void
+    appendRead(ThreadState &ts, Addr addr, std::size_t size)
+    {
+        ts.stats.sharedReads++;
+        BatchBuffer &b = ts.batch;
+        BatchBuffer::Run *last = b.open;
+        // Extend the open run when the access is address-contiguous and
+        // same-width. Consecutive-site-order needs no check here: only
+        // reads and writes advance the access ordinal, reads under
+        // batching always land here, and beforeWrite closes the open
+        // run — so an extendable run is uninterrupted by construction.
+        // Per-access byte/width stats are settled at run retirement
+        // (drainBatch); only the ordinal counter must advance per
+        // access, for exact race siting.
+        if (CLEAN_LIKELY(last != nullptr && last->addr + last->bytes == addr &&
+                         last->sizeEach == size)) {
+            last->bytes += static_cast<std::uint32_t>(size);
+            if (CLEAN_UNLIKELY(last->bytes >= b.openLimit))
+                overflowDrain(ts);
+            return;
+        }
+        pushRun(ts, addr, size);
+    }
+
+    /** Opens a new run (allocating the table on first use, draining
+     *  when it is full). Out of line: the extend path above is the
+     *  streaming common case. */
+    CLEAN_NOINLINE void
+    pushRun(ThreadState &ts, Addr addr, std::size_t size)
+    {
+        BatchBuffer &b = ts.batch;
+        if (CLEAN_UNLIKELY(b.runs == nullptr)) {
+            const std::size_t cap = std::max<std::size_t>(
+                64, config_.batchBytes / sizeof(BatchBuffer::Run));
+            b.runs = std::make_unique<BatchBuffer::Run[]>(cap);
+            b.capacity = static_cast<std::uint32_t>(cap);
+        } else if (CLEAN_UNLIKELY(b.count == b.capacity)) {
+            // Non-coalescable access pattern filled the table; a race
+            // thrown here unwinds before the current access is buffered
+            // (its check re-runs only if the caller retries) — the
+            // documented Report-mode corner in §14.
+            overflowDrain(ts);
+        }
+        b.closeOpenRun();
+        BatchBuffer::Run &r = b.runs[b.count++];
+        r.addr = addr;
+        r.firstSite = ts.stats.accesses();
+        r.sfrOrdinal = ts.sfrOrdinal;
+        r.bytes = static_cast<std::uint32_t>(size);
+        r.sizeEach = static_cast<std::uint32_t>(size);
+        ts.stats.batchRuns++;
+        if (CLEAN_UNLIKELY(b.closedBytes + size >= config_.batchBytes)) {
+            overflowDrain(ts);
+            return;
+        }
+        // Precompute the open run's overflow point so the extend path
+        // compares the run's own length against one cached limit
+        // instead of maintaining a buffer-wide byte total per access.
+        b.open = &r;
+        b.openLimit =
+            static_cast<std::uint32_t>(config_.batchBytes - b.closedBytes);
+    }
+
+    /** Capacity-forced drain (counts separately from boundary drains). */
+    void
+    overflowDrain(ThreadState &ts)
+    {
+        ts.stats.batchOverflowDrains++;
+        drainBatch(ts);
+    }
+
+    /** Walks one buffered run from the resume offset; throws on race
+     *  with the cursor advanced past the racy access. */
+    void drainRun(ThreadState &ts, const BatchBuffer::Run &r);
+
     /** Number of granules covered by [addr, addr + size). */
     CLEAN_ALWAYS_INLINE std::size_t
     granules(Addr addr, std::size_t size) const
@@ -390,6 +540,18 @@ class RaceChecker
                             config_.epoch.tidOf(epoch),
                             config_.epoch.clockOf(epoch),
                             ts.stats.accesses(), ts.sfrOrdinal);
+    }
+
+    /** Drain-time variant of throwRace: the racy access's site index
+     *  and SFR ordinal come from the buffered run, not from the
+     *  thread's current counters (other accesses may have retired
+     *  between the buffered read and this drain). */
+    [[noreturn]] CLEAN_NOINLINE void
+    throwRaceAt(ThreadState &ts, Addr addr, EpochValue epoch, RaceKind kind,
+                std::uint64_t site, std::uint64_t sfr) const
+    {
+        throw RaceException(kind, addr, ts.tid, config_.epoch.tidOf(epoch),
+                            config_.epoch.clockOf(epoch), site, sfr);
     }
 
     /** The Figure 2 line-3 check. @p unit is a granule index; the
@@ -442,6 +604,8 @@ class RaceChecker
     bool fastPath_;
     /** Precomputed "ownership cache applies" flag (see constructor). */
     bool ownCache_;
+    /** Precomputed "read checks are deferred" flag (see constructor). */
+    bool batch_;
     detail::ShardLocks shardLocks_;
 };
 

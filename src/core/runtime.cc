@@ -420,10 +420,34 @@ ThreadContext::detTick(std::uint64_t n)
 }
 
 void
+ThreadContext::drainBatch()
+{
+    if (CLEAN_LIKELY(state_->batch.empty()))
+        return;
+    for (;;) {
+        try {
+            rt_.drainBatch(*state_);
+            return;
+        } catch (const RaceException &race) {
+            if (rt_.recordRace(race))
+                throw;
+            // Non-aborting policy (Report/Count): the checker parked
+            // the cursor past the racy access; keep draining so every
+            // deferred check of this SFR still runs.
+        }
+    }
+}
+
+void
 ThreadContext::pollRollover()
 {
     if (!rt_.rollover().pending())
         return;
+    // The reset wipes the shadow — the evidence every buffered read
+    // check needs. Retire them before parking (a parked thread can
+    // otherwise only have an empty buffer: every parking site is
+    // inside a sync-op path that drained on entry).
+    drainBatch();
     rt_.setPhase(record_, ThreadRecord::Phase::Parked);
     try {
         rt_.rollover().parkAndMaybeReset(
@@ -474,6 +498,13 @@ void
 ThreadContext::acquireTurn()
 {
     rt_.throwIfAborted();
+    // This sync op ends the SFR: deferred read checks must raise their
+    // races before the boundary completes (§14) — before the release
+    // ticks our clock / the acquire adds order, and before sfrOrdinal
+    // moves on. Draining here covers every sync path (locks, condvars,
+    // barriers, spawn, join, thread end), mirroring the ownership
+    // cache's flush-on-refreshOwnEpoch funnel.
+    drainBatch();
     // Synchronization is turn-ordered by the counter, so any batched
     // events must be visible before the turn predicate is evaluated.
     flushDetEvents();
@@ -513,6 +544,15 @@ ThreadContext::rollbackWrites(std::size_t count)
 {
     if (log_ == nullptr)
         return;
+    // Undo logs only arm under Recover, which forces batching off (the
+    // runtime constructor gate), so no deferred check can straddle a
+    // rollback — rolling back epochs under buffered-but-unchecked reads
+    // would destroy their race evidence. Drain defensively and pin the
+    // invariant in debug builds.
+    drainBatch();
+    CLEAN_ASSERT(state_->batch.empty(),
+                 "batched checks pending across a rollback (tid %u)",
+                 state_->tid);
     std::uint64_t restored = 0, skipped = 0;
     // Reverse order so multiple writes to one byte unwind to the
     // pre-SFR value and epoch.
@@ -743,6 +783,11 @@ ThreadContext::retireAfterKill()
     // SFR is retracted — its writes were never released by a sync op, so
     // after rollback the crash is invisible to the data. Then retire the
     // Kendo slot cleanly instead of wedging the turn order.
+    //
+    // Recover forces batching off, so no deferred check can be pending
+    // here; drain defensively so a future policy that mixes kill paths
+    // with batching cannot silently discard evidence.
+    drainBatch();
     if (log_ != nullptr) {
         rollbackWrites(log_->size());
         log_->beginSfr();
@@ -781,10 +826,23 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
     checkBase_ = heap_->sharedBase();
     checkEnd_ = checkBase_ + heap_->sharedSpan();
 
-    const CheckerConfig checkerConfig{config_.epoch, config_.vectorized,
-                                      config_.fastPath, config_.ownCache,
-                                      config_.atomicity,
-                                      config_.granuleLog2};
+    CheckerConfig checkerConfig;
+    checkerConfig.epoch = config_.epoch;
+    checkerConfig.vectorized = config_.vectorized;
+    checkerConfig.fastPath = config_.fastPath;
+    checkerConfig.ownCache = config_.ownCache;
+    // Batched read checking is off under Recover — rollback re-executes
+    // the SFR from the faulting access, which requires the race to be
+    // raised *at* that access, not at the boundary — and whenever fault
+    // injection is armed, whose skip/kill decisions are specified
+    // against inline per-access checks (a killed thread must not take
+    // unretired deferred checks with it).
+    checkerConfig.batch = config_.batch &&
+                          config_.onRace != OnRacePolicy::Recover &&
+                          !config_.inject.any();
+    checkerConfig.batchBytes = config_.batchBytes;
+    checkerConfig.atomicity = config_.atomicity;
+    checkerConfig.granuleLog2 = config_.granuleLog2;
     if (config_.shadow == ShadowKind::Linear) {
         linearShadow_ = std::make_unique<LinearShadow>(heap_->sharedBase(),
                                                        heap_->sharedSpan());
@@ -1497,6 +1555,10 @@ CleanRuntime::failureReportJson() const
     w.field("ownCacheHits", stats.ownCacheHits());
     w.field("ownCacheMisses", stats.ownCacheMisses);
     w.field("ownCacheFlushes", stats.ownCacheFlushes);
+    w.field("batchRuns", stats.batchRuns);
+    w.field("batchDrains", stats.batchDrains);
+    w.field("batchOverflowDrains", stats.batchOverflowDrains);
+    w.field("batchDrainedBytes", stats.batchDrainedBytes);
     w.endObject();
 
     w.field("rollovers", rollover_.resets());
@@ -1574,6 +1636,10 @@ CleanRuntime::metricsJson() const
     w.field("ownCacheHits", stats.ownCacheHits());
     w.field("ownCacheMisses", stats.ownCacheMisses);
     w.field("ownCacheFlushes", stats.ownCacheFlushes);
+    w.field("batchRuns", stats.batchRuns);
+    w.field("batchDrains", stats.batchDrains);
+    w.field("batchOverflowDrains", stats.batchOverflowDrains);
+    w.field("batchDrainedBytes", stats.batchDrainedBytes);
     if (recovery_) {
         const recover::RecoveryStats rs = recovery_->stats();
         w.field("recoveryEpisodes", rs.episodes);
@@ -1619,6 +1685,8 @@ CleanRuntime::metricsJson() const
     w.key("histograms").beginObject();
     w.key("ownCacheHitRuns");
     stats.ownCacheHitRuns.writeTo(w);
+    w.key("batchRunBytes");
+    stats.batchRunBytes.writeTo(w);
     if (recorder_ != nullptr) {
         w.key("sfrLengthDetEvents");
         recorder_->mergedSfrLength().writeTo(w);

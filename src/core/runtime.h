@@ -121,6 +121,21 @@ struct RuntimeConfig
      *  (zero-shadow-traffic owned-line hits; see
      *  CheckerConfig::ownCache and OwnershipCache). */
     bool ownCache = true;
+    /**
+     * Batched SFR-boundary read checking (§14; CheckerConfig::batch,
+     * `--no-batch`): read checks append to a per-thread run buffer the
+     * runtime drains at every SFR boundary (and on overflow), turning
+     * per-access shadow probes into one prefetched wide-SIMD walk per
+     * coalesced run. The runtime disables it automatically under
+     * `--on-race=recover` (recovery re-executes from the faulting
+     * access, which requires race-at-access precision) and whenever
+     * fault injection is armed (injected skips/kills are defined
+     * against inline checks).
+     */
+    bool batch = true;
+    /** Buffered data bytes that force an in-place overflow drain
+     *  (`--batch-bytes`; CheckerConfig::batchBytes). */
+    std::size_t batchBytes = std::size_t{1} << 16;
     AtomicityMode atomicity = AtomicityMode::Cas;
     ShadowKind shadow = ShadowKind::Linear;
     /** Checking granule (log2 bytes): 0 = per byte (sound for C/C++),
@@ -302,6 +317,18 @@ class ThreadContext
 
     /** Rollover poll only (used inside blocking retries). */
     void pollRollover();
+
+    /**
+     * Retires this thread's deferred read checks (§14 batched
+     * checking), applying the runtime's on-race policy to every race
+     * found: under Throw the first race propagates (after recording);
+     * under Report/Count all races are recorded and the drain runs to
+     * completion. No-op when batching is off or nothing is buffered.
+     * Runs automatically at every SFR boundary (acquireTurn) and
+     * before rollover parking; public so tests and custom sync can
+     * force a boundary.
+     */
+    void drainBatch();
 
     /**
      * Injection hook for lock acquisitions: true when the configured
@@ -596,6 +623,28 @@ class CleanRuntime : private RolloverHost
     checkable(Addr addr) const
     {
         return detection_ && addr >= checkBase_ && addr < checkEnd_;
+    }
+
+    /** Retires every deferred read check in @p ts's batch buffer
+     *  (RaceChecker::drainBatch through the active shadow backend).
+     *  Throws the first race found; ThreadContext::drainBatch is the
+     *  policy-applying wrapper. */
+    void
+    drainBatch(ThreadState &ts)
+    {
+        if (linearChecker_)
+            linearChecker_->drainBatch(ts);
+        else
+            sparseChecker_->drainBatch(ts);
+    }
+
+    /** True iff the checker is deferring read checks (config gates
+     *  applied — see RuntimeConfig::batch). */
+    bool
+    batchChecking() const
+    {
+        return linearChecker_ ? linearChecker_->batchEnabled()
+                              : sparseChecker_->batchEnabled();
     }
 
     /**

@@ -7,6 +7,7 @@
 #define CLEAN_CORE_THREAD_STATE_H
 
 #include <cstdint>
+#include <memory>
 #ifndef NDEBUG
 #include <atomic>
 #include <thread>
@@ -78,6 +79,22 @@ struct CheckerStats
     std::uint64_t ownCacheMisses = 0;
     std::uint64_t ownCacheFlushes = 0;
     obs::Histogram ownCacheHitRuns;
+    /**
+     * Batched-checking telemetry (§14). The append path bumps only
+     * `batchRuns` (and only when an access opens a new run — extending
+     * the open run touches no counter here); the drain path owns the
+     * rest, so none of these sit adjacent to a per-access hot counter
+     * (the layout rule above).
+     */
+    std::uint64_t batchRuns = 0;
+    /** Drains of a non-empty buffer (boundary or overflow). */
+    std::uint64_t batchDrains = 0;
+    /** Drains forced by buffer capacity, a subset of batchDrains. */
+    std::uint64_t batchOverflowDrains = 0;
+    /** Data bytes whose deferred checks a drain retired. */
+    std::uint64_t batchDrainedBytes = 0;
+    /** log2 histogram of coalesced run lengths (bytes) at drain. */
+    obs::Histogram batchRunBytes;
 
     std::uint64_t
     ownCacheHits() const
@@ -111,6 +128,11 @@ struct CheckerStats
         replayedEpochUpdates += other.replayedEpochUpdates;
         ownCacheMisses += other.ownCacheMisses;
         ownCacheFlushes += other.ownCacheFlushes;
+        batchRuns += other.batchRuns;
+        batchDrains += other.batchDrains;
+        batchOverflowDrains += other.batchOverflowDrains;
+        batchDrainedBytes += other.batchDrainedBytes;
+        batchRunBytes.merge(other.batchRunBytes);
         ownCacheHitRuns.merge(other.ownCacheHitRuns);
         // A still-open hit run in the source merges as a closed run so
         // the histogram accounts for every hit exactly once.
@@ -139,6 +161,11 @@ struct CheckerStats
         stats.counter(prefix + ".ownCacheHits") += ownCacheHits();
         stats.counter(prefix + ".ownCacheMisses") += ownCacheMisses;
         stats.counter(prefix + ".ownCacheFlushes") += ownCacheFlushes;
+        stats.counter(prefix + ".batchRuns") += batchRuns;
+        stats.counter(prefix + ".batchDrains") += batchDrains;
+        stats.counter(prefix + ".batchOverflowDrains") +=
+            batchOverflowDrains;
+        stats.counter(prefix + ".batchDrainedBytes") += batchDrainedBytes;
     }
 };
 
@@ -288,6 +315,95 @@ class OwnershipCache
 };
 
 /**
+ * Per-thread buffer of read-access runs whose Figure 2 checks are
+ * deferred to the next SFR boundary (§14 batched checking). Appends
+ * coalesce accesses that are contiguous in address *and* uninterrupted
+ * in site order into one run, so the drain can retire a whole streamed
+ * span with one prefetched shadow walk and a single wide
+ * all-epochs-equal scan.
+ *
+ * Only *read* checks may be buffered: a write's check-then-publish must
+ * stay ordered before its data store (§4.3) or a concurrent reader
+ * could consume racy data with no epoch evidence ever published.
+ * Deferring reads is the §5.2 relaxation: the conflicting writer's
+ * epoch stays in the shadow until our drain, which runs before the
+ * SFR's effects can escape (before the release/acquire/retirement
+ * completes), so the race still fires inside the SFR that read the
+ * racy value.
+ *
+ * Storage is lazily allocated by the checker on first append (plain
+ * ThreadState users that never enable batching pay nothing).
+ */
+struct BatchBuffer
+{
+    struct Run
+    {
+        Addr addr = 0;
+        /** Global access index of the run's first access (for exact
+         *  per-access race siting: site = firstSite + offset/sizeEach;
+         *  the access count is bytes / sizeEach, divided only at
+         *  drain/race time, never on the append hot path). */
+        std::uint64_t firstSite = 0;
+        /** SFR ordinal the run's accesses executed in. */
+        std::uint64_t sfrOrdinal = 0;
+        /** Total coalesced length in bytes. */
+        std::uint32_t bytes = 0;
+        /** Uniform per-access width (the coalescing key). */
+        std::uint32_t sizeEach = 0;
+    };
+    static_assert(sizeof(Run) == 32, "Run is sized for cheap indexing");
+
+    std::unique_ptr<Run[]> runs;
+    /** The run new appends may extend, or null when none is open. A
+     *  write (which bumps the access ordinal without appending) and
+     *  every drain close it, so a run's accesses are always consecutive
+     *  ordinals — the invariant behind firstSite + offset/sizeEach
+     *  race siting — without the append path consulting the stats. */
+    Run *open = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t capacity = 0;
+    /** Drain-resume position: runs[0, cursor) are fully checked, and
+     *  within runs[cursor] the first cursorOff bytes are checked. A
+     *  drain that throws under a non-aborting policy resumes past the
+     *  racy access instead of rechecking it. */
+    std::uint32_t cursor = 0;
+    std::uint32_t cursorOff = 0;
+    /** Data bytes buffered in *closed* runs (settled when a run stops
+     *  being `open`). The open run's budget is precomputed instead:
+     *  extending it to `openLimit` bytes means closedBytes + bytes
+     *  reached the configured batch-bytes cap — the append hot path
+     *  keeps one running counter (the run's own length) and one
+     *  compare, no global accumulator update. */
+    std::uint64_t closedBytes = 0;
+    /** Open-run length (bytes) at which an overflow drain fires. */
+    std::uint32_t openLimit = 0;
+
+    bool empty() const { return count == 0; }
+
+    /** Retires the open run from coalescing (a write interleaved, or a
+     *  drain): settle its bytes into the closed total. */
+    void
+    closeOpenRun()
+    {
+        if (open != nullptr) {
+            closedBytes += open->bytes;
+            open = nullptr;
+        }
+    }
+
+    void
+    clear()
+    {
+        open = nullptr;
+        count = 0;
+        cursor = 0;
+        cursorOff = 0;
+        closedBytes = 0;
+        openLimit = 0;
+    }
+};
+
+/**
  * Detector-visible state of one running thread.
  *
  * The `ownEpoch` member caches vc.element(tid) — the "main element" of
@@ -368,6 +484,9 @@ struct ThreadState
      *  bumped at every sync op (acquireTurn); threaded into
      *  RaceException so reports can name the SFR a race fired in. */
     std::uint64_t sfrOrdinal = 0;
+    /** Deferred read-check runs (§14); drained at SFR boundaries and
+     *  on overflow by RaceChecker::drainBatch. */
+    BatchBuffer batch;
 
 #ifndef NDEBUG
   private:

@@ -75,6 +75,8 @@ metaFields(TraceMeta &m)
         {"vectorized", T::Bool, &m.vectorized},
         {"fast_path", T::Bool, &m.fastPath},
         {"own_cache", T::Bool, &m.ownCache},
+        {"batch", T::Bool, &m.batch},
+        {"batch_bytes", T::U64, &m.batchBytes},
         {"atomicity", T::U32, &m.atomicity},
         {"shadow", T::U32, &m.shadow},
         {"granule_log2", T::U32, &m.granuleLog2},

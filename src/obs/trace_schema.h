@@ -47,8 +47,9 @@
 namespace clean::obs
 {
 
-/** Schema version this binary reads and writes. */
-inline constexpr std::uint32_t kTraceSchemaVersion = 1;
+/** Schema version this binary reads and writes. v2 added the batched
+ *  SFR-boundary checking fields (batch, batch_bytes). */
+inline constexpr std::uint32_t kTraceSchemaVersion = 2;
 
 /** Bytes of one serialized event record. */
 inline constexpr std::size_t kTraceRecordBytes = 40;
@@ -79,6 +80,8 @@ struct TraceMeta
     bool vectorized = false;
     bool fastPath = false;
     bool ownCache = false;
+    bool batch = true;
+    std::uint64_t batchBytes = std::uint64_t{1} << 16;
     std::uint32_t atomicity = 0;
     std::uint32_t shadow = 0;
     std::uint32_t granuleLog2 = 0;

@@ -49,6 +49,8 @@ metaForSpec(const RunSpec &spec)
     meta.vectorized = rc.vectorized;
     meta.fastPath = rc.fastPath;
     meta.ownCache = rc.ownCache;
+    meta.batch = rc.batch;
+    meta.batchBytes = rc.batchBytes;
     meta.atomicity = static_cast<std::uint32_t>(rc.atomicity);
     meta.shadow = static_cast<std::uint32_t>(rc.shadow);
     meta.granuleLog2 = rc.granuleLog2;
@@ -120,6 +122,8 @@ specFromTraceMeta(const obs::TraceMeta &meta)
     rc.vectorized = meta.vectorized;
     rc.fastPath = meta.fastPath;
     rc.ownCache = meta.ownCache;
+    rc.batch = meta.batch;
+    rc.batchBytes = static_cast<std::size_t>(meta.batchBytes);
     rc.atomicity = static_cast<AtomicityMode>(meta.atomicity);
     rc.shadow = static_cast<ShadowKind>(meta.shadow);
     rc.granuleLog2 = meta.granuleLog2;
@@ -243,6 +247,10 @@ runClean(Workload &workload, const RunSpec &spec)
         Timer timer;
         try {
             workload.run(env, spec.params);
+            // The orchestrating thread's final SFR never reaches another
+            // sync op, so reads it buffered after its last release are
+            // still pending — drain them so a tail race is not dropped.
+            rt.mainContext().drainBatch();
         } catch (const RaceException &race) {
             result.raceException = true;
             result.raceMessage = race.what();

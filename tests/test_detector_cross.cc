@@ -56,6 +56,8 @@ struct CrossHarness
     {
         const ThreadId t = rng.nextBelow(kThreads);
         const unsigned op = static_cast<unsigned>(rng.nextBelow(10));
+        lastThread = t;
+        lastOp = op;
         const Addr addr = kBase + rng.nextBelow(48);
         const std::size_t size = 1 + rng.nextBelow(8);
         try {
@@ -85,6 +87,28 @@ struct CrossHarness
         return std::nullopt;
     }
 
+    /** Retires @p t's deferred read checks (batched configs only). */
+    std::optional<RaceKind>
+    drainThread(ThreadId t)
+    {
+        try {
+            checker.drainBatch(threads[t]);
+        } catch (const RaceException &e) {
+            lastRace = e;
+            return e.kind();
+        }
+        return std::nullopt;
+    }
+
+    std::optional<RaceKind>
+    drainAll()
+    {
+        for (ThreadId t = 0; t < kThreads; ++t)
+            if (const auto race = drainThread(t))
+                return race;
+        return std::nullopt;
+    }
+
     std::size_t
     fasttrackWawRaw() const
     {
@@ -101,6 +125,9 @@ struct CrossHarness
     std::vector<VectorClock> locks;
     /** CLEAN's last thrown race, if any (site identity for parity). */
     std::optional<RaceException> lastRace;
+    /** Thread and op of the most recent step (drain-site selection). */
+    ThreadId lastThread = 0;
+    unsigned lastOp = 0;
 };
 
 CheckerConfig
@@ -116,6 +143,14 @@ noOwnCacheConfig()
 {
     CheckerConfig config;
     config.ownCache = false;
+    return config;
+}
+
+CheckerConfig
+batchConfig()
+{
+    CheckerConfig config;
+    config.batch = true;
     return config;
 }
 
@@ -232,6 +267,82 @@ TEST_P(CrossDetector, OwnCacheParityWithPlainPath)
         }
     }
     EXPECT_FALSE(cached.lastRace || plain.lastRace);
+}
+
+/**
+ * Lockstep parity for batched SFR-boundary checking (this PR), at the
+ * granularity where strict parity provably holds: draining after every
+ * step. With no accesses between an append and its drain, no write can
+ * overwrite the buffered epoch, so the deferred Figure 2 check sees
+ * exactly what the inline check saw — same throwing step, same race
+ * site (kind, address, accessor, previous writer and clock), same site
+ * index and SFR ordinal. The SFR-granularity relaxation (an ordered
+ * writer masking buffered evidence) is covered by the next test.
+ */
+TEST_P(CrossDetector, BatchDrainPerStepParityWithInlinePath)
+{
+    Prng rngBatched(GetParam() * 7919 + 13);
+    Prng rngInline(GetParam() * 7919 + 13);
+    CrossHarness batched(batchConfig());
+    CrossHarness plain;
+    ASSERT_TRUE(batched.checker.batchEnabled());
+    ASSERT_FALSE(plain.checker.batchEnabled());
+    for (int step = 0; step < 600; ++step) {
+        const auto plainRace = plain.step(rngInline);
+        auto batchedRace = batched.step(rngBatched);
+        if (!batchedRace)
+            batchedRace = batched.drainAll();
+        ASSERT_EQ(batchedRace.has_value(), plainRace.has_value())
+            << "batched path diverged from inline path at step " << step;
+        if (batchedRace) {
+            EXPECT_EQ(*batchedRace, *plainRace);
+            ASSERT_TRUE(batched.lastRace && plain.lastRace);
+            EXPECT_EQ(batched.lastRace->addr(), plain.lastRace->addr());
+            EXPECT_EQ(batched.lastRace->accessor(),
+                      plain.lastRace->accessor());
+            EXPECT_EQ(batched.lastRace->previousWriter(),
+                      plain.lastRace->previousWriter());
+            EXPECT_EQ(batched.lastRace->previousClock(),
+                      plain.lastRace->previousClock());
+            EXPECT_EQ(batched.lastRace->siteIndex(),
+                      plain.lastRace->siteIndex());
+            EXPECT_EQ(batched.lastRace->sfrOrdinal(),
+                      plain.lastRace->sfrOrdinal());
+            return;
+        }
+    }
+    EXPECT_FALSE(batched.lastRace || plain.lastRace);
+}
+
+/**
+ * Soundness of batching at its real granularity: draining only at the
+ * acting thread's sync ops (the runtime's drain funnel) plus a final
+ * end-of-run drain. Because every sync op by the reader drains first,
+ * a buffered read can never become *ordered* with a later write while
+ * still buffered — so any race a drain reports corresponds to a
+ * genuinely unordered pair, i.e. FastTrack has a report (of some kind)
+ * on this schedule. The converse is deliberately not asserted: an
+ * ordered writer may overwrite buffered evidence within the reader's
+ * SFR (the §14 masking relaxation), so batched detection may lag or
+ * miss what inline detects — but it must never invent a race.
+ */
+TEST_P(CrossDetector, BatchSyncGranularityReportsOnlyRealRaces)
+{
+    Prng rng(GetParam() * 7919 + 13);
+    CrossHarness harness(batchConfig());
+    std::optional<RaceKind> race;
+    for (int step = 0; step < 600 && !race; ++step) {
+        race = harness.step(rng);
+        if (!race && harness.lastOp >= 8)
+            race = harness.drainThread(harness.lastThread);
+    }
+    if (!race)
+        race = harness.drainAll();
+    if (race) {
+        EXPECT_FALSE(harness.fasttrack.reports().empty())
+            << "batched drain reported a race on a schedule FastTrack "
+               "finds entirely race-free";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossDetector, ::testing::Range(0u, 60u));
@@ -384,6 +495,173 @@ TEST(OwnCacheDirected, ReleaseTickFlushesTheOwnershipCache)
     EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Raw);
     EXPECT_EQ(rt.firstRace()->accessor(), main.tid());
     EXPECT_EQ(rt.firstRace()->previousWriter(), childTid);
+}
+
+/**
+ * Directed drain-point test for batched SFR-boundary checking (this
+ * PR), under every --on-race policy: a race inside a buffered
+ * streaming-read run must raise at or before the reader's next SFR
+ * boundary, carrying the *buffered* access's site index and SFR
+ * ordinal (not the thread's counters at drain time). Under
+ * Throw/Report/Count the batch gate is open: the racy read itself must
+ * record nothing (deferral), and the mutex acquire closing the SFR
+ * must surface it. Under Recover the runtime gates batching off (undo
+ * logs are defined against inline checks), so the race fires inline at
+ * the read and recovery proceeds exactly as without batching — the
+ * rollback-parity half of the property.
+ */
+void
+runBatchedRaceAtSfrBoundary(OnRacePolicy policy)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.onRace = policy;
+
+    CleanRuntime rt(config);
+    const bool batched = policy != OnRacePolicy::Recover;
+    EXPECT_EQ(rt.batchChecking(), batched) << onRacePolicyName(policy);
+
+    auto *x = rt.heap().allocSharedArray<int>(64);
+    CleanMutex mu(rt);
+    std::atomic<bool> wrote{false};
+    ThreadId writerTid = 0;
+
+    // Spawn first so the child's write below is unordered with the
+    // parent's reads (spawn ticks the parent's clock).
+    auto h = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        writerTid = ctx.tid();
+        ctx.write(&x[0], 7);
+        wrote.store(true, std::memory_order_release);
+    });
+    while (!wrote.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    ThreadContext &main = rt.mainContext();
+    std::uint64_t site = 0, sfr = 0;
+    bool threw = false;
+    try {
+        // Streaming run whose first word is racy. Batched: all 16 reads
+        // buffer and coalesce; nothing is checked yet. Recover: the
+        // first read throws inline and is recovered in place.
+        int sum = main.read(&x[0]);
+        site = main.state().stats.accesses();
+        sfr = main.state().sfrOrdinal;
+        for (int i = 1; i < 16; ++i)
+            sum += main.read(&x[i]);
+        (void)sum;
+        if (batched) {
+            EXPECT_EQ(rt.raceCount(), 0u)
+                << "batched read checked inline under "
+                << onRacePolicyName(policy);
+            EXPECT_GE(main.state().batch.count, 1u);
+        }
+        // SFR boundary: the acquire drains before it adds order.
+        mu.lock(main);
+        mu.unlock(main);
+    } catch (const RaceException &e) {
+        threw = true;
+        EXPECT_EQ(policy, OnRacePolicy::Throw);
+        EXPECT_EQ(e.kind(), RaceKind::Raw);
+        EXPECT_EQ(e.siteIndex(), site);
+        EXPECT_EQ(e.sfrOrdinal(), sfr);
+    } catch (const ExecutionAborted &) {
+        threw = true;
+        EXPECT_EQ(policy, OnRacePolicy::Throw);
+    }
+    EXPECT_EQ(threw, policy == OnRacePolicy::Throw)
+        << onRacePolicyName(policy);
+    rt.join(main, h);
+
+    EXPECT_TRUE(rt.raceOccurred()) << onRacePolicyName(policy);
+    ASSERT_NE(rt.firstRace(), nullptr) << onRacePolicyName(policy);
+    EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Raw)
+        << onRacePolicyName(policy);
+    EXPECT_EQ(rt.firstRace()->accessor(), main.tid())
+        << onRacePolicyName(policy);
+    EXPECT_EQ(rt.firstRace()->previousWriter(), writerTid)
+        << onRacePolicyName(policy);
+    EXPECT_EQ(rt.firstRace()->addr(), reinterpret_cast<Addr>(&x[0]))
+        << onRacePolicyName(policy);
+    if (batched) {
+        // The recorded race carries the buffered access's identity.
+        EXPECT_EQ(rt.firstRace()->siteIndex(), site)
+            << onRacePolicyName(policy);
+        EXPECT_EQ(rt.firstRace()->sfrOrdinal(), sfr)
+            << onRacePolicyName(policy);
+        // Report/Count resume the drain past the racy access and retire
+        // the rest of the buffer. (Throw aborts mid-drain by design.)
+        if (policy != OnRacePolicy::Throw)
+            EXPECT_TRUE(main.state().batch.empty())
+                << onRacePolicyName(policy);
+    }
+}
+
+TEST(BatchDirected, RaceInBufferedRunRaisesAtBoundaryThrow)
+{
+    runBatchedRaceAtSfrBoundary(OnRacePolicy::Throw);
+}
+
+TEST(BatchDirected, RaceInBufferedRunRaisesAtBoundaryReport)
+{
+    runBatchedRaceAtSfrBoundary(OnRacePolicy::Report);
+}
+
+TEST(BatchDirected, RaceInBufferedRunRaisesAtBoundaryCount)
+{
+    runBatchedRaceAtSfrBoundary(OnRacePolicy::Count);
+}
+
+TEST(BatchDirected, RecoverGatesBatchingOffAndRecoversInline)
+{
+    runBatchedRaceAtSfrBoundary(OnRacePolicy::Recover);
+}
+
+/**
+ * Overflow drain: a streaming run larger than --batch-bytes must not
+ * wait for the SFR boundary — the capacity drain fires mid-run, still
+ * attributing the race to the buffered access. Also pins that the
+ * triggering access is part of the drain (the append-then-drain
+ * ordering in appendRead).
+ */
+TEST(BatchDirected, OverflowDrainFiresBeforeTheBoundary)
+{
+    RuntimeConfig config;
+    config.maxThreads = 16;
+    config.heap.sharedBytes = std::size_t{64} << 20;
+    config.heap.privateBytes = std::size_t{16} << 20;
+    config.onRace = OnRacePolicy::Report;
+    config.batchBytes = 256; // 64 ints: force mid-run drains
+
+    CleanRuntime rt(config);
+    ASSERT_TRUE(rt.batchChecking());
+    auto *x = rt.heap().allocSharedArray<int>(256);
+    std::atomic<bool> wrote{false};
+    ThreadId writerTid = 0;
+    auto h = rt.spawn(rt.mainContext(), [&](ThreadContext &ctx) {
+        writerTid = ctx.tid();
+        ctx.write(&x[0], 7);
+        wrote.store(true, std::memory_order_release);
+    });
+    while (!wrote.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    ThreadContext &main = rt.mainContext();
+    int sum = 0;
+    for (int i = 0; i < 256; ++i)
+        sum += main.read(&x[i]);
+    (void)sum;
+    // No sync op yet — the race must already have been recorded by an
+    // overflow drain somewhere inside the streaming run.
+    EXPECT_TRUE(rt.raceOccurred());
+    EXPECT_GT(main.state().stats.batchOverflowDrains, 0u);
+    ASSERT_NE(rt.firstRace(), nullptr);
+    EXPECT_EQ(rt.firstRace()->kind(), RaceKind::Raw);
+    EXPECT_EQ(rt.firstRace()->accessor(), main.tid());
+    EXPECT_EQ(rt.firstRace()->previousWriter(), writerTid);
+    EXPECT_EQ(rt.firstRace()->addr(), reinterpret_cast<Addr>(&x[0]));
+    rt.join(main, h);
 }
 
 } // namespace

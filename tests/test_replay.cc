@@ -206,7 +206,10 @@ TEST(TraceSchema, HeaderFaultsAreStructured)
     EXPECT_EQ(faultOf(versionPath), TraceFault::BadVersion);
 
     const std::string metaPath = tmpPath("bad_meta.cleantrace");
-    writeFileBytes(metaPath, "CLEANTRACE 1\nthreads=abc\n%%\n");
+    writeFileBytes(metaPath,
+                   "CLEANTRACE " +
+                       std::to_string(obs::kTraceSchemaVersion) +
+                       "\nthreads=abc\n%%\n");
     EXPECT_EQ(faultOf(metaPath), TraceFault::BadMeta);
 
     std::filesystem::remove(magicPath);
@@ -627,8 +630,12 @@ TEST(ReplayRejection, WrongSchemaVersionIsBadVersion)
     recordRun(smallSpec("fft", 6, OnRacePolicy::Throw), path);
 
     std::string bytes = readFileBytes(path);
-    ASSERT_EQ(bytes.rfind("CLEANTRACE 1\n", 0), 0u);
-    bytes.replace(0, 13, "CLEANTRACE 2\n");
+    const std::string goodLine =
+        "CLEANTRACE " + std::to_string(obs::kTraceSchemaVersion) + "\n";
+    ASSERT_EQ(bytes.rfind(goodLine, 0), 0u);
+    bytes.replace(0, goodLine.size(),
+                  "CLEANTRACE " +
+                      std::to_string(obs::kTraceSchemaVersion + 1) + "\n");
     writeFileBytes(path, bytes);
 
     try {

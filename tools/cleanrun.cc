@@ -267,6 +267,14 @@ runMain(const Options &opts)
     spec.runtime.vectorized = !opts.getBool("no-vectorize", false);
     spec.runtime.fastPath = !opts.getBool("no-fast-path", false);
     spec.runtime.ownCache = !opts.getBool("no-own-cache", false);
+    spec.runtime.batch = !opts.getBool("no-batch", false);
+    if (opts.has("batch-bytes")) {
+        const std::int64_t bb = opts.getInt("batch-bytes", 65536);
+        if (bb < 64 || bb > (std::int64_t{1} << 30))
+            fatal("--batch-bytes=%lld out of range (64..2^30)",
+                  static_cast<long long>(bb));
+        spec.runtime.batchBytes = static_cast<std::size_t>(bb);
+    }
     spec.runtime.granuleLog2 =
         static_cast<unsigned>(opts.getInt("granule-log2", 0));
     spec.runtime.detChunk =
