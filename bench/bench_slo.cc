@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Overhead-SLO sweep for --overhead-budget (ISSUE 8; Fig. 6-style).
+ *
+ * For each kernel the harness first times the *floor*: the identical
+ * run with the sampling tier live but pinned to the deepest admission
+ * level, so essentially every read check is shed — the same denominator
+ * the governor's calibration SFRs measure against at runtime. It then
+ * sweeps governed runs over --overhead-budget ∈ {5,10,25,50,100} and
+ * reports, per (kernel, budget):
+ *
+ *   cpu overhead    = cpu(budget) / cpu(floor) - 1 (gated)
+ *   wall overhead   = t(budget) / t(floor) - 1     (reported)
+ *   governed overhead = the governor's reads-weighted run-mean
+ *       measurement of the controllable read-path cost over the
+ *       calibration floor, in permille
+ *       (RunResult::sampleOverheadPermille — the variable the budget
+ *       contract actually controls)
+ *   detection rate  = 1 - shedReads / sharedReads
+ *
+ * Governed runs vary repeat to repeat (the control loop reacts to
+ * physical time), so each sweep point's gated statistics are repeat
+ * *medians*: the median governed overhead and median detection rate
+ * across --repeats runs. Wall seconds stay the usual minimum.
+ *
+ * Two gates (exit 1 on violation):
+ *   * SLO ceiling: every sweep point's process-CPU overhead over the
+ *     floor must stay within max-factor × budget (default 1.2 — a 10%
+ *     budget may cost at most 12%) plus a small noise allowance
+ *     (--noise, default 0.05). CPU time, not wall: on shared hosts a
+ *     descheduling storm can add 40 points of wall overhead to a run
+ *     whose admitted work is byte-identical, while CPU seconds only
+ *     count cycles actually spent — and at production run lengths the
+ *     allowance vanishes relative to the budget. The fail-safe cold
+ *     start makes this a real gate — before it, a tight budget on a
+ *     workload whose hot phase lands early blew the ceiling by 3-4x.
+ *     The noise-free precision version of the same SLO (1.12x on a 10%
+ *     budget, no allowance) is enforced by check_perf.py's slo lane on
+ *     cpu-time microbench medians. The governor's own permille
+ *     estimate is reported and written to the JSON as telemetry but
+ *     not gated: it is a relative control signal — on workloads with
+ *     few SFR boundaries its calibration floor comes from a handful of
+ *     intervals whose wall time includes barrier waits, which makes it
+ *     self-correcting for steering but useless as a point estimate.
+ *   * monotonicity: detection rate must not decrease as the budget
+ *     grows (the knob has to buy detection, never sell it). Detection
+ *     compares the repeat *spreads* — a genuine inversion needs every
+ *     repeat of the higher budget below every repeat of the lower one;
+ *     overlapping spreads are a tie (governed trajectories on
+ *     phase-heavy workloads legitimately vary run to run when the
+ *     budget brackets the workload's natural overhead). The fail-safe
+ *     cold start (SampleGate::levelForBudget) anchors the curve even
+ *     when a run is too short for the governor to prime: admission
+ *     starts at the budget fraction and measurements move it from
+ *     there, so a bigger budget structurally starts with more
+ *     detection.
+ *
+ * budget=100 normalizes to sampling-off (full read checking), so the
+ * top of the sweep doubles as the unbudgeted overhead reference and
+ * its detection rate is 1 by construction.
+ *
+ * Beyond the common bench flags (bench/common.h):
+ *   --max-factor=F   SLO ceiling as a multiple of the budget
+ *                    (default 1.2; negative reports without gating)
+ *   --noise=N        absolute cpu-overhead allowance added to every
+ *                    ceiling (default 0.05)
+ *   --json=PATH      write the sweep as JSON (BENCH_slo.json holds a
+ *                    committed reference run; regenerate with
+ *                    `bench_slo --scale=large --threads=4 --repeats=5
+ *                     --json=BENCH_slo.json`)
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/sampling.h"
+
+using namespace clean;
+using namespace clean::bench;
+using namespace clean::wl;
+
+namespace
+{
+
+/** Runs @p spec `repeats` times; dies on an unexpected race. */
+std::vector<RunResult>
+runAll(const RunSpec &spec, unsigned repeats)
+{
+    std::vector<RunResult> runs;
+    for (unsigned r = 0; r < repeats; ++r) {
+        RunResult result = runWorkload(spec);
+        if (result.raceException) {
+            std::fprintf(stderr, "unexpected race in %s: %s\n",
+                         spec.workload.c_str(),
+                         result.raceMessage.c_str());
+            std::exit(1);
+        }
+        runs.push_back(std::move(result));
+    }
+    return runs;
+}
+
+double
+minSeconds(const std::vector<RunResult> &runs)
+{
+    double best = 1e300;
+    for (const RunResult &r : runs)
+        best = std::min(best, r.seconds);
+    return best;
+}
+
+/** Minimum process-CPU seconds across repeats; falls back to wall
+ *  where the platform has no CPU clock. */
+double
+minCpuSeconds(const std::vector<RunResult> &runs)
+{
+    double best = 1e300;
+    for (const RunResult &r : runs)
+        best = std::min(best, r.cpuSeconds >= 0 ? r.cpuSeconds
+                                                : r.seconds);
+    return best;
+}
+
+/** Middle element (lower middle for even sizes); NaN for empty. */
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::sort(v.begin(), v.end());
+    return v[(v.size() - 1) / 2];
+}
+
+/** Short sampling windows so the gate and governor engage at bench
+ *  scales (the runtime default of 4096-read windows is tuned for
+ *  long-lived production runs). */
+void
+sampleKnobs(RunSpec &spec)
+{
+    spec.runtime.sample.windowLog2 = 8;
+    spec.runtime.sample.burstWindows = 1;
+    // Calibrate every 16th SFR instead of every 64th: at bench run
+    // lengths the floor EWMA needs to interleave with the workload's
+    // phases, or phase cost differences masquerade as overhead.
+    spec.runtime.sampleCalibLog2 = 4;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig config = parseBench(argc, argv, "large");
+    if (config.options.getString("workloads", "").empty())
+        config.workloads = {"fft", "lu_cb", "streamcluster",
+                            "blackscholes"};
+    const double maxFactor =
+        config.options.getDouble("max-factor", 1.2);
+    const double noiseAllowance =
+        config.options.getDouble("noise", 0.05);
+    const std::string jsonOut = config.options.getString("json", "");
+    const std::uint32_t kBudgets[] = {5, 10, 25, 50, 100};
+    // Noise tolerance for the monotonicity gate: adjacent sweep points
+    // whose detection spreads overlap within this band are tied, not
+    // inverted.
+    const double kDetectionTol = 0.05;     // 5 points of detection rate
+
+    std::printf("=== --overhead-budget SLO sweep (threads=%u, scale=%s, "
+                "repeats=%u, ceiling=%.1fx budget) ===\n\n",
+                config.threads,
+                config.options.getString("scale", "large").c_str(),
+                config.repeats, maxFactor);
+
+    struct Point
+    {
+        std::uint32_t budget;
+        double seconds, overhead, cpuOverhead, detection;
+        /** Repeat spread of the detection rate (monotonicity compares
+         *  the intervals, not the medians: governed trajectories vary
+         *  run to run, and two points whose spreads overlap are tied,
+         *  not inverted). */
+        double detectionMin, detectionMax;
+        std::int64_t permille; // governed overhead; -1 = no reading
+        std::uint64_t shed, shared;
+        std::uint32_t level;
+    };
+    struct Row
+    {
+        std::string workload;
+        double floorSeconds;
+        double floorCpu;
+        std::vector<Point> sweep;
+    };
+    std::vector<Row> rows;
+    bool failed = false;
+
+    for (const auto &name : config.workloads) {
+        // Floor: gate live, deepest level forced — every read sheds on
+        // the same fast path a calibration SFR uses.
+        RunSpec floorSpec = baseSpec(config, name, BackendKind::Clean);
+        floorSpec.runtime.overheadBudget = 10;
+        floorSpec.runtime.sampleForceLevel =
+            static_cast<std::int32_t>(SampleGate::kMaxLevel);
+        sampleKnobs(floorSpec);
+        const std::vector<RunResult> floorRuns =
+            runAll(floorSpec, config.repeats);
+        const double floorSeconds = minSeconds(floorRuns);
+        const double floorCpu = minCpuSeconds(floorRuns);
+
+        Row row{name, floorSeconds, floorCpu, {}};
+        std::printf("%-14s floor %.4fs (cpu %.4fs)\n", name.c_str(),
+                    floorSeconds, floorCpu);
+        for (const std::uint32_t budget : kBudgets) {
+            RunSpec spec = baseSpec(config, name, BackendKind::Clean);
+            spec.runtime.overheadBudget = budget;
+            sampleKnobs(spec);
+            const std::vector<RunResult> runs =
+                runAll(spec, config.repeats);
+            // Governed runs vary repeat to repeat (the control loop
+            // reacts to physical time), so the gated statistics are
+            // repeat *medians*, not the fastest run's trajectory.
+            std::vector<double> detections, permilles;
+            for (const RunResult &r : runs) {
+                const std::uint64_t sh = r.checker.sharedReads;
+                detections.push_back(
+                    sh ? 1.0 - static_cast<double>(r.checker.shedReads) /
+                                   static_cast<double>(sh)
+                       : 1.0);
+                if (r.samplingOn && r.sampleOverheadPermille >= 0)
+                    permilles.push_back(
+                        static_cast<double>(r.sampleOverheadPermille));
+            }
+            const bool samplingOn = runs.front().samplingOn;
+            Point p;
+            p.budget = budget;
+            p.seconds = minSeconds(runs);
+            p.overhead = p.seconds / floorSeconds - 1.0;
+            p.cpuOverhead = minCpuSeconds(runs) / floorCpu - 1.0;
+            // Median governed overhead across the repeats that primed
+            // a calibration floor; -1 ("n/a") when none did.
+            p.permille = permilles.empty()
+                             ? -1
+                             : static_cast<std::int64_t>(
+                                   median(permilles));
+            p.detection = median(detections);
+            p.detectionMin =
+                *std::min_element(detections.begin(), detections.end());
+            p.detectionMax =
+                *std::max_element(detections.begin(), detections.end());
+            // shed/shared/level are reported from the repeat whose
+            // detection is the median one, so the row is a real run.
+            std::size_t mid = 0;
+            for (std::size_t r = 1; r < runs.size(); ++r)
+                if (std::abs(detections[r] - p.detection) <
+                    std::abs(detections[mid] - p.detection))
+                    mid = r;
+            p.shed = runs[mid].checker.shedReads;
+            p.shared = runs[mid].checker.sharedReads;
+            p.level = runs[mid].sampleLevel;
+            const std::uint64_t shared = p.shared;
+            const std::uint64_t shed = p.shed;
+            row.sweep.push_back(p);
+
+            // SLO ceiling on cpu overhead, plus the noise allowance.
+            const double limit =
+                maxFactor * budget / 100.0 + noiseAllowance;
+            const bool over = maxFactor >= 0 && p.cpuOverhead > limit;
+            if (over)
+                failed = true;
+            // "(n/a)": governed run too short to prime both governor
+            // EWMAs (no calibration SFR completed); "(off)": budget
+            // 100 normalized to sampling-off.
+            char governed[16];
+            if (p.permille >= 0)
+                std::snprintf(governed, sizeof governed, "%+5.1f%%",
+                              static_cast<double>(p.permille) / 10.0);
+            else
+                std::snprintf(governed, sizeof governed,
+                              samplingOn ? "  (n/a)" : "  (off)");
+            std::printf("  budget %3u%%: %.4fs  cpu %+6.1f%%  "
+                        "wall %+6.1f%%  governed %s  (limit %5.1f%%)  "
+                        "detection %5.1f%%  level %2u  shed %llu/%llu%s\n",
+                        budget, p.seconds, p.cpuOverhead * 100,
+                        p.overhead * 100, governed,
+                        limit * 100, p.detection * 100, p.level,
+                        static_cast<unsigned long long>(shed),
+                        static_cast<unsigned long long>(shared),
+                        over ? "  <-- SLO VIOLATION" : "");
+        }
+        // Monotone curve: more budget must buy detection.
+        for (std::size_t i = 1; i < row.sweep.size(); ++i) {
+            const Point &lo = row.sweep[i - 1];
+            const Point &hi = row.sweep[i];
+            // A genuine inversion needs the repeat spreads disjoint in
+            // the wrong order: every hi repeat below every lo repeat.
+            if (hi.detectionMax < lo.detectionMin - kDetectionTol) {
+                failed = true;
+                std::printf("  MONOTONICITY: detection fell %.1f%% -> "
+                            "%.1f%% from budget %u to %u (spreads "
+                            "[%.1f,%.1f] vs [%.1f,%.1f])\n",
+                            lo.detection * 100, hi.detection * 100,
+                            lo.budget, hi.budget,
+                            lo.detectionMin * 100, lo.detectionMax * 100,
+                            hi.detectionMin * 100, hi.detectionMax * 100);
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+
+    if (!jsonOut.empty()) {
+        std::FILE *f = std::fopen(jsonOut.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", jsonOut.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"max_factor\": %.2f,\n  \"workloads\": [\n",
+                     maxFactor);
+        for (std::size_t w = 0; w < rows.size(); ++w) {
+            const Row &row = rows[w];
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"floor_s\": %.6f, "
+                         "\"floor_cpu_s\": %.6f, \"sweep\": [\n",
+                         row.workload.c_str(), row.floorSeconds,
+                         row.floorCpu);
+            for (std::size_t i = 0; i < row.sweep.size(); ++i) {
+                const Point &p = row.sweep[i];
+                std::fprintf(
+                    f,
+                    "      {\"budget\": %u, \"seconds\": %.6f, "
+                    "\"cpu_overhead\": %.4f, "
+                    "\"wall_overhead\": %.4f, "
+                    "\"governed_overhead_permille\": %lld, "
+                    "\"detection_rate\": %.4f, "
+                    "\"detection_min\": %.4f, \"detection_max\": %.4f, "
+                    "\"shed_reads\": %llu, \"shared_reads\": %llu, "
+                    "\"level\": %u}%s\n",
+                    p.budget, p.seconds, p.cpuOverhead, p.overhead,
+                    static_cast<long long>(p.permille), p.detection,
+                    p.detectionMin, p.detectionMax,
+                    static_cast<unsigned long long>(p.shed),
+                    static_cast<unsigned long long>(p.shared), p.level,
+                    i + 1 < row.sweep.size() ? "," : "");
+            }
+            std::fprintf(f, "    ]}%s\n",
+                         w + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+    }
+
+    if (failed && maxFactor >= 0) {
+        std::fprintf(stderr, "\nFAIL: SLO sweep violated the overhead "
+                             "ceiling or monotonicity\n");
+        return 1;
+    }
+    std::printf("\nSLO sweep within the %.1fx ceiling with a monotone "
+                "detection curve\n",
+                maxFactor);
+    return 0;
+}

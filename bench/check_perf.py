@@ -23,6 +23,16 @@ paths:
   * BM_WriteCheckFlushStorm8B — a generation flush before every
     access (the pathological sync-per-access workload).
 
+``slo`` (baseline ``bench/baseline_slo.json``, result from
+``bench_micro_check`` with ``--benchmark_filter=Slo``) covers the
+sampling tier's SLO lanes (DESIGN.md §15): per-shape Floor (gate live,
+every read shed — the governor's calibration denominator), Budget10
+(the admission level a 10% governor converges to on that shape) and
+Full lanes, on a cache-resident stream and a conflict-heavy stride.
+Besides the usual regression comparison it enforces the overhead SLO as
+intra-result ratios: each Budget10 lane must stay within 1.12x of its
+Floor lane — a 10% budget may cost at most 12% measured overhead.
+
 ``batch`` (baseline ``bench/baseline_batch.json``, result from
 ``bench_batch``) covers the batched SFR-boundary read path:
 
@@ -41,6 +51,12 @@ paths:
 Medians are compared rather than means because CI runners are noisy
 and a single descheduled repetition should not trip the gate.
 
+Artifact paths resolve with a fallback: a ``--baseline``/``--result``
+path that does not exist as given is retried under ``bench/`` and at
+the repo root (committed ``BENCH_*.json`` artifacts live at the root,
+``baseline_*.json`` files in ``bench/`` — callers shouldn't need to
+care which).
+
 Usage:
   python3 bench/check_perf.py --baseline bench/baseline_microcheck.json \
       --result build/bench_result.json [--threshold 0.25] [--gate batch]
@@ -50,6 +66,7 @@ Stdlib only; no third-party imports.
 
 import argparse
 import json
+import os
 import sys
 
 GATES = {
@@ -68,6 +85,25 @@ GATES = {
         "BM_BatchDrainThroughput/65536",
         "BM_ScatterRead8B_Batch",
     ),
+    "slo": (
+        "BM_SloStreamRead8B_Floor",
+        "BM_SloStreamRead8B_Budget10",
+        "BM_SloStreamRead8B_Full",
+        "BM_SloStrideRead8B_Floor",
+        "BM_SloStrideRead8B_Budget10",
+        "BM_SloStrideRead8B_Full",
+    ),
+}
+
+# Intra-result ratio limits enforced on top of the regression check:
+# (numerator, denominator, max ratio). The slo pair pins the overhead
+# SLO itself — a 10%-budget steady state must cost <= 12% over the
+# all-shed floor on both the streaming and conflict-heavy shapes.
+RATIOS = {
+    "slo": (
+        ("BM_SloStreamRead8B_Budget10", "BM_SloStreamRead8B_Floor", 1.12),
+        ("BM_SloStrideRead8B_Budget10", "BM_SloStrideRead8B_Floor", 1.12),
+    ),
 }
 
 # Backwards-compatible alias (the unit tests and older callers import
@@ -75,8 +111,31 @@ GATES = {
 GATED = GATES["microcheck"]
 
 
-def load_medians(path):
-    """Map benchmark base name -> median real_time in ns."""
+def resolve_artifact(path):
+    """Resolve a baseline/result path with the bench/ and repo-root
+    fallback. Returns the first existing candidate; the original path
+    unchanged (so the open() error names what the caller asked for)
+    when none exists."""
+    if os.path.exists(path):
+        return path
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(bench_dir)
+    base = os.path.basename(path)
+    for candidate in (os.path.join(bench_dir, base),
+                      os.path.join(repo_root, base)):
+        if os.path.exists(candidate):
+            return candidate
+    return path
+
+
+def load_medians(path, field="real_time"):
+    """Map benchmark base name -> median time in ns.
+
+    ``field`` selects the timing column: ``real_time`` (default, what
+    the regression gate compares) or ``cpu_time`` (what the slo ratio
+    gate compares — wall medians on shared CI runners carry descheduling
+    noise that has nothing to do with the detector's added compute).
+    """
     with open(path) as f:
         doc = json.load(f)
     medians = {}
@@ -98,7 +157,7 @@ def load_medians(path):
             raise SystemExit(
                 f"check_perf: duplicate benchmark key '{base}' in {path} "
                 "(two result rows collapsed to one gate key)")
-        medians[base] = bench["real_time"] * scale
+        medians[base] = bench[field] * scale
     return medians
 
 
@@ -112,8 +171,10 @@ def main():
                         help="which gated benchmark set to compare")
     args = parser.parse_args()
 
-    baseline = load_medians(args.baseline)
-    result = load_medians(args.result)
+    baseline_path = resolve_artifact(args.baseline)
+    result_path = resolve_artifact(args.result)
+    baseline = load_medians(baseline_path)
+    result = load_medians(result_path)
 
     failed = False
     for name in GATES[args.gate]:
@@ -135,6 +196,24 @@ def main():
               f"now {now:.3f} ns ({delta:+.1%}, "
               f"limit +{args.threshold:.0%})")
         if delta > args.threshold:
+            failed = True
+
+    # Ratio gates: absolute SLO limits within the result itself, so a
+    # baseline refresh can never quietly raise the contract's ceiling.
+    # Compared on cpu_time (see load_medians).
+    cpu = (load_medians(result_path, field="cpu_time")
+           if RATIOS.get(args.gate) else {})
+    for num, den, limit in RATIOS.get(args.gate, ()):
+        if num not in cpu or den not in cpu:
+            print(f"FAIL {num}/{den}: lane missing from result "
+                  f"{result_path}")
+            failed = True
+            continue
+        ratio = cpu[num] / cpu[den]
+        status = "FAIL" if ratio > limit else "ok"
+        print(f"{status:4s} {num} / {den}: "
+              f"{ratio:.3f}x (limit {limit:.2f}x)")
+        if ratio > limit:
             failed = True
 
     if failed:

@@ -17,7 +17,7 @@ import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from check_perf import GATED, GATES, load_medians
+from check_perf import GATED, GATES, RATIOS, load_medians, resolve_artifact
 
 
 def write_result(rows):
@@ -28,13 +28,14 @@ def write_result(rows):
     return path
 
 
-def median_row(run_name, real_time, unit="ns"):
+def median_row(run_name, real_time, unit="ns", cpu_time=None):
     return {
         "name": run_name + "_median",
         "run_name": run_name,
         "run_type": "aggregate",
         "aggregate_name": "median",
         "real_time": real_time,
+        "cpu_time": real_time if cpu_time is None else cpu_time,
         "time_unit": unit,
     }
 
@@ -93,6 +94,15 @@ class LoadMediansTest(unittest.TestCase):
         medians = self.load([median_row("BM_Us", 2.0, unit="us")])
         self.assertEqual(medians, {"BM_Us": 2000.0})
 
+    def test_cpu_time_field_selector(self):
+        path = write_result([median_row("BM_X", 5.0, cpu_time=3.0)])
+        try:
+            self.assertEqual(load_medians(path), {"BM_X": 5.0})
+            self.assertEqual(load_medians(path, field="cpu_time"),
+                             {"BM_X": 3.0})
+        finally:
+            os.unlink(path)
+
 
 class GatesTest(unittest.TestCase):
     def test_legacy_alias_is_the_default_gate(self):
@@ -101,6 +111,55 @@ class GatesTest(unittest.TestCase):
     def test_gate_names_are_unique_within_each_gate(self):
         for gate, names in GATES.items():
             self.assertEqual(len(names), len(set(names)), gate)
+
+    def test_ratio_lanes_are_regression_gated_too(self):
+        # Every lane a ratio references must also be in the gate's
+        # regression set, or a renamed benchmark could silently drop
+        # the SLO check while the regression half still passes.
+        for gate, ratios in RATIOS.items():
+            for num, den, limit in ratios:
+                self.assertIn(num, GATES[gate])
+                self.assertIn(den, GATES[gate])
+                self.assertGreater(limit, 1.0)
+
+    def test_slo_gate_pins_the_twelve_percent_ceiling(self):
+        limits = {limit for _, _, limit in RATIOS["slo"]}
+        self.assertEqual(limits, {1.12})
+
+
+class ResolveArtifactTest(unittest.TestCase):
+    """The bench/ + repo-root fallback for BENCH_*/baseline_* paths."""
+
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(bench_dir)
+
+    def test_existing_path_wins_verbatim(self):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        os.close(fd)
+        try:
+            self.assertEqual(resolve_artifact(path), path)
+        finally:
+            os.unlink(path)
+
+    def test_missing_path_falls_back_to_bench_dir(self):
+        # baseline_microcheck.json lives in bench/; asking for it by a
+        # bogus directory must still find the committed copy.
+        asked = os.path.join("no", "such", "dir",
+                             "baseline_microcheck.json")
+        self.assertEqual(
+            resolve_artifact(asked),
+            os.path.join(self.bench_dir, "baseline_microcheck.json"))
+
+    def test_missing_path_falls_back_to_repo_root(self):
+        # Committed BENCH_*.json artifacts live at the repo root.
+        asked = os.path.join("elsewhere", "BENCH_replay.json")
+        self.assertEqual(
+            resolve_artifact(asked),
+            os.path.join(self.repo_root, "BENCH_replay.json"))
+
+    def test_unresolvable_path_is_returned_unchanged(self):
+        asked = os.path.join("nope", "definitely_not_a_real_file.json")
+        self.assertEqual(resolve_artifact(asked), asked)
 
 
 if __name__ == "__main__":

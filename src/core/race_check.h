@@ -119,6 +119,18 @@ struct CheckerConfig
      * in place instead of waiting for the next SFR boundary.
      */
     std::size_t batchBytes = std::size_t{1} << 16;
+    /**
+     * Enable the --overhead-budget sampling tier (§15, sampling.h): a
+     * per-thread deterministic gate sheds *read* checks per
+     * (region, window) before any check machinery runs. Orthogonal to
+     * every other knob (it sits above the ownership cache and the
+     * batch buffer and composes with granular/locked configurations).
+     * Each ThreadState's gate must be configured with the same
+     * `sample` params (SampleGate::configure) by whoever creates it.
+     */
+    bool sampling = false;
+    /** Gate tunables; also recorded in the trace header (schema v3). */
+    SampleParams sample;
     AtomicityMode atomicity = AtomicityMode::Cas;
     /**
      * log2 of the checking granule in bytes. 0 = per byte, the paper's
@@ -233,7 +245,11 @@ class RaceChecker
           // drain has its own segment scan.
           batch_(config.batch && config.vectorized &&
                  config.granuleLog2 == 0 &&
-                 config.atomicity == AtomicityMode::Cas)
+                 config.atomicity == AtomicityMode::Cas),
+          // The sampling gate has no configuration gates of its own:
+          // it decides before any check machinery runs, so it composes
+          // with every path below (inline, batched, granular, locked).
+          sampling_(config.sampling)
     {
         CLEAN_ASSERT(config.epoch.valid());
     }
@@ -342,6 +358,23 @@ class RaceChecker
     afterRead(ThreadState &ts, Addr addr, std::size_t size)
     {
         ts.assertStatsOwner();
+        // Sampling tier (--overhead-budget, §15): admission is decided
+        // before any check machinery runs. A shed read performs no
+        // check at all but still advances the access ordinal and byte
+        // totals — site indices in budgeted and unbudgeted runs must
+        // be identical, which is what makes the budgeted report a
+        // verifiable subset. With batching on, the open run closes:
+        // coalesced runs must cover exactly the *admitted* reads, or
+        // the drain would silently re-check what the gate shed.
+        if (CLEAN_UNLIKELY(sampling_) &&
+            !ts.sample.admit(addr, ts.stats.sharedReads)) {
+            ts.stats.accessedBytes += size;
+            ts.stats.sharedReads++;
+            ts.stats.shedReads++;
+            if (batch_)
+                ts.batch.closeOpenRun();
+            return;
+        }
         // Batched mode: append the access to the per-thread run buffer
         // and return — no shadow traffic at all on the hot path. The
         // deferred Figure 2 checks run at the next drain (SFR boundary
@@ -606,6 +639,8 @@ class RaceChecker
     bool ownCache_;
     /** Precomputed "read checks are deferred" flag (see constructor). */
     bool batch_;
+    /** Precomputed "sampling gate applies" flag (see constructor). */
+    bool sampling_;
     detail::ShardLocks shardLocks_;
 };
 

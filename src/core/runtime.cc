@@ -6,6 +6,7 @@
 
 #include "core/sync_objects.h"
 #include "det/replay.h"
+#include "obs/governor.h"
 #include "obs/trace_export.h"
 #include "obs/trace_schema.h"
 #include "recover/recovery.h"
@@ -68,6 +69,16 @@ ThreadContext::ThreadContext(CleanRuntime &rt, ThreadId tid,
             obsEvent(obs::EventKind::ThreadStart, record_);
             obsEvent(obs::EventKind::SfrBegin, state_->sfrOrdinal);
         }
+    }
+    sampling_ = rt.samplingEnabled();
+    if (CLEAN_UNLIKELY(sampling_)) {
+        sampleMeasure_ = rt.config().replayDriver == nullptr &&
+                         rt.config().sampleForceLevel < 0;
+        state_->sample.setCalibSfr(rt.isCalibSfr(state_->sfrOrdinal));
+        sampleLastReads_ = state_->stats.sharedReads;
+        sampleLastSheds_ = state_->stats.shedReads;
+        if (sampleMeasure_)
+            sampleSfrStart_ = std::chrono::steady_clock::now();
     }
 }
 
@@ -511,6 +522,11 @@ ThreadContext::acquireTurn()
     pollRollover();
     if (CLEAN_UNLIKELY(plan_ != nullptr))
         injectAtSync();
+    // Sampling tier (§15): the ended SFR's work interval is measured
+    // *before* the turn wait, so governor estimates never include wait
+    // time (the batch drain above is check work and is included).
+    if (CLEAN_UNLIKELY(sampling_))
+        sampleReport();
     turnWait("acquireTurn");
     // Every sync op ends the current SFR: its effects are (about to be)
     // released, so the undo records covering them are dead and a new
@@ -520,6 +536,84 @@ ThreadContext::acquireTurn()
         log_->beginSfr();
     if (CLEAN_UNLIKELY(obsLane_ != nullptr))
         obsSfrBoundary();
+    // Sampling boundary bookkeeping runs after the SfrEnd/SfrBegin
+    // pair so the Sample* lane records land at deterministic positions
+    // the replay validator can hold them to.
+    if (CLEAN_UNLIKELY(sampling_))
+        sampleAdopt();
+}
+
+void
+ThreadContext::sampleReport()
+{
+    if (!sampleMeasure_)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - sampleSfrStart_)
+            .count());
+    const std::uint64_t reads =
+        state_->stats.sharedReads - sampleLastReads_;
+    rt_.samplingGovernor()->report(reads, ns, state_->sample.calibSfr());
+}
+
+void
+ThreadContext::sampleAdopt()
+{
+    SampleGate &gate = state_->sample;
+    // (1) Shed telemetry of the interval that just ended. The delta
+    // (and therefore the SampleShed record) is a function of the
+    // deterministic decisions alone, so replay validates it
+    // byte-for-byte — a budgeted trace proves which checks were shed.
+    const std::uint64_t sheds = state_->stats.shedReads - sampleLastSheds_;
+    sampleLastSheds_ = state_->stats.shedReads;
+    sampleLastReads_ = state_->stats.sharedReads;
+    gate.telemetry().shedPerBoundary.add(sheds);
+    const std::uint64_t window =
+        state_->stats.sharedReads >> gate.params().windowLog2;
+    if (CLEAN_UNLIKELY(obsLane_ != nullptr) && sheds > 0)
+        obsEvent(obs::EventKind::SampleShed, sheds, window);
+    // (2) Regions the gate struck out since the last boundary become
+    // lane events and governor-ledger episodes. Both consume only
+    // deterministic inputs, so the ledger matches on replay too.
+    if (CLEAN_UNLIKELY(gate.hasPendingQuarantines())) {
+        for (const SampleGate::PendingQuarantine &q :
+             gate.takePendingQuarantines()) {
+            const Addr offset = static_cast<Addr>(q.region)
+                                << gate.params().regionLog2;
+            if (obsLane_ != nullptr)
+                obsEvent(obs::EventKind::SampleQuarantine, offset,
+                         q.strikes);
+            rt_.samplingGovernor()->noteQuarantine(offset);
+        }
+    }
+    // (3) Level adoption — the single point where physical measurement
+    // feeds back into decisions. Recording/normal runs adopt the
+    // governor's published level (emitting SampleLevel); replays peek
+    // the recorded lane and re-adopt exactly the recorded levels at
+    // exactly the recorded boundaries. Forced-level runs never adapt.
+    if (sampleMeasure_) {
+        const std::uint32_t level = rt_.samplingGovernor()->level();
+        if (level != gate.level()) {
+            gate.adoptLevel(level);
+            if (obsLane_ != nullptr)
+                obsEvent(obs::EventKind::SampleLevel, level, window);
+        }
+    } else if (det::ReplayDriver *driver = rt_.replayDriver()) {
+        const std::int64_t level =
+            driver->peekSampleLevel(state_->tid, obsDetNow());
+        if (level >= 0) {
+            gate.adoptLevel(static_cast<std::uint32_t>(level));
+            if (obsLane_ != nullptr)
+                obsEvent(obs::EventKind::SampleLevel,
+                         static_cast<std::uint64_t>(level), window);
+        }
+    }
+    // (4) Arm the new SFR: calibration flag, then the work timer.
+    gate.setCalibSfr(rt_.isCalibSfr(state_->sfrOrdinal));
+    if (sampleMeasure_)
+        sampleSfrStart_ = std::chrono::steady_clock::now();
 }
 
 // ---------------------------------------------------------------------
@@ -826,6 +920,52 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
     checkBase_ = heap_->sharedBase();
     checkEnd_ = checkBase_ + heap_->sharedSpan();
 
+    // Overhead-budget sampling tier (§15). 100 means "spend the whole
+    // check cost" — no budget — and normalizes to off, so budget=100
+    // is bit-identical to an unbudgeted run by construction. Unlike
+    // batching, sampling stays on under Recover and fault injection:
+    // a shed read performs no check at all, so neither rollback
+    // precision nor injected skip/kill coordinates are disturbed.
+    if (config_.overheadBudget >= 100)
+        config_.overheadBudget = 0;
+    sampling_ = config_.overheadBudget > 0 && detection_;
+    if (sampling_) {
+        sampleParams_ = config_.sample;
+        sampleParams_.base = checkBase_;
+        if (config_.sampleForceLevel >= 0) {
+            // Pinned level (tests, floor benches): no governor
+            // adoption, no calibration intervals — the gate becomes a
+            // pure function of the deterministic inputs.
+            sampleParams_.initialLevel = static_cast<std::uint32_t>(
+                std::min<std::int32_t>(config_.sampleForceLevel,
+                                       SampleGate::kMaxLevel));
+        } else {
+            if (config_.sampleCalibLog2 > 0)
+                sampleCalibMask_ =
+                    (std::uint64_t{1} << config_.sampleCalibLog2) - 1;
+            // Fail-safe cold start: a governed run begins at the level
+            // whose admission fraction equals the budget — the
+            // worst-case prior that every admitted check is pure
+            // overhead — and the governor's measurements earn
+            // admission back down. Starting at 0 instead would spend
+            // the whole cold-start transient over budget on workloads
+            // whose hot phase comes early, and a workload too short to
+            // prime the calibration floor would never be throttled at
+            // all. Replay recomputes the same level from the same
+            // recorded config, so the pre-first-adoption gate state
+            // matches the recording bit for bit.
+            sampleParams_.initialLevel =
+                std::max(sampleParams_.initialLevel,
+                         SampleGate::levelForBudget(config_.overheadBudget));
+        }
+        obs::GovernorConfig governorConfig;
+        governorConfig.budgetPct = config_.overheadBudget;
+        governorConfig.initialLevel = sampleParams_.initialLevel;
+        governorConfig.active = config_.replayDriver == nullptr &&
+                                config_.sampleForceLevel < 0;
+        governor_ = std::make_unique<obs::SamplingGovernor>(governorConfig);
+    }
+
     CheckerConfig checkerConfig;
     checkerConfig.epoch = config_.epoch;
     checkerConfig.vectorized = config_.vectorized;
@@ -841,6 +981,8 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
                           config_.onRace != OnRacePolicy::Recover &&
                           !config_.inject.any();
     checkerConfig.batchBytes = config_.batchBytes;
+    checkerConfig.sampling = sampling_;
+    checkerConfig.sample = sampleParams_;
     checkerConfig.atomicity = config_.atomicity;
     checkerConfig.granuleLog2 = config_.granuleLog2;
     if (config_.shadow == ShadowKind::Linear) {
@@ -919,6 +1061,8 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
                                             config_.maxThreads);
     r.state->vc.setClock(0, 1);
     r.state->refreshOwnEpoch();
+    if (sampling_)
+        r.state->sample.configure(sampleParams_);
     if (recovery_ && detection_ && config_.granuleLog2 == 0)
         r.sfrLog = std::make_unique<recover::SfrLog>(config_.undoLogEntries);
     r.phase.store(ThreadRecord::Phase::Running);
@@ -1005,6 +1149,8 @@ CleanRuntime::spawn(ThreadContext &parent,
     r.state->vc.setClock(childTid, resume);
     r.state->vc.tick(childTid);
     r.state->refreshOwnEpoch();
+    if (sampling_)
+        r.state->sample.configure(sampleParams_);
     if (recovery_ && detection_ && config_.granuleLog2 == 0)
         r.sfrLog = std::make_unique<recover::SfrLog>(config_.undoLogEntries);
 
@@ -1442,6 +1588,18 @@ CleanRuntime::aggregatedCheckerStats() const
     return total;
 }
 
+SampleTelemetry
+CleanRuntime::aggregatedSampleTelemetry() const
+{
+    std::lock_guard<std::mutex> guard(registryMutex_);
+    SampleTelemetry total;
+    for (const auto &record : records_) {
+        if (record->state)
+            total.merge(record->state->sample.telemetry());
+    }
+    return total;
+}
+
 std::vector<det::DetCount>
 CleanRuntime::finalDetCounts() const
 {
@@ -1559,7 +1717,33 @@ CleanRuntime::failureReportJson() const
     w.field("batchDrains", stats.batchDrains);
     w.field("batchOverflowDrains", stats.batchOverflowDrains);
     w.field("batchDrainedBytes", stats.batchDrainedBytes);
+    w.field("shedReads", stats.shedReads);
     w.endObject();
+
+    if (sampling_) {
+        // Everything here is a function of the deterministic execution
+        // (gate decisions, not wall-clock measurements), so budgeted
+        // record/replay pairs produce byte-identical reports.
+        const SampleTelemetry st = aggregatedSampleTelemetry();
+        w.key("sampling").beginObject();
+        w.field("budget", std::uint64_t{config_.overheadBudget});
+        w.field("shedReads", stats.shedReads);
+        w.field("windows", st.windows);
+        w.field("bursts", st.bursts);
+        w.field("strikes", st.strikes);
+        w.field("quarantines", st.quarantines);
+        w.field("levelAdoptions", st.levelAdoptions);
+        w.field("calibSfrs", st.calibSfrs);
+        w.key("quarantinedRegions").beginArray();
+        {
+            std::vector<Addr> regions = governor_->quarantinedRegions();
+            std::sort(regions.begin(), regions.end());
+            for (const Addr offset : regions)
+                w.value(static_cast<std::uint64_t>(offset));
+        }
+        w.endArray();
+        w.endObject();
+    }
 
     w.field("rollovers", rollover_.resets());
 
@@ -1640,6 +1824,23 @@ CleanRuntime::metricsJson() const
     w.field("batchDrains", stats.batchDrains);
     w.field("batchOverflowDrains", stats.batchOverflowDrains);
     w.field("batchDrainedBytes", stats.batchDrainedBytes);
+    w.field("shedReads", stats.shedReads);
+    if (sampling_) {
+        const SampleTelemetry st = aggregatedSampleTelemetry();
+        w.field("sampleBudget", std::uint64_t{config_.overheadBudget});
+        w.field("sampleWindows", st.windows);
+        w.field("sampleBursts", st.bursts);
+        w.field("sampleStrikes", st.strikes);
+        w.field("sampleQuarantines", st.quarantines);
+        w.field("sampleLevelAdoptions", st.levelAdoptions);
+        w.field("sampleCalibSfrs", st.calibSfrs);
+        w.field("sampleQuarantinedRegions",
+                static_cast<std::uint64_t>(governor_->quarantinedCount()));
+        // Deliberately no physical overhead figure here: `cleanrun
+        // --record` makes metrics part of the round-trip contract, and
+        // wall-clock numbers would break byte-identical replays. The
+        // measured overhead prints in cleanrun's human summary instead.
+    }
     if (recovery_) {
         const recover::RecoveryStats rs = recovery_->stats();
         w.field("recoveryEpisodes", rs.episodes);
@@ -1687,6 +1888,10 @@ CleanRuntime::metricsJson() const
     stats.ownCacheHitRuns.writeTo(w);
     w.key("batchRunBytes");
     stats.batchRunBytes.writeTo(w);
+    if (sampling_) {
+        w.key("shedPerBoundary");
+        aggregatedSampleTelemetry().shedPerBoundary.writeTo(w);
+    }
     if (recorder_ != nullptr) {
         w.key("sfrLengthDetEvents");
         recorder_->mergedSfrLength().writeTo(w);

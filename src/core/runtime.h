@@ -23,6 +23,7 @@
 #define CLEAN_CORE_RUNTIME_H
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <functional>
@@ -64,6 +65,7 @@ class RecoveryManager;
 namespace obs
 {
 class RecordSink;
+class SamplingGovernor;
 }
 
 namespace det
@@ -174,6 +176,31 @@ struct RuntimeConfig
     /** Recover policy: per-thread SFR undo log capacity in entries; an
      *  SFR that outgrows it becomes ineligible for rollback. */
     std::size_t undoLogEntries = std::size_t{1} << 16;
+    /**
+     * Overhead-budget SLO mode (§15, `--overhead-budget`): target
+     * percentage of *controllable* checking overhead. 0 disables the
+     * sampling tier entirely; 100 means "no budget" and is normalized
+     * to off as well, so `--overhead-budget=100` is bit-identical to an
+     * unbudgeted run by construction. In between, a per-thread
+     * deterministic gate (core/sampling.h) sheds read checks and an
+     * adaptive governor (obs/governor.h) steers the shed rate so the
+     * measured overhead tracks the budget. Write checks are never shed
+     * — shedding stays sound (reads never update metadata), it only
+     * trades RAW detection probability for speed.
+     */
+    std::uint32_t overheadBudget = 0;
+    /** Sampling-gate tunables (seed, window, burst, region, strikes).
+     *  `base` and `initialLevel` are derived by the runtime (shared-heap
+     *  base; sampleForceLevel). */
+    SampleParams sample;
+    /** Calibration cadence: every 2^sampleCalibLog2-th SFR of a thread
+     *  sheds all reads, giving the governor its floor-cost samples.
+     *  0 disables calibration (the governor then never engages). */
+    unsigned sampleCalibLog2 = 6;
+    /** Test/bench knob: pin the admission level (0..SampleGate::
+     *  kMaxLevel) and disable governor adoption and calibration;
+     *  -1 = governed (the production mode). */
+    std::int32_t sampleForceLevel = -1;
     /** Deterministic fault injection (chaos harness); disabled unless
      *  inject.any(). */
     inject::InjectionConfig inject;
@@ -429,6 +456,19 @@ class ThreadContext
      *  events and the SFR-length histogram. */
     void obsSfrBoundary();
 
+    /** Sampling tier (§15): reports the ended SFR's work interval
+     *  (reads retired, wall ns, calibration flag) to the governor.
+     *  Runs *before* the turn wait so estimates never include wait
+     *  time. No-op on replay and under a forced level. */
+    void sampleReport();
+
+    /** Sampling tier boundary bookkeeping, after the SFR boundary
+     *  completed: emits SampleShed / SampleQuarantine lane events,
+     *  adopts the admission level (governor-published when recording,
+     *  peeked from the trace when replaying), and arms the new SFR's
+     *  calibration flag and work timer. */
+    void sampleAdopt();
+
     CleanRuntime &rt_;
     std::uint32_t record_;
     ThreadState *state_;
@@ -454,6 +494,19 @@ class ThreadContext
     std::uint64_t obsSfrStartDet_ = 0;
     /** Countdown to the next sampled check latency. */
     std::uint32_t obsSampleCountdown_ = 0;
+    /** --overhead-budget sampling tier armed (cached; §15). */
+    bool sampling_ = false;
+    /** True when the governor consumes this thread's measurements —
+     *  recording/normal governed runs only; replays adopt recorded
+     *  levels and forced-level runs never adapt. */
+    bool sampleMeasure_ = false;
+    /** stats.sharedReads / stats.shedReads at the last SFR boundary
+     *  (per-interval deltas for governor reports and SampleShed). */
+    std::uint64_t sampleLastReads_ = 0;
+    std::uint64_t sampleLastSheds_ = 0;
+    /** Wall stamp of the current SFR's work start (re-stamped after
+     *  every turn wait, so intervals exclude waiting). */
+    std::chrono::steady_clock::time_point sampleSfrStart_{};
 };
 
 /** Final record of a spawned thread, consumed at join. */
@@ -589,6 +642,10 @@ class CleanRuntime : private RolloverHost
     /** Merged checker statistics of all threads seen so far. */
     CheckerStats aggregatedCheckerStats() const;
 
+    /** Merged sampling-gate telemetry of all threads (zeros unless the
+     *  sampling tier is armed). */
+    SampleTelemetry aggregatedSampleTelemetry() const;
+
     /** Kendo counters of all ever-used slots (determinism experiment). */
     std::vector<det::DetCount> finalDetCounts() const;
 
@@ -660,6 +717,24 @@ class CleanRuntime : private RolloverHost
     /** Records a race that is being *recovered* (log + counter only, no
      *  policy action — recordRace would double-report it). */
     void noteRace(const RaceException &race);
+
+    /** True iff the --overhead-budget sampling tier is armed. */
+    bool samplingEnabled() const { return sampling_; }
+
+    /** Sampling governor; null unless samplingEnabled(). */
+    obs::SamplingGovernor *samplingGovernor() const
+    {
+        return governor_.get();
+    }
+
+    /** True iff @p sfrOrdinal is a calibration SFR (all reads shed to
+     *  sample the instrumentation floor; see sampleCalibLog2). */
+    bool
+    isCalibSfr(std::uint64_t sfrOrdinal) const
+    {
+        return sampleCalibMask_ != 0 &&
+               ((sfrOrdinal + 1) & sampleCalibMask_) == 0;
+    }
 
     /** Recovery ledger; null unless OnRacePolicy::Recover. */
     recover::RecoveryManager *recoveryManager() { return recovery_.get(); }
@@ -779,6 +854,14 @@ class CleanRuntime : private RolloverHost
     std::vector<ClockValue> lastClock_;
     std::vector<VectorClock *> syncClocks_;
     std::vector<det::DetCount> retiredDetCounts_;
+
+    /** --overhead-budget sampling tier (§15): armed flag, the params
+     *  every gate is configured with (base = shared-heap base), the
+     *  calibration-SFR mask (0 = calibration off) and the governor. */
+    bool sampling_ = false;
+    SampleParams sampleParams_;
+    std::uint64_t sampleCalibMask_ = 0;
+    std::unique_ptr<obs::SamplingGovernor> governor_;
 
     std::unique_ptr<ThreadContext> mainCtx_;
     std::unique_ptr<inject::InjectionPlan> injectPlan_;

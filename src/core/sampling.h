@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Deterministic sampling tier for the --overhead-budget SLO mode.
+ *
+ * Sits *above* the ownership cache and batch buffer: before any check
+ * machinery runs, a per-thread gate decides whether a read check is
+ * admitted or shed. Decisions are pure functions of
+ *
+ *     (seed, region, window, level, per-region burst/backoff state)
+ *
+ * where `region` is a heap-relative 2^regionLog2-byte address range and
+ * `window` is the thread's shared-read count divided by 2^windowLog2 —
+ * a deterministic per-thread clock that advances with the program, not
+ * with wall time. Physical time influences shedding only through the
+ * admission *level*, which the runtime adopts exclusively at SFR
+ * boundaries and records as a SampleLevel event in the .cleantrace
+ * lane; replay adopts the recorded levels instead of consulting the
+ * governor, which makes every decision below bit-reproducible.
+ *
+ * Soundness (DESIGN.md §15): only READ checks are ever shed. Reads
+ * never update shadow metadata, so a shed read leaves the detector
+ * state byte-identical to the unbudgeted run — shedding can miss a RAW
+ * race (the SLO trade) but can never manufacture one, and WAW coverage
+ * stays complete because write checks are never gated.
+ *
+ * Per-region policy (LiteRace-style cold-region bursts + exponential
+ * backoff on hot regions):
+ *  - a region's first `burstWindows` decision windows are fully
+ *    admitted (cold regions — where unsynchronized handoffs typically
+ *    surface — get checked at full rate). A burst is granted only on
+ *    an entry's first claim, never on evict-and-return (a working set
+ *    that outgrows the table must not re-burst wholesale every pass),
+ *    and not when the admission level has climbed into the deep-shed
+ *    regime (>= kBurstSuppressLevel):
+ *    a governor that far over budget cannot afford full-rate bursts
+ *    on every fresh region — on streaming workloads the cold-region
+ *    frontier *is* the workload, and bursts would hold the overhead
+ *    above the budget no matter how deep the ladder goes. The unspent
+ *    burst survives, so regions touched while suppressed still get
+ *    their burst if the level recovers;
+ *  - after the burst, admission is `hash(seed, region, window) <
+ *    admitP(level) >> backoff`; the backoff deepens while the region
+ *    stays hot across consecutive windows under an active level and
+ *    decays when it goes cold;
+ *  - a region whose backoff is saturated and that *keeps* re-heating
+ *    accrues strikes; `maxStrikes` strikes quarantine it locally
+ *    (always shed) and report it to the governor's recovery ledger.
+ */
+
+#ifndef CLEAN_CORE_SAMPLING_H
+#define CLEAN_CORE_SAMPLING_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/common.h"
+
+namespace clean
+{
+
+/** Checker-level tunables for the sampling gate. */
+struct SampleParams
+{
+    /** log2 of the decision window in shared reads (default 4096). A
+     *  window — not the raw SFR ordinal — keys decisions so that very
+     *  long SFRs still re-randomize admission as they progress. */
+    unsigned windowLog2 = 12;
+    /** Fully-admitted decision windows for a cold region. */
+    std::uint32_t burstWindows = 4;
+    /** log2 of the admission-region size in bytes (default 256). */
+    unsigned regionLog2 = 8;
+    /** Strikes (saturated-backoff re-heats) before local quarantine. */
+    std::uint32_t maxStrikes = 8;
+    /** Hash seed; recorded in the trace header (schema v3). */
+    std::uint64_t seed = 0x5eedbead;
+    /** Initial admission level (tests pin a fixed level with this plus
+     *  RuntimeConfig::sampleForceLevel, which disables adoption). */
+    std::uint32_t initialLevel = 0;
+    /** Region-space anchor (the shared heap base), so regions are
+     *  heap-relative and stable across runs/replays. */
+    Addr base = 0;
+};
+
+/** Deterministic counters the gate accrues; merged after a run. */
+struct SampleTelemetry
+{
+    /** Decision-window (re-)decisions taken by the slow path. */
+    std::uint64_t windows = 0;
+    /** Windows admitted via a cold-region burst. */
+    std::uint64_t bursts = 0;
+    /** Saturated-backoff strikes accrued. */
+    std::uint64_t strikes = 0;
+    /** Regions locally quarantined (shed permanently). */
+    std::uint64_t quarantines = 0;
+    /** SampleLevel adoptions performed at SFR boundaries. */
+    std::uint64_t levelAdoptions = 0;
+    /** Calibration SFRs (all reads shed to sample the floor cost). */
+    std::uint64_t calibSfrs = 0;
+    /** log2 histogram of reads shed per SFR-boundary interval. */
+    obs::Histogram shedPerBoundary;
+
+    void
+    merge(const SampleTelemetry &other)
+    {
+        windows += other.windows;
+        bursts += other.bursts;
+        strikes += other.strikes;
+        quarantines += other.quarantines;
+        levelAdoptions += other.levelAdoptions;
+        calibSfrs += other.calibSfrs;
+        shedPerBoundary.merge(other.shedPerBoundary);
+    }
+};
+
+/**
+ * Per-thread admission gate. Modeled on OwnershipCache: a small
+ * direct-mapped table memoizes the (region, window) decision so the hot
+ * path is one compare-and-branch; the out-of-line slow path re-decides
+ * once per region per window.
+ */
+class SampleGate
+{
+  public:
+    static constexpr std::uint32_t kEntries = 512;
+    /** Deepest admission level; admitP decays geometrically (~x0.75
+     *  per level) from 65536 (admit all) to a floor that still admits
+     *  a trickle (never 0 — every region keeps residual coverage). */
+    static constexpr std::uint32_t kMaxLevel = 23;
+    /** Levels at or past this suppress cold-region bursts (~3%
+     *  admission: the governor is deeply over budget and the burst
+     *  frontier would otherwise defeat the ladder entirely). */
+    static constexpr std::uint32_t kBurstSuppressLevel = 12;
+    static constexpr std::uint32_t kMaxBackoff = 8;
+    /** Local quarantine capacity; past it, strikes stop quarantining. */
+    static constexpr std::size_t kMaxQuarantined = 64;
+
+    /** 16-bit admission probability for a level (no backoff). */
+    static std::uint32_t
+    admitPForLevel(std::uint32_t level)
+    {
+        std::uint32_t p = 65536;
+        for (std::uint32_t l = 0; l < std::min(level, kMaxLevel); ++l)
+            p = std::max<std::uint32_t>(1, p - p / 4);
+        return p;
+    }
+
+    /** Fail-safe cold-start level for an overhead budget: the
+     *  shallowest level whose admission fraction is within budgetPct
+     *  percent. A governed run starts here — the worst-case prior that
+     *  the entire check cost is overhead, so admission == budget keeps
+     *  the SLO honored from the first read; measurements then earn
+     *  admission back down (or shed further). Budgets >= 100 start at
+     *  0 (admit everything). */
+    static std::uint32_t
+    levelForBudget(std::uint32_t budgetPct)
+    {
+        std::uint32_t level = 0;
+        while (level < kMaxLevel &&
+               static_cast<std::uint64_t>(admitPForLevel(level)) * 100 >
+                   static_cast<std::uint64_t>(budgetPct) * 65536)
+            ++level;
+        return level;
+    }
+
+    void
+    configure(const SampleParams &params)
+    {
+        params_ = params;
+        level_ = std::min(params.initialLevel, kMaxLevel);
+        admitP_ = admitPForLevel(level_);
+    }
+
+    const SampleParams &params() const { return params_; }
+
+    /**
+     * Admission decision for a read at @p addr with @p sharedReads
+     * prior shared reads on this thread. Hot path: during a
+     * calibration SFR everything sheds; at level 0 outside a burst
+     * everything admits without touching the table; otherwise one
+     * direct-mapped probe.
+     */
+    CLEAN_ALWAYS_INLINE bool
+    admit(Addr addr, std::uint64_t sharedReads)
+    {
+        if (CLEAN_UNLIKELY(calibSfr_))
+            return false;
+        const std::uint64_t w = sharedReads >> params_.windowLog2;
+        const std::uint64_t region =
+            (addr - params_.base) >> params_.regionLog2;
+        Entry &e = entries_[region & (kEntries - 1)];
+        if (CLEAN_LIKELY(e.key == region + 1 && e.window == w))
+            return e.admit;
+        return decide(e, region, w);
+    }
+
+    /** Adopt a governor- (or replay-) supplied admission level. Only
+     *  the runtime calls this, only at SFR boundaries. */
+    void
+    adoptLevel(std::uint32_t level)
+    {
+        level_ = std::min(level, kMaxLevel);
+        admitP_ = admitPForLevel(level_);
+        telemetry_.levelAdoptions++;
+    }
+
+    std::uint32_t level() const { return level_; }
+
+    /** Marks the current SFR as a calibration interval (all reads
+     *  shed, no per-region state updates) or a normal one. */
+    void
+    setCalibSfr(bool calib)
+    {
+        calibSfr_ = calib;
+        if (calib)
+            telemetry_.calibSfrs++;
+    }
+
+    bool calibSfr() const { return calibSfr_; }
+
+    /** A region newly quarantined since the last boundary drain. */
+    struct PendingQuarantine
+    {
+        std::uint64_t region;
+        std::uint32_t strikes;
+    };
+
+    /** Drains regions quarantined since the last call (SFR-boundary
+     *  funnel: the runtime turns these into SampleQuarantine events
+     *  and governor-ledger episodes). */
+    std::vector<PendingQuarantine>
+    takePendingQuarantines()
+    {
+        std::vector<PendingQuarantine> out;
+        out.swap(pendingQuarantines_);
+        return out;
+    }
+
+    bool hasPendingQuarantines() const
+    {
+        return !pendingQuarantines_.empty();
+    }
+
+    /** Locally quarantined regions, sorted (deterministic). */
+    const std::vector<std::uint64_t> &
+    quarantinedRegions() const
+    {
+        return quarantined_;
+    }
+
+    SampleTelemetry &telemetry() { return telemetry_; }
+    const SampleTelemetry &telemetry() const { return telemetry_; }
+
+  private:
+    struct Entry
+    {
+        /** region + 1 (0 = empty). */
+        std::uint64_t key = 0;
+        /** Decision window the memoized verdict applies to. */
+        std::uint64_t window = 0;
+        std::uint32_t burstLeft = 0;
+        std::uint32_t strikes = 0;
+        std::uint8_t backoff = 0;
+        bool admit = false;
+    };
+
+    /** splitmix64-style avalanche of (seed, region, window). */
+    static std::uint64_t
+    mix(std::uint64_t seed, std::uint64_t region, std::uint64_t window)
+    {
+        std::uint64_t x = seed ^ (region * 0x9e3779b97f4a7c15ULL) ^
+                          (window * 0xbf58476d1ce4e5b9ULL);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return x;
+    }
+
+    bool
+    isQuarantined(std::uint64_t region) const
+    {
+        return std::binary_search(quarantined_.begin(),
+                                  quarantined_.end(), region);
+    }
+
+    /** One (region, window) re-decision; memoized into @p e. */
+    CLEAN_NOINLINE bool
+    decide(Entry &e, std::uint64_t region, std::uint64_t w)
+    {
+        telemetry_.windows++;
+        bool consecutive = false;
+        if (e.key != region + 1) {
+            // A burst is granted only when the entry has never been
+            // claimed — an evicted-and-returning region re-enters with
+            // no burst. Restarting the burst on every eviction would
+            // re-admit the whole working set at full rate once it
+            // outgrows the table (each streaming pass evicts every
+            // entry), making admission levels unenforceable exactly
+            // when the budget needs them.
+            e.burstLeft = e.key == 0 ? params_.burstWindows : 0;
+            e.key = region + 1;
+            e.strikes = 0;
+            e.backoff = 0;
+        } else {
+            consecutive = (w == e.window + 1);
+        }
+        e.window = w;
+        if (CLEAN_UNLIKELY(isQuarantined(region))) {
+            e.burstLeft = 0;
+            e.admit = false;
+            return false;
+        }
+        if (e.burstLeft > 0 && level_ < kBurstSuppressLevel) {
+            e.burstLeft--;
+            telemetry_.bursts++;
+            e.admit = true;
+            return true;
+        }
+        // Backoff bookkeeping: a region re-deciding in *consecutive*
+        // windows while the governor sheds (level > 0) is hot — deepen
+        // its personal backoff; once saturated, further re-heats are
+        // strikes toward quarantine. A gap in windows cools it down.
+        if (level_ > 0 && consecutive) {
+            if (e.backoff < kMaxBackoff) {
+                e.backoff++;
+            } else {
+                telemetry_.strikes++;
+                if (++e.strikes >= params_.maxStrikes) {
+                    quarantine(region, e.strikes);
+                    e.admit = false;
+                    return false;
+                }
+            }
+        } else if (!consecutive && e.backoff > 0) {
+            e.backoff--;
+        }
+        const std::uint32_t p =
+            level_ == 0 ? 65536u
+                        : std::max<std::uint32_t>(1, admitP_ >> e.backoff);
+        e.admit = (mix(params_.seed, region, w) & 0xffff) < p;
+        return e.admit;
+    }
+
+    void
+    quarantine(std::uint64_t region, std::uint32_t strikes)
+    {
+        if (quarantined_.size() >= kMaxQuarantined)
+            return;
+        const auto it = std::lower_bound(quarantined_.begin(),
+                                         quarantined_.end(), region);
+        if (it != quarantined_.end() && *it == region)
+            return;
+        quarantined_.insert(it, region);
+        pendingQuarantines_.push_back({region, strikes});
+        telemetry_.quarantines++;
+    }
+
+    SampleParams params_;
+    std::uint32_t level_ = 0;
+    std::uint32_t admitP_ = 65536;
+    bool calibSfr_ = false;
+    Entry entries_[kEntries];
+    std::vector<std::uint64_t> quarantined_;
+    std::vector<PendingQuarantine> pendingQuarantines_;
+    SampleTelemetry telemetry_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_SAMPLING_H

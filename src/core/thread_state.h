@@ -14,6 +14,7 @@
 #endif
 
 #include "core/epoch.h"
+#include "core/sampling.h"
 #include "core/vector_clock.h"
 #include "obs/metrics.h"
 #include "support/common.h"
@@ -47,6 +48,15 @@ struct CheckerStats
     std::uint64_t sharedReads = 0;
     /** CAS updates that performed 4 epochs at once (128-bit CAS, §4.4). */
     std::uint64_t wideCasUpdates = 0;
+    /**
+     * Read checks shed by the --overhead-budget sampling gate (§15). A
+     * shed read still bumps sharedReads and accessedBytes (site
+     * ordinals and Fig. 7 byte totals must match the unbudgeted run
+     * exactly), so this counter sits between two fields that path does
+     * not touch — the layout rule above (the shed path bumps
+     * accessedBytes / sharedReads / shedReads back-to-back).
+     */
+    std::uint64_t shedReads = 0;
     std::uint64_t sharedWrites = 0;
     std::uint64_t replayedReads = 0;
     /** Accesses at least 4 bytes wide (paper: >= 91.9% on average). */
@@ -117,6 +127,7 @@ struct CheckerStats
     {
         sharedReads += other.sharedReads;
         sharedWrites += other.sharedWrites;
+        shedReads += other.shedReads;
         accessedBytes += other.accessedBytes;
         wideAccesses += other.wideAccesses;
         wideSameEpoch += other.wideSameEpoch;
@@ -148,6 +159,7 @@ struct CheckerStats
     {
         stats.counter(prefix + ".sharedReads") += sharedReads;
         stats.counter(prefix + ".sharedWrites") += sharedWrites;
+        stats.counter(prefix + ".shedReads") += shedReads;
         stats.counter(prefix + ".accessedBytes") += accessedBytes;
         stats.counter(prefix + ".wideAccesses") += wideAccesses;
         stats.counter(prefix + ".wideSameEpoch") += wideSameEpoch;
@@ -487,6 +499,10 @@ struct ThreadState
     /** Deferred read-check runs (§14); drained at SFR boundaries and
      *  on overflow by RaceChecker::drainBatch. */
     BatchBuffer batch;
+    /** --overhead-budget sampling gate (§15); inert until the runtime
+     *  (or a test harness) calls sample.configure() and the checker is
+     *  built with CheckerConfig::sampling. */
+    SampleGate sample;
 
 #ifndef NDEBUG
   private:

@@ -76,6 +76,13 @@ ReplayDriver::validatedKind(obs::EventKind kind)
       case obs::EventKind::Rollover:
       case obs::EventKind::InjectionFired:
       case obs::EventKind::TurnGrant:
+      // Sampling events are pure functions of the deterministic
+      // execution: gate decisions hash deterministic state, and level
+      // adoptions — the one physically-driven input — are replayed from
+      // this very stream (peekSampleLevel), closing the loop.
+      case obs::EventKind::SampleLevel:
+      case obs::EventKind::SampleShed:
+      case obs::EventKind::SampleQuarantine:
         return true;
       // RaceDetected: for genuinely racy data the precise detection
       // point is *physical* — it depends on how the racing threads'
@@ -226,6 +233,24 @@ ReplayDriver::onEvent(const obs::Event &e)
                          validatedSteps_);
     ++cursor;
     ++validatedSteps_;
+}
+
+std::int64_t
+ReplayDriver::peekSampleLevel(ThreadId tid, std::uint64_t det) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (faulted_ || !armed_.load(std::memory_order_relaxed))
+        return -1;
+    if (tid >= lanes_.size())
+        return -1;
+    const auto &lane = lanes_[tid];
+    const std::size_t cursor = laneCursor_[tid];
+    if (cursor >= lane.size())
+        return -1;
+    const obs::Event &next = lane[cursor];
+    if (next.kind != obs::EventKind::SampleLevel || next.det != det)
+        return -1;
+    return static_cast<std::int64_t>(next.arg0);
 }
 
 void

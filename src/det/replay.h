@@ -111,6 +111,19 @@ class ReplayDriver : public obs::EventHook
      *  watchdog expired against an incomplete trace. */
     [[noreturn]] void raiseTruncatedWait(ThreadId tid, DetCount count);
 
+    /**
+     * Non-consuming peek at thread @p tid's next recorded lane event:
+     * returns the recorded sampling level iff it is a SampleLevel event
+     * stamped exactly @p det, else -1. The sampling-governor feedback
+     * loop is the one physically-timed input to a budgeted run, so a
+     * replay re-adopts the *recorded* levels at the recorded SFR
+     * boundaries instead of re-measuring; re-emitting the adoption then
+     * validates (and consumes) the record through onEvent as usual. The
+     * det stamp disambiguates: it strictly increases between boundaries,
+     * so at most one lane event can carry the current stamp.
+     */
+    std::int64_t peekSampleLevel(ThreadId tid, std::uint64_t det) const;
+
     /** EventHook: validates one replayed event against the recorded
      *  lane stream. Throws TraceError(Divergence/Truncated) on the
      *  recording thread at the offending record site. */

@@ -53,6 +53,19 @@ inline constexpr bool kCompiledIn = true;
  *                     won a Kendo turn at det; the sorted TurnGrant
  *                     stream *is* the global synchronization order a
  *                     replay re-drives (ISSUE 6)
+ *   SampleLevel       (new admission level, decision-window ordinal) —
+ *                     the thread adopted a governor-published sampling
+ *                     level at an SFR boundary; replay adopts the
+ *                     recorded level here instead of consulting the
+ *                     (physically-timed) governor (§15)
+ *   SampleShed        (reads shed since the previous boundary,
+ *                     decision-window ordinal) — emitted at an SFR
+ *                     boundary whose interval shed at least one read;
+ *                     validated on replay, so a diverging shed count
+ *                     is a trace fault
+ *   SampleQuarantine  (region byte offset, strikes at quarantine) —
+ *                     a region exhausted its sampling budget
+ *                     repeatedly and was locally quarantined
  */
 enum class EventKind : std::uint8_t
 {
@@ -72,10 +85,13 @@ enum class EventKind : std::uint8_t
     ThreadStart,
     ThreadFinish,
     TurnGrant,
+    SampleLevel,
+    SampleShed,
+    SampleQuarantine,
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::TurnGrant) + 1;
+    static_cast<std::size_t>(EventKind::SampleQuarantine) + 1;
 
 /** Stable snake_case name (trace export, failure reports). */
 const char *eventKindName(EventKind kind);

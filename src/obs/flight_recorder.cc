@@ -25,6 +25,9 @@ eventKindName(EventKind kind)
       case EventKind::ThreadStart: return "thread_start";
       case EventKind::ThreadFinish: return "thread_finish";
       case EventKind::TurnGrant: return "turn_grant";
+      case EventKind::SampleLevel: return "sample_level";
+      case EventKind::SampleShed: return "sample_shed";
+      case EventKind::SampleQuarantine: return "sample_quarantine";
     }
     return "?";
 }

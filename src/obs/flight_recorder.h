@@ -5,6 +5,9 @@
  *
  * Layering: obs depends only on support — the core runtime owns a
  * FlightRecorder and pushes events into it, never the other way round.
+ * (One deliberate exception: the sampling governor in obs/governor.h
+ * reuses the recover quarantine ledger and the core SampleGate ladder
+ * constant; it is compiled into clean_core for that reason.)
  *
  * Concurrency contract: each ThreadLane is written exclusively by its
  * owning thread (single producer). Readers (failure reports, the trace

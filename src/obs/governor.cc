@@ -1,0 +1,113 @@
+#include "obs/governor.h"
+
+#include <algorithm>
+
+namespace clean::obs
+{
+
+namespace
+{
+
+/** EWMA smoothing factor for the ns/read estimators. */
+constexpr double kAlpha = 0.2;
+/** Intervals below this many reads carry too much boundary noise. */
+constexpr std::uint64_t kMinReads = 512;
+/** Normal-interval reports between control-loop adjustments. */
+constexpr std::uint32_t kAdjustEvery = 8;
+/** Deadband around the budget inside which the level holds still. */
+constexpr double kDeadbandLow = 0.9;
+constexpr double kDeadbandHigh = 1.15;
+/** Consecutive under-budget adjustment epochs before a down-step. Up
+ *  and down are deliberately asymmetric: over-budget reacts in one
+ *  epoch (the SLO is the contract), under-budget waits out this many
+ *  (admission grows multiplicatively going down, and an eager descent
+ *  ping-pongs — dive to admit-all, blow the budget, climb back). */
+constexpr std::uint32_t kDownPatience = 3;
+
+} // namespace
+
+void
+SamplingGovernor::report(std::uint64_t reads, std::uint64_t ns, bool calib)
+{
+    if (!config_.active || reads < kMinReads || ns == 0)
+        return;
+    const double nsPerRead =
+        static_cast<double>(ns) / static_cast<double>(reads);
+    std::lock_guard<std::mutex> guard(m_);
+    if (calib) {
+        calibNsPerRead_ = haveCalib_
+                              ? calibNsPerRead_ +
+                                    kAlpha * (nsPerRead - calibNsPerRead_)
+                              : nsPerRead;
+        haveCalib_ = true;
+        return;
+    }
+    normalNsPerRead_ = haveNormal_
+                           ? normalNsPerRead_ +
+                                 kAlpha * (nsPerRead - normalNsPerRead_)
+                           : nsPerRead;
+    haveNormal_ = true;
+    if (haveCalib_ && calibNsPerRead_ > 0.0) {
+        // Reads-weighted run-mean accumulator: each normal interval's
+        // overhead over the current calibration floor, weighted by the
+        // reads it covered. This is what overheadPermille() reports —
+        // a whole-run statistic, unlike the EWMAs, whose job is to
+        // react (an end-of-run EWMA snapshot would report whatever
+        // transient the run happened to end on). Deviations accumulate
+        // *signed*, clipped at zero only in the final reading: on
+        // phase-heavy workloads the floor estimate is noisy, and
+        // clipping each interval would count every positive excursion
+        // while discarding the negative ones that cancel it.
+        const double intervalOverhead =
+            (nsPerRead - calibNsPerRead_) / calibNsPerRead_;
+        meanOverheadNum_ += intervalOverhead * static_cast<double>(reads);
+        meanOverheadDen_ += static_cast<double>(reads);
+    }
+    if (++reportsSinceAdjust_ >= kAdjustEvery) {
+        reportsSinceAdjust_ = 0;
+        maybeAdjustLocked();
+    }
+}
+
+void
+SamplingGovernor::maybeAdjustLocked()
+{
+    if (!haveNormal_ || !haveCalib_ || calibNsPerRead_ <= 0.0)
+        return;
+    const double overhead =
+        std::max(0.0, normalNsPerRead_ - calibNsPerRead_) / calibNsPerRead_;
+    const double target = static_cast<double>(config_.budgetPct) / 100.0;
+    const double ratio = overhead / target;
+    const std::uint32_t level = level_.load(std::memory_order_relaxed);
+    if (ratio > kDeadbandHigh) {
+        // Over budget: shed harder, immediately. Coarse proportional
+        // step — the ladder is geometric (~x0.75 admission per level),
+        // so a few levels move the admitted fraction fast.
+        belowStreak_ = 0;
+        const std::uint32_t step = ratio > 4.0 ? 3 : ratio > 2.0 ? 2 : 1;
+        level_.store(std::min(level + step, SampleGate::kMaxLevel),
+                     std::memory_order_relaxed);
+    } else if (ratio < kDeadbandLow && level > 0) {
+        // Under budget: spend the headroom on detection again — but
+        // only after kDownPatience consecutive under-budget epochs,
+        // and one level at a time.
+        if (++belowStreak_ >= kDownPatience) {
+            belowStreak_ = 0;
+            level_.store(level - 1, std::memory_order_relaxed);
+        }
+    } else {
+        belowStreak_ = 0;
+    }
+}
+
+std::int64_t
+SamplingGovernor::overheadPermille() const
+{
+    std::lock_guard<std::mutex> guard(m_);
+    if (meanOverheadDen_ <= 0.0)
+        return -1;
+    return static_cast<std::int64_t>(
+        std::max(0.0, meanOverheadNum_ / meanOverheadDen_) * 1000.0);
+}
+
+} // namespace clean::obs

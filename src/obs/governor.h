@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Adaptive sampling governor for the --overhead-budget SLO mode (§15).
+ *
+ * Consumes the per-thread boundary reports the runtime produces from
+ * its obs timing (wall nanoseconds and reads retired per SFR-boundary
+ * interval, split into normal and calibration intervals) and publishes
+ * one global admission *level* for the SampleGate ladder. The control
+ * loop is physical — EWMAs of measured ns/read — which is exactly why
+ * its only output is adopted at deterministic points and recorded in
+ * the trace (SampleLevel events): replay runs the governor inert and
+ * re-adopts the recorded levels, keeping budgeted runs bit-identical.
+ *
+ * The budget is enforced against the *controllable* overhead: the cost
+ * of the checks the gate can shed, measured as
+ *
+ *     overhead = (normalNsPerRead - calibNsPerRead) / calibNsPerRead
+ *
+ * where the calibration floor comes from periodic shed-everything SFRs
+ * (the gate cannot remove the instrumentation shim itself, so the shim
+ * cost is the denominator, not part of the budgeted numerator).
+ *
+ * Quarantine ledger: regions a thread's gate strikes out locally are
+ * reported here and recorded in a recover::RecoveryManager (the PR 3
+ * quarantine machinery) with maxRecoveries = 0 — the strike
+ * thresholding already happened deterministically in the gate, so
+ * every reported region goes straight into the ledger's quarantine
+ * set, which failure reports list sorted. The ledger consumes only
+ * deterministic inputs and therefore stays active on replay.
+ *
+ * Compiled into clean_core (not clean_obs): the ledger's sorted
+ * listing lives in recover/recovery.cc.
+ */
+
+#ifndef CLEAN_OBS_GOVERNOR_H
+#define CLEAN_OBS_GOVERNOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/sampling.h"
+#include "recover/recovery.h"
+#include "support/common.h"
+
+namespace clean::obs
+{
+
+/** Governor tunables (derived from RuntimeConfig in runtime.cc). */
+struct GovernorConfig
+{
+    /** Target controllable overhead in percent (1..99; 100 and 0 turn
+     *  sampling off upstream and never reach the governor). */
+    std::uint32_t budgetPct = 10;
+    /** Fail-safe cold-start level (SampleGate::levelForBudget): the
+     *  published level before any measurement arrives. */
+    std::uint32_t initialLevel = 0;
+    /** When false (replay), measurement reports are ignored and the
+     *  published level never moves — threads adopt recorded levels. */
+    bool active = true;
+};
+
+class SamplingGovernor
+{
+  public:
+    explicit SamplingGovernor(const GovernorConfig &config)
+        : config_(config),
+          level_(std::min(config.initialLevel, SampleGate::kMaxLevel)),
+          ledger_(recover::RecoveryConfig{/*maxRecoveries=*/0,
+                                          /*attemptsPerEpisode=*/1})
+    {
+    }
+
+    /**
+     * One thread's SFR-boundary interval: @p reads shared reads retired
+     * in @p ns wall nanoseconds; @p calib marks a calibration interval
+     * (every read shed — the floor measurement). Ignored when inactive
+     * or too small to be meaningful.
+     */
+    void report(std::uint64_t reads, std::uint64_t ns, bool calib);
+
+    /** A region the reporting thread's gate just quarantined locally
+     *  (deterministic input; active on replay too, so ledgers match).
+     *  @p regionOffset is the region's heap-relative byte offset. */
+    void
+    noteQuarantine(Addr regionOffset)
+    {
+        ledger_.admitEpisode(regionOffset);
+    }
+
+    /** The published admission level (SampleGate ladder index). */
+    std::uint32_t
+    level() const
+    {
+        return level_.load(std::memory_order_relaxed);
+    }
+
+    /** Quarantined region offsets, sorted (deterministic). */
+    std::vector<Addr>
+    quarantinedRegions() const
+    {
+        return ledger_.quarantinedSites();
+    }
+
+    std::uint64_t
+    quarantinedCount() const
+    {
+        return ledger_.stats().quarantinedSites;
+    }
+
+    /** Measured controllable overhead over the run so far, in permille
+     *  (physical; telemetry only — never part of deterministic
+     *  reports): the reads-weighted mean of each normal interval's
+     *  overhead above the calibration floor. A run statistic, not a
+     *  snapshot of the control EWMAs — an end-of-run caller gets the
+     *  budget contract's actual subject, the average cost paid, rather
+     *  than whatever transient the run ended on. -1 until a
+     *  calibration floor exists. */
+    std::int64_t overheadPermille() const;
+
+  private:
+    void maybeAdjustLocked();
+
+    GovernorConfig config_;
+    std::atomic<std::uint32_t> level_{0};
+    mutable std::mutex m_;
+    double normalNsPerRead_ = 0.0;
+    double calibNsPerRead_ = 0.0;
+    bool haveNormal_ = false;
+    bool haveCalib_ = false;
+    std::uint32_t reportsSinceAdjust_ = 0;
+    /** Consecutive under-budget adjustment epochs (down-step patience). */
+    std::uint32_t belowStreak_ = 0;
+    /** Reads-weighted run-mean overhead accumulator (overheadPermille). */
+    double meanOverheadNum_ = 0.0;
+    double meanOverheadDen_ = 0.0;
+    recover::RecoveryManager ledger_;
+};
+
+} // namespace clean::obs
+
+#endif // CLEAN_OBS_GOVERNOR_H

@@ -89,6 +89,14 @@ metaFields(TraceMeta &m)
         {"heap_private_bytes", T::U64, &m.heapPrivateBytes},
         {"obs_ring_events", T::U64, &m.obsRingEvents},
         {"obs_failure_tail", T::U64, &m.obsFailureTail},
+        {"overhead_budget", T::U32, &m.overheadBudget},
+        {"sample_window_log2", T::U32, &m.sampleWindowLog2},
+        {"sample_burst", T::U32, &m.sampleBurst},
+        {"sample_region_log2", T::U32, &m.sampleRegionLog2},
+        {"sample_strikes", T::U32, &m.sampleStrikes},
+        {"sample_seed", T::U64, &m.sampleSeed},
+        {"sample_calib_log2", T::U32, &m.sampleCalibLog2},
+        {"sample_force_level_p1", T::U32, &m.sampleForceLevelP1},
         {"inject_enabled", T::Bool, &m.injectEnabled},
         {"inject_seed", T::U64, &m.injectSeed},
         {"skip_check_rate_bits", T::U64, &m.skipCheckRateBits},

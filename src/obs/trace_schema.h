@@ -48,8 +48,12 @@ namespace clean::obs
 {
 
 /** Schema version this binary reads and writes. v2 added the batched
- *  SFR-boundary checking fields (batch, batch_bytes). */
-inline constexpr std::uint32_t kTraceSchemaVersion = 2;
+ *  SFR-boundary checking fields (batch, batch_bytes); v3 the sampling
+ *  governor fields (overhead_budget, sample_*) — a budgeted trace pins
+ *  the full gate configuration so replayed shed decisions are bit-exact,
+ *  with the physically-driven level adoptions replayed from the event
+ *  stream itself (SampleLevel). */
+inline constexpr std::uint32_t kTraceSchemaVersion = 3;
 
 /** Bytes of one serialized event record. */
 inline constexpr std::size_t kTraceRecordBytes = 40;
@@ -94,6 +98,19 @@ struct TraceMeta
     std::uint64_t heapPrivateBytes = 0;
     std::uint64_t obsRingEvents = 0;
     std::uint64_t obsFailureTail = 0;
+
+    // Sampling governor (RuntimeConfig::overheadBudget + sample knobs).
+    // 0 budget = sampling off. The header serializer speaks unsigned
+    // decimal only, so the signed forceLevel (-1 = governed) is encoded
+    // off-by-one: 0 = governed, n = forced level n-1.
+    std::uint32_t overheadBudget = 0;
+    std::uint32_t sampleWindowLog2 = 12;
+    std::uint32_t sampleBurst = 4;
+    std::uint32_t sampleRegionLog2 = 8;
+    std::uint32_t sampleStrikes = 8;
+    std::uint64_t sampleSeed = 0x5eedbead;
+    std::uint32_t sampleCalibLog2 = 6;
+    std::uint32_t sampleForceLevelP1 = 0;
 
     // Injection plan (inject::InjectionConfig).
     bool injectEnabled = false;

@@ -1,12 +1,17 @@
 /**
  * @file
- * Wall-clock timing helpers for the software-overhead benches.
+ * Wall-clock and cpu-time timing helpers for the software-overhead
+ * benches.
  */
 
 #ifndef CLEAN_SUPPORT_TIMER_H
 #define CLEAN_SUPPORT_TIMER_H
 
 #include <chrono>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
 
 namespace clean
 {
@@ -38,6 +43,44 @@ class Timer
   private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
+};
+
+/** Process CPU seconds (all threads), or -1 where unsupported. Unlike
+ *  wall time this is immune to descheduling on oversubscribed hosts,
+ *  which makes it the stable numerator for overhead ratios. */
+inline double
+processCpuSeconds()
+{
+#if defined(__linux__) || defined(__APPLE__)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0)
+        return -1.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return -1.0;
+#endif
+}
+
+/** Stopwatch over processCpuSeconds(). */
+class CpuTimer
+{
+  public:
+    CpuTimer() : start_(processCpuSeconds()) {}
+
+    void reset() { start_ = processCpuSeconds(); }
+
+    /** CPU seconds since construction/reset; -1 where unsupported. */
+    double
+    elapsedSeconds() const
+    {
+        if (start_ < 0)
+            return -1.0;
+        return processCpuSeconds() - start_;
+    }
+
+  private:
+    double start_;
 };
 
 } // namespace clean

@@ -5,6 +5,7 @@
 
 #include "det/replay.h"
 #include "detectors/fasttrack.h"
+#include "obs/governor.h"
 #include "detectors/tsan_lite.h"
 #include "recover/recovery.h"
 #include "support/logging.h"
@@ -63,6 +64,18 @@ metaForSpec(const RunSpec &spec)
     meta.heapPrivateBytes = rc.heap.privateBytes;
     meta.obsRingEvents = rc.obs.ringEvents;
     meta.obsFailureTail = rc.obs.failureTail;
+
+    meta.overheadBudget = rc.overheadBudget;
+    meta.sampleWindowLog2 = rc.sample.windowLog2;
+    meta.sampleBurst = rc.sample.burstWindows;
+    meta.sampleRegionLog2 = rc.sample.regionLog2;
+    meta.sampleStrikes = rc.sample.maxStrikes;
+    meta.sampleSeed = rc.sample.seed;
+    meta.sampleCalibLog2 = rc.sampleCalibLog2;
+    meta.sampleForceLevelP1 =
+        rc.sampleForceLevel < 0
+            ? 0
+            : static_cast<std::uint32_t>(rc.sampleForceLevel) + 1;
 
     meta.injectEnabled = rc.inject.enabled;
     meta.injectSeed = rc.inject.seed;
@@ -136,6 +149,18 @@ specFromTraceMeta(const obs::TraceMeta &meta)
     rc.heap.privateBytes = meta.heapPrivateBytes;
     rc.obs.ringEvents = meta.obsRingEvents;
     rc.obs.failureTail = meta.obsFailureTail;
+
+    rc.overheadBudget = meta.overheadBudget;
+    rc.sample.windowLog2 = meta.sampleWindowLog2;
+    rc.sample.burstWindows = meta.sampleBurst;
+    rc.sample.regionLog2 = meta.sampleRegionLog2;
+    rc.sample.maxStrikes = meta.sampleStrikes;
+    rc.sample.seed = meta.sampleSeed;
+    rc.sampleCalibLog2 = meta.sampleCalibLog2;
+    rc.sampleForceLevel =
+        meta.sampleForceLevelP1 == 0
+            ? -1
+            : static_cast<std::int32_t>(meta.sampleForceLevelP1) - 1;
 
     rc.inject.enabled = meta.injectEnabled;
     rc.inject.seed = meta.injectSeed;
@@ -245,6 +270,7 @@ runClean(Workload &workload, const RunSpec &spec)
         CleanEnv env(rt, spec.params.seed);
 
         Timer timer;
+        CpuTimer cpuTimer;
         try {
             workload.run(env, spec.params);
             // The orchestrating thread's final SFR never reaches another
@@ -265,6 +291,7 @@ runClean(Workload &workload, const RunSpec &spec)
             // latched it and the fault fields are filled below.
         }
         result.seconds = timer.elapsedSeconds();
+        result.cpuSeconds = cpuTimer.elapsedSeconds();
 
         result.raceCount = rt.raceCount();
         if (rt.deadlockOccurred() && !result.deadlock) {
@@ -292,6 +319,18 @@ runClean(Workload &workload, const RunSpec &spec)
             result.forcedReplays = stats.forcedReplays;
             result.recoveredKills = stats.recoveredKills;
             result.quarantinedSites = stats.quarantinedSites;
+        }
+        if (rt.samplingEnabled()) {
+            result.samplingOn = true;
+            result.sampleTelemetry = rt.aggregatedSampleTelemetry();
+            if (const obs::SamplingGovernor *gov = rt.samplingGovernor()) {
+                result.sampleLevel =
+                    config.sampleForceLevel >= 0
+                        ? static_cast<std::uint32_t>(
+                              config.sampleForceLevel)
+                        : gov->level();
+                result.sampleOverheadPermille = gov->overheadPermille();
+            }
         }
         result.failureReport = rt.failureReportJson();
         if (rt.recorder() != nullptr) {
@@ -330,8 +369,10 @@ runPlain(Workload &workload, const RunSpec &spec)
     if (spec.backend == BackendKind::Native) {
         NativeEnv env(spec.params.seed);
         Timer timer;
+        CpuTimer cpuTimer;
         workload.run(env, spec.params);
         result.seconds = timer.elapsedSeconds();
+        result.cpuSeconds = cpuTimer.elapsedSeconds();
         const EnvTotals totals = env.totals();
         result.outputHash = totals.outputHash;
         result.reads = totals.reads;
@@ -343,8 +384,10 @@ runPlain(Workload &workload, const RunSpec &spec)
     if (spec.backend == BackendKind::Trace) {
         TraceEnv env(spec.params.seed);
         Timer timer;
+        CpuTimer cpuTimer;
         workload.run(env, spec.params);
         result.seconds = timer.elapsedSeconds();
+        result.cpuSeconds = cpuTimer.elapsedSeconds();
         const EnvTotals totals = env.totals();
         result.outputHash = totals.outputHash;
         result.reads = totals.reads;
@@ -366,8 +409,10 @@ runPlain(Workload &workload, const RunSpec &spec)
     }
     DetectorEnv env(*detector, spec.params.seed);
     Timer timer;
+    CpuTimer cpuTimer;
     workload.run(env, spec.params);
     result.seconds = timer.elapsedSeconds();
+    result.cpuSeconds = cpuTimer.elapsedSeconds();
 
     const EnvTotals totals = env.totals();
     result.outputHash = totals.outputHash;

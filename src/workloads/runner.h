@@ -57,6 +57,10 @@ struct RunSpec
 struct RunResult
 {
     double seconds = 0;
+    /** Process CPU seconds over the same span (-1 where unsupported).
+     *  The stable overhead numerator on noisy/oversubscribed hosts:
+     *  wall time charges descheduling storms to the detector. */
+    double cpuSeconds = -1;
     bool raceException = false;
     std::string raceMessage;
     /** Races recorded (can exceed 1 under OnRacePolicy::Report/Count). */
@@ -98,6 +102,18 @@ struct RunResult
     std::uint64_t recoveredKills = 0;
     /** Sites that exhausted maxRecoveries and degraded to Report. */
     std::uint64_t quarantinedSites = 0;
+
+    // Sampling governor (--overhead-budget; see DESIGN.md §15).
+    /** True when the run executed with the sampling tier active. */
+    bool samplingOn = false;
+    /** Final adopted admission level (0 = admit everything). */
+    std::uint32_t sampleLevel = 0;
+    /** Governor's measured controllable-overhead estimate in permille;
+     *  -1 until both EWMAs have data (physical — NOT part of the
+     *  deterministic report/metrics contract; human output only). */
+    std::int64_t sampleOverheadPermille = -1;
+    /** Aggregated deterministic gate telemetry. */
+    SampleTelemetry sampleTelemetry;
 
     // Detector backends
     std::size_t detectorReports = 0;

@@ -579,6 +579,148 @@ TEST(ReplayRoundTrip, SixtyFourSeedsAllPoliciesByteIdentical)
     std::filesystem::remove(path);
 }
 
+/** Budget spec whose gate decides often enough at test scale: 64-read
+ *  windows and a single burst window, so forced levels actually shed. */
+RunSpec
+budgetSpec(const std::string &workload, std::uint64_t seed,
+           std::uint32_t budget)
+{
+    RunSpec spec = smallSpec(workload, seed, OnRacePolicy::Throw);
+    spec.runtime.overheadBudget = budget;
+    spec.runtime.sample.windowLog2 = 6;
+    spec.runtime.sample.burstWindows = 1;
+    return spec;
+}
+
+TEST(ReplayRoundTrip, BudgetedGovernedRunsAreByteIdentical)
+{
+    // The governed path: levels come from wall-clock EWMAs, so WHICH
+    // levels get adopted is physical — but the trace records them and
+    // the replay must re-adopt exactly those, reproducing every shed
+    // decision and therefore byte-equal reports and metrics.
+    const std::string path = tmpPath("budget_governed.cleantrace");
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        RunSpec spec = budgetSpec("streamcluster", 0xb1d6e7 + seed, 10);
+        spec.runtime.sampleCalibLog2 = 1; // calibrate aggressively
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const RunResult a = recordRun(spec, path);
+        ASSERT_FALSE(a.raceException);
+        const RunResult b = replayRun(spec, path);
+        EXPECT_FALSE(b.traceFault)
+            << b.traceFaultKind << ": " << b.traceFaultMessage;
+        EXPECT_EQ(b.checker.shedReads, a.checker.shedReads);
+        EXPECT_EQ(b.outputHash, a.outputHash);
+        EXPECT_EQ(b.failureReport, a.failureReport);
+        EXPECT_EQ(b.metricsJson, a.metricsJson);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ReplayRoundTrip, ForcedLevelBudgetedRunsAreByteIdentical)
+{
+    const std::string path = tmpPath("budget_forced.cleantrace");
+    for (const std::int32_t level : {0, 3, 8, 16}) {
+        RunSpec spec = budgetSpec("streamcluster", 0x5a3d, 10);
+        spec.runtime.sampleForceLevel = level;
+        SCOPED_TRACE("level " + std::to_string(level));
+        const RunResult a = recordRun(spec, path);
+        const RunResult b = replayRun(spec, path);
+        EXPECT_FALSE(b.traceFault)
+            << b.traceFaultKind << ": " << b.traceFaultMessage;
+        if (level > 0)
+            EXPECT_GT(a.checker.shedReads, 0u);
+        EXPECT_EQ(b.checker.shedReads, a.checker.shedReads);
+        EXPECT_EQ(b.failureReport, a.failureReport);
+        EXPECT_EQ(b.metricsJson, a.metricsJson);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ReplayRejection, TamperedSampleShedIsDivergence)
+{
+    // Satellite 1's directed mismatch: sampling decisions are recorded
+    // in the trace and VALIDATED on replay — corrupt one SampleShed
+    // payload and the replay must fault with a step-indexed divergence
+    // naming the event, exactly like a corrupted TurnGrant.
+    const std::string path = tmpPath("shed_tamper.cleantrace");
+    const std::string mutated = tmpPath("shed_tamper_mut.cleantrace");
+    RunSpec spec = budgetSpec("streamcluster", 0x7e57, 10);
+    spec.runtime.sampleForceLevel = 8; // deterministic, plenty of sheds
+    recordRun(spec, path);
+
+    obs::TraceFile trace = obs::readTraceFile(path);
+    ASSERT_TRUE(trace.complete);
+    std::size_t victim = trace.events.size();
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        if (trace.events[i].kind == obs::EventKind::SampleShed) {
+            victim = i;
+            break;
+        }
+    }
+    ASSERT_LT(victim, trace.events.size())
+        << "no SampleShed event recorded (shedding never engaged?)";
+    trace.events[victim].arg0 += 1; // claim one more shed than happened
+    {
+        obs::RecordSink sink(mutated, trace.meta);
+        for (const obs::Event &e : trace.events)
+            sink.onEvent(e);
+        sink.finalize();
+    }
+
+    const RunResult result = replayRun(spec, mutated);
+    EXPECT_TRUE(result.traceFault);
+    EXPECT_EQ(result.traceFaultKind, "divergence");
+    EXPECT_NE(result.traceFaultStep, TraceError::kNoStep);
+    EXPECT_NE(result.traceFaultMessage.find("sample_shed"),
+              std::string::npos)
+        << result.traceFaultMessage;
+    std::filesystem::remove(path);
+    std::filesystem::remove(mutated);
+}
+
+TEST(SpecMeta, SamplingKnobsRoundTripThroughTheHeader)
+{
+    RunSpec spec = smallSpec("fft", 77, OnRacePolicy::Throw);
+    spec.runtime.overheadBudget = 25;
+    spec.runtime.sample.windowLog2 = 9;
+    spec.runtime.sample.burstWindows = 2;
+    spec.runtime.sample.regionLog2 = 7;
+    spec.runtime.sample.maxStrikes = 5;
+    spec.runtime.sample.seed = 0xfeedface;
+    spec.runtime.sampleCalibLog2 = 4;
+    spec.runtime.sampleForceLevel = 11;
+    const obs::TraceMeta meta = wl::metaForSpec(spec);
+    EXPECT_EQ(meta.overheadBudget, 25u);
+    EXPECT_EQ(meta.sampleForceLevelP1, 12u); // -1=0 encoding, shifted
+    const RunSpec rebuilt = wl::specFromTraceMeta(meta);
+    EXPECT_EQ(rebuilt.runtime.overheadBudget, 25u);
+    EXPECT_EQ(rebuilt.runtime.sample.seed, 0xfeedfaceu);
+    EXPECT_EQ(rebuilt.runtime.sampleForceLevel, 11);
+    EXPECT_EQ(wl::metaForSpec(rebuilt), meta);
+
+    // Governed (-1) survives the unsigned encoding too.
+    spec.runtime.sampleForceLevel = -1;
+    const RunSpec governed =
+        wl::specFromTraceMeta(wl::metaForSpec(spec));
+    EXPECT_EQ(governed.runtime.sampleForceLevel, -1);
+}
+
+TEST(ReplayRejection, BudgetMismatchIsConfigMismatch)
+{
+    const std::string path = tmpPath("budget_mismatch.cleantrace");
+    const RunSpec spec = budgetSpec("fft", 31, 10);
+    recordRun(spec, path);
+    RunSpec other = spec;
+    other.runtime.overheadBudget = 50;
+    try {
+        replayRun(other, path);
+        FAIL() << "expected a ConfigMismatch fault";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.fault(), TraceFault::ConfigMismatch);
+    }
+    std::filesystem::remove(path);
+}
+
 TEST(ReplayRoundTrip, KillFaultDeadlockReproduces)
 {
     const std::string path = tmpPath("kill.cleantrace");

@@ -22,6 +22,16 @@
  * twice and the replay must reproduce the output hash AND the recovery
  * episode counts.
  *
+ * A third lane crosses the sampling governor with fault injection
+ * (ISSUE 8): every sweep fault kind — including kill-thread and
+ * force-rollover — runs again under an active --overhead-budget, half
+ * the seeds governed and half pinned to a deep forced level so read
+ * shedding is guaranteed to be live while the fault fires. The
+ * invariants are unchanged (clean | race | deadlock, exit-code
+ * discipline, reference output on clean race-free completions — shed
+ * read *checks* must never corrupt data), and under --audit=replay the
+ * budgeted recordings must replay like any others.
+ *
  * Usage:
  *   chaos_soak                          # 200 runs, the default sweep
  *   chaos_soak --runs=500 --threads=8
@@ -29,6 +39,7 @@
  *   chaos_soak --seed=137 --verbose     # replay one seed and exit
  *   chaos_soak --runs=0 --recover-runs=100   # recover lane only
  *   chaos_soak --audit=replay           # trace-driven determinism audit
+ *   chaos_soak --runs=0 --budget-runs=50     # sampling-governor lane only
  *
  * The determinism audit has two modes (--audit=rerun|replay, default
  * rerun). `rerun` re-executes a sample of seeds and compares outcomes.
@@ -96,6 +107,11 @@ struct RunPlan
     inject::FaultKind kind = inject::FaultKind::SkipCheck;
     OnRacePolicy policy = OnRacePolicy::Throw;
     std::uint32_t maxRecoveries = 8;
+    /** Overhead budget in percent; 0 leaves the sampling tier off. */
+    std::uint32_t budget = 0;
+    /** Pin the admission level (budget lane); -1 lets the governor
+     *  drive. */
+    std::int32_t forceLevel = -1;
 };
 
 /** Expands one sweep seed into a run: workload, fault kind, policy.
@@ -132,6 +148,8 @@ struct SoakResult
     std::uint64_t recovered = 0;
     std::uint64_t attempts = 0;
     std::uint64_t quarantined = 0;
+    /** Reads the sampling gate shed (budget lane). */
+    std::uint64_t shedReads = 0;
     int exitCode = 0;
     /** Filled only when the run was made with the flight recorder on
      *  (the artifact re-run of a violating seed). */
@@ -182,6 +200,13 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
     spec.runtime.onRace = plan.policy;
     spec.runtime.maxRecoveries = plan.maxRecoveries;
     spec.runtime.obs.enabled = withObs;
+    if (plan.budget > 0) {
+        spec.runtime.overheadBudget = plan.budget;
+        spec.runtime.sampleForceLevel = plan.forceLevel;
+        // Short windows so shedding engages at Scale::Test run lengths.
+        spec.runtime.sample.windowLog2 = 6;
+        spec.runtime.sample.burstWindows = 1;
+    }
     spec.recordPath = recordPath;
     spec.replayPath = replayPath;
 
@@ -210,6 +235,7 @@ runOne(std::uint64_t seed, const RunPlan &plan, unsigned threads,
         soak.recovered = result.recoveredRaces;
         soak.attempts = result.recoveryAttempts;
         soak.quarantined = result.quarantinedSites;
+        soak.shedReads = result.checker.shedReads;
         soak.obsTrace = result.obsTraceJson;
         soak.failureReport = result.failureReport;
         soak.metricsJson = result.metricsJson;
@@ -365,6 +391,9 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.getInt("replay-every", 10));
     const auto recoverRuns = static_cast<std::uint64_t>(opts.getInt(
         "recover-runs",
+        static_cast<long long>(std::max<std::uint64_t>(10, runs / 5))));
+    const auto budgetRuns = static_cast<std::uint64_t>(opts.getInt(
+        "budget-runs",
         static_cast<long long>(std::max<std::uint64_t>(10, runs / 5))));
     const bool verbose = opts.getBool("verbose", false);
     const std::string artifactDir = opts.getString("artifact-dir", "");
@@ -598,12 +627,119 @@ main(int argc, char **argv)
         }
     }
 
+    // Sampling-governor lane (ISSUE 8). The same fault sweep — kill
+    // faults, forced rollovers, skipped acquires and all — with the
+    // sampling tier live. Shedding read checks is sound (reads never
+    // update shadow metadata), so every invariant the plain sweep
+    // enforces must survive unchanged under an active budget: the
+    // structured-outcome guarantee, exit-code discipline, and reference
+    // output on clean race-free completions. Odd seeds pin a deep
+    // forced level so heavy shedding is guaranteed to be in effect the
+    // moment the fault fires; even seeds leave the governor in charge.
+    std::uint64_t budgetTotal = 0, budgetSheds = 0;
+    const std::uint32_t kBudgets[] = {5, 10, 25, 50};
+    for (std::uint64_t i = 0; i < budgetRuns; ++i) {
+        const std::uint64_t seed = seedBase + 200000 + i;
+        RunPlan plan = planFor(seed);
+        plan.budget = kBudgets[i % std::size(kBudgets)];
+        plan.forceLevel = (i % 2 == 1) ? 8 : -1;
+        const SoakResult r = runOne(seed, plan, threads, watchdogMs);
+        ++budgetTotal;
+        budgetSheds += r.shedReads;
+        tally[std::string("budget/") + inject::faultKindName(plan.kind) +
+              "/" + outcomeName(r.outcome)]++;
+
+        bool bad = r.outcome == Outcome::Violation;
+        if (r.outcome != Outcome::Violation &&
+            r.exitCode != expectedExit(plan, r)) {
+            bad = true;
+            std::printf("budget seed %llu: EXIT-CODE MISMATCH on %s/%s "
+                        "(budget %u): %d != expected %d\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        inject::faultKindName(plan.kind), plan.budget,
+                        r.exitCode, expectedExit(plan, r));
+        }
+        if (r.outcome == Outcome::Clean && !plan.racy &&
+            plan.policy == OnRacePolicy::Throw && r.raceCount == 0 &&
+            r.outputHash != reference[plan.workload]) {
+            bad = true;
+            std::printf("budget seed %llu: SILENT WRONG OUTPUT on %s "
+                        "(budget %u, shed %llu): %016llx != %016llx\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(), plan.budget,
+                        static_cast<unsigned long long>(r.shedReads),
+                        static_cast<unsigned long long>(r.outputHash),
+                        static_cast<unsigned long long>(
+                            reference[plan.workload]));
+        }
+        if (bad) {
+            ++violations;
+            if (r.outcome == Outcome::Violation)
+                std::printf("budget seed %llu: VIOLATION on %s/%s "
+                            "(budget %u): %s\n",
+                            static_cast<unsigned long long>(seed),
+                            plan.workload.c_str(),
+                            inject::faultKindName(plan.kind), plan.budget,
+                            r.detail.c_str());
+            dumpArtifacts(artifactDir, seed, plan, threads, watchdogMs);
+        } else if (verbose) {
+            std::printf("budget seed %llu: %s/%s%s budget=%u level=%s "
+                        "shed=%llu -> %s\n",
+                        static_cast<unsigned long long>(seed),
+                        plan.workload.c_str(),
+                        inject::faultKindName(plan.kind),
+                        plan.racy ? " [racy]" : "", plan.budget,
+                        plan.forceLevel >= 0 ? "forced" : "governed",
+                        static_cast<unsigned long long>(r.shedReads),
+                        outcomeName(r.outcome));
+        }
+
+        // Under --audit=replay a sample of budgeted seeds must also
+        // round-trip through a recorded trace: the SampleLevel /
+        // SampleShed lanes make budgeted runs first-class replay
+        // citizens, not a special case.
+        if (auditMode == "replay" && replayEvery > 0 &&
+            i % replayEvery == 0) {
+            const std::string tracePath = auditDir + "/budget_seed" +
+                                          std::to_string(seed) +
+                                          ".cleantrace";
+            const std::string why = replayAuditSeed(seed, plan, threads,
+                                                    watchdogMs, tracePath);
+            ++replayed;
+            if (!why.empty()) {
+                ++mismatches;
+                std::printf("budget seed %llu: REPLAY-AUDIT MISMATCH on "
+                            "%s/%s (budget %u): %s\n",
+                            static_cast<unsigned long long>(seed),
+                            plan.workload.c_str(),
+                            inject::faultKindName(plan.kind), plan.budget,
+                            why.c_str());
+            } else if (artifactDir.empty()) {
+                std::error_code ec;
+                std::filesystem::remove(tracePath, ec);
+            }
+        }
+    }
+    // The lane must actually exercise shedding: the forced-level seeds
+    // guarantee it, so zero total sheds means the sampling tier never
+    // engaged and the lane tested nothing.
+    if (budgetTotal >= 2 && budgetSheds == 0) {
+        ++violations;
+        std::printf("budget lane: NO READS SHED across %llu runs — "
+                    "sampling tier never engaged\n",
+                    static_cast<unsigned long long>(budgetTotal));
+    }
+
     std::printf("\nchaos soak: %llu runs, %llu replays, %llu recover "
-                "runs (%llu recovery attempts)\n",
+                "runs (%llu recovery attempts), %llu budget runs "
+                "(%llu reads shed)\n",
                 static_cast<unsigned long long>(runs),
                 static_cast<unsigned long long>(replayed),
                 static_cast<unsigned long long>(recoverTotal),
-                static_cast<unsigned long long>(recoverEpisodes));
+                static_cast<unsigned long long>(recoverEpisodes),
+                static_cast<unsigned long long>(budgetTotal),
+                static_cast<unsigned long long>(budgetSheds));
     for (const auto &[key, count] : tally)
         std::printf("  %-28s %llu\n", key.c_str(),
                     static_cast<unsigned long long>(count));

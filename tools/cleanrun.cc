@@ -41,6 +41,19 @@
  *                                  --obs. With --runs=N the file holds
  *                                  the last run.
  *
+ * Always-on production mode (clean backend; see DESIGN.md §15):
+ *   --overhead-budget=PCT          enforce a detection-overhead SLO:
+ *                                  a deterministic sampling gate sheds
+ *                                  read checks while a governor adapts
+ *                                  the admission level to keep measured
+ *                                  overhead near PCT% (1..100; 100
+ *                                  admits everything = sampling off)
+ *   --sample-force-level=N         pin the admission level (disables
+ *                                  the governor and calibration; for
+ *                                  tests and benchmarks)
+ *   --sample-calib-log2=N          calibrate on every 2^N-th SFR
+ *                                  (0 disables calibration; default 6)
+ *
  * Record/replay (deterministic backends; see DESIGN.md §13):
  *   --record=PATH                  record this run's deterministic
  *                                  schedule + config to PATH
@@ -251,6 +264,9 @@ runMain(const Options &opts)
         if (opts.has("watchdog-ms"))
             spec.runtime.watchdogMs = static_cast<std::uint64_t>(
                 opts.getInt("watchdog-ms", 10000));
+        if (opts.has("overhead-budget"))
+            spec.runtime.overheadBudget = static_cast<std::uint32_t>(
+                opts.getInt("overhead-budget", 0));
     }
     spec.recordPath = recordPath;
     if (!replayPath.empty())
@@ -314,6 +330,27 @@ runMain(const Options &opts)
         static_cast<std::uint32_t>(opts.getInt("max-recoveries", 8));
     spec.runtime.watchdogMs = static_cast<std::uint64_t>(
         opts.getInt("watchdog-ms", 10000));
+    if (opts.has("overhead-budget")) {
+        const std::int64_t budget = opts.getInt("overhead-budget", 10);
+        if (budget < 1 || budget > 100)
+            fatal("--overhead-budget=%lld out of range (1..100)",
+                  static_cast<long long>(budget));
+        spec.runtime.overheadBudget = static_cast<std::uint32_t>(budget);
+    }
+    if (opts.has("sample-force-level")) {
+        const std::int64_t level = opts.getInt("sample-force-level", 0);
+        if (level < 0 || level > SampleGate::kMaxLevel)
+            fatal("--sample-force-level=%lld out of range (0..%u)",
+                  static_cast<long long>(level), SampleGate::kMaxLevel);
+        spec.runtime.sampleForceLevel = static_cast<std::int32_t>(level);
+    }
+    if (opts.has("sample-calib-log2")) {
+        const std::int64_t calib = opts.getInt("sample-calib-log2", 6);
+        if (calib < 0 || calib > 20)
+            fatal("--sample-calib-log2=%lld out of range (0..20)",
+                  static_cast<long long>(calib));
+        spec.runtime.sampleCalibLog2 = static_cast<unsigned>(calib);
+    }
     if (opts.has("inject-seed")) {
         auto &inject = spec.runtime.inject;
         inject.enabled = true;
@@ -415,6 +452,27 @@ runLoop(const Options &opts, RunSpec &spec, bool replaying)
                             result.recoveredKills),
                         static_cast<unsigned long long>(
                             result.quarantinedSites));
+        }
+        if (result.samplingOn) {
+            // Measured overhead is physical and deliberately lives only
+            // here, never in the JSON artifacts (those must round-trip
+            // byte-identically under --record/--replay).
+            std::printf("  sampling: budget %u%%  shed %llu/%llu reads  "
+                        "level %u  quarantined %llu",
+                        spec.runtime.overheadBudget,
+                        static_cast<unsigned long long>(
+                            result.checker.shedReads),
+                        static_cast<unsigned long long>(
+                            result.checker.sharedReads),
+                        result.sampleLevel,
+                        static_cast<unsigned long long>(
+                            result.sampleTelemetry.quarantines));
+            if (result.sampleOverheadPermille >= 0)
+                std::printf("  measured overhead %.1f%%",
+                            static_cast<double>(
+                                result.sampleOverheadPermille) /
+                                10.0);
+            std::printf("\n");
         }
         // Under Recover, counted races were rolled back and replayed;
         // they only fail the run when a site exhausted its budget.
