@@ -38,8 +38,13 @@ main(int argc, char **argv)
                 config.repeats,
                 config.options.getBool("no-fast-path", false) ? "off"
                                                               : "on");
-    std::printf("%-14s %10s %10s %10s %10s %10s\n", "benchmark",
-                "native[s]", "det-sync", "detect", "detect-nb", "clean");
+    // Thread count as a per-row column: the scale-out work (DESIGN.md
+    // §16) sweeps this harness at 1..64 threads, and concatenated
+    // sweep outputs are unreadable without the thread count on the
+    // row itself.
+    std::printf("%-14s %4s %10s %10s %10s %10s %10s\n", "benchmark",
+                "thr", "native[s]", "det-sync", "detect", "detect-nb",
+                "clean");
 
     std::vector<double> kendoX, detectX, detectNbX, cleanX;
     for (const auto &name : config.workloads) {
@@ -59,24 +64,27 @@ main(int argc, char **argv)
             baseSpec(config, name, BackendKind::Clean), config.repeats);
         if (native <= 0 || kendo < 0 || detect < 0 || detectNb < 0 ||
             clean < 0) {
-            std::printf("%-14s %10s\n", name.c_str(), "FAILED");
+            std::printf("%-14s %4u %10s\n", name.c_str(),
+                        config.threads, "FAILED");
             continue;
         }
         kendoX.push_back(kendo / native);
         detectX.push_back(detect / native);
         detectNbX.push_back(detectNb / native);
         cleanX.push_back(clean / native);
-        std::printf("%-14s %10.4f %9.2fx %9.2fx %9.2fx %9.2fx\n",
-                    name.c_str(), native, kendo / native,
-                    detect / native, detectNb / native, clean / native);
+        std::printf("%-14s %4u %10.4f %9.2fx %9.2fx %9.2fx %9.2fx\n",
+                    name.c_str(), config.threads, native,
+                    kendo / native, detect / native, detectNb / native,
+                    clean / native);
     }
 
-    std::printf("\n%-14s %10s %9.2fx %9.2fx %9.2fx %9.2fx   (geomean)\n",
-                "all", "", geomean(kendoX), geomean(detectX),
+    std::printf("\n%-14s %4s %10s %9.2fx %9.2fx %9.2fx %9.2fx   "
+                "(geomean)\n",
+                "all", "", "", geomean(kendoX), geomean(detectX),
                 geomean(detectNbX), geomean(cleanX));
-    std::printf("%-14s %10s %9.2fx %9.2fx %9.2fx %9.2fx   (mean)\n", "",
-                "", mean(kendoX), mean(detectX), mean(detectNbX),
-                mean(cleanX));
+    std::printf("%-14s %4s %10s %9.2fx %9.2fx %9.2fx %9.2fx   (mean)\n",
+                "", "", "", mean(kendoX), mean(detectX),
+                mean(detectNbX), mean(cleanX));
     std::printf("\npaper (16-core Xeon, compiled instrumentation): "
                 "detect avg 5.8x, clean avg 7.8x;\n"
                 "det-sync small with fmm/radiosity/fluidanimate/dedup/"

@@ -48,8 +48,22 @@ Floor lane — a 10% budget may cost at most 12% measured overhead.
   * BM_ScatterRead8B_Batch — the non-coalescable worst case (one run
     table entry per access).
 
+``scale`` (baseline ``bench/baseline_scale.json``, result from
+``bench_scale`` filtered to the 4-thread smoke) covers the many-core
+metadata path (DESIGN.md §16): the lock-free chunk index's streaming /
+striding / conflict kernels, the in-bench mutex-shard ablation the
+lock-free claim is measured against, and the full batched-checker
+streaming lane over one shared shadow. The gate compares per-access ns
+(google-benchmark per-iteration real time), never wall time.
+
 Medians are compared rather than means because CI runners are noisy
 and a single descheduled repetition should not trip the gate.
+
+Every comparison also checks host context: the gated benchmarks are
+contention-sensitive, so a result captured on a different CPU count
+than its baseline (``context.num_cpus`` in the google-benchmark JSON)
+prints a non-fatal warning — the numbers still gate, but the mismatch
+is visible in the CI log instead of silently distorting the margin.
 
 Artifact paths resolve with a fallback: a ``--baseline``/``--result``
 path that does not exist as given is retried under ``bench/`` and at
@@ -92,6 +106,13 @@ GATES = {
         "BM_SloStrideRead8B_Floor",
         "BM_SloStrideRead8B_Budget10",
         "BM_SloStrideRead8B_Full",
+    ),
+    "scale": (
+        "BM_IndexStreamLockFree/real_time/threads:4",
+        "BM_IndexStrideLockFree/real_time/threads:4",
+        "BM_IndexConflictLockFree/real_time/threads:4",
+        "BM_IndexConflictMutexShard/real_time/threads:4",
+        "BM_CheckerStreamBatch/real_time/threads:4",
     ),
 }
 
@@ -149,8 +170,11 @@ def load_medians(path, field="real_time"):
         # "key:value" path component); strip only those. Arg suffixes
         # ("BM_X/64" vs "BM_X/4096") are distinct benchmarks and must
         # stay distinct keys — collapsing them made the gate silently
-        # compare whichever arg variant came last.
-        base = "/".join(p for p in base.split("/") if ":" not in p)
+        # compare whichever arg variant came last. "threads:N" is an
+        # arg, not a decoration: thread counts are distinct benchmarks
+        # in the scale sweep and must stay distinct keys.
+        base = "/".join(p for p in base.split("/")
+                        if ":" not in p or p.startswith("threads:"))
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
         if base in medians:
@@ -159,6 +183,43 @@ def load_medians(path, field="real_time"):
                 "(two result rows collapsed to one gate key)")
         medians[base] = bench[field] * scale
     return medians
+
+
+def load_host_context(path):
+    """Host context of a google-benchmark JSON result: num_cpus,
+    mhz_per_cpu and host_name (any of them None when the file predates
+    context capture)."""
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = doc.get("context", {})
+    return {
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "host_name": ctx.get("host_name"),
+    }
+
+
+def context_warnings(baseline_ctx, result_ctx):
+    """Non-fatal host-context mismatch messages (list of strings).
+
+    Only num_cpus warns: the gated lanes are contention-sensitive, and
+    a baseline captured on a 1-CPU VM says nothing about a 4-CPU
+    runner's margins (and vice versa). Frequency and host name are
+    reported inside the message as context, not warned on — they vary
+    across perfectly comparable runners.
+    """
+    base_cpus = baseline_ctx.get("num_cpus")
+    now_cpus = result_ctx.get("num_cpus")
+    if base_cpus is None or now_cpus is None or base_cpus == now_cpus:
+        return []
+    return [
+        f"WARN host context: result ran on {now_cpus} CPUs "
+        f"(host {result_ctx.get('host_name') or '?'}) but the baseline "
+        f"was captured on {base_cpus} "
+        f"(host {baseline_ctx.get('host_name') or '?'}); "
+        "contention-sensitive medians are not comparable at face "
+        "value — consider refreshing the baseline on this runner class."
+    ]
 
 
 def main():
@@ -175,6 +236,12 @@ def main():
     result_path = resolve_artifact(args.result)
     baseline = load_medians(baseline_path)
     result = load_medians(result_path)
+
+    # Host-context check (non-fatal, satellite of the scale sweep):
+    # surfaced before the per-lane lines so CI logs lead with it.
+    for warning in context_warnings(load_host_context(baseline_path),
+                                    load_host_context(result_path)):
+        print(warning)
 
     failed = False
     for name in GATES[args.gate]:

@@ -13,6 +13,8 @@
  *   --no-own-cache             disable the per-thread ownership cache
  *   --no-batch                 disable batched SFR-boundary read checks
  *   --batch-bytes=N            batched-read drain window (default 64 KiB)
+ *   --async-check              retire batched drains on a dedicated
+ *                              checker thread (DESIGN.md §16)
  */
 
 #ifndef CLEAN_BENCH_COMMON_H
@@ -89,6 +91,8 @@ baseSpec(const BenchConfig &config, const std::string &workload,
     spec.runtime.ownCache =
         !config.options.getBool("no-own-cache", false);
     spec.runtime.batch = !config.options.getBool("no-batch", false);
+    spec.runtime.asyncCheck =
+        config.options.getBool("async-check", false);
     spec.runtime.batchBytes = static_cast<std::size_t>(
         config.options.getInt("batch-bytes",
                               static_cast<std::int64_t>(

@@ -17,7 +17,9 @@ import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from check_perf import GATED, GATES, RATIOS, load_medians, resolve_artifact
+from check_perf import (GATED, GATES, RATIOS, context_warnings,
+                        load_host_context, load_medians,
+                        resolve_artifact)
 
 
 def write_result(rows):
@@ -63,10 +65,23 @@ class LoadMediansTest(unittest.TestCase):
         self.assertEqual(medians, {"BM_X/64": 2.5, "BM_Plain": 1.5})
 
     def test_colon_decorations_are_stripped_generally(self):
+        # repeats:N is a decoration; threads:N is an argument (the
+        # scale sweep's thread counts are distinct benchmarks) and
+        # must survive as part of the key.
         medians = self.load([
             median_row("BM_X/8/threads:4/repeats:10", 3.0),
         ])
-        self.assertEqual(medians, {"BM_X/8": 3.0})
+        self.assertEqual(medians, {"BM_X/8/threads:4": 3.0})
+
+    def test_thread_counts_stay_distinct_keys(self):
+        medians = self.load([
+            median_row("BM_Scale/real_time/threads:4", 2.0),
+            median_row("BM_Scale/real_time/threads:16", 7.0),
+        ])
+        self.assertEqual(medians, {
+            "BM_Scale/real_time/threads:4": 2.0,
+            "BM_Scale/real_time/threads:16": 7.0,
+        })
 
     def test_key_collision_is_an_error(self):
         rows = [
@@ -125,6 +140,62 @@ class GatesTest(unittest.TestCase):
     def test_slo_gate_pins_the_twelve_percent_ceiling(self):
         limits = {limit for _, _, limit in RATIOS["slo"]}
         self.assertEqual(limits, {1.12})
+
+
+class HostContextTest(unittest.TestCase):
+    """The num_cpus mismatch warning (non-fatal, scale satellite)."""
+
+    @staticmethod
+    def write_doc(context):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w") as f:
+            json.dump({"context": context, "benchmarks": []}, f)
+        return path
+
+    def test_context_fields_are_extracted(self):
+        path = self.write_doc({"num_cpus": 4, "mhz_per_cpu": 2100,
+                               "host_name": "runner-1"})
+        try:
+            self.assertEqual(load_host_context(path), {
+                "num_cpus": 4, "mhz_per_cpu": 2100,
+                "host_name": "runner-1"})
+        finally:
+            os.unlink(path)
+
+    def test_missing_context_yields_nones(self):
+        path = write_result([])
+        try:
+            self.assertEqual(load_host_context(path), {
+                "num_cpus": None, "mhz_per_cpu": None,
+                "host_name": None})
+        finally:
+            os.unlink(path)
+
+    def test_cpu_count_mismatch_warns(self):
+        warnings = context_warnings(
+            {"num_cpus": 1, "host_name": "vm-1", "mhz_per_cpu": 2100},
+            {"num_cpus": 4, "host_name": "runner-9", "mhz_per_cpu": 3000})
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("4 CPUs", warnings[0])
+        self.assertIn("on 1", warnings[0])
+        self.assertIn("runner-9", warnings[0])
+        self.assertTrue(warnings[0].startswith("WARN"))
+
+    def test_matching_cpu_count_is_silent(self):
+        self.assertEqual(
+            context_warnings({"num_cpus": 4}, {"num_cpus": 4}), [])
+
+    def test_unknown_cpu_count_is_silent(self):
+        # Baselines predating context capture must not spam CI.
+        self.assertEqual(
+            context_warnings({"num_cpus": None}, {"num_cpus": 4}), [])
+        self.assertEqual(
+            context_warnings({"num_cpus": 1}, {"num_cpus": None}), [])
+
+    def test_frequency_alone_never_warns(self):
+        self.assertEqual(
+            context_warnings({"num_cpus": 2, "mhz_per_cpu": 2100},
+                             {"num_cpus": 2, "mhz_per_cpu": 3600}), [])
 
 
 class ResolveArtifactTest(unittest.TestCase):

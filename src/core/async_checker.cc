@@ -1,0 +1,118 @@
+#include "core/async_checker.h"
+
+#include "core/race_exception.h"
+#include "core/runtime.h"
+#include "support/backoff.h"
+#include "support/logging.h"
+
+namespace clean
+{
+
+AsyncChecker::AsyncChecker(CleanRuntime &rt, ThreadId slots)
+    : rt_(rt), slots_(slots),
+      lanes_(std::make_unique<Lane[]>(slots))
+{
+    thread_ = std::thread([this] { run(); });
+}
+
+AsyncChecker::~AsyncChecker()
+{
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+AsyncChecker::drain(ThreadState &ts)
+{
+    CLEAN_ASSERT(ts.tid < slots_, "tid %u outside async lanes", ts.tid);
+    Lane &lane = lanes_[ts.tid];
+    const std::uint64_t seq = lane.posted.load(std::memory_order_relaxed);
+    lane.requests[seq % Lane::kDepth] = &ts;
+    lane.posted.store(seq + 1, std::memory_order_release);
+
+    // Block until the checker thread retires the request. The wait is
+    // bounded by one drain's work; the watchdog only trips if the
+    // checker thread died, which is a library bug, not an application
+    // deadlock — hence panic, not DeadlockError.
+    SpinWait wait(rt_.config().watchdogMs);
+    while (lane.retired.load(std::memory_order_acquire) != seq + 1) {
+        if (CLEAN_UNLIKELY(wait.expired()))
+            panic("async checker unresponsive after %llu ms (tid %u)",
+                  static_cast<unsigned long long>(wait.elapsedMs()),
+                  ts.tid);
+        wait.pause();
+    }
+    if (CLEAN_UNLIKELY(lane.error != nullptr)) {
+        std::exception_ptr error = lane.error;
+        lane.error = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+AsyncChecker::run()
+{
+    SpinWait idle;
+    for (;;) {
+        bool worked = false;
+        for (ThreadId slot = 0; slot < slots_; ++slot) {
+            Lane &lane = lanes_[slot];
+            const std::uint64_t retired =
+                lane.retired.load(std::memory_order_relaxed);
+            if (lane.posted.load(std::memory_order_acquire) == retired)
+                continue;
+            process(lane, *lane.requests[retired % Lane::kDepth]);
+            drains_.fetch_add(1, std::memory_order_acq_rel);
+            lane.retired.store(retired + 1, std::memory_order_release);
+            worked = true;
+        }
+        if (worked) {
+            idle = SpinWait{};
+            continue;
+        }
+        // Check for shutdown only when idle: posted-but-unretired work
+        // is always finished first, so the destructor cannot strand a
+        // blocked app thread.
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        idle.pause();
+    }
+}
+
+void
+AsyncChecker::process(Lane &lane, ThreadState &ts)
+{
+    // The owner is blocked in drain() for the duration, so its
+    // ThreadState is quiesced; take the debug stats latch for the same
+    // span so single-writer violations elsewhere still trip it.
+    const std::thread::id owner =
+        ts.exchangeStatsOwner(std::this_thread::get_id());
+    try {
+        for (;;) {
+            try {
+                rt_.drainBatch(ts);
+                break;
+            } catch (const RaceException &race) {
+                if (rt_.recordRace(race)) {
+                    // Throw policy: abort flag is up; hand the
+                    // exception to the posting thread, which rethrows
+                    // it from its SFR boundary exactly like the inline
+                    // drain. Remaining runs stay unchecked, as they
+                    // would inline (the unwind discards them).
+                    lane.error = std::make_exception_ptr(race);
+                    break;
+                }
+                // Report/Count: cursor parked past the racy access;
+                // keep draining so every deferred check still runs.
+            }
+        }
+    } catch (...) {
+        // Anything non-race (allocation failure, internal assert
+        // surfaced as exception) belongs on the posting thread.
+        lane.error = std::current_exception();
+    }
+    ts.exchangeStatsOwner(owner);
+}
+
+} // namespace clean

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Dedicated checker thread for batched SFR-boundary drains
+ * (`--async-check`, DESIGN.md §16).
+ *
+ * With batching on (§14), an app thread's deferred read checks retire
+ * at its SFR boundaries via RaceChecker::drainBatch. This service moves
+ * that drain onto one dedicated checker thread: the boundary hands the
+ * full BatchBuffer over a bounded per-thread SPSC ring and blocks until
+ * the checker thread has retired every run, then proceeds into the
+ * turn wait. Completion therefore still happens strictly before the
+ * draining thread's acquireTurn completes — the §5.2/§14 soundness
+ * window (races fire before the SFR's effects escape) is unchanged, and
+ * reports are deterministic: runs carry their buffered site + SFR
+ * ordinal, so a race surfaces with exactly the identity the inline
+ * drain would give it. What the handoff buys is locality and overlap:
+ * the shadow walk and wide-SIMD epoch scans run on one core whose
+ * caches stay hot with shadow data, instead of evicting every app
+ * thread's working set at every boundary.
+ *
+ * Threading contract:
+ *  - Each app thread posts at most one outstanding request and blocks
+ *    until it retires, so the per-thread ring is single-producer by
+ *    construction and the owner's ThreadState/BatchBuffer are quiesced
+ *    for the whole time the checker thread touches them (same rule the
+ *    flight recorder uses for lane reads). The debug-only
+ *    CheckerStats single-writer latch is exchanged around the handoff
+ *    (ThreadState::exchangeStatsOwner) so it keeps catching genuine
+ *    unsynchronized bumps.
+ *  - Races found by the checker thread go through the same
+ *    CleanRuntime::recordRace funnel (mutex + atomics). Under
+ *    Report/Count it parks the cursor and keeps draining; under Throw
+ *    it stops, raises the abort flag, and the stored RaceException is
+ *    rethrown on the posting thread — byte-identical unwind semantics
+ *    to the inline drain.
+ *  - Rollover cannot race a drain: the resetter waits until every app
+ *    thread is parked, and a thread with an outstanding drain is not
+ *    parked yet — it parks only after its drain retires (acquireTurn
+ *    order: drainBatch, then pollRollover).
+ */
+
+#ifndef CLEAN_CORE_ASYNC_CHECKER_H
+#define CLEAN_CORE_ASYNC_CHECKER_H
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "support/common.h"
+
+namespace clean
+{
+
+class CleanRuntime;
+struct ThreadState;
+
+/** The dedicated drain thread plus one SPSC handoff ring per app
+ *  thread slot. Constructed by CleanRuntime when `--async-check` is on
+ *  and batching survived its config gates. */
+class AsyncChecker
+{
+  public:
+    AsyncChecker(CleanRuntime &rt, ThreadId slots);
+    ~AsyncChecker();
+
+    AsyncChecker(const AsyncChecker &) = delete;
+    AsyncChecker &operator=(const AsyncChecker &) = delete;
+
+    /**
+     * Retires every deferred check in @p ts's batch buffer on the
+     * checker thread; called from the owning app thread, which blocks
+     * here until the drain completes. Throws exactly what the inline
+     * ThreadContext::drainBatch would: RaceException under Throw (after
+     * recording), nothing under Report/Count.
+     */
+    void drain(ThreadState &ts);
+
+    /** Completed handoffs (all threads). Test/diagnostic only — kept
+     *  out of CheckerStats so async on/off metrics stay identical. */
+    std::uint64_t
+    drains() const
+    {
+        return drains_.load(std::memory_order_acquire);
+    }
+
+  private:
+    /** One app thread's handoff ring. Bounded SPSC: the producer is
+     *  the slot's app thread, the consumer is the checker thread.
+     *  Depth covers protocol evolution (e.g. fire-and-forget posts at
+     *  non-final boundaries); today's block-until-retired protocol
+     *  keeps at most one request in flight. */
+    struct alignas(kCacheLineBytes) Lane
+    {
+        static constexpr std::size_t kDepth = 4;
+
+        ThreadState *requests[kDepth] = {};
+        /** Producer cursor (app thread). */
+        std::atomic<std::uint64_t> posted{0};
+        /** Consumer cursor (checker thread), own line so the producer's
+         *  completion spin does not fight the producer's own writes. */
+        alignas(kCacheLineBytes) std::atomic<std::uint64_t> retired{0};
+        /** Set by the checker thread before bumping `retired`; consumed
+         *  (and cleared) by the producer after observing the bump. */
+        std::exception_ptr error;
+    };
+
+    void run();
+    void process(Lane &lane, ThreadState &ts);
+
+    CleanRuntime &rt_;
+    const ThreadId slots_;
+    std::unique_ptr<Lane[]> lanes_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> drains_{0};
+    std::thread thread_;
+};
+
+} // namespace clean
+
+#endif // CLEAN_CORE_ASYNC_CHECKER_H

@@ -503,7 +503,10 @@ class RaceChecker
         if (CLEAN_UNLIKELY(b.runs == nullptr)) {
             const std::size_t cap = std::max<std::size_t>(
                 64, config_.batchBytes / sizeof(BatchBuffer::Run));
-            b.runs = std::make_unique<BatchBuffer::Run[]>(cap);
+            // First append comes from the owning thread, so the table
+            // lands on its NUMA node (explicitly under libnuma,
+            // first-touch otherwise).
+            b.runs.allocate(cap);
             b.capacity = static_cast<std::uint32_t>(cap);
         } else if (CLEAN_UNLIKELY(b.count == b.capacity)) {
             // Non-coalescable access pattern filled the table; a race

@@ -435,6 +435,14 @@ ThreadContext::drainBatch()
 {
     if (CLEAN_LIKELY(state_->batch.empty()))
         return;
+    // --async-check: hand the buffer to the dedicated checker thread
+    // and block until it retires every run. The service applies the
+    // same record-and-continue policy loop as below and rethrows a
+    // Throw-policy race here, so both paths unwind identically.
+    if (CLEAN_UNLIKELY(rt_.asyncChecker() != nullptr)) {
+        rt_.asyncChecker()->drain(*state_);
+        return;
+    }
     for (;;) {
         try {
             rt_.drainBatch(*state_);
@@ -996,6 +1004,14 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
             checkerConfig, *sparseShadow_);
     }
 
+    // Async drains require batching to have survived its own gates
+    // (vectorized byte-granule CAS checking, no Recover, no injection):
+    // with batching inert the buffer is always empty and a checker
+    // thread would only idle-spin.
+    if (config_.asyncCheck && batchChecking())
+        asyncChecker_ =
+            std::make_unique<AsyncChecker>(*this, config_.maxThreads);
+
     kendo_ = std::make_unique<det::Kendo>(config_.deterministic,
                                           config_.maxThreads);
     kendo_->setWatchdogMs(config_.watchdogMs);
@@ -1072,6 +1088,12 @@ CleanRuntime::CleanRuntime(const RuntimeConfig &config)
 
 CleanRuntime::~CleanRuntime()
 {
+    // Stop the async checker thread first: it dereferences the
+    // checkers, shadow and thread states torn down below. Any app
+    // thread still blocked on a drain is released first (the checker
+    // finishes posted work before honoring stop).
+    asyncChecker_.reset();
+
     // Joining every spawned thread is the user's job; salvage what we
     // can so the process does not std::terminate on a joinable thread.
     bool leaked = false;
@@ -1321,8 +1343,10 @@ CleanRuntime::join(ThreadContext &parent, ThreadHandle handle)
 void
 CleanRuntime::obsRaceDetected(const RaceException &race)
 {
-    // Both recordRace and noteRace run on the accessing thread, so the
-    // accessor's lane keeps its single-producer contract here.
+    // recordRace and noteRace run on the accessing thread — or, under
+    // --async-check, on the checker thread while the accessor blocks on
+    // its drain completion — so the accessor's lane keeps its
+    // single-producer contract here either way.
     if (CLEAN_LIKELY(recorder_ == nullptr))
         return;
     if (obs::ThreadLane *lane = recorder_->lane(race.accessor()))
@@ -1535,10 +1559,15 @@ void
 CleanRuntime::performReset()
 {
     std::lock_guard<std::mutex> guard(registryMutex_);
-    if (linearShadow_)
+    if (linearShadow_) {
         linearShadow_->reset();
-    else
+    } else {
         sparseShadow_->reset();
+        // Every other thread is parked and will synchronize through the
+        // rollover unpark before touching the shadow again — exactly
+        // the quiescent point the deferred-reclamation contract needs.
+        sparseShadow_->reclaim();
+    }
     for (auto &record : records_) {
         if (!record->state)
             continue;

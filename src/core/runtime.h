@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/async_checker.h"
 #include "core/epoch.h"
 #include "core/linear_shadow.h"
 #include "core/race_check.h"
@@ -138,6 +139,18 @@ struct RuntimeConfig
     /** Buffered data bytes that force an in-place overflow drain
      *  (`--batch-bytes`; CheckerConfig::batchBytes). */
     std::size_t batchBytes = std::size_t{1} << 16;
+    /**
+     * Retire batched drains on a dedicated checker thread
+     * (`--async-check`, DESIGN.md §16): SFR boundaries hand the full
+     * run buffer to an AsyncChecker over a per-thread SPSC ring and
+     * block until it completes — still strictly before the boundary's
+     * turn wait, so soundness, report identity (site + SFR ordinal)
+     * and record/replay byte-identity are unchanged (the flag is
+     * deliberately absent from the .cleantrace header). Requires
+     * batching to survive its own gates (off under Recover/injection);
+     * off by default.
+     */
+    bool asyncCheck = false;
     AtomicityMode atomicity = AtomicityMode::Cas;
     ShadowKind shadow = ShadowKind::Linear;
     /** Checking granule (log2 bytes): 0 = per byte (sound for C/C++),
@@ -704,6 +717,19 @@ class CleanRuntime : private RolloverHost
                               : sparseChecker_->batchEnabled();
     }
 
+    /** Dedicated drain thread (`--async-check`); null when off (or when
+     *  batching lost its config gates, which async inherits). */
+    AsyncChecker *asyncChecker() { return asyncChecker_.get(); }
+
+    /** Completed async drain handoffs; 0 when `--async-check` is off.
+     *  Diagnostic only — deliberately not part of CheckerStats so async
+     *  on/off metrics stay byte-identical. */
+    std::uint64_t
+    asyncDrains() const
+    {
+        return asyncChecker_ ? asyncChecker_->drains() : 0;
+    }
+
     /**
      * Records a detected race. Returns true when the caller must
      * propagate the exception (OnRacePolicy::Throw — the abort flag is
@@ -863,6 +889,10 @@ class CleanRuntime : private RolloverHost
     std::uint64_t sampleCalibMask_ = 0;
     std::unique_ptr<obs::SamplingGovernor> governor_;
 
+    /** Dedicated drain thread (`--async-check`); null when off. Stopped
+     *  explicitly at the top of ~CleanRuntime, before anything it
+     *  touches (checkers, shadow, records) is torn down. */
+    std::unique_ptr<AsyncChecker> asyncChecker_;
     std::unique_ptr<ThreadContext> mainCtx_;
     std::unique_ptr<inject::InjectionPlan> injectPlan_;
     std::unique_ptr<obs::FlightRecorder> recorder_;

@@ -119,8 +119,12 @@ struct SampleTelemetry
  * direct-mapped table memoizes the (region, window) decision so the hot
  * path is one compare-and-branch; the out-of-line slow path re-decides
  * once per region per window.
+ *
+ * Cache-line aligned: the gate is embedded in ThreadState and consulted
+ * per shared read, so its head fields must not share a line with a
+ * neighboring thread's hot state.
  */
-class SampleGate
+class alignas(kCacheLineBytes) SampleGate
 {
   public:
     static constexpr std::uint32_t kEntries = 512;
@@ -367,6 +371,8 @@ class SampleGate
     std::vector<PendingQuarantine> pendingQuarantines_;
     SampleTelemetry telemetry_;
 };
+static_assert(alignof(SampleGate) == kCacheLineBytes,
+              "per-thread gate heads must not false-share");
 
 } // namespace clean
 

@@ -1,6 +1,8 @@
 #include "core/sparse_shadow.h"
 
-#include <cstring>
+#include "support/backoff.h"
+#include "support/logging.h"
+#include "support/numa.h"
 
 namespace clean
 {
@@ -10,48 +12,150 @@ thread_local std::uint64_t SparseShadow::cachedGen_ = 0;
 thread_local Addr SparseShadow::cachedKey_ = ~Addr{0};
 thread_local EpochValue *SparseShadow::cachedChunk_ = nullptr;
 
+namespace
+{
+
+constexpr std::size_t kChunkAllocBytes =
+    SparseShadow::kChunkBytes * sizeof(EpochValue);
+
+/** Zeroed, node-local chunk; the allocating thread is the first
+ *  toucher, so first-touch placement matches the libnuma path. */
+EpochValue *
+allocChunk()
+{
+    return static_cast<EpochValue *>(numa::allocLocal(kChunkAllocBytes));
+}
+
+} // namespace
+
+SparseShadow::Table::Table(unsigned capacityLog2)
+    : mask((std::size_t{1} << capacityLog2) - 1),
+      shift(64 - capacityLog2),
+      slots(std::make_unique<Slot[]>(mask + 1))
+{
+}
+
+SparseShadow::Table::~Table()
+{
+    for (std::size_t i = 0; i <= mask; ++i) {
+        EpochValue *chunk = slots[i].chunk.load(std::memory_order_acquire);
+        if (chunk)
+            numa::deallocate(chunk, kChunkAllocBytes);
+    }
+}
+
+SparseShadow::SparseShadow(unsigned capacityLog2)
+    : capacityLog2_(capacityLog2),
+      table_(new Table(capacityLog2)),
+      generation_(nextGeneration_.fetch_add(1))
+{
+    CLEAN_ASSERT(capacityLog2 >= 1 && capacityLog2 <= 32,
+                 "capacityLog2=%u", capacityLog2);
+}
+
+SparseShadow::~SparseShadow()
+{
+    reclaim();
+    delete table_.load(std::memory_order_acquire);
+}
+
 EpochValue *
 SparseShadow::slotsSlow(Addr addr, Addr key)
 {
-    Shard &shard = shards_[shardOf(key)];
-    EpochValue *chunk = nullptr;
-    {
-        std::lock_guard<std::mutex> guard(shard.mutex);
-        auto &slot = shard.chunks[key];
-        if (!slot) {
-            slot = std::make_unique<EpochValue[]>(kChunkBytes);
-            std::memset(slot.get(), 0, kChunkBytes * sizeof(EpochValue));
-        }
-        chunk = slot.get();
-    }
-    cachedGen_ = generation_;
+    // Generation before table, both acquire: reset() publishes the new
+    // table before the new generation, so caching (gen, chunk) in this
+    // order guarantees a current-generation cache entry never points
+    // into a retired table (see the cache comment in the header).
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    Table *table = table_.load(std::memory_order_acquire);
+    EpochValue *chunk = findOrCreate(*table, key);
+    cachedGen_ = gen;
     cachedKey_ = key;
     cachedChunk_ = chunk;
     return chunk + (addr & kChunkMask);
 }
 
+EpochValue *
+SparseShadow::findOrCreate(Table &table, Addr key)
+{
+    // Keys are stored biased by one so 0 can mean "empty" (address 0
+    // lives in chunk index 0).
+    const std::uint64_t stored = static_cast<std::uint64_t>(key) + 1;
+    // Fibonacci-hash the chunk index so adjacent chunks (the common
+    // sequential first-touch pattern) start their probes far apart.
+    std::size_t idx = static_cast<std::size_t>(
+        (stored * 0x9e3779b97f4a7c15ull) >> table.shift);
+    for (std::size_t probes = 0; probes <= table.mask; ++probes) {
+        Slot &slot = table.slots[idx];
+        std::uint64_t seen = slot.key.load(std::memory_order_acquire);
+        if (seen == 0 &&
+            slot.key.compare_exchange_strong(seen, stored,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            // Claimed: we own the (single) allocate-and-publish.
+            EpochValue *chunk = allocChunk();
+            slot.chunk.store(chunk, std::memory_order_release);
+            return chunk;
+        }
+        if (seen == stored) {
+            // Materialized (or being materialized) by someone else.
+            // The publish follows the claim by one bounded allocation,
+            // so this wait is short; it is the only place a lookup can
+            // wait at all.
+            EpochValue *chunk =
+                slot.chunk.load(std::memory_order_acquire);
+            if (CLEAN_LIKELY(chunk != nullptr))
+                return chunk;
+            SpinWait wait;
+            while (!(chunk = slot.chunk.load(std::memory_order_acquire)))
+                wait.pause();
+            return chunk;
+        }
+        idx = (idx + 1) & table.mask;
+    }
+    panic("SparseShadow chunk index full: %zu distinct 64 KiB chunks; "
+          "construct with a larger capacityLog2",
+          table.mask + 1);
+}
+
 void
 SparseShadow::reset()
 {
-    // Drop, don't zero: deallocating the chunk tables is O(chunks)
-    // pointer frees instead of O(shadow bytes) memset, and the lazily
-    // reallocated replacements come back zeroed anyway. Retiring the
-    // generation first invalidates every thread-local cached chunk
-    // pointer before its memory is freed.
-    generation_ = nextGeneration_.fetch_add(1);
-    for (Shard &shard : shards_) {
-        std::lock_guard<std::mutex> guard(shard.mutex);
-        shard.chunks.clear();
+    // Swap in an empty index first, then retire the generation. Order
+    // matters for the thread-local cache invariant (header comment):
+    // a reader that observes the new generation must be working
+    // against the new table. The old table is pushed on the retired
+    // list, not freed — see reclaim().
+    Table *fresh = new Table(capacityLog2_);
+    Table *old = table_.exchange(fresh, std::memory_order_acq_rel);
+    old->nextRetired = retired_.load(std::memory_order_relaxed);
+    while (!retired_.compare_exchange_weak(old->nextRetired, old,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+    }
+    generation_.store(nextGeneration_.fetch_add(1),
+                      std::memory_order_release);
+}
+
+void
+SparseShadow::reclaim()
+{
+    Table *head = retired_.exchange(nullptr, std::memory_order_acq_rel);
+    while (head) {
+        Table *next = head->nextRetired;
+        delete head;
+        head = next;
     }
 }
 
 std::size_t
 SparseShadow::chunkCount() const
 {
+    const Table *table = table_.load(std::memory_order_acquire);
     std::size_t total = 0;
-    for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> guard(shard.mutex);
-        total += shard.chunks.size();
+    for (std::size_t i = 0; i <= table->mask; ++i) {
+        if (table->slots[i].chunk.load(std::memory_order_acquire))
+            ++total;
     }
     return total;
 }

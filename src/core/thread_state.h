@@ -10,8 +10,8 @@
 #include <memory>
 #ifndef NDEBUG
 #include <atomic>
-#include <thread>
 #endif
+#include <thread>
 
 #include "core/epoch.h"
 #include "core/sampling.h"
@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "support/common.h"
 #include "support/logging.h"
+#include "support/numa.h"
 #include "support/stats.h"
 
 namespace clean
@@ -344,9 +345,13 @@ class OwnershipCache
  * racy value.
  *
  * Storage is lazily allocated by the checker on first append (plain
- * ThreadState users that never enable batching pay nothing).
+ * ThreadState users that never enable batching pay nothing); since the
+ * owning thread performs that first append, the run table lands on its
+ * NUMA node (numa::LocalArray). The whole struct is cache-line aligned
+ * so the per-access head fields (open/count/cursor) of adjacent
+ * ThreadStates can never false-share.
  */
-struct BatchBuffer
+struct alignas(kCacheLineBytes) BatchBuffer
 {
     struct Run
     {
@@ -365,7 +370,7 @@ struct BatchBuffer
     };
     static_assert(sizeof(Run) == 32, "Run is sized for cheap indexing");
 
-    std::unique_ptr<Run[]> runs;
+    numa::LocalArray<Run> runs;
     /** The run new appends may extend, or null when none is open. A
      *  write (which bumps the access ordinal without appending) and
      *  every drain close it, so a run's accesses are always consecutive
@@ -414,6 +419,8 @@ struct BatchBuffer
         openLimit = 0;
     }
 };
+static_assert(alignof(BatchBuffer) == kCacheLineBytes,
+              "batch heads must not false-share across threads");
 
 /**
  * Detector-visible state of one running thread.
@@ -481,8 +488,22 @@ struct ThreadState
                      "CheckerStats bumped from two threads (tid %u)",
                      tid);
     }
+    /**
+     * Async-drain handoff (`--async-check`, DESIGN.md §16): the
+     * dedicated checker thread legitimately bumps this thread's
+     * counters while the owner blocks on the drain completion — it
+     * borrows the single-writer latch for exactly that span and hands
+     * back the previous owner afterwards, so the assert keeps firing
+     * on genuinely unsynchronized cross-thread bumps.
+     */
+    std::thread::id
+    exchangeStatsOwner(std::thread::id next)
+    {
+        return statsOwner_.exchange(next, std::memory_order_relaxed);
+    }
 #else
     void assertStatsOwner() {}
+    std::thread::id exchangeStatsOwner(std::thread::id) { return {}; }
 #endif
 
     ThreadId tid;

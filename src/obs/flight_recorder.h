@@ -113,10 +113,15 @@ class ThreadLane
     ThreadId tid_;
     std::size_t mask_;
     std::vector<Event> ring_;
-    std::atomic<std::uint64_t> head_{0};
+    /** Own cache line: the owner bumps this on every recorded event
+     *  while other lanes' owners do the same, and lanes are allocated
+     *  back-to-back — without the alignment the heads false-share. */
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
     /** Not owned; null in the common (no record/replay) case. */
     EventHook *hook_ = nullptr;
 };
+static_assert(alignof(ThreadLane) >= kCacheLineBytes,
+              "ring heads must not false-share across lanes");
 
 /**
  * The runtime-wide recorder: one lane per thread slot plus a global

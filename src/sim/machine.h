@@ -48,6 +48,12 @@ struct MachineConfig
      * models the context-switch case of §5.1: a switch costs
      * contextSwitchCost cycles plus one memory access to reload the
      * per-core main vector-clock register.
+     *
+     * The model is core-count-parameterised throughout (hierarchy
+     * snoops, per-core state) and is exercised up to 64 cores by the
+     * many-core sweep (bench_scale's BM_SimCheckedAccessRate lane,
+     * DESIGN.md §16) — the paper's 8-core point is a configuration,
+     * not a ceiling.
      */
     unsigned cores = 0;
     Cycles contextSwitchCost = 100;

@@ -1,0 +1,99 @@
+#include "support/numa.h"
+
+#include <cstring>
+#include <new>
+
+#if defined(CLEAN_HAVE_NUMA)
+#include <numa.h>
+#include <sched.h>
+#endif
+
+namespace clean::numa
+{
+
+namespace
+{
+
+#if defined(CLEAN_HAVE_NUMA)
+bool
+numaUsable()
+{
+    static const bool usable = ::numa_available() >= 0;
+    return usable;
+}
+#endif
+
+constexpr std::size_t kAlign = 64;
+
+} // namespace
+
+bool
+available()
+{
+#if defined(CLEAN_HAVE_NUMA)
+    return numaUsable() && ::numa_num_configured_nodes() > 1;
+#else
+    return false;
+#endif
+}
+
+int
+nodeCount()
+{
+#if defined(CLEAN_HAVE_NUMA)
+    if (numaUsable())
+        return ::numa_num_configured_nodes();
+#endif
+    return 1;
+}
+
+int
+currentNode()
+{
+#if defined(CLEAN_HAVE_NUMA)
+    if (numaUsable()) {
+        const int cpu = ::sched_getcpu();
+        if (cpu >= 0)
+            return ::numa_node_of_cpu(cpu);
+    }
+#endif
+    return 0;
+}
+
+void *
+allocLocal(std::size_t bytes)
+{
+#if defined(CLEAN_HAVE_NUMA)
+    if (numaUsable()) {
+        // Kernel-placed on the calling thread's node; pages come back
+        // zeroed (fresh anonymous mmap). Never mixed with the fallback
+        // allocator so deallocate() can route by numaUsable() alone.
+        void *ptr = ::numa_alloc_local(bytes);
+        if (!ptr)
+            throw std::bad_alloc();
+        return ptr;
+    }
+#endif
+    void *ptr = ::operator new(bytes, std::align_val_t{kAlign});
+    // The caller's memset is the first touch: Linux's default policy
+    // faults each page onto the toucher's node.
+    std::memset(ptr, 0, bytes);
+    return ptr;
+}
+
+void
+deallocate(void *ptr, std::size_t bytes) noexcept
+{
+    if (!ptr)
+        return;
+#if defined(CLEAN_HAVE_NUMA)
+    if (numaUsable()) {
+        ::numa_free(ptr, bytes);
+        return;
+    }
+#endif
+    (void)bytes;
+    ::operator delete(ptr, std::align_val_t{kAlign});
+}
+
+} // namespace clean::numa

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * NUMA-aware local allocation with a portable no-op fallback.
+ *
+ * The scale-out structures (SparseShadow chunks, per-thread BatchBuffer
+ * run tables) want their backing pages on the memory node of the thread
+ * that touches them. When built with -DCLEAN_NUMA=ON and libnuma is
+ * present, allocLocal() asks the kernel for pages on the calling
+ * thread's node explicitly (numa_alloc_local). Everywhere else it
+ * degrades to an aligned allocation that the caller immediately
+ * memsets: under Linux's default first-touch policy that zeroing IS the
+ * placement decision, so single-node machines and libnuma-less builds
+ * lose nothing.
+ */
+
+#ifndef CLEAN_SUPPORT_NUMA_H
+#define CLEAN_SUPPORT_NUMA_H
+
+#include <cstddef>
+#include <type_traits>
+
+namespace clean::numa
+{
+
+/** True when the binary was built against libnuma (CLEAN_NUMA=ON and
+ *  numa.h found) AND the running kernel exposes more than one node.
+ *  Purely informational; allocLocal works either way. */
+bool available();
+
+/** Number of memory nodes (1 when NUMA is unavailable). */
+int nodeCount();
+
+/** Memory node of the calling thread's current CPU (0 when NUMA is
+ *  unavailable). */
+int currentNode();
+
+/**
+ * Allocates @p bytes of zeroed, 64-byte-aligned memory local to the
+ * calling thread's node. libnuma path: numa_alloc_local (page-granular,
+ * kernel-placed). Fallback: aligned ::operator new + memset by the
+ * caller, which first-touches every page on the caller's node.
+ * Free with deallocate(ptr, bytes) — the size is required because
+ * numa_free needs it.
+ */
+void *allocLocal(std::size_t bytes);
+
+/** Releases memory from allocLocal. @p bytes must match the request. */
+void deallocate(void *ptr, std::size_t bytes) noexcept;
+
+/**
+ * Owning zeroed node-local array for implicit-lifetime element types
+ * (aggregates/PODs): allocLocal's zeroed bytes implicitly create the
+ * elements, so no constructor loop runs over what may be megabytes of
+ * table. Used for per-thread hot tables (BatchBuffer run tables) whose
+ * placement should follow the owning thread's node.
+ */
+template <typename T>
+class LocalArray
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "LocalArray elements live by zero-fill alone");
+
+  public:
+    LocalArray() = default;
+
+    LocalArray(LocalArray &&other) noexcept
+        : ptr_(other.ptr_), bytes_(other.bytes_)
+    {
+        other.ptr_ = nullptr;
+        other.bytes_ = 0;
+    }
+
+    LocalArray &
+    operator=(LocalArray &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ptr_ = other.ptr_;
+            bytes_ = other.bytes_;
+            other.ptr_ = nullptr;
+            other.bytes_ = 0;
+        }
+        return *this;
+    }
+
+    LocalArray(const LocalArray &) = delete;
+    LocalArray &operator=(const LocalArray &) = delete;
+
+    ~LocalArray() { reset(); }
+
+    /** Replaces the contents with @p count zeroed elements allocated
+     *  local to the calling thread. */
+    void
+    allocate(std::size_t count)
+    {
+        reset();
+        bytes_ = count * sizeof(T);
+        ptr_ = static_cast<T *>(allocLocal(bytes_));
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ptr_) {
+            deallocate(ptr_, bytes_);
+            ptr_ = nullptr;
+            bytes_ = 0;
+        }
+    }
+
+    T *get() const { return ptr_; }
+    T &operator[](std::size_t i) const { return ptr_[i]; }
+    explicit operator bool() const { return ptr_ != nullptr; }
+    bool operator==(std::nullptr_t) const { return ptr_ == nullptr; }
+
+  private:
+    T *ptr_ = nullptr;
+    std::size_t bytes_ = 0;
+};
+
+} // namespace clean::numa
+
+#endif // CLEAN_SUPPORT_NUMA_H

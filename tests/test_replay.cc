@@ -579,6 +579,42 @@ TEST(ReplayRoundTrip, SixtyFourSeedsAllPoliciesByteIdentical)
     std::filesystem::remove(path);
 }
 
+TEST(ReplayRoundTrip, AsyncCheckRecordsAndReplaysByteIdentical)
+{
+    // --async-check moves batched drains onto a checker thread but is
+    // deliberately NOT part of the trace header (runner.cc meta): it
+    // changes no recorded decision, so a trace captured with the
+    // checker thread must replay byte-identically both with and
+    // without it.
+    const std::string path = tmpPath("async_roundtrip.cleantrace");
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        RunSpec spec = smallSpec("streamcluster", 0xa51c + seed,
+                                 OnRacePolicy::Report);
+        spec.runtime.asyncCheck = true;
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        const RunResult a = recordRun(spec, path);
+        ASSERT_FALSE(a.raceException);
+
+        RunSpec asyncReplay = spec;
+        RunSpec syncReplay = spec;
+        syncReplay.runtime.asyncCheck = false;
+        for (const RunSpec &r : {asyncReplay, syncReplay}) {
+            const RunResult b = replayRun(r, path);
+            SCOPED_TRACE(r.runtime.asyncCheck ? "async replay"
+                                              : "sync replay");
+            EXPECT_FALSE(b.traceFault)
+                << b.traceFaultKind << ": " << b.traceFaultMessage;
+            EXPECT_EQ(b.raceCount, a.raceCount);
+            EXPECT_EQ(b.outputHash, a.outputHash);
+            EXPECT_EQ(b.failureReport, a.failureReport);
+            EXPECT_EQ(b.metricsJson, a.metricsJson);
+            EXPECT_TRUE(b.fingerprint() == a.fingerprint());
+        }
+    }
+    std::filesystem::remove(path);
+}
+
 /** Budget spec whose gate decides often enough at test scale: 64-read
  *  windows and a single burst window, so forced levels actually shed. */
 RunSpec

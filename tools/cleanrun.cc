@@ -267,6 +267,10 @@ runMain(const Options &opts)
         if (opts.has("overhead-budget"))
             spec.runtime.overheadBudget = static_cast<std::uint32_t>(
                 opts.getInt("overhead-budget", 0));
+        // Not part of the trace header (drain placement does not shape
+        // the deterministic execution), so a replay may freely flip it.
+        if (opts.has("async-check"))
+            spec.runtime.asyncCheck = opts.getBool("async-check", false);
     }
     spec.recordPath = recordPath;
     if (!replayPath.empty())
@@ -284,6 +288,7 @@ runMain(const Options &opts)
     spec.runtime.fastPath = !opts.getBool("no-fast-path", false);
     spec.runtime.ownCache = !opts.getBool("no-own-cache", false);
     spec.runtime.batch = !opts.getBool("no-batch", false);
+    spec.runtime.asyncCheck = opts.getBool("async-check", false);
     if (opts.has("batch-bytes")) {
         const std::int64_t bb = opts.getInt("batch-bytes", 65536);
         if (bb < 64 || bb > (std::int64_t{1} << 30))
